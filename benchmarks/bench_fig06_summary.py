@@ -1,0 +1,41 @@
+"""Figure 6: outcome summary for Charon vs AI2-Zonotope vs AI2-Bounded64.
+
+Paper's shape: Charon verifies or falsifies benchmarks with *no unknown*
+results (δ-completeness); AI2 variants verify some benchmarks but can never
+falsify, leaving unknown/timeout bars; Charon solves more overall.
+"""
+
+from conftest import ALL_NETWORKS, TIMEOUT, load_problems, one_shot
+
+from repro.bench.harness import ai2_adapter, charon_adapter, run_suite
+from repro.bench.report import (
+    format_counts,
+    format_summary,
+    solved_counts,
+    summary_percentages,
+)
+
+
+def test_fig06_summary(benchmark, charon_policy):
+    networks, problems = load_problems(ALL_NETWORKS)
+    tools = [
+        charon_adapter(TIMEOUT, policy=charon_policy),
+        ai2_adapter(TIMEOUT, bounded=False),
+        ai2_adapter(TIMEOUT, bounded=True),
+    ]
+
+    table = one_shot(benchmark, lambda: run_suite(tools, problems, networks))
+
+    print()
+    print(format_summary(table, title=f"Figure 6 ({len(problems)} benchmarks)"))
+    print(format_counts(solved_counts(table), "Solved (verified+falsified)"))
+
+    summary = summary_percentages(table)
+    # Charon is δ-complete: no unknown bar (Figure 6).
+    assert summary["Charon"]["unknown"] == 0.0
+    # AI2 cannot falsify: no falsified bar for either variant.
+    assert summary["AI2-Zonotope"]["falsified"] == 0.0
+    assert summary["AI2-Bounded64"]["falsified"] == 0.0
+    # Charon solves at least as many benchmarks as the stronger AI2.
+    counts = solved_counts(table)
+    assert counts["Charon"] >= counts["AI2-Bounded64"]

@@ -1,0 +1,12 @@
+"""Figure 10: cactus plot for the cifar_3x100 network (Charon vs AI2).
+
+The paper plots cumulative solve time against the number of benchmarks
+solved; lower and further right is better.  The qualitative claim: Charon
+solves at least as many benchmarks as AI2-Bounded64 and solves them faster.
+"""
+
+from conftest import cactus_figure
+
+
+def test_fig10_cifar_3x100(benchmark, charon_policy):
+    cactus_figure(benchmark, charon_policy, "cifar_3x100", "Figure 10")

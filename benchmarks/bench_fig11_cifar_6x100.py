@@ -1,0 +1,12 @@
+"""Figure 11: cactus plot for the cifar_6x100 network (Charon vs AI2).
+
+The paper plots cumulative solve time against the number of benchmarks
+solved; lower and further right is better.  The qualitative claim: Charon
+solves at least as many benchmarks as AI2-Bounded64 and solves them faster.
+"""
+
+from conftest import cactus_figure
+
+
+def test_fig11_cifar_6x100(benchmark, charon_policy):
+    cactus_figure(benchmark, charon_policy, "cifar_6x100", "Figure 11")

@@ -1,0 +1,33 @@
+"""Figure 13: cactus plot for the convolutional network.
+
+The paper's standout observation here: AI2-Bounded64 times out on *every*
+benchmark of the conv net (it does not appear in the figure), while Charon
+still solves most of the suite.  The powerset domain's case splits explode
+on convolutional layers; the learned policy avoids that regime.
+"""
+
+from conftest import TIMEOUT, load_problems, one_shot
+
+from repro.bench.harness import ai2_adapter, charon_adapter, run_suite
+from repro.bench.report import format_cactus, solved_counts, summary_percentages
+
+
+def test_fig13_convnet(benchmark, charon_policy):
+    networks, problems = load_problems(["mnist_conv"])
+    tools = [
+        charon_adapter(TIMEOUT, policy=charon_policy),
+        ai2_adapter(TIMEOUT, bounded=False),
+        ai2_adapter(TIMEOUT, bounded=True),
+    ]
+    table = one_shot(benchmark, lambda: run_suite(tools, problems, networks))
+
+    print()
+    print(format_cactus(table, title="Figure 13: mnist_conv"))
+    counts = solved_counts(table)
+    summary = summary_percentages(table)
+    print(f"solved: {counts}")
+    print(
+        "AI2-Bounded64 timeout rate: "
+        f"{summary['AI2-Bounded64']['timeout']:.0f}%"
+    )
+    assert counts["Charon"] >= counts["AI2-Bounded64"]

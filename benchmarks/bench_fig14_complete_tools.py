@@ -1,0 +1,40 @@
+"""Figure 14: Charon vs the complete tools ReluVal and Reluplex.
+
+Paper's shape: across the MLP networks (the conv net is excluded because
+neither baseline supports it), Charon solves 2.6x more benchmarks than
+ReluVal and 16.6x more than Reluplex, and Charon's solved set is a strict
+superset of ReluVal's.  Our scaled-down networks soften the ratios but the
+ordering Charon >= ReluVal >= Reluplex must hold.
+"""
+
+from conftest import MLP_NETWORKS, TIMEOUT, load_problems, one_shot
+
+from repro.bench.harness import (
+    charon_adapter,
+    reluplex_adapter,
+    reluval_adapter,
+    run_suite,
+)
+from repro.bench.report import format_cactus, format_counts, solved_counts
+
+
+def test_fig14_complete_tools(benchmark, charon_policy):
+    networks, problems = load_problems(MLP_NETWORKS)
+    tools = [
+        charon_adapter(TIMEOUT, policy=charon_policy),
+        reluval_adapter(TIMEOUT),
+        reluplex_adapter(TIMEOUT),
+    ]
+    table = one_shot(benchmark, lambda: run_suite(tools, problems, networks))
+
+    print()
+    print(format_cactus(table, title=f"Figure 14 ({len(problems)} benchmarks)"))
+    counts = solved_counts(table)
+    print(format_counts(counts, "Solved"))
+    if counts["ReluVal"]:
+        print(f"Charon/ReluVal solved ratio: {counts['Charon'] / counts['ReluVal']:.2f}x")
+    if counts["Reluplex"]:
+        print(f"Charon/Reluplex solved ratio: {counts['Charon'] / counts['Reluplex']:.2f}x")
+
+    assert counts["Charon"] >= counts["ReluVal"]
+    assert counts["Charon"] >= counts["Reluplex"]

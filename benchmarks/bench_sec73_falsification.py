@@ -1,0 +1,34 @@
+"""§7.3 (RQ2): impact of counterexample search — falsification counts.
+
+Paper's numbers: of 585 benchmarks, Charon falsifies 123, Reluplex 1,
+ReluVal 0.  The shape to reproduce: gradient-based search lets Charon
+falsify far more properties than either complete tool, because PGD finds
+adversarial inputs in seconds where LP branch-and-bound (Reluplex) or
+midpoint sampling (ReluVal) rarely do before the timeout.
+"""
+
+from conftest import MLP_NETWORKS, TIMEOUT, load_problems, one_shot
+
+from repro.bench.harness import (
+    charon_adapter,
+    reluplex_adapter,
+    reluval_adapter,
+    run_suite,
+)
+from repro.bench.report import falsification_counts, format_counts
+
+
+def test_sec73_falsification(benchmark, charon_policy):
+    networks, problems = load_problems(MLP_NETWORKS)
+    tools = [
+        charon_adapter(TIMEOUT, policy=charon_policy),
+        reluval_adapter(TIMEOUT),
+        reluplex_adapter(TIMEOUT),
+    ]
+    table = one_shot(benchmark, lambda: run_suite(tools, problems, networks))
+
+    counts = falsification_counts(table)
+    print()
+    print(format_counts(counts, f"Falsified (of {len(problems)})"))
+    # The paper's ordering: Charon >> Reluplex >= ReluVal in falsifications.
+    assert counts["Charon"] >= counts["ReluVal"]

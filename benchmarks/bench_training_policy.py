@@ -1,0 +1,34 @@
+"""§6 training phase: Bayesian optimization of the verification policy.
+
+The paper trains on 12 ACAS Xu properties with a per-benchmark limit of
+700 s and penalty p=2.  This bench runs the same loop at laptop scale and
+reports the cost trajectory: the learned policy's suite cost must not
+exceed the hand-initialized default's (the default is seeded into the
+optimizer, so learning can only improve).
+"""
+
+from conftest import one_shot
+
+from repro.data.acas import acas_network, acas_training_properties
+from repro.learn.objective import TrainingProblem
+from repro.learn.trainer import train_policy
+
+
+def test_training_policy(benchmark):
+    net = acas_network(hidden=(16, 16, 16), epochs=15, rng=7)
+    props = acas_training_properties(net, count=6, radii=(0.03, 0.08), rng=11)
+    problems = [TrainingProblem(net, p) for p in props]
+
+    trained = one_shot(
+        benchmark,
+        lambda: train_policy(
+            problems, iterations=6, time_limit=0.5, penalty=2.0, rng=0
+        ),
+    )
+
+    default_score = trained.history.observations[0].y
+    print()
+    print(f"default policy suite cost: {-default_score:.3f}s")
+    print(f"learned policy suite cost: {-trained.best_score:.3f}s")
+    print(f"BO evaluations: {len(trained.history.observations)}")
+    assert trained.best_score >= default_score

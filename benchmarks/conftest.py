@@ -1,0 +1,96 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Every bench file regenerates one table or figure from §7 of the paper (see
+DESIGN.md §3 for the index).  Networks are trained once per pytest session
+and shared across bench files through the in-process suite cache.
+
+Scaling: paper budgets (1000 s timeout, 100 properties/network on 28x28
+inputs) are replaced by the laptop-scale defaults below.  Set the
+environment variable ``REPRO_BENCH_FULL=1`` for a heavier run (more
+properties, longer timeouts).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.suites import SuiteScale, build_network, build_problems
+from repro.learn.pretrained import pretrained_policy
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+#: Per-benchmark timeout shared by every tool (the paper's 1000 s, scaled).
+TIMEOUT = 10.0 if FULL else 2.0
+
+#: Brightening-attack properties per network (the paper uses ~86).
+PROBLEMS_PER_NETWORK = 24 if FULL else 8
+
+SCALE = SuiteScale()
+
+MLP_NETWORKS = (
+    "mnist_3x100",
+    "mnist_6x100",
+    "mnist_9x200",
+    "cifar_3x100",
+    "cifar_6x100",
+    "cifar_9x100",
+)
+ALL_NETWORKS = MLP_NETWORKS + ("mnist_conv",)
+
+
+@pytest.fixture(scope="session")
+def charon_policy():
+    """The learned policy — 'Charon' in every figure means this."""
+    return pretrained_policy()
+
+
+def load_problems(names, count=PROBLEMS_PER_NETWORK, seed=13):
+    """Train the named networks and build their benchmark problems."""
+    networks = {}
+    problems = []
+    for name in names:
+        bench_net = build_network(name, SCALE, seed=0)
+        networks[name] = bench_net.network
+        problems.extend(build_problems(bench_net, count=count, rng=seed))
+    return networks, problems
+
+
+def one_shot(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark timing.
+
+    Figure benches measure a whole tool-by-suite sweep; repeating it for
+    statistical rounds would multiply minutes of work for no insight.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1)
+
+
+def cactus_figure(benchmark, policy, network_name, figure):
+    """Shared driver for Figures 7–13: one network, AI2 variants vs Charon.
+
+    Prints the cumulative-time-vs-solved series of the figure and checks
+    the paper's qualitative shape (Charon solves at least as much as the
+    bounded-powerset AI2 under the shared timeout).
+    """
+    from repro.bench.harness import ai2_adapter, charon_adapter, run_suite
+    from repro.bench.report import cactus_series, format_cactus, solved_counts
+
+    networks, problems = load_problems([network_name])
+    tools = [
+        charon_adapter(TIMEOUT, policy=policy),
+        ai2_adapter(TIMEOUT, bounded=False),
+        ai2_adapter(TIMEOUT, bounded=True),
+    ]
+    table = one_shot(benchmark, lambda: run_suite(tools, problems, networks))
+
+    print()
+    print(format_cactus(table, title=f"{figure}: {network_name}"))
+    counts = solved_counts(table)
+    print(f"solved: {counts}")
+    assert counts["Charon"] >= counts["AI2-Bounded64"]
+    # The series is what the figure plots; it must be well-formed.
+    for tool in table.tools():
+        series = cactus_series(table, tool)
+        assert all(b >= a for (_, a), (_, b) in zip(series, series[1:]))
+    return table

@@ -1,0 +1,63 @@
+"""Parallel verification (§6): sub-regions analyzed on worker threads.
+
+The recursion of Algorithm 1 is independent across sub-regions, so the
+original Charon runs abstract-interpreter calls on as many threads as the
+host provides.  This example verifies a split-heavy property with 1, 2, and
+4 workers and reports the wall-clock effect.
+
+Run with::
+
+    python examples/parallel_verification.py
+"""
+
+import numpy as np
+
+from repro import Box, DomainSpec, RobustnessProperty, VerifierConfig
+from repro.core.parallel import verify_parallel
+from repro.core.policy import BisectionPolicy
+from repro.data.synthetic import mnist_like
+from repro.nn.builders import mlp
+from repro.nn.training import TrainConfig, train_classifier
+
+
+def main() -> None:
+    print("training a classifier whose properties need many splits...")
+    dataset = mnist_like(num_samples=800, image_size=6, rng=0)
+    flat = dataset.inputs.reshape(len(dataset), -1)
+    network = mlp(flat.shape[1], [20, 20], dataset.num_classes, rng=0)
+    train_classifier(
+        network, flat, dataset.labels,
+        TrainConfig(epochs=8, learning_rate=0.01), rng=0,
+    )
+    sample = next(
+        flat[i] for i in range(len(dataset))
+        if network.classify(flat[i]) == dataset.labels[i]
+    )
+    prop = RobustnessProperty(
+        Box.linf_ball(sample, 0.01, clip_low=0.0, clip_high=1.0),
+        network.classify(sample),
+    )
+    # A deliberately weak domain (intervals) forces the splitting that the
+    # worker pool parallelizes; zonotopes would verify this in one shot.
+    policy = BisectionPolicy(domain=DomainSpec("interval", 1))
+    config = VerifierConfig(timeout=30)
+
+    print("\nworkers  outcome    splits  wall-clock")
+    for workers in (1, 2, 4):
+        outcome = verify_parallel(
+            network, prop, policy=policy, config=config,
+            workers=workers, rng=0,
+        )
+        print(
+            f"{workers:>7}  {outcome.kind:<9} {outcome.stats.splits:>6}  "
+            f"{outcome.stats.time_seconds:>8.3f}s"
+        )
+    print("\nVerdicts are identical across pool sizes (the point of the")
+    print("correctness argument: sub-regions are independent).  On these")
+    print("scaled-down networks each analyzer call costs microseconds, so")
+    print("thread overhead dominates and more workers run *slower* — the")
+    print("paper's parallel speedups need ELINA-scale per-region costs.")
+
+
+if __name__ == "__main__":
+    main()

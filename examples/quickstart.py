@@ -1,0 +1,39 @@
+"""Quickstart: verify and falsify robustness properties in a few lines.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Box, RobustnessProperty, VerifierConfig, verify
+from repro.nn import xor_network
+
+
+def main() -> None:
+    # The XOR network from Figure 3 of the paper: classifies [0,1] and
+    # [1,0] as class 1, [0,0] and [1,1] as class 0.
+    network = xor_network()
+
+    # Example 3.1: every input in [0.3, 0.7]^2 should be classified 1.
+    robust = RobustnessProperty(
+        Box(np.array([0.3, 0.3]), np.array([0.7, 0.7])), label=1
+    )
+    outcome = verify(network, robust, config=VerifierConfig(timeout=10), rng=0)
+    print(f"[0.3, 0.7]^2 -> class 1: {outcome.kind}")
+    print(f"  abstract domains used: {dict(outcome.stats.domains_used)}")
+    print(f"  region splits: {outcome.stats.splits}")
+
+    # A property that is false: the whole unit square labelled 0.
+    broken = RobustnessProperty(Box(np.zeros(2), np.ones(2)), label=0)
+    outcome = verify(network, broken, config=VerifierConfig(timeout=10), rng=0)
+    print(f"[0, 1]^2 -> class 0: {outcome.kind}")
+    if outcome.kind == "falsified":
+        x = outcome.counterexample
+        print(f"  counterexample: {x} classified as {network.classify(x)}")
+        print(f"  margin F(x*) = {outcome.margin:.4f} (<= 0 means a true violation)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Walkthrough of the paper's worked examples (2.2, 2.3, and 3.1).
+
+Reproduces, with live numbers:
+
+- Example 2.2 — a 1-input network robust on [-1, 1] but not on [-1, 2];
+- Example 2.3 — a property that plain zonotopes cannot verify but a
+  powerset of two zonotopes can (Figure 4);
+- Example 3.1 — Algorithm 1's split-and-choose-domain trace on the XOR
+  network (Figure 5).
+
+Run with::
+
+    python examples/xor_walkthrough.py
+"""
+
+import numpy as np
+
+from repro import Box, DomainSpec, RobustnessProperty, VerifierConfig, analyze, verify
+from repro.core.policy import BisectionPolicy
+from repro.nn.builders import example_2_2_network, example_2_3_network, xor_network
+
+
+def example_2_2() -> None:
+    print("=== Example 2.2 ===")
+    net = example_2_2_network()
+    print(f"N(0) = {net.logits(np.array([0.0]))} -> class {net.classify(np.array([0.0]))}")
+    print(f"N(2) = {net.logits(np.array([2.0]))} -> class {net.classify(np.array([2.0]))}")
+
+    robust = RobustnessProperty(Box(np.array([-1.0]), np.array([1.0])), 1)
+    print(f"robust on [-1, 1]: {verify(net, robust, rng=0).kind}")
+    extended = RobustnessProperty(Box(np.array([-1.0]), np.array([2.0])), 1)
+    outcome = verify(net, extended, rng=0)
+    print(f"robust on [-1, 2]: {outcome.kind} (witness x = {outcome.counterexample})")
+
+
+def example_2_3() -> None:
+    print("\n=== Example 2.3 (Figure 4) ===")
+    net = example_2_3_network()
+    box = Box(np.zeros(2), np.ones(2))
+    for spec in (
+        DomainSpec("interval", 1),
+        DomainSpec("zonotope", 1),
+        DomainSpec("zonotope", 2),
+    ):
+        result = analyze(net, box, 1, spec)
+        status = "verified" if result.verified else "cannot verify"
+        print(
+            f"  domain {spec}: {status} "
+            f"(margin lower bound {result.margin_lower_bound:+.2f})"
+        )
+    print("  -> the powerset of two zonotopes keeps the ReLU case split")
+    print("     that the plain zonotope join throws away.")
+
+
+def example_3_1() -> None:
+    print("\n=== Example 3.1 (Figure 5) ===")
+    net = xor_network()
+    prop = RobustnessProperty(Box(np.array([0.3, 0.3]), np.array([0.7, 0.7])), 1)
+    # Force plain zonotopes, as in the paper's trace: splitting is required.
+    policy = BisectionPolicy(domain=DomainSpec("zonotope", 1))
+    outcome = verify(net, prop, policy=policy, config=VerifierConfig(timeout=10), rng=0)
+    print(f"  with plain zonotopes + bisection: {outcome.kind}")
+    print(f"  region splits performed: {outcome.stats.splits}")
+    print(f"  abstract-interpreter calls: {outcome.stats.analyze_calls}")
+    # With the richer default policy no split is needed at all.
+    outcome = verify(net, prop, config=VerifierConfig(timeout=10), rng=0)
+    print(
+        f"  with the policy's (Z, 2) choice: {outcome.kind} "
+        f"after {outcome.stats.splits} splits"
+    )
+
+
+def main() -> None:
+    example_2_2()
+    example_2_3()
+    example_3_1()
+
+
+if __name__ == "__main__":
+    main()

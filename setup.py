@@ -1,0 +1,9 @@
+"""Setup shim: enables legacy editable installs (`pip install -e .
+--no-build-isolation`) in offline environments where the `wheel` package is
+unavailable and PEP 517 editable builds cannot run.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""Abstract interpretation engine (the ELINA substitute).
+
+Implements the numeric domains the paper's analyzer chooses among (§2.3):
+
+- :mod:`repro.abstract.interval` — interval (box) domain.
+- :mod:`repro.abstract.zonotope` — zonotope domain with the AI2-style
+  case-split-then-join ReLU transformer.
+- :mod:`repro.abstract.powerset` — bounded powerset of either base domain,
+  which keeps ReLU case splits as disjuncts up to a budget.
+- :mod:`repro.abstract.domains` — :class:`DomainSpec`, the ``(base, k)``
+  pairs the domain policy selects from.
+- :mod:`repro.abstract.analyzer` — pushes a region through a network's op
+  sequence and checks the classification margin (the paper's ``Analyze``).
+- :mod:`repro.abstract.symbolic_interval` — symbolic intervals in the style
+  of ReluVal (used by the ReluVal baseline).
+"""
+
+from repro.abstract.element import AbstractElement
+from repro.abstract.interval import IntervalElement
+from repro.abstract.zonotope import Zonotope
+from repro.abstract.powerset import PowersetElement
+from repro.abstract.domains import (
+    DEEPPOLY,
+    DomainSpec,
+    INTERVAL,
+    SYMBOLIC,
+    ZONOTOPE,
+)
+from repro.abstract.analyzer import AnalysisResult, analyze, propagate
+from repro.abstract.deeppoly import DeepPolyState, deeppoly_analyze
+from repro.abstract.symbolic_interval import SymbolicInterval, symbolic_analyze
+
+__all__ = [
+    "AbstractElement",
+    "IntervalElement",
+    "Zonotope",
+    "PowersetElement",
+    "DomainSpec",
+    "INTERVAL",
+    "ZONOTOPE",
+    "SYMBOLIC",
+    "DEEPPOLY",
+    "AnalysisResult",
+    "analyze",
+    "propagate",
+    "DeepPolyState",
+    "deeppoly_analyze",
+    "SymbolicInterval",
+    "symbolic_analyze",
+]

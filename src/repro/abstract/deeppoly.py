@@ -1,0 +1,200 @@
+"""A DeepPoly-style back-substitution domain (§9: "a broader set of
+abstract domains").
+
+Each processed op stores *linear bounds of its output with respect to its
+immediate input*:
+
+    Al·v_prev + bl  <=  v  <=  Au·v_prev + bu.
+
+Affine ops are exact (Al = Au = W).  Crossing ReLUs use the DeepPoly
+relaxation: the chord as upper bound and the adaptive 0-or-identity lower
+bound (identity when the positive side dominates).  Max pooling keeps the
+window's best lower unit as the lower bound and degrades the upper bound to
+a constant unless one unit dominates.
+
+Concrete bounds of *any* linear expression over the current output are
+computed by **back-substitution**: the expression is rewritten layer by
+layer toward the input, choosing the lower or upper relation per
+coefficient sign, and finally evaluated over the input box.  Composing the
+relaxations symbolically — rather than concretizing at every layer like
+plain symbolic intervals — is what makes DeepPoly-style analyses tight on
+deep networks, and it directly yields relational margin bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.network import AffineOp, MaxPoolOp, Network, ReluOp
+from repro.utils.boxes import Box
+from repro.utils.timing import Deadline
+
+
+@dataclass(frozen=True)
+class _LayerBounds:
+    """Linear bounds of one op's output w.r.t. its input vector."""
+
+    al: np.ndarray
+    bl: np.ndarray
+    au: np.ndarray
+    bu: np.ndarray
+
+
+def _split_signs(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    return np.maximum(a, 0.0), np.minimum(a, 0.0)
+
+
+class DeepPolyState:
+    """Analysis state after a prefix of the op sequence.
+
+    Immutable in spirit: every transformer returns a new state sharing the
+    already-processed layer list.
+    """
+
+    def __init__(self, box: Box, layers: list[_LayerBounds] | None = None) -> None:
+        self.box = box
+        self.layers: list[_LayerBounds] = list(layers) if layers else []
+
+    @staticmethod
+    def identity(box: Box) -> "DeepPolyState":
+        return DeepPolyState(box)
+
+    @property
+    def size(self) -> int:
+        if self.layers:
+            return self.layers[-1].bl.size
+        return self.box.ndim
+
+    # ------------------------------------------------------------------
+    # Back-substitution
+    # ------------------------------------------------------------------
+
+    def _bound_expr(self, a: np.ndarray, b: np.ndarray, lower: bool) -> np.ndarray:
+        """Concrete lower (or upper) bounds of ``a·v + b`` over the region,
+        where ``v`` is the current output vector.  ``a``: ``(rows, size)``."""
+        a = np.atleast_2d(a)
+        b = np.atleast_1d(b).astype(np.float64)
+        for layer in reversed(self.layers):
+            pos, neg = _split_signs(a)
+            if lower:
+                b = pos @ layer.bl + neg @ layer.bu + b
+                a = pos @ layer.al + neg @ layer.au
+            else:
+                b = pos @ layer.bu + neg @ layer.bl + b
+                a = pos @ layer.au + neg @ layer.al
+        pos, neg = _split_signs(a)
+        if lower:
+            return pos @ self.box.low + neg @ self.box.high + b
+        return pos @ self.box.high + neg @ self.box.low + b
+
+    def bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """Concrete per-unit bounds of the current output vector."""
+        eye = np.eye(self.size)
+        zero = np.zeros(self.size)
+        return (
+            self._bound_expr(eye, zero, lower=True),
+            self._bound_expr(eye, zero, lower=False),
+        )
+
+    # ------------------------------------------------------------------
+    # Transformers
+    # ------------------------------------------------------------------
+
+    def _extended(self, layer: _LayerBounds) -> "DeepPolyState":
+        return DeepPolyState(self.box, self.layers + [layer])
+
+    def affine(self, weight: np.ndarray, bias: np.ndarray) -> "DeepPolyState":
+        return self._extended(_LayerBounds(weight, bias, weight, bias))
+
+    def relu(self) -> "DeepPolyState":
+        low, high = self.bounds()
+        n = self.size
+        al = np.zeros((n, n))
+        bl = np.zeros(n)
+        au = np.zeros((n, n))
+        bu = np.zeros(n)
+        for i in range(n):
+            l, u = low[i], high[i]
+            if l >= 0.0:
+                al[i, i] = 1.0
+                au[i, i] = 1.0
+            elif u <= 0.0:
+                pass  # both bounds stay 0
+            else:
+                # Chord upper bound: u(z - l)/(u - l).
+                slope = u / (u - l)
+                au[i, i] = slope
+                bu[i] = -slope * l
+                # DeepPoly's adaptive lower bound: identity when the
+                # positive side dominates (minimizes relaxation area).
+                if u > -l:
+                    al[i, i] = 1.0
+        return self._extended(_LayerBounds(al, bl, au, bu))
+
+    def maxpool(self, windows: np.ndarray) -> "DeepPolyState":
+        low, high = self.bounds()
+        out = windows.shape[0]
+        n = self.size
+        al = np.zeros((out, n))
+        bl = np.zeros(out)
+        au = np.zeros((out, n))
+        bu = np.zeros(out)
+        for o, window in enumerate(windows):
+            lows = low[window]
+            highs = high[window]
+            winner = int(np.argmax(lows))
+            # Lower bound: the max is at least the best single unit.
+            al[o, window[winner]] = 1.0
+            others = np.delete(np.arange(window.size), winner)
+            if others.size == 0 or lows[winner] >= highs[others].max():
+                au[o, window[winner]] = 1.0  # dominant unit: exact
+            else:
+                bu[o] = highs.max()  # constant fallback
+        return self._extended(_LayerBounds(al, bl, au, bu))
+
+    # ------------------------------------------------------------------
+    # Margin checks
+    # ------------------------------------------------------------------
+
+    def lower_margin(self, label: int, other: int) -> float:
+        """Relational bound on ``y_label - y_other`` via back-substitution."""
+        a = np.zeros((1, self.size))
+        a[0, label] = 1.0
+        a[0, other] = -1.0
+        return float(self._bound_expr(a, np.zeros(1), lower=True)[0])
+
+    def min_margin(self, label: int) -> float:
+        if not 0 <= label < self.size:
+            raise ValueError(f"label {label} out of range for size {self.size}")
+        return min(
+            self.lower_margin(label, j) for j in range(self.size) if j != label
+        )
+
+
+def deeppoly_analyze(
+    network: Network,
+    region: Box,
+    label: int,
+    deadline: Deadline | None = None,
+) -> tuple[bool, float]:
+    """Verify ``(region, label)`` with the DeepPoly-style domain.
+
+    Returns ``(verified, margin_lower_bound)``.  Supports affine, ReLU, and
+    max-pooling ops (i.e. all architectures in the benchmark suite).
+    """
+    state = DeepPolyState.identity(region)
+    for op in network.ops():
+        if deadline is not None:
+            deadline.check()
+        if isinstance(op, AffineOp):
+            state = state.affine(op.weight, op.bias)
+        elif isinstance(op, ReluOp):
+            state = state.relu()
+        elif isinstance(op, MaxPoolOp):
+            state = state.maxpool(op.windows)
+        else:
+            raise TypeError(f"unknown op type {type(op).__name__}")
+    margin = state.min_margin(label)
+    return margin > 0.0, margin

@@ -1,0 +1,113 @@
+"""The interval (box) abstract domain.
+
+The cheapest domain the paper's policy can select (``(I, k)`` in §4.1).
+Every transformer here is the standard optimal interval transformer; ReLU
+is exact per dimension (clamping), so :meth:`relu` needs no case splits —
+splits still help the powerset variant because later *affine* layers lose
+less precision on tighter boxes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.abstract.element import AbstractElement
+from repro.utils.boxes import Box
+
+
+class IntervalElement(AbstractElement):
+    """Component-wise bounds ``[low, high]``."""
+
+    def __init__(self, low: np.ndarray, high: np.ndarray) -> None:
+        low = np.asarray(low, dtype=np.float64).reshape(-1)
+        high = np.asarray(high, dtype=np.float64).reshape(-1)
+        if low.shape != high.shape:
+            raise ValueError(f"shape mismatch: {low.shape} vs {high.shape}")
+        if np.any(low > high + 1e-12):
+            raise ValueError("empty interval element (low > high)")
+        self.low = low
+        self.high = np.maximum(high, low)
+
+    @staticmethod
+    def from_box(box: Box) -> "IntervalElement":
+        return IntervalElement(box.low.copy(), box.high.copy())
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return self.low.size
+
+    def bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.low.copy(), self.high.copy()
+
+    def __repr__(self) -> str:
+        return f"IntervalElement(size={self.size})"
+
+    # ------------------------------------------------------------------
+    # Transformers
+    # ------------------------------------------------------------------
+
+    def affine(self, weight: np.ndarray, bias: np.ndarray) -> "IntervalElement":
+        pos = np.maximum(weight, 0.0)
+        neg = np.minimum(weight, 0.0)
+        low = pos @ self.low + neg @ self.high + bias
+        high = pos @ self.high + neg @ self.low + bias
+        return IntervalElement(low, high)
+
+    def relu(self, skip_dims: frozenset[int] = frozenset()) -> "IntervalElement":
+        # Clamping is the exact per-dimension ReLU image, so it is sound and
+        # optimal even on dims an earlier split already handled; the
+        # skip_dims hint can be ignored.
+        return IntervalElement(np.maximum(self.low, 0.0), np.maximum(self.high, 0.0))
+
+    def maxpool(self, windows: np.ndarray) -> "IntervalElement":
+        low = self.low[windows].max(axis=1)
+        high = self.high[windows].max(axis=1)
+        return IntervalElement(low, high)
+
+    # ------------------------------------------------------------------
+    # Case splits
+    # ------------------------------------------------------------------
+
+    def crossing_dims(self) -> np.ndarray:
+        crossing = np.flatnonzero((self.low < 0.0) & (self.high > 0.0))
+        widths = self.high[crossing] - self.low[crossing]
+        return crossing[np.argsort(-widths, kind="stable")]
+
+    def relu_split(self, dim: int) -> tuple["IntervalElement", "IntervalElement"]:
+        lo, hi = self.low[dim], self.high[dim]
+        if not lo < 0.0 < hi:
+            raise ValueError(f"dimension {dim} does not cross zero: [{lo}, {hi}]")
+        pos_low = self.low.copy()
+        pos_low[dim] = 0.0
+        pos = IntervalElement(pos_low, self.high.copy())
+        neg_low = self.low.copy()
+        neg_high = self.high.copy()
+        neg_low[dim] = 0.0
+        neg_high[dim] = 0.0
+        neg = IntervalElement(neg_low, neg_high)
+        return pos, neg
+
+    def relu_dim(self, dim: int) -> "IntervalElement":
+        low = self.low.copy()
+        high = self.high.copy()
+        low[dim] = max(low[dim], 0.0)
+        high[dim] = max(high[dim], 0.0)
+        return IntervalElement(low, high)
+
+    def join(self, other: "AbstractElement") -> "IntervalElement":
+        if not isinstance(other, IntervalElement):
+            raise TypeError("cannot join interval with non-interval element")
+        return IntervalElement(
+            np.minimum(self.low, other.low), np.maximum(self.high, other.high)
+        )
+
+    # ------------------------------------------------------------------
+    # Margins
+    # ------------------------------------------------------------------
+
+    def lower_margin(self, label: int, other: int) -> float:
+        return float(self.low[label] - self.high[other])

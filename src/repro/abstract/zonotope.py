@@ -1,0 +1,292 @@
+"""The zonotope abstract domain with AI2-style case-split ReLU.
+
+A zonotope is an affine form ``x = c + Gᵀη + diag(e)ξ`` with shared noise
+symbols ``η ∈ [-1, 1]^k`` and per-dimension independent error symbols
+``ξ ∈ [-1, 1]^n``.  The matrix ``G`` carries the relational information
+(correlations between activations); the error vector ``e`` accumulates the
+non-relational slack introduced by joins and max pooling.
+
+The ReLU transformer follows the paper (Figure 4 and AI2): each crossing
+dimension is case-split into the ``x_i >= 0`` and ``x_i <= 0`` half-spaces
+(via sound noise-symbol contraction), the negative branch is projected to
+zero, and — in the *plain* zonotope domain — the two branches are joined.
+The bounded powerset domain instead keeps them as disjuncts
+(:mod:`repro.abstract.powerset`).  This is deliberately the lossier
+split-join transformer rather than the tighter min-area relaxation: it is
+what makes the paper's Example 2.3 fail with one zonotope and succeed with
+two, which our tests reproduce.
+
+The join keeps shared generator structure (in the style of Goubault &
+Putot's perturbed affine sets): per noise symbol it retains the common
+sign-consistent part of both generators and pushes the residual into the
+error vector, so joined elements stay relational where the branches agree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.abstract.element import AbstractElement
+from repro.utils.boxes import Box
+
+_COEF_TOL = 1e-12
+
+
+class Zonotope(AbstractElement):
+    """Affine form ``c + Gᵀη + diag(err)ξ`` over ``η, ξ ∈ [-1, 1]``.
+
+    Attributes:
+        center: shape ``(n,)``.
+        gens: shape ``(k, n)`` — row ``j`` is the effect of noise symbol j.
+        err: shape ``(n,)``, non-negative independent error radii.
+    """
+
+    def __init__(self, center: np.ndarray, gens: np.ndarray, err: np.ndarray) -> None:
+        center = np.asarray(center, dtype=np.float64).reshape(-1)
+        gens = np.asarray(gens, dtype=np.float64)
+        err = np.asarray(err, dtype=np.float64).reshape(-1)
+        if gens.ndim != 2 or gens.shape[1] != center.size:
+            raise ValueError(
+                f"generator matrix shape {gens.shape} incompatible with "
+                f"center of size {center.size}"
+            )
+        if err.size != center.size:
+            raise ValueError(
+                f"error vector size {err.size} != dimension {center.size}"
+            )
+        if np.any(err < 0):
+            raise ValueError("error radii must be non-negative")
+        self.center = center
+        self.gens = gens
+        self.err = err
+
+    @staticmethod
+    def from_box(box: Box) -> "Zonotope":
+        # The box radii start as error terms; the first affine op materializes
+        # them into proper generator rows (see :meth:`affine`).
+        n = box.ndim
+        return Zonotope(box.center, np.zeros((0, n)), box.radius.copy())
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return self.center.size
+
+    @property
+    def num_gens(self) -> int:
+        return self.gens.shape[0]
+
+    def radius(self) -> np.ndarray:
+        return np.abs(self.gens).sum(axis=0) + self.err
+
+    def bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        rad = self.radius()
+        return self.center - rad, self.center + rad
+
+    def __repr__(self) -> str:
+        return f"Zonotope(size={self.size}, gens={self.num_gens})"
+
+    # ------------------------------------------------------------------
+    # Transformers
+    # ------------------------------------------------------------------
+
+    def affine(self, weight: np.ndarray, bias: np.ndarray) -> "Zonotope":
+        """Exact affine image.
+
+        Error symbols are *promoted to generator rows* here
+        (``diag(err) @ Wᵀ``) rather than propagated as the interval
+        ``|W| @ err``: an affine map correlates the outputs, and keeping
+        that correlation is what lets the relational margin bound
+        (:meth:`lower_margin`) stay sharp — without it, per-dimension error
+        mass gets double-counted across the two outputs of the margin.
+        The promotion always happens (even for all-zero error vectors) so
+        that sibling disjuncts in a powerset keep identical generator
+        shapes and remain joinable.
+        """
+        center = weight @ self.center + bias
+        promoted = self.err[:, None] * weight.T  # row i = err_i * W[:, i]
+        gens = np.vstack([self.gens @ weight.T, promoted])
+        return Zonotope(center, gens, np.zeros(center.size))
+
+    def relu(self, skip_dims: frozenset[int] = frozenset()) -> "Zonotope":
+        element = self._clamp_nonpositive(skip_dims)
+        # Joins performed while processing earlier dims can shrink later
+        # dims' ranges, so re-check the crossing condition per dimension.
+        for dim in element.crossing_dims():
+            dim = int(dim)
+            if dim in skip_dims:
+                continue
+            lo, hi = element.dim_bounds(dim)
+            if hi <= 0.0:
+                element = element._project_dim(dim)
+            elif lo < 0.0:
+                element = element.relu_dim(dim)
+        return element
+
+    def _clamp_nonpositive(self, skip_dims: frozenset[int] = frozenset()) -> "Zonotope":
+        """Project every definitely-non-positive dimension to exactly 0."""
+        low, high = self.bounds()
+        dead = high <= 0.0
+        if skip_dims:
+            keep = np.ones(self.size, dtype=bool)
+            keep[list(skip_dims)] = False
+            dead &= keep
+        if not dead.any():
+            return self
+        center = np.where(dead, 0.0, self.center)
+        gens = np.where(dead[None, :], 0.0, self.gens)
+        err = np.where(dead, 0.0, self.err)
+        return Zonotope(center, gens, err)
+
+    def _project_dim(self, dim: int) -> "Zonotope":
+        """Set one dimension to exactly 0 (the dead ReLU branch)."""
+        center = self.center.copy()
+        gens = self.gens.copy()
+        err = self.err.copy()
+        center[dim] = 0.0
+        gens[:, dim] = 0.0
+        err[dim] = 0.0
+        return Zonotope(center, gens, err)
+
+    def maxpool(self, windows: np.ndarray) -> "Zonotope":
+        low, high = self.bounds()
+        out = windows.shape[0]
+        center = np.empty(out)
+        gens = np.zeros((self.num_gens, out))
+        err = np.zeros(out)
+        for o, window in enumerate(windows):
+            lows = low[window]
+            highs = high[window]
+            winner = int(np.argmax(lows))
+            others = np.delete(np.arange(window.size), winner)
+            if others.size == 0 or lows[winner] >= highs[others].max():
+                # One unit dominates the window: the max is exactly that unit,
+                # so relational information survives.
+                src = window[winner]
+                center[o] = self.center[src]
+                gens[:, o] = self.gens[:, src]
+                err[o] = self.err[src]
+            else:
+                # Fall back to the interval hull of the window max.
+                lo = lows.max()
+                hi = highs.max()
+                center[o] = (lo + hi) / 2.0
+                err[o] = (hi - lo) / 2.0
+        return Zonotope(center, gens, err)
+
+    # ------------------------------------------------------------------
+    # Case splits
+    # ------------------------------------------------------------------
+
+    def crossing_dims(self) -> np.ndarray:
+        low, high = self.bounds()
+        crossing = np.flatnonzero((low < 0.0) & (high > 0.0))
+        widths = high[crossing] - low[crossing]
+        return crossing[np.argsort(-widths, kind="stable")]
+
+    def _contract(self, dim: int, keep_nonneg: bool) -> "Zonotope":
+        """Soundly tighten noise symbols under ``x_dim >= 0`` (or ``<= 0``).
+
+        One round of per-symbol interval contraction: every noise symbol's
+        range is narrowed as far as the single linear constraint allows when
+        all other symbols are relaxed to their full range.  The result
+        always over-approximates the true intersection.
+        """
+        coeffs = self.gens[:, dim]
+        c = self.center[dim]
+        slack = self.err[dim]
+        abs_coeffs = np.abs(coeffs)
+        total = abs_coeffs.sum() + slack
+        lo_sym = -np.ones(self.num_gens)
+        hi_sym = np.ones(self.num_gens)
+        for j in np.flatnonzero(abs_coeffs > _COEF_TOL):
+            rest = total - abs_coeffs[j]
+            if keep_nonneg:
+                # c + g_j*eta_j - rest >= 0 at the loosest: eta_j bound below
+                # (g_j > 0) or above (g_j < 0).
+                bound = (-c - rest) / coeffs[j]
+                if coeffs[j] > 0:
+                    lo_sym[j] = max(lo_sym[j], bound)
+                else:
+                    hi_sym[j] = min(hi_sym[j], bound)
+            else:
+                bound = (-c + rest) / coeffs[j]
+                if coeffs[j] > 0:
+                    hi_sym[j] = min(hi_sym[j], bound)
+                else:
+                    lo_sym[j] = max(lo_sym[j], bound)
+        lo_sym = np.minimum(lo_sym, hi_sym)  # guard against numeric inversion
+        mid = (lo_sym + hi_sym) / 2.0
+        half = (hi_sym - lo_sym) / 2.0
+        center = self.center + self.gens.T @ mid
+        gens = self.gens * half[:, None]
+        return Zonotope(center, gens, self.err.copy())
+
+    def relu_split(self, dim: int) -> tuple["Zonotope", "Zonotope"]:
+        lo, hi = self.dim_bounds(dim)
+        if not lo < 0.0 < hi:
+            raise ValueError(f"dimension {dim} does not cross zero: [{lo}, {hi}]")
+        # Positive branch: on {x_dim >= 0} the ReLU is the identity, and the
+        # contracted zonotope over-approximates that meet, so it directly
+        # over-approximates the branch image (any residual negative tail left
+        # by the one-round contraction is imprecision, not unsoundness).
+        pos = self._contract(dim, keep_nonneg=True)
+        # Negative branch: ReLU projects the dimension to exactly 0.
+        neg = self._contract(dim, keep_nonneg=False)._project_dim(dim)
+        return pos, neg
+
+    def relu_dim(self, dim: int) -> "Zonotope":
+        lo, hi = self.dim_bounds(dim)
+        if hi <= 0.0:
+            return self._project_dim(dim)
+        if lo >= 0.0:
+            return self
+        pos, neg = self.relu_split(dim)
+        return pos.join(neg)
+
+    def join(self, other: "AbstractElement") -> "Zonotope":
+        if not isinstance(other, Zonotope):
+            raise TypeError("cannot join zonotope with non-zonotope element")
+        if other.num_gens != self.num_gens or other.size != self.size:
+            raise ValueError("zonotope join requires matching shapes")
+        lo1, hi1 = self.bounds()
+        lo2, hi2 = other.bounds()
+        center = (np.minimum(lo1, lo2) + np.maximum(hi1, hi2)) / 2.0
+        same_sign = (np.sign(self.gens) == np.sign(other.gens)) & (
+            np.abs(self.gens) > _COEF_TOL
+        )
+        gens = np.where(
+            same_sign,
+            np.sign(self.gens)
+            * np.minimum(np.abs(self.gens), np.abs(other.gens)),
+            0.0,
+        )
+        pad1 = (
+            np.abs(self.center - center)
+            + np.abs(self.gens - gens).sum(axis=0)
+            + self.err
+        )
+        pad2 = (
+            np.abs(other.center - center)
+            + np.abs(other.gens - gens).sum(axis=0)
+            + other.err
+        )
+        return Zonotope(center, gens, np.maximum(pad1, pad2))
+
+    # ------------------------------------------------------------------
+    # Margins
+    # ------------------------------------------------------------------
+
+    def lower_margin(self, label: int, other: int) -> float:
+        """Relational bound: ``(c_K - c_j) - Σ|g_K - g_j| - (e_K + e_j)``.
+
+        This uses the shared noise symbols, which is exactly why zonotopes
+        out-verify intervals on margins even when their per-output bounds
+        coincide.
+        """
+        diff = self.center[label] - self.center[other]
+        gen_mass = np.abs(self.gens[:, label] - self.gens[:, other]).sum()
+        return float(diff - gen_mass - self.err[label] - self.err[other])

@@ -1,0 +1,21 @@
+"""Gradient-based counterexample search (the optimization half of Charon).
+
+- :mod:`repro.attack.objective` — the margin objective ``F`` (Eq. 2).
+- :mod:`repro.attack.pgd` — projected gradient descent over box regions.
+- :mod:`repro.attack.fgsm` — the fast gradient sign method.
+- :mod:`repro.attack.search` — the ``Minimize`` step of Algorithm 1.
+"""
+
+from repro.attack.objective import MarginObjective
+from repro.attack.pgd import PGDConfig, pgd_minimize
+from repro.attack.fgsm import fgsm_step
+from repro.attack.search import SearchResult, find_counterexample
+
+__all__ = [
+    "MarginObjective",
+    "PGDConfig",
+    "pgd_minimize",
+    "fgsm_step",
+    "SearchResult",
+    "find_counterexample",
+]

@@ -1,0 +1,32 @@
+"""The fast gradient sign method (Goodfellow et al.), adapted to boxes.
+
+A single maximal sign step from a start point, projected back onto the
+region.  Cheaper than PGD; the paper's framework can swap it in as the
+``Minimize`` routine (§8 notes the method is agnostic to the optimizer).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attack.objective import MarginObjective
+from repro.utils.boxes import Box
+
+
+def fgsm_step(
+    objective: MarginObjective,
+    region: Box,
+    start: np.ndarray | None = None,
+) -> tuple[np.ndarray, float]:
+    """One full-width sign step against the margin from ``start``.
+
+    Returns the better of the start and the stepped point (FGSM can
+    overshoot on non-linear networks).
+    """
+    x0 = region.project(start if start is not None else region.center)
+    f0, grad = objective.value_and_gradient(x0)
+    x1 = region.project(x0 - region.widths * np.sign(grad))
+    f1 = objective.value(x1)
+    if f1 < f0:
+        return x1, f1
+    return x0, f0

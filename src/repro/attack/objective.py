@@ -1,0 +1,64 @@
+"""The adversarial objective ``F(x) = N(x)_K - max_{j≠K} N(x)_j`` (Eq. 2).
+
+``F(x) <= 0`` at a point in the input region means some other class scores
+at least as high as the target class — a true adversarial counterexample.
+``F(x) <= δ`` is the paper's δ-counterexample condition (Definition 5.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.network import Network
+
+
+class MarginObjective:
+    """Callable margin objective with (sub)gradients.
+
+    ``F`` is piecewise differentiable; at points where several non-target
+    classes tie for the max we take the subgradient of the first maximizer,
+    which is the standard choice for PGD on margin losses.
+    """
+
+    def __init__(self, network: Network, label: int) -> None:
+        if not 0 <= label < network.output_size:
+            raise ValueError(
+                f"label {label} out of range for {network.output_size} outputs"
+            )
+        if network.output_size < 2:
+            raise ValueError("margin objective needs at least two classes")
+        self.network = network
+        self.label = label
+
+    def value(self, x: np.ndarray) -> float:
+        scores = self.network.logits(x)
+        others = np.delete(scores, self.label)
+        return float(scores[self.label] - others.max())
+
+    def __call__(self, x: np.ndarray) -> float:
+        return self.value(x)
+
+    def _runner_up(self, scores: np.ndarray) -> int:
+        """Index of the best-scoring class other than the target."""
+        masked = scores.copy()
+        masked[self.label] = -np.inf
+        return int(np.argmax(masked))
+
+    def value_and_gradient(self, x: np.ndarray) -> tuple[float, np.ndarray]:
+        """``(F(x), ∇F(x))`` in one forward+backward pass."""
+        scores = self.network.logits(x)
+        j = self._runner_up(scores)
+        seed = np.zeros(self.network.output_size)
+        seed[self.label] = 1.0
+        seed[j] = -1.0
+        grad = self.network.input_gradient(x, seed)
+        return float(scores[self.label] - scores[j]), grad
+
+    def gradient(self, x: np.ndarray) -> np.ndarray:
+        return self.value_and_gradient(x)[1]
+
+    def target_gradient(self, x: np.ndarray) -> np.ndarray:
+        """``∇ N(x)_K`` — used by the partition policy's influence feature."""
+        seed = np.zeros(self.network.output_size)
+        seed[self.label] = 1.0
+        return self.network.input_gradient(x, seed)

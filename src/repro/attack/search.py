@@ -1,0 +1,46 @@
+"""The ``Minimize`` step of Algorithm 1, packaged for the verifier."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attack.objective import MarginObjective
+from repro.attack.pgd import PGDConfig, pgd_minimize
+from repro.core.property import RobustnessProperty
+from repro.nn.network import Network
+from repro.utils.rng import as_generator
+from repro.utils.timing import Deadline
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one counterexample search.
+
+    Attributes:
+        x_star: the best point found (always inside the region).
+        value: ``F(x_star)`` — non-positive means a true counterexample.
+    """
+
+    x_star: np.ndarray
+    value: float
+
+    def is_counterexample(self, delta: float = 0.0) -> bool:
+        """The paper's line-3 check: ``F(x*) <= δ``."""
+        return self.value <= delta
+
+
+def find_counterexample(
+    network: Network,
+    prop: RobustnessProperty,
+    config: PGDConfig | None = None,
+    rng: int | np.random.Generator | None = None,
+    deadline: Deadline | None = None,
+) -> SearchResult:
+    """Run PGD on ``F`` over the property's region."""
+    objective = MarginObjective(network, prop.label)
+    x_star, value = pgd_minimize(
+        objective, prop.region, config, as_generator(rng), deadline
+    )
+    return SearchResult(x_star=np.asarray(x_star), value=value)

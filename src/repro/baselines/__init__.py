@@ -1,0 +1,26 @@
+"""Reimplementations of the paper's comparison tools (§7).
+
+- :mod:`repro.baselines.ai2` — AI2: one-shot abstract interpretation with a
+  user-chosen fixed domain; sound, incomplete, cannot falsify.
+- :mod:`repro.baselines.reluval` — ReluVal: symbolic intervals plus a
+  hand-crafted smear-based bisection refinement; complete up to budget but
+  no gradient counterexample search and no learning.
+- :mod:`repro.baselines.reluplex` — Reluplex stand-in: a complete LP-based
+  branch-and-bound over ReLU activation phases; precise but slow, matching
+  the role Reluplex plays in Figure 14.
+"""
+
+from repro.baselines.ai2 import AI2, AI2Result, AI2_BOUNDED64, AI2_ZONOTOPE
+from repro.baselines.reluval import ReluVal, ReluValConfig
+from repro.baselines.reluplex import Reluplex, ReluplexConfig
+
+__all__ = [
+    "AI2",
+    "AI2Result",
+    "AI2_ZONOTOPE",
+    "AI2_BOUNDED64",
+    "ReluVal",
+    "ReluValConfig",
+    "Reluplex",
+    "ReluplexConfig",
+]

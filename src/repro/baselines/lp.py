@@ -1,0 +1,64 @@
+"""A thin linear-programming layer over scipy's HiGHS solver.
+
+The Reluplex stand-in builds many closely-related LPs; this module gives it
+a small, typed interface and normalizes scipy's status handling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+OPTIMAL = "optimal"
+INFEASIBLE = "infeasible"
+UNBOUNDED = "unbounded"
+ERROR = "error"
+
+
+@dataclass(frozen=True)
+class LPResult:
+    """Outcome of one LP solve."""
+
+    status: str
+    x: np.ndarray | None
+    value: float | None
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status == OPTIMAL
+
+
+def solve_lp(
+    c: np.ndarray,
+    a_ub: np.ndarray | None = None,
+    b_ub: np.ndarray | None = None,
+    a_eq: np.ndarray | None = None,
+    b_eq: np.ndarray | None = None,
+    bounds: list[tuple[float | None, float | None]] | None = None,
+) -> LPResult:
+    """Minimize ``c·x`` subject to ``A_ub x <= b_ub`` and ``A_eq x = b_eq``.
+
+    ``bounds`` defaults to unbounded variables (scipy defaults to ``x >= 0``,
+    which is almost never what network encodings want).
+    """
+    c = np.asarray(c, dtype=np.float64)
+    if bounds is None:
+        bounds = [(None, None)] * c.size
+    result = linprog(
+        c,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=bounds,
+        method="highs",
+    )
+    if result.status == 0:
+        return LPResult(OPTIMAL, np.asarray(result.x), float(result.fun))
+    if result.status == 2:
+        return LPResult(INFEASIBLE, None, None)
+    if result.status == 3:
+        return LPResult(UNBOUNDED, None, None)
+    return LPResult(ERROR, None, None)

@@ -1,0 +1,325 @@
+"""A Reluplex-style complete decision procedure.
+
+Katz et al.'s Reluplex extends Simplex with lazy ReLU case splitting.  This
+stand-in keeps the same decision structure — an LP relaxation refined by
+branching on ReLU activation phases — on top of scipy's HiGHS simplex:
+
+1. Encode the network as an LP over all layer activations: affine layers
+   become equalities, each ReLU becomes its *triangle relaxation* (the LP
+   hull of the ReLU graph over the unit's interval bounds) until its phase
+   is fixed by branching.
+2. For each adversary class ``j != K``, maximize ``y_j - y_K``.  A
+   relaxation optimum below zero prunes the branch; otherwise the LP
+   witness is checked concretely, and failing that, the most violated
+   undecided ReLU is split into its active/inactive phases.
+
+Sound and complete (up to LP tolerances and the node budget) but
+exponential in crossing ReLUs — precisely the scaling behaviour that makes
+Reluplex the slowest tool in the paper's Figure 14.  Max pooling is not
+supported, matching the original tool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.abstract.interval import IntervalElement
+from repro.baselines.lp import solve_lp
+from repro.core.property import RobustnessProperty
+from repro.core.results import Falsified, Timeout, Verified, VerificationStats
+from repro.nn.network import AffineOp, MaxPoolOp, Network, ReluOp
+from repro.utils.boxes import Box
+from repro.utils.timing import Deadline, Stopwatch
+
+_ACTIVE = 1
+_INACTIVE = 0
+
+#: Concrete-margin slack accepted when certifying an LP witness: HiGHS
+#: tolerances mean an exact boundary counterexample can sit a hair above 0.
+_CONCRETE_TOL = 1e-7
+
+
+@dataclass(frozen=True)
+class ReluplexConfig:
+    """Budgets for the branch-and-bound search."""
+
+    timeout: float | None = None
+    node_limit: int = 20_000
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive or None")
+        if self.node_limit < 1:
+            raise ValueError("node_limit must be >= 1")
+
+
+@dataclass
+class _ReluUnit:
+    """One ReLU neuron whose phase may need branching."""
+
+    relu_index: int  # index into the list of relu ops
+    unit: int  # neuron index within the layer
+    z_var: int  # flat LP variable index of the pre-activation
+    a_var: int  # flat LP variable index of the post-activation
+    low: float  # interval lower bound of z
+    high: float  # interval upper bound of z
+
+
+class _Encoding:
+    """Static LP structure for one (network, region) pair."""
+
+    def __init__(self, network: Network, region: Box) -> None:
+        ops = network.ops()
+        if any(isinstance(op, MaxPoolOp) for op in ops):
+            raise TypeError(
+                "the Reluplex baseline does not support max pooling "
+                "(matching the original tool)"
+            )
+        self.network = network
+        self.region = region
+
+        # Stage layout: variables for the input plus every op output.
+        sizes = [network.input_size]
+        for op in ops:
+            if isinstance(op, AffineOp):
+                sizes.append(op.out_size)
+            else:
+                sizes.append(sizes[-1])
+        self.offsets = np.concatenate([[0], np.cumsum(sizes)])
+        self.num_vars = int(self.offsets[-1])
+
+        # Interval bounds for every stage (drives the triangle relaxation).
+        element = IntervalElement.from_box(region)
+        stage_bounds = [element.bounds()]
+        for op in ops:
+            if isinstance(op, AffineOp):
+                element = element.affine(op.weight, op.bias)
+            else:
+                element = element.relu()
+            stage_bounds.append(element.bounds())
+
+        # Variable bounds from the intervals.
+        self.var_bounds: list[tuple[float, float]] = []
+        for stage, (low, high) in enumerate(stage_bounds):
+            for i in range(low.size):
+                self.var_bounds.append((float(low[i]), float(high[i])))
+
+        # Base equality constraints: affine layers + statically-fixed relus.
+        eq_rows: list[np.ndarray] = []
+        eq_rhs: list[float] = []
+        self.branchable: list[_ReluUnit] = []
+        relu_index = 0
+        for k, op in enumerate(ops):
+            in_off = int(self.offsets[k])
+            out_off = int(self.offsets[k + 1])
+            if isinstance(op, AffineOp):
+                block = np.zeros((op.out_size, self.num_vars))
+                block[:, in_off : in_off + op.in_size] = -op.weight
+                block[:, out_off : out_off + op.out_size] = np.eye(op.out_size)
+                eq_rows.extend(block)
+                eq_rhs.extend(op.bias.tolist())
+            else:
+                low, high = stage_bounds[k]
+                for i in range(op.size):
+                    z_var = in_off + i
+                    a_var = out_off + i
+                    if low[i] >= 0.0:
+                        row = np.zeros(self.num_vars)
+                        row[a_var] = 1.0
+                        row[z_var] = -1.0
+                        eq_rows.append(row)
+                        eq_rhs.append(0.0)
+                    elif high[i] <= 0.0:
+                        row = np.zeros(self.num_vars)
+                        row[a_var] = 1.0
+                        eq_rows.append(row)
+                        eq_rhs.append(0.0)
+                    else:
+                        self.branchable.append(
+                            _ReluUnit(
+                                relu_index,
+                                i,
+                                z_var,
+                                a_var,
+                                float(low[i]),
+                                float(high[i]),
+                            )
+                        )
+                relu_index += 1
+        self.base_a_eq = np.array(eq_rows) if eq_rows else None
+        self.base_b_eq = np.array(eq_rhs) if eq_rhs else None
+        self.output_offset = int(self.offsets[-2])
+
+    def objective(self, label: int, adversary: int) -> np.ndarray:
+        """Minimize ``y_label - y_adversary`` (== maximize the violation)."""
+        c = np.zeros(self.num_vars)
+        c[self.output_offset + label] = 1.0
+        c[self.output_offset + adversary] = -1.0
+        return c
+
+    def node_constraints(
+        self, phases: dict[int, int]
+    ) -> tuple[np.ndarray | None, np.ndarray | None, np.ndarray | None, np.ndarray | None]:
+        """Assemble (A_ub, b_ub, A_eq, b_eq) for a phase assignment.
+
+        ``phases`` maps an index into :attr:`branchable` to a phase.
+        Unassigned units contribute their triangle relaxation.
+        """
+        ub_rows: list[np.ndarray] = []
+        ub_rhs: list[float] = []
+        eq_rows: list[np.ndarray] = []
+        eq_rhs: list[float] = []
+        for idx, unit in enumerate(self.branchable):
+            phase = phases.get(idx)
+            if phase == _ACTIVE:
+                row = np.zeros(self.num_vars)
+                row[unit.a_var] = 1.0
+                row[unit.z_var] = -1.0
+                eq_rows.append(row)
+                eq_rhs.append(0.0)
+                row = np.zeros(self.num_vars)  # z >= 0
+                row[unit.z_var] = -1.0
+                ub_rows.append(row)
+                ub_rhs.append(0.0)
+            elif phase == _INACTIVE:
+                row = np.zeros(self.num_vars)
+                row[unit.a_var] = 1.0
+                eq_rows.append(row)
+                eq_rhs.append(0.0)
+                row = np.zeros(self.num_vars)  # z <= 0
+                row[unit.z_var] = 1.0
+                ub_rows.append(row)
+                ub_rhs.append(0.0)
+            else:
+                # Triangle relaxation: a >= 0, a >= z, a <= u(z-l)/(u-l).
+                row = np.zeros(self.num_vars)
+                row[unit.a_var] = -1.0
+                ub_rows.append(row)
+                ub_rhs.append(0.0)
+                row = np.zeros(self.num_vars)
+                row[unit.z_var] = 1.0
+                row[unit.a_var] = -1.0
+                ub_rows.append(row)
+                ub_rhs.append(0.0)
+                slope = unit.high / (unit.high - unit.low)
+                row = np.zeros(self.num_vars)
+                row[unit.a_var] = 1.0
+                row[unit.z_var] = -slope
+                ub_rows.append(row)
+                ub_rhs.append(-slope * unit.low)
+        a_ub = np.array(ub_rows) if ub_rows else None
+        b_ub = np.array(ub_rhs) if ub_rhs else None
+        if eq_rows:
+            a_eq = np.vstack([self.base_a_eq, np.array(eq_rows)])
+            b_eq = np.concatenate([self.base_b_eq, np.array(eq_rhs)])
+        else:
+            a_eq, b_eq = self.base_a_eq, self.base_b_eq
+        return a_ub, b_ub, a_eq, b_eq
+
+
+class Reluplex:
+    """Complete LP branch-and-bound verifier for ReLU networks."""
+
+    def __init__(self, config: ReluplexConfig | None = None) -> None:
+        self.config = config or ReluplexConfig()
+
+    def verify(self, network: Network, prop: RobustnessProperty):
+        """Decide the property (shared outcome dataclasses)."""
+        stats = VerificationStats()
+        deadline = Deadline(self.config.timeout)
+        watch = Stopwatch().start()
+        try:
+            encoding = _Encoding(network, prop.region)
+        except TypeError:
+            raise
+        nodes_left = self.config.node_limit
+        for adversary in range(network.output_size):
+            if adversary == prop.label:
+                continue
+            status, witness, nodes_left = self._decide_class(
+                encoding, prop, adversary, deadline, nodes_left, stats
+            )
+            if status == "sat":
+                stats.time_seconds = watch.stop()
+                margin = prop.margin_at(network, witness)
+                return Falsified(witness, margin, stats)
+            if status == "timeout":
+                stats.time_seconds = watch.stop()
+                return Timeout("wall clock", stats)
+            if status == "nodes":
+                stats.time_seconds = watch.stop()
+                return Timeout("node budget", stats)
+        stats.time_seconds = watch.stop()
+        return Verified(stats)
+
+    def _decide_class(
+        self,
+        encoding: _Encoding,
+        prop: RobustnessProperty,
+        adversary: int,
+        deadline: Deadline,
+        nodes_left: int,
+        stats: VerificationStats,
+    ) -> tuple[str, np.ndarray | None, int]:
+        """Search for ``x`` in the region with ``y_adversary >= y_label``."""
+        objective = encoding.objective(prop.label, adversary)
+        stack: list[dict[int, int]] = [{}]
+        while stack:
+            if deadline.expired():
+                return "timeout", None, nodes_left
+            if nodes_left <= 0:
+                return "nodes", None, nodes_left
+            nodes_left -= 1
+            phases = stack.pop()
+            a_ub, b_ub, a_eq, b_eq = encoding.node_constraints(phases)
+            result = solve_lp(
+                objective, a_ub, b_ub, a_eq, b_eq, encoding.var_bounds
+            )
+            stats.analyze_calls += 1
+            if not result.is_optimal:
+                continue  # infeasible phase combination: prune
+            # result.value = min(y_K - y_j); violation possible iff <= 0.
+            if result.value > 0.0:
+                continue  # even the relaxation keeps the margin positive
+            witness = result.x[: encoding.network.input_size]
+            witness = prop.region.project(witness)
+            if prop.margin_at(encoding.network, witness) <= _CONCRETE_TOL:
+                return "sat", witness, nodes_left
+            branch_unit = self._most_violated(encoding, phases, result.x)
+            if branch_unit is None:
+                # All phases fixed: the LP is exact on this cell, and its
+                # witness did not check out concretely -> no violation here.
+                continue
+            stats.splits += 1
+            z_val = result.x[encoding.branchable[branch_unit].z_var]
+            first, second = (_ACTIVE, _INACTIVE) if z_val >= 0 else (_INACTIVE, _ACTIVE)
+            stack.append({**phases, branch_unit: second})
+            stack.append({**phases, branch_unit: first})
+        return "unsat", None, nodes_left
+
+    @staticmethod
+    def _most_violated(
+        encoding: _Encoding, phases: dict[int, int], x: np.ndarray
+    ) -> int | None:
+        """Undecided unit whose LP values most violate ``a = relu(z)``."""
+        best: int | None = None
+        best_gap = 1e-9
+        for idx, unit in enumerate(encoding.branchable):
+            if idx in phases:
+                continue
+            gap = abs(x[unit.a_var] - max(x[unit.z_var], 0.0))
+            if gap > best_gap:
+                best, best_gap = idx, gap
+        if best is not None:
+            return best
+        # No violation but margin still non-positive: branch on any
+        # remaining undecided unit to make progress toward exactness.
+        for idx in range(len(encoding.branchable)):
+            if idx not in phases:
+                return idx
+        return None
+
+    def describe(self) -> str:
+        return "Reluplex"

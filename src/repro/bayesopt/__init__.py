@@ -1,0 +1,20 @@
+"""Bayesian optimization substrate (the BayesOpt-library substitute).
+
+Gaussian-process surrogate + expected-improvement acquisition, following the
+paper's §4.2 choices ("we adopt a Gaussian process as our surrogate model and
+use expected improvement for the acquisition function").
+"""
+
+from repro.bayesopt.kernels import RBF, Matern52
+from repro.bayesopt.gp import GaussianProcess
+from repro.bayesopt.acquisition import expected_improvement, upper_confidence_bound
+from repro.bayesopt.optimizer import BayesianOptimizer
+
+__all__ = [
+    "RBF",
+    "Matern52",
+    "GaussianProcess",
+    "expected_improvement",
+    "upper_confidence_bound",
+    "BayesianOptimizer",
+]

@@ -1,0 +1,39 @@
+"""Acquisition functions for Bayesian optimization (maximization form)."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.stats import norm
+
+
+def expected_improvement(
+    mean: np.ndarray,
+    var: np.ndarray,
+    best: float,
+    xi: float = 0.01,
+) -> np.ndarray:
+    """Expected improvement over the incumbent ``best`` (Brochu et al.).
+
+    ``xi`` trades exploration for exploitation: larger values discount the
+    posterior mean and favour uncertain regions.
+    """
+    mean = np.asarray(mean, dtype=np.float64)
+    std = np.sqrt(np.maximum(np.asarray(var, dtype=np.float64), 0.0))
+    improvement = mean - best - xi
+    with np.errstate(divide="ignore", invalid="ignore"):
+        z = np.where(std > 0, improvement / std, 0.0)
+    ei = improvement * norm.cdf(z) + std * norm.pdf(z)
+    # Zero-variance points improve only if their mean beats the incumbent.
+    return np.where(std > 0, np.maximum(ei, 0.0), np.maximum(improvement, 0.0))
+
+
+def upper_confidence_bound(
+    mean: np.ndarray,
+    var: np.ndarray,
+    beta: float = 2.0,
+) -> np.ndarray:
+    """GP-UCB: ``mean + beta * std`` — an alternative exploration rule."""
+    if beta < 0:
+        raise ValueError("beta must be non-negative")
+    std = np.sqrt(np.maximum(np.asarray(var, dtype=np.float64), 0.0))
+    return np.asarray(mean, dtype=np.float64) + beta * std

@@ -1,0 +1,77 @@
+"""Gaussian-process regression with a Cholesky solver.
+
+Implements exactly what Bayesian optimization needs: fit observations, then
+query posterior means and variances at candidate points.  Targets are
+standardized internally so kernel variance 1 is a sensible default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import cho_factor, cho_solve
+
+from repro.bayesopt.kernels import Kernel, RBF
+
+_JITTER = 1e-10
+
+
+class GaussianProcess:
+    """GP regression ``f ~ GP(0, k)`` with homoscedastic noise."""
+
+    def __init__(self, kernel: Kernel | None = None, noise: float = 1e-6) -> None:
+        if noise < 0:
+            raise ValueError("noise must be non-negative")
+        self.kernel = kernel or RBF()
+        self.noise = float(noise)
+        self._x: np.ndarray | None = None
+        self._alpha: np.ndarray | None = None
+        self._chol = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+
+    @property
+    def is_fit(self) -> bool:
+        return self._x is not None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianProcess":
+        """Condition the GP on observations ``(x, y)``."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        y = np.asarray(y, dtype=np.float64).reshape(-1)
+        if x.shape[0] != y.size:
+            raise ValueError(f"{x.shape[0]} inputs but {y.size} targets")
+        if y.size == 0:
+            raise ValueError("cannot fit a GP on zero observations")
+        self._y_mean = float(np.mean(y))
+        self._y_std = float(np.std(y)) or 1.0
+        y_norm = (y - self._y_mean) / self._y_std
+        cov = self.kernel(x, x)
+        cov[np.diag_indices_from(cov)] += self.noise + _JITTER
+        self._chol = cho_factor(cov, lower=True)
+        self._alpha = cho_solve(self._chol, y_norm)
+        self._x = x
+        self._y_norm = y_norm
+        return self
+
+    def posterior(self, xq: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and variance at query points (de-standardized)."""
+        if not self.is_fit:
+            raise RuntimeError("fit() must be called before posterior()")
+        xq = np.atleast_2d(np.asarray(xq, dtype=np.float64))
+        k_star = self.kernel(xq, self._x)
+        mean_norm = k_star @ self._alpha
+        v = cho_solve(self._chol, k_star.T)
+        var_norm = self.kernel.diag(xq) - np.sum(k_star * v.T, axis=1)
+        var_norm = np.maximum(var_norm, 0.0)
+        mean = mean_norm * self._y_std + self._y_mean
+        var = var_norm * self._y_std**2
+        return mean, var
+
+    def log_marginal_likelihood(self) -> float:
+        """Log evidence of the standardized targets under the prior."""
+        if not self.is_fit:
+            raise RuntimeError("fit() must be called before the likelihood")
+        n = self._x.shape[0]
+        chol_matrix = self._chol[0]
+        log_det = 2.0 * float(np.sum(np.log(np.diag(chol_matrix))))
+        fit_term = float(self._y_norm @ self._alpha)
+        return -0.5 * (fit_term + log_det + n * np.log(2.0 * np.pi))

@@ -1,0 +1,69 @@
+"""Covariance kernels for Gaussian-process regression."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+def _sqdist(x1: np.ndarray, x2: np.ndarray) -> np.ndarray:
+    """Pairwise squared Euclidean distances: shape ``(n1, n2)``."""
+    x1 = np.atleast_2d(x1)
+    x2 = np.atleast_2d(x2)
+    cross = x1 @ x2.T
+    n1 = np.sum(x1 * x1, axis=1)
+    n2 = np.sum(x2 * x2, axis=1)
+    return np.maximum(n1[:, None] + n2[None, :] - 2.0 * cross, 0.0)
+
+
+class Kernel(ABC):
+    """A positive-semidefinite covariance function."""
+
+    @abstractmethod
+    def __call__(self, x1: np.ndarray, x2: np.ndarray) -> np.ndarray:
+        """Covariance matrix between two point sets."""
+
+    def diag(self, x: np.ndarray) -> np.ndarray:
+        """``k(x_i, x_i)`` for each row — the prior variance."""
+        x = np.atleast_2d(x)
+        return np.full(x.shape[0], self.variance)
+
+
+class RBF(Kernel):
+    """Squared-exponential kernel ``σ² exp(-r²/2ℓ²)``.
+
+    Smooth (infinitely differentiable) prior; the default for policy-cost
+    surfaces, which are noisy but globally smooth in θ.
+    """
+
+    def __init__(self, lengthscale: float = 1.0, variance: float = 1.0) -> None:
+        if lengthscale <= 0 or variance <= 0:
+            raise ValueError("lengthscale and variance must be positive")
+        self.lengthscale = float(lengthscale)
+        self.variance = float(variance)
+
+    def __call__(self, x1: np.ndarray, x2: np.ndarray) -> np.ndarray:
+        sq = _sqdist(x1, x2) / (self.lengthscale**2)
+        return self.variance * np.exp(-0.5 * sq)
+
+    def __repr__(self) -> str:
+        return f"RBF(lengthscale={self.lengthscale}, variance={self.variance})"
+
+
+class Matern52(Kernel):
+    """Matérn 5/2 kernel — rougher than RBF, the BayesOpt library default."""
+
+    def __init__(self, lengthscale: float = 1.0, variance: float = 1.0) -> None:
+        if lengthscale <= 0 or variance <= 0:
+            raise ValueError("lengthscale and variance must be positive")
+        self.lengthscale = float(lengthscale)
+        self.variance = float(variance)
+
+    def __call__(self, x1: np.ndarray, x2: np.ndarray) -> np.ndarray:
+        r = np.sqrt(_sqdist(x1, x2)) / self.lengthscale
+        sqrt5_r = np.sqrt(5.0) * r
+        return self.variance * (1.0 + sqrt5_r + 5.0 * r**2 / 3.0) * np.exp(-sqrt5_r)
+
+    def __repr__(self) -> str:
+        return f"Matern52(lengthscale={self.lengthscale}, variance={self.variance})"

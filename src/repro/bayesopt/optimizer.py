@@ -1,0 +1,167 @@
+"""The Bayesian optimization loop: sample, model, acquire, repeat (§4.2).
+
+Maximizes a black-box function over a box.  Inputs are normalized to the
+unit cube internally; the GP uses an RBF kernel with a fixed normalized
+lengthscale (robust for the tens-of-dimensions regime the paper targets),
+and acquisition is maximized by dense random candidates plus local
+refinement of the best few with L-BFGS-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+from scipy.optimize import minimize
+
+from repro.bayesopt.acquisition import expected_improvement
+from repro.bayesopt.gp import GaussianProcess
+from repro.bayesopt.kernels import RBF
+from repro.utils.boxes import Box
+from repro.utils.rng import as_generator
+
+
+@dataclass
+class Observation:
+    """One evaluated point."""
+
+    x: np.ndarray
+    y: float
+
+
+@dataclass
+class OptimizationHistory:
+    """Trace of an optimization run (for diagnostics and plots)."""
+
+    observations: list[Observation] = field(default_factory=list)
+
+    @property
+    def best_so_far(self) -> list[float]:
+        best: list[float] = []
+        current = -np.inf
+        for obs in self.observations:
+            current = max(current, obs.y)
+            best.append(current)
+        return best
+
+
+class BayesianOptimizer:
+    """Suggest/observe-style Bayesian optimizer over a box domain."""
+
+    def __init__(
+        self,
+        bounds: Box,
+        n_initial: int = 5,
+        lengthscale: float = 0.2,
+        noise: float = 1e-4,
+        candidates: int = 512,
+        refine_top: int = 3,
+        xi: float = 0.01,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        if n_initial < 1:
+            raise ValueError("n_initial must be >= 1")
+        if candidates < 1:
+            raise ValueError("candidates must be >= 1")
+        if np.any(bounds.widths <= 0):
+            raise ValueError("optimization bounds must have positive width")
+        self.bounds = bounds
+        self.n_initial = n_initial
+        self.lengthscale = lengthscale
+        self.noise = noise
+        self.candidates = candidates
+        self.refine_top = refine_top
+        self.xi = xi
+        self._rng = as_generator(rng)
+        self.history = OptimizationHistory()
+
+    # ------------------------------------------------------------------
+    # Normalization
+    # ------------------------------------------------------------------
+
+    def _to_unit(self, x: np.ndarray) -> np.ndarray:
+        return (x - self.bounds.low) / self.bounds.widths
+
+    def _from_unit(self, u: np.ndarray) -> np.ndarray:
+        return self.bounds.low + u * self.bounds.widths
+
+    # ------------------------------------------------------------------
+    # Suggest / observe
+    # ------------------------------------------------------------------
+
+    def suggest(self) -> np.ndarray:
+        """The next point to evaluate."""
+        n_obs = len(self.history.observations)
+        if n_obs < self.n_initial:
+            return self.bounds.sample(self._rng)
+        xs = np.stack([self._to_unit(o.x) for o in self.history.observations])
+        ys = np.array([o.y for o in self.history.observations])
+        gp = GaussianProcess(
+            RBF(lengthscale=self.lengthscale, variance=1.0), noise=self.noise
+        ).fit(xs, ys)
+        best = float(ys.max())
+
+        def neg_acquisition(u: np.ndarray) -> float:
+            mean, var = gp.posterior(u.reshape(1, -1))
+            return -float(expected_improvement(mean, var, best, self.xi)[0])
+
+        unit_candidates = self._rng.uniform(
+            0.0, 1.0, size=(self.candidates, self.bounds.ndim)
+        )
+        mean, var = gp.posterior(unit_candidates)
+        scores = expected_improvement(mean, var, best, self.xi)
+        order = np.argsort(-scores)
+
+        best_u = unit_candidates[order[0]]
+        best_score = -neg_acquisition(best_u)
+        for idx in order[: self.refine_top]:
+            result = minimize(
+                neg_acquisition,
+                unit_candidates[idx],
+                method="L-BFGS-B",
+                bounds=[(0.0, 1.0)] * self.bounds.ndim,
+                options={"maxiter": 30},
+            )
+            if -result.fun > best_score:
+                best_score = -result.fun
+                best_u = np.clip(result.x, 0.0, 1.0)
+        return self._from_unit(best_u)
+
+    def observe(self, x: np.ndarray, y: float) -> None:
+        """Record an evaluation of the objective."""
+        x = np.asarray(x, dtype=np.float64).reshape(-1)
+        if x.size != self.bounds.ndim:
+            raise ValueError(
+                f"point has {x.size} dims, bounds have {self.bounds.ndim}"
+            )
+        if not np.isfinite(y):
+            raise ValueError(f"objective value must be finite, got {y}")
+        self.history.observations.append(Observation(x=x, y=float(y)))
+
+    def best(self) -> Observation:
+        """The incumbent (best observation so far)."""
+        if not self.history.observations:
+            raise RuntimeError("no observations yet")
+        return max(self.history.observations, key=lambda o: o.y)
+
+    # ------------------------------------------------------------------
+    # Convenience loop
+    # ------------------------------------------------------------------
+
+    def maximize(
+        self,
+        func: Callable[[np.ndarray], float],
+        n_iter: int,
+        callback: Callable[[int, Observation], None] | None = None,
+    ) -> Observation:
+        """Run ``n_iter`` suggest/evaluate/observe rounds; return the best."""
+        if n_iter < 1:
+            raise ValueError("n_iter must be >= 1")
+        for iteration in range(n_iter):
+            x = self.suggest()
+            y = float(func(x))
+            self.observe(x, y)
+            if callback is not None:
+                callback(iteration, self.history.observations[-1])
+        return self.best()

@@ -1,0 +1,61 @@
+"""Benchmark harness: suites, tool adapters, and report generation.
+
+Rebuilds the paper's evaluation pipeline (§7): seven networks (MNIST-like
+and CIFAR-like MLPs plus a LeNet-style conv net), brightening-attack
+properties, a common-timeout runner, and report helpers that emit the same
+rows/series as each figure.
+"""
+
+from repro.bench.suites import (
+    BenchmarkNetwork,
+    BenchmarkProblem,
+    SuiteScale,
+    build_network,
+    build_problems,
+    NETWORK_SPECS,
+)
+from repro.bench.harness import (
+    BenchRecord,
+    ResultTable,
+    ToolAdapter,
+    charon_adapter,
+    ai2_adapter,
+    reluval_adapter,
+    reluplex_adapter,
+    run_suite,
+)
+from repro.bench.report import (
+    cactus_series,
+    falsification_counts,
+    format_cactus,
+    format_summary,
+    solved_counts,
+    speedup_on_common,
+    summary_percentages,
+    verified_subset_solved,
+)
+
+__all__ = [
+    "BenchmarkNetwork",
+    "BenchmarkProblem",
+    "SuiteScale",
+    "build_network",
+    "build_problems",
+    "NETWORK_SPECS",
+    "BenchRecord",
+    "ResultTable",
+    "ToolAdapter",
+    "charon_adapter",
+    "ai2_adapter",
+    "reluval_adapter",
+    "reluplex_adapter",
+    "run_suite",
+    "summary_percentages",
+    "cactus_series",
+    "solved_counts",
+    "speedup_on_common",
+    "falsification_counts",
+    "verified_subset_solved",
+    "format_summary",
+    "format_cactus",
+]

@@ -1,0 +1,184 @@
+"""Benchmark suite construction (the paper's §7 workloads, scaled).
+
+The paper's 602 benchmarks cover 7 networks — MNIST/CIFAR MLPs of sizes
+3x100, 6x100, 9x100, 9x200 and a LeNet-style conv net — with ~100
+brightening-attack properties each.  We keep the architectures and the
+attack model and scale widths/resolution per DESIGN.md §5.  ``SuiteScale``
+controls the scaling; the defaults keep the full harness laptop-fast.
+
+Networks are trained on first use and memoized per (spec, scale) within the
+process, so a bench session trains each network once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.property import RobustnessProperty, brightening_property
+from repro.data.synthetic import Dataset, cifar_like, mnist_like
+from repro.nn.builders import lenet_conv, mlp
+from repro.nn.network import Network
+from repro.nn.training import TrainConfig, train_classifier
+from repro.utils.rng import as_generator
+
+
+@dataclass(frozen=True)
+class SuiteScale:
+    """Scaling knobs mapping the paper's sizes to laptop budgets.
+
+    ``width_factor`` multiplies the paper's layer widths (100 -> 24 at the
+    default 0.24); ``image_size`` replaces 28x28/32x32 inputs.
+    """
+
+    width_factor: float = 0.24
+    image_size: int = 8
+    train_samples: int = 1500
+    train_epochs: int = 8
+
+    def width(self, paper_width: int) -> int:
+        return max(4, int(round(paper_width * self.width_factor)))
+
+
+#: The paper's seven evaluation networks: name -> (dataset, hidden spec).
+#: ``hidden`` is ``(num_layers, paper_width)`` for MLPs or ``"conv"``.
+NETWORK_SPECS: dict[str, tuple[str, object]] = {
+    "mnist_3x100": ("mnist", (3, 100)),
+    "mnist_6x100": ("mnist", (6, 100)),
+    "mnist_9x200": ("mnist", (9, 200)),
+    "cifar_3x100": ("cifar", (3, 100)),
+    "cifar_6x100": ("cifar", (6, 100)),
+    "cifar_9x100": ("cifar", (9, 100)),
+    "mnist_conv": ("mnist", "conv"),
+}
+
+
+@dataclass(frozen=True)
+class BenchmarkNetwork:
+    """A trained benchmark network plus the data used to attack it."""
+
+    name: str
+    dataset_name: str
+    network: Network
+    dataset: Dataset
+    accuracy: float
+
+
+@dataclass(frozen=True)
+class BenchmarkProblem:
+    """One benchmark: a network name plus a robustness property."""
+
+    network_name: str
+    prop: RobustnessProperty
+
+
+_NETWORK_CACHE: dict[tuple, BenchmarkNetwork] = {}
+
+
+def _load_dataset(dataset_name: str, scale: SuiteScale, seed: int) -> Dataset:
+    if dataset_name == "mnist":
+        return mnist_like(
+            num_samples=scale.train_samples, image_size=scale.image_size, rng=seed
+        )
+    if dataset_name == "cifar":
+        return cifar_like(
+            num_samples=scale.train_samples, image_size=scale.image_size, rng=seed
+        )
+    raise ValueError(f"unknown dataset {dataset_name!r}")
+
+
+def build_network(
+    name: str, scale: SuiteScale | None = None, seed: int = 0
+) -> BenchmarkNetwork:
+    """Train (or fetch from cache) one of the paper's seven networks."""
+    if name not in NETWORK_SPECS:
+        raise ValueError(f"unknown network {name!r}; choose from {sorted(NETWORK_SPECS)}")
+    scale = scale or SuiteScale()
+    key = (name, scale, seed)
+    if key in _NETWORK_CACHE:
+        return _NETWORK_CACHE[key]
+
+    dataset_name, spec = NETWORK_SPECS[name]
+    gen = as_generator(seed)
+    dataset = _load_dataset(dataset_name, scale, seed)
+    input_size = int(np.prod(dataset.sample_shape))
+    if spec == "conv":
+        network = lenet_conv(
+            input_shape=dataset.sample_shape,
+            num_classes=dataset.num_classes,
+            rng=gen,
+        )
+    else:
+        layers, paper_width = spec
+        hidden = [scale.width(paper_width)] * layers
+        network = mlp(input_size, hidden, dataset.num_classes, rng=gen)
+    flat_inputs = dataset.inputs.reshape(len(dataset), *dataset.sample_shape)
+    train_classifier(
+        network,
+        flat_inputs if spec == "conv" else flat_inputs.reshape(len(dataset), -1),
+        dataset.labels,
+        TrainConfig(epochs=scale.train_epochs, batch_size=64, learning_rate=0.01),
+        rng=gen,
+    )
+    preds = network.classify_batch(
+        flat_inputs if spec == "conv" else flat_inputs.reshape(len(dataset), -1)
+    )
+    accuracy = float(np.mean(preds == dataset.labels))
+    bench_net = BenchmarkNetwork(name, dataset_name, network, dataset, accuracy)
+    _NETWORK_CACHE[key] = bench_net
+    return bench_net
+
+
+def build_problems(
+    bench_net: BenchmarkNetwork,
+    count: int = 12,
+    tau: float = 0.55,
+    strengths: tuple[float, ...] = (0.05, 0.15, 0.4, 1.0),
+    rng: int | np.random.Generator | None = 13,
+) -> list[BenchmarkProblem]:
+    """Brightening-attack properties against correctly-classified images.
+
+    ``strengths`` grades how far bright pixels may travel toward 1: the
+    paper's attack is ``strength=1.0``; smaller strengths produce the mix of
+    verifiable and falsifiable benchmarks the evaluation needs (602
+    benchmarks with both outcomes present).
+    """
+    if count < 1:
+        raise ValueError("count must be positive")
+    gen = as_generator(rng)
+    network = bench_net.network
+    flat = bench_net.dataset.inputs.reshape(len(bench_net.dataset), -1)
+    labels = bench_net.dataset.labels
+    correct = [
+        i for i in range(len(labels)) if network.classify(flat[i]) == labels[i]
+    ]
+    if not correct:
+        raise RuntimeError(
+            f"network {bench_net.name} classifies nothing correctly; "
+            "increase training budget"
+        )
+    problems: list[BenchmarkProblem] = []
+    order = gen.permutation(len(correct))
+    idx = 0
+    while len(problems) < count and idx < len(order):
+        image = flat[correct[order[idx]]]
+        idx += 1
+        strength = strengths[len(problems) % len(strengths)]
+        try:
+            prop = brightening_property(
+                network,
+                image,
+                tau=tau,
+                strength=strength,
+                name=f"{bench_net.name}-b{len(problems)}",
+            )
+        except ValueError:
+            continue  # no pixel above threshold; try another image
+        problems.append(BenchmarkProblem(bench_net.name, prop))
+    if len(problems) < count:
+        raise RuntimeError(
+            f"only found {len(problems)}/{count} usable images above "
+            f"brightening threshold {tau}"
+        )
+    return problems

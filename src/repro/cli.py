@@ -1,0 +1,166 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``verify``   — decide one robustness property of a saved network.
+- ``radius``   — binary-search the certified L∞ radius around a point.
+- ``attack``   — run PGD only (fast falsification attempt, no proof).
+- ``info``     — print a saved network's architecture summary.
+
+Networks are ``.npz`` archives produced by :func:`repro.nn.save_network`;
+points are ``.npy`` arrays or comma-separated values.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.attack.pgd import PGDConfig
+from repro.attack.search import find_counterexample
+from repro.core.config import VerifierConfig
+from repro.core.property import linf_property
+from repro.core.radius import certified_radius
+from repro.core.verifier import Verifier
+from repro.learn.pretrained import pretrained_policy
+from repro.nn.serialize import load_network
+
+
+def _load_point(spec: str, expected_size: int) -> np.ndarray:
+    """A point from an ``.npy`` file or an inline comma-separated list."""
+    if spec.endswith(".npy"):
+        point = np.load(spec).astype(np.float64).reshape(-1)
+    else:
+        point = np.array([float(v) for v in spec.split(",")], dtype=np.float64)
+    if point.size != expected_size:
+        raise SystemExit(
+            f"point has {point.size} entries, network expects {expected_size}"
+        )
+    return point
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("network", help="path to a .npz network archive")
+    parser.add_argument(
+        "--center",
+        required=True,
+        help="input point: a .npy file or comma-separated values",
+    )
+    parser.add_argument(
+        "--epsilon", type=float, default=0.05, help="L-infinity radius"
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=10.0, help="budget in seconds"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    network = load_network(args.network)
+    center = _load_point(args.center, network.input_size)
+    prop = linf_property(network, center, args.epsilon)
+    verifier = Verifier(
+        network,
+        pretrained_policy(),
+        VerifierConfig(timeout=args.timeout, delta=args.delta),
+        rng=args.seed,
+    )
+    outcome = verifier.verify(prop)
+    print(f"result: {outcome.kind}")
+    print(f"label under test: {prop.label}")
+    stats = outcome.stats
+    print(
+        f"stats: {stats.pgd_calls} PGD calls, {stats.analyze_calls} analyses, "
+        f"{stats.splits} splits, {stats.time_seconds:.2f}s"
+    )
+    if outcome.kind == "falsified":
+        print(f"counterexample margin: {outcome.margin:.6f}")
+        np.save("counterexample.npy", outcome.counterexample)
+        print("counterexample written to counterexample.npy")
+        return 1
+    return 0 if outcome.kind == "verified" else 2
+
+
+def cmd_radius(args: argparse.Namespace) -> int:
+    network = load_network(args.network)
+    center = _load_point(args.center, network.input_size)
+    result = certified_radius(
+        network,
+        center,
+        max_radius=args.epsilon,
+        config=VerifierConfig(timeout=args.timeout),
+        rng=args.seed,
+    )
+    print(f"certified radius: {result.certified:.5f}")
+    falsified = "none found" if result.falsified == float("inf") else f"{result.falsified:.5f}"
+    print(f"falsified radius: {falsified}")
+    print(f"verifier probes:  {result.probes}")
+    return 0
+
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    network = load_network(args.network)
+    center = _load_point(args.center, network.input_size)
+    prop = linf_property(network, center, args.epsilon)
+    result = find_counterexample(
+        network,
+        prop,
+        PGDConfig(steps=args.steps, restarts=args.restarts),
+        rng=args.seed,
+    )
+    print(f"best margin found: {result.value:.6f}")
+    if result.is_counterexample():
+        print(f"counterexample: classified as {network.classify(result.x_star)}")
+        np.save("counterexample.npy", result.x_star)
+        print("counterexample written to counterexample.npy")
+        return 1
+    print("no counterexample found (property may still be false)")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    network = load_network(args.network)
+    print(network.summary())
+    print(f"ReLU units: {network.num_relu_units()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Charon-style neural network robustness analysis",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    verify_parser = sub.add_parser("verify", help="decide a robustness property")
+    _add_common(verify_parser)
+    verify_parser.add_argument(
+        "--delta", type=float, default=1e-6, help="δ-completeness slack"
+    )
+    verify_parser.set_defaults(func=cmd_verify)
+
+    radius_parser = sub.add_parser("radius", help="certified-radius search")
+    _add_common(radius_parser)
+    radius_parser.set_defaults(func=cmd_radius)
+
+    attack_parser = sub.add_parser("attack", help="PGD falsification only")
+    _add_common(attack_parser)
+    attack_parser.add_argument("--steps", type=int, default=100)
+    attack_parser.add_argument("--restarts", type=int, default=5)
+    attack_parser.set_defaults(func=cmd_attack)
+
+    info_parser = sub.add_parser("info", help="print network architecture")
+    info_parser.add_argument("network", help="path to a .npz network archive")
+    info_parser.set_defaults(func=cmd_info)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

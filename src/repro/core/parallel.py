@@ -1,0 +1,170 @@
+"""Parallel verification (§6: "different calls to the abstract interpreter
+can be run on different threads").
+
+The recursion of Algorithm 1 is embarrassingly parallel across sub-regions:
+each work item is independent, the property is verified when *all* items
+verify, and any single δ-counterexample settles the whole query.  The
+original Charon exploits this with ELINA calls on parallel threads; this
+module does the same with a thread pool (numpy releases the GIL inside the
+dense kernels where the analyzer spends its time).
+
+Semantics match the sequential :class:`~repro.core.verifier.Verifier`:
+sound, δ-complete, same budgets.  Work-item *order* differs, so when a
+region contains several counterexamples the witness may differ from the
+sequential run — both are valid by Theorem 5.4.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+
+import numpy as np
+
+from repro.abstract.analyzer import analyze
+from repro.abstract.domains import INTERVAL
+from repro.attack.objective import MarginObjective
+from repro.attack.pgd import PGDConfig, pgd_minimize
+from repro.core.config import VerifierConfig
+from repro.core.policy import VerificationPolicy, default_policy
+from repro.core.property import RobustnessProperty
+from repro.core.results import Falsified, Timeout, Verified, VerificationStats
+from repro.nn.network import Network
+from repro.utils.boxes import Box
+from repro.utils.rng import as_generator, spawn
+from repro.utils.timing import Deadline, Stopwatch
+
+
+class ParallelVerifier:
+    """Algorithm 1 with a worker pool over sub-regions."""
+
+    def __init__(
+        self,
+        network: Network,
+        policy: VerificationPolicy | None = None,
+        config: VerifierConfig | None = None,
+        workers: int = 4,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.network = network
+        self.policy = policy or default_policy()
+        self.config = config or VerifierConfig()
+        self.workers = workers
+        self._rng = as_generator(rng)
+
+    def verify(self, prop: RobustnessProperty):
+        config = self.config
+        stats = VerificationStats()
+        stats_lock = threading.Lock()
+        deadline = Deadline(config.timeout)
+        watch = Stopwatch().start()
+        objective = MarginObjective(self.network, prop.label)
+        pgd_config = PGDConfig(
+            steps=config.pgd.steps,
+            restarts=config.pgd.restarts,
+            step_fraction=config.pgd.step_fraction,
+            stop_below=config.delta,
+        )
+        # Pre-spawned per-worker RNG streams keep runs reproducible
+        # regardless of thread scheduling.
+        worker_rngs = spawn(self._rng, self.workers)
+        rng_pool: list[np.random.Generator] = list(worker_rngs)
+        rng_lock = threading.Lock()
+
+        failure: dict = {}
+        failure_lock = threading.Lock()
+        stop_event = threading.Event()
+
+        def process(item: tuple[Box, int]) -> list[tuple[Box, int]]:
+            """One Algorithm-1 step; returns child work items."""
+            region, depth = item
+            if stop_event.is_set():
+                return []
+            if deadline.expired():
+                _record_failure(Timeout("wall clock", stats))
+                return []
+            with rng_lock:
+                gen = rng_pool.pop() if rng_pool else np.random.default_rng(0)
+            try:
+                sub_prop = prop.with_region(region)
+                x_star, f_star = pgd_minimize(
+                    objective, region, pgd_config, gen, deadline
+                )
+                with stats_lock:
+                    stats.pgd_calls += 1
+                    stats.max_depth_reached = max(stats.max_depth_reached, depth)
+                if f_star <= config.delta:
+                    _record_failure(Falsified(x_star, f_star, stats))
+                    return []
+                domain = self.policy.choose_domain(
+                    self.network, sub_prop, x_star, f_star
+                )
+                if region.is_degenerate():
+                    domain = INTERVAL
+                with stats_lock:
+                    stats.analyze_calls += 1
+                    stats.record_domain(domain.short_name)
+                try:
+                    result = analyze(
+                        self.network, region, prop.label, domain, deadline
+                    )
+                except TimeoutError:
+                    _record_failure(Timeout("wall clock", stats))
+                    return []
+                if result.verified:
+                    return []
+                if depth >= config.max_depth:
+                    _record_failure(Timeout("split depth", stats))
+                    return []
+                choice = self.policy.choose_split(
+                    self.network, sub_prop, x_star, f_star
+                )
+                try:
+                    left, right = region.split_interior(
+                        choice.dim, choice.value, config.min_split_fraction
+                    )
+                except ValueError:
+                    _record_failure(Timeout("degenerate region", stats))
+                    return []
+                with stats_lock:
+                    stats.splits += 1
+                return [(left, depth + 1), (right, depth + 1)]
+            finally:
+                with rng_lock:
+                    rng_pool.append(gen)
+
+        def _record_failure(outcome) -> None:
+            with failure_lock:
+                if "outcome" not in failure:
+                    failure["outcome"] = outcome
+            stop_event.set()
+
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            pending = {pool.submit(process, (prop.region, 0))}
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    for child in future.result():
+                        if not stop_event.is_set():
+                            pending.add(pool.submit(process, child))
+                if stop_event.is_set() and not pending:
+                    break
+
+        stats.time_seconds = watch.stop()
+        if "outcome" in failure:
+            return failure["outcome"]
+        return Verified(stats)
+
+
+def verify_parallel(
+    network: Network,
+    prop: RobustnessProperty,
+    policy: VerificationPolicy | None = None,
+    config: VerifierConfig | None = None,
+    workers: int = 4,
+    rng: int | np.random.Generator | None = None,
+):
+    """One-shot convenience wrapper around :class:`ParallelVerifier`."""
+    return ParallelVerifier(network, policy, config, workers, rng).verify(prop)

@@ -1,0 +1,107 @@
+"""Robustness properties ``(I, K)`` and the paper's attack-region builders.
+
+A property asserts that every input in region ``I`` is classified as ``K``
+(§2.2).  The evaluation (§7.1) uses *brightening attacks*: for every pixel
+above a threshold τ the region lets the pixel vary up to 1; all other pixels
+stay fixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.boxes import Box
+
+
+@dataclass(frozen=True)
+class RobustnessProperty:
+    """The robustness specification ``(I, K)``.
+
+    Attributes:
+        region: the input box ``I``.
+        label: the class ``K`` every point in ``I`` should receive.
+        name: optional identifier used in benchmark reports.
+    """
+
+    region: Box
+    label: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.label < 0:
+            raise ValueError(f"label must be non-negative, got {self.label}")
+
+    def with_region(self, region: Box) -> "RobustnessProperty":
+        """The same property restricted to a sub-region (used when splitting)."""
+        return RobustnessProperty(region, self.label, self.name)
+
+    def holds_at(self, network, x: np.ndarray) -> bool:
+        """Concretely check the property at a single point."""
+        return network.classify(x) == self.label
+
+    def violated_by(self, network, x: np.ndarray, atol: float = 1e-9) -> bool:
+        """True when ``x`` lies in ``I`` and is *not* classified as ``K``.
+
+        This is the certificate check for counterexamples: a returned
+        counterexample must be inside the region and misclassified (or
+        δ-close to misclassified — see :meth:`margin_at`).
+        """
+        if not self.region.contains(x, atol=atol):
+            return False
+        return not self.holds_at(network, x)
+
+    def margin_at(self, network, x: np.ndarray) -> float:
+        """The paper's objective ``F(x) = N(x)_K - max_{j≠K} N(x)_j`` (Eq. 2)."""
+        scores = network.logits(x)
+        if self.label >= scores.size:
+            raise ValueError(
+                f"property label {self.label} out of range for "
+                f"{scores.size}-class network"
+            )
+        others = np.delete(scores, self.label)
+        return float(scores[self.label] - others.max())
+
+
+def linf_property(
+    network,
+    x: np.ndarray,
+    epsilon: float,
+    clip_low: float | None = 0.0,
+    clip_high: float | None = 1.0,
+    name: str = "",
+) -> RobustnessProperty:
+    """Property for the L∞ ball around ``x``, labelled by the network itself."""
+    x = np.asarray(x, dtype=np.float64).reshape(-1)
+    region = Box.linf_ball(x, epsilon, clip_low=clip_low, clip_high=clip_high)
+    return RobustnessProperty(region, network.classify(x), name=name)
+
+
+def brightening_property(
+    network,
+    x: np.ndarray,
+    tau: float,
+    strength: float = 1.0,
+    name: str = "",
+) -> RobustnessProperty:
+    """The paper's brightening attack (§7.1).
+
+    For every pixel with value at least ``tau`` the region allows the pixel
+    to move from its value toward 1; all other pixels are fixed.  The
+    optional ``strength`` in ``(0, 1]`` scales how far bright pixels may
+    travel (1.0 reproduces the paper's region exactly); smaller values grade
+    benchmark difficulty.
+
+    Raises ``ValueError`` when no pixel reaches the threshold — such a
+    region would be a single point and not a meaningful benchmark.
+    """
+    if not 0.0 < strength <= 1.0:
+        raise ValueError(f"strength must lie in (0, 1], got {strength}")
+    flat = np.asarray(x, dtype=np.float64).reshape(-1)
+    bright = flat >= tau
+    if not bright.any():
+        raise ValueError(f"no pixel reaches brightening threshold {tau}")
+    high = np.where(bright, flat + strength * (1.0 - flat), flat)
+    region = Box(flat, high)
+    return RobustnessProperty(region, network.classify(flat), name=name)

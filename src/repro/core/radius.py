@@ -1,0 +1,139 @@
+"""Certified-radius search: the downstream query robustness tools serve.
+
+Given a point, find the largest L∞ radius ε such that the network is
+provably robust on ``B_∞(x, ε)`` — and, symmetrically, the smallest radius
+at which a concrete counterexample exists.  This is the standard way
+robustness verifiers are consumed (e.g. for certified-accuracy curves);
+the paper's decision procedure answers one ``(I, K)`` query, and this
+module drives it through a bracketed binary search.
+
+The search maintains the invariant ``certified <= frontier <= falsified``:
+every probe either extends the certified radius (Verified), shrinks the
+falsified radius (Falsified), or — on Timeout — shrinks the *upper search
+limit* without claiming a counterexample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import VerifierConfig
+from repro.core.policy import VerificationPolicy
+from repro.core.property import linf_property
+from repro.core.verifier import Verifier
+from repro.nn.network import Network
+
+
+@dataclass(frozen=True)
+class RadiusResult:
+    """Outcome of a certified-radius search.
+
+    Attributes:
+        certified: largest probed ε with a robustness proof (0.0 when even
+            the smallest probe failed).
+        falsified: smallest probed ε with a counterexample
+            (``inf`` when none was found up to ``max_radius``).
+        counterexample: the witness at the falsified radius, if any.
+        probes: number of verifier calls spent.
+    """
+
+    certified: float
+    falsified: float
+    counterexample: np.ndarray | None
+    probes: int
+
+    @property
+    def gap(self) -> float:
+        """Width of the undecided band between proof and attack."""
+        return self.falsified - self.certified
+
+
+def certified_radius(
+    network: Network,
+    x: np.ndarray,
+    max_radius: float = 0.5,
+    tolerance: float = 1e-3,
+    clip_low: float | None = 0.0,
+    clip_high: float | None = 1.0,
+    policy: VerificationPolicy | None = None,
+    config: VerifierConfig | None = None,
+    rng: int | np.random.Generator | None = 0,
+    max_probes: int = 30,
+) -> RadiusResult:
+    """Binary-search the robustness frontier around ``x``.
+
+    Stops when the bracket is narrower than ``tolerance`` (relative to
+    ``max_radius``) or ``max_probes`` verifier calls have been spent.
+    """
+    if max_radius <= 0:
+        raise ValueError("max_radius must be positive")
+    if tolerance <= 0:
+        raise ValueError("tolerance must be positive")
+    if max_probes < 1:
+        raise ValueError("max_probes must be >= 1")
+    x = np.asarray(x, dtype=np.float64).reshape(-1)
+    base_config = config or VerifierConfig(timeout=2.0)
+    verifier = Verifier(network, policy, base_config, rng=rng)
+
+    certified = 0.0
+    falsified = float("inf")
+    witness: np.ndarray | None = None
+    lo, hi = 0.0, max_radius
+    probes = 0
+    while probes < max_probes and hi - lo > tolerance:
+        eps = (lo + hi) / 2.0
+        prop = linf_property(network, x, eps, clip_low=clip_low, clip_high=clip_high)
+        outcome = verifier.verify(prop)
+        probes += 1
+        if outcome.kind == "verified":
+            certified = max(certified, eps)
+            lo = eps
+        elif outcome.kind == "falsified":
+            falsified = min(falsified, eps)
+            witness = outcome.counterexample
+            hi = eps
+        else:
+            # Timeout: undecided at this radius — narrow the search from
+            # above without claiming anything.
+            hi = eps
+    return RadiusResult(
+        certified=certified,
+        falsified=falsified,
+        counterexample=witness,
+        probes=probes,
+    )
+
+
+def certified_accuracy(
+    network: Network,
+    inputs: np.ndarray,
+    labels: np.ndarray,
+    epsilon: float,
+    policy: VerificationPolicy | None = None,
+    config: VerifierConfig | None = None,
+    rng: int | np.random.Generator | None = 0,
+) -> tuple[float, float]:
+    """Fraction of samples (correctly classified AND certified at ε,
+    correctly classified) — the pair certified-accuracy tables report."""
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    inputs = np.asarray(inputs, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+    if inputs.shape[0] != labels.shape[0]:
+        raise ValueError("inputs/labels length mismatch")
+    base_config = config or VerifierConfig(timeout=2.0)
+    verifier = Verifier(network, policy, base_config, rng=rng)
+    total = inputs.shape[0]
+    correct = 0
+    certified = 0
+    for i in range(total):
+        flat = inputs[i].reshape(-1)
+        if network.classify(flat) != labels[i]:
+            continue
+        correct += 1
+        prop = linf_property(network, flat, epsilon)
+        if verifier.verify(prop).kind == "verified":
+            certified += 1
+    return certified / total, correct / total

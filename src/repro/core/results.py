@@ -1,0 +1,88 @@
+"""Verification outcomes and run statistics.
+
+Charon is δ-complete, so a run either proves the property
+(:class:`Verified`), produces a δ-counterexample (:class:`Falsified`), or
+exhausts its resource budget (:class:`Timeout` — the practical analogue of
+the paper's 1000-second limit).  There is deliberately no "unknown" outcome
+(Figure 6 shows Charon with zero unknowns).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class VerificationStats:
+    """Counters accumulated across one :func:`repro.core.verifier.verify` run."""
+
+    pgd_calls: int = 0
+    analyze_calls: int = 0
+    splits: int = 0
+    max_depth_reached: int = 0
+    domains_used: Counter = field(default_factory=Counter)
+    time_seconds: float = 0.0
+
+    def record_domain(self, name: str) -> None:
+        self.domains_used[name] += 1
+
+
+@dataclass(frozen=True)
+class Verified:
+    """Every point of the region provably classifies as the target label."""
+
+    stats: VerificationStats
+
+    @property
+    def kind(self) -> str:
+        return "verified"
+
+    def __bool__(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Falsified:
+    """A δ-counterexample was found (Definition 5.3).
+
+    Attributes:
+        counterexample: the witness point (inside the region).
+        margin: ``F(x*)``; ``<= 0`` means a *true* counterexample,
+            ``in (0, δ]`` means a δ-close near-violation.
+    """
+
+    counterexample: np.ndarray
+    margin: float
+    stats: VerificationStats
+
+    @property
+    def kind(self) -> str:
+        return "falsified"
+
+    @property
+    def is_true_counterexample(self) -> bool:
+        return self.margin <= 0.0
+
+    def __bool__(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class Timeout:
+    """The resource budget (wall clock or split depth) ran out."""
+
+    reason: str
+    stats: VerificationStats
+
+    @property
+    def kind(self) -> str:
+        return "timeout"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+VerificationOutcome = "Verified | Falsified | Timeout"

@@ -1,0 +1,140 @@
+"""Algorithm 1: the sound and δ-complete decision procedure.
+
+Work items are (region, depth) pairs on an explicit stack (equivalent to the
+paper's recursion, but immune to Python's recursion limit).  Per item:
+
+1. **Minimize** — PGD searches the region for a counterexample; if
+   ``F(x*) <= δ`` the property is falsified with witness ``x*`` (Eq. 4,
+   which buys termination, Theorem 5.2).
+2. **Analyze** — the domain policy picks an abstract domain; if abstract
+   interpretation proves the margin positive, the region is verified.
+3. **Refine** — otherwise the partition policy picks a splitting plane and
+   both halves are pushed.  Splits are forced strictly interior
+   (Assumption 1) via :meth:`Box.split_interior`.
+
+The property is verified when the stack drains.  δ-completeness: if the
+outcome is not Verified (and budgets have not run out), the returned point
+satisfies ``F(x*) <= δ`` — Theorem 5.4's guarantee, checked by our tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.abstract.analyzer import analyze
+from repro.abstract.domains import INTERVAL
+from repro.attack.objective import MarginObjective
+from repro.attack.pgd import PGDConfig, pgd_minimize
+from repro.core.config import VerifierConfig
+from repro.core.policy import VerificationPolicy, default_policy
+from repro.core.property import RobustnessProperty
+from repro.core.results import Falsified, Timeout, Verified, VerificationStats
+from repro.nn.network import Network
+from repro.utils.boxes import Box
+from repro.utils.rng import as_generator
+from repro.utils.timing import Deadline, Stopwatch
+
+
+class Verifier:
+    """A reusable Charon instance bound to a network and a policy."""
+
+    def __init__(
+        self,
+        network: Network,
+        policy: VerificationPolicy | None = None,
+        config: VerifierConfig | None = None,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        self.network = network
+        self.policy = policy or default_policy()
+        self.config = config or VerifierConfig()
+        self._rng = as_generator(rng)
+
+    def verify(self, prop: RobustnessProperty):
+        """Decide the robustness property; see the module docstring."""
+        config = self.config
+        stats = VerificationStats()
+        deadline = Deadline(config.timeout)
+        watch = Stopwatch().start()
+        objective = MarginObjective(self.network, prop.label)
+        # PGD exits early once it drops to δ: anything at or below δ is
+        # already a δ-counterexample.
+        pgd_config = PGDConfig(
+            steps=config.pgd.steps,
+            restarts=config.pgd.restarts,
+            step_fraction=config.pgd.step_fraction,
+            stop_below=config.delta,
+        )
+
+        stack: list[tuple[Box, int]] = [(prop.region, 0)]
+        try:
+            while stack:
+                if deadline.expired():
+                    stats.time_seconds = watch.stop()
+                    return Timeout("wall clock", stats)
+                region, depth = stack.pop()
+                stats.max_depth_reached = max(stats.max_depth_reached, depth)
+                sub_prop = prop.with_region(region)
+
+                # --- 1. Minimize -----------------------------------------
+                x_star, f_star = pgd_minimize(
+                    objective, region, pgd_config, self._rng, deadline
+                )
+                stats.pgd_calls += 1
+                if f_star <= config.delta:
+                    stats.time_seconds = watch.stop()
+                    return Falsified(x_star, f_star, stats)
+
+                # --- 2. Analyze ------------------------------------------
+                domain = self.policy.choose_domain(
+                    self.network, sub_prop, x_star, f_star
+                )
+                if region.is_degenerate():
+                    # A point region: the interval domain is exact on it, so
+                    # this branch always resolves (F(x*) > δ implies the
+                    # margin at the point is positive).
+                    domain = INTERVAL
+                stats.analyze_calls += 1
+                stats.record_domain(domain.short_name)
+                result = analyze(
+                    self.network, region, prop.label, domain, deadline
+                )
+                if result.verified:
+                    continue
+
+                # --- 3. Refine -------------------------------------------
+                if depth >= config.max_depth:
+                    stats.time_seconds = watch.stop()
+                    return Timeout("split depth", stats)
+                choice = self.policy.choose_split(
+                    self.network, sub_prop, x_star, f_star
+                )
+                try:
+                    left, right = region.split_interior(
+                        choice.dim, choice.value, config.min_split_fraction
+                    )
+                except ValueError:
+                    # Region width is below float resolution yet analysis
+                    # still fails: no further refinement is possible.
+                    stats.time_seconds = watch.stop()
+                    return Timeout("degenerate region", stats)
+                stats.splits += 1
+                stack.append((right, depth + 1))
+                stack.append((left, depth + 1))
+        except TimeoutError:
+            stats.time_seconds = watch.stop()
+            return Timeout("wall clock", stats)
+
+        stats.time_seconds = watch.stop()
+        return Verified(stats)
+
+
+def verify(
+    network: Network,
+    prop: RobustnessProperty,
+    policy: VerificationPolicy | None = None,
+    config: VerifierConfig | None = None,
+    rng: int | np.random.Generator | None = None,
+):
+    """One-shot convenience wrapper around :class:`Verifier`."""
+    return Verifier(network, policy, config, rng).verify(prop)

@@ -1,0 +1,25 @@
+"""Dataset substrate.
+
+The paper evaluates on MNIST and CIFAR-10 and trains its verification policy
+on ACAS Xu properties.  This environment has no network access and no
+proprietary avionics tables, so (per DESIGN.md §5) we build deterministic
+synthetic stand-ins with the same tensor shapes and the same role in the
+pipeline:
+
+- :func:`mnist_like` — grayscale ``(1, h, w)`` images, 10 classes.
+- :func:`cifar_like` — color ``(3, h, w)`` images, 10 classes.
+- :func:`repro.data.acas.acas_table` — a 5-input advisory function with
+  geometric decision regions, used for policy training.
+"""
+
+from repro.data.synthetic import Dataset, cifar_like, mnist_like
+from repro.data.acas import acas_network, acas_table, acas_training_properties
+
+__all__ = [
+    "Dataset",
+    "mnist_like",
+    "cifar_like",
+    "acas_table",
+    "acas_network",
+    "acas_training_properties",
+]

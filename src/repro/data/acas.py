@@ -1,0 +1,127 @@
+"""Synthetic ACAS-Xu-style collision-avoidance substrate.
+
+The paper trains its verification policy on 12 robustness properties of an
+ACAS Xu network (§6).  The real ACAS Xu score tables are proprietary, so we
+substitute a deterministic advisory function with the same structure: five
+normalized sensor inputs, five advisories, and piecewise decision regions
+whose boundaries create non-trivial verification problems (DESIGN.md §5).
+
+Inputs (all normalized to ``[0, 1]``):
+    rho    — distance to intruder (0 = close, 1 = far)
+    theta  — bearing of intruder (0 = hard left, 1 = hard right)
+    psi    — intruder heading (unused by the advisory itself; it adds benign
+             dimensions so networks learn to ignore some inputs)
+    v_own  — ownship speed
+    v_int  — intruder speed
+
+Advisories: 0 = clear-of-conflict, 1 = weak left, 2 = weak right,
+3 = strong left, 4 = strong right.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.property import RobustnessProperty
+from repro.nn.builders import mlp
+from repro.nn.network import Network
+from repro.nn.training import TrainConfig, train_classifier
+from repro.utils.boxes import Box
+from repro.utils.rng import as_generator
+
+NUM_INPUTS = 5
+NUM_ADVISORIES = 5
+
+COC, WEAK_LEFT, WEAK_RIGHT, STRONG_LEFT, STRONG_RIGHT = range(5)
+
+
+def acas_table(x: np.ndarray) -> np.ndarray:
+    """Advisory labels for a batch of normalized sensor vectors.
+
+    Severity grows as the intruder gets closer and faster; below a severity
+    threshold the advisory is clear-of-conflict, otherwise the turn direction
+    follows the bearing and the strength follows severity.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    single = x.ndim == 1
+    batch = x.reshape(1, -1) if single else x
+    if batch.shape[1] != NUM_INPUTS:
+        raise ValueError(f"expected {NUM_INPUTS} inputs, got {batch.shape[1]}")
+    rho, theta = batch[:, 0], batch[:, 1]
+    v_int = batch[:, 4]
+    severity = (1.0 - rho) * (0.4 + 0.6 * v_int)
+    labels = np.zeros(batch.shape[0], dtype=np.int64)
+    conflict = severity >= 0.35
+    left = theta < 0.5
+    strong = severity >= 0.65
+    labels[conflict & left & ~strong] = WEAK_LEFT
+    labels[conflict & ~left & ~strong] = WEAK_RIGHT
+    labels[conflict & left & strong] = STRONG_LEFT
+    labels[conflict & ~left & strong] = STRONG_RIGHT
+    return labels[0] if single else labels
+
+
+def acas_dataset(
+    num_samples: int = 4000, rng: int | np.random.Generator | None = 7
+) -> tuple[np.ndarray, np.ndarray]:
+    """Uniformly sampled sensor vectors with their table advisories."""
+    gen = as_generator(rng)
+    inputs = gen.uniform(0.0, 1.0, size=(num_samples, NUM_INPUTS))
+    return inputs, acas_table(inputs)
+
+
+def acas_network(
+    hidden: tuple[int, ...] = (24, 24, 24, 24),
+    epochs: int = 30,
+    rng: int | np.random.Generator | None = 7,
+) -> Network:
+    """Train a dense advisory network on the synthetic table.
+
+    The architecture is the scaled-down stand-in for ACAS Xu's 6x50 networks;
+    pass ``hidden=(50,)*6`` to match the original depth/width.
+    """
+    gen = as_generator(rng)
+    inputs, labels = acas_dataset(rng=gen)
+    network = mlp(NUM_INPUTS, list(hidden), NUM_ADVISORIES, rng=gen)
+    config = TrainConfig(epochs=epochs, batch_size=64, learning_rate=0.01)
+    train_classifier(network, inputs, labels, config, rng=gen)
+    return network
+
+
+def acas_training_properties(
+    network: Network,
+    count: int = 12,
+    radii: tuple[float, ...] = (0.02, 0.05, 0.1),
+    rng: int | np.random.Generator | None = 11,
+) -> list[RobustnessProperty]:
+    """Build the policy-training suite: ``count`` robustness properties.
+
+    Centers are sampled where the network is confident (so most properties
+    are verifiable with enough effort) and radii are cycled through several
+    sizes so the suite mixes easy, split-requiring, and occasionally
+    falsifiable problems — the mix the paper's Bayesian optimization needs
+    to distinguish good policies from bad ones.
+    """
+    if count < 1:
+        raise ValueError("count must be positive")
+    gen = as_generator(rng)
+    properties: list[RobustnessProperty] = []
+    attempts = 0
+    while len(properties) < count and attempts < count * 200:
+        attempts += 1
+        center = gen.uniform(0.05, 0.95, size=NUM_INPUTS)
+        scores = network.logits(center)
+        label = int(np.argmax(scores))
+        margin = scores[label] - np.delete(scores, label).max()
+        if margin <= 0.05:
+            continue
+        radius = radii[len(properties) % len(radii)]
+        region = Box.linf_ball(center, radius, clip_low=0.0, clip_high=1.0)
+        properties.append(
+            RobustnessProperty(region, label, name=f"acas-{len(properties)}")
+        )
+    if len(properties) < count:
+        raise RuntimeError(
+            "could not find enough confident centers; train the network longer"
+        )
+    return properties

@@ -1,0 +1,16 @@
+"""Extensions beyond the paper's evaluated system.
+
+The paper's §9 sketches future work: "one can view solver-based techniques
+as a perfectly precise abstract domain ... our method could learn when it
+is best to apply solvers and when to choose a less precise domain."  This
+package implements that idea:
+
+- :class:`repro.ext.solver_policy.SolverAwareLinearPolicy` widens the
+  domain policy's menu with the precise (solver-like) symbolic-interval
+  domain, keeping the same learned-linear-map structure so the existing
+  Bayesian-optimization trainer applies unchanged.
+"""
+
+from repro.ext.solver_policy import SolverAwareLinearPolicy
+
+__all__ = ["SolverAwareLinearPolicy"]

@@ -1,0 +1,69 @@
+"""A domain policy that can also select the precise symbolic domain (§9).
+
+:class:`SolverAwareLinearPolicy` keeps the paper's parameterization —
+``φ(θ·ρ)`` with the same featurization and partition policy — but its
+selection function φ_α discretizes the first output into *three* bases:
+intervals, zonotopes, and ReluVal-style symbolic intervals.  Symbolic
+intervals play the role the paper assigns to solvers: a more precise (and
+on wide regions, more expensive) analysis the policy should learn to
+reserve for the sub-problems that need it.
+
+Because the parameter space is unchanged (same θ shape), the trainer in
+:mod:`repro.learn` optimizes this policy without modification — pass
+``policy_cls=SolverAwareLinearPolicy``-built vectors through the usual
+:class:`~repro.learn.objective.PolicyCostObjective` by constructing the
+verifier with this class.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.abstract.domains import DomainSpec
+from repro.core.policy import DISJUNCT_CHOICES, LinearPolicy
+from repro.core.property import RobustnessProperty
+from repro.nn.network import Network
+
+#: The widened base-domain menu.  Order matters: the policy output is
+#: clipped to [0, 1] and split into equal thirds.
+EXTENDED_BASES = ("interval", "zonotope", "symbolic")
+
+
+class SolverAwareLinearPolicy(LinearPolicy):
+    """LinearPolicy whose φ_α can also pick the symbolic domain."""
+
+    def choose_domain(
+        self,
+        network: Network,
+        prop: RobustnessProperty,
+        x_star: np.ndarray,
+        f_star: float,
+    ) -> DomainSpec:
+        out = self._outputs(network, prop, x_star, f_star)
+        frac = float(np.clip(out[0], 0.0, 1.0))
+        idx = min(int(frac * len(EXTENDED_BASES)), len(EXTENDED_BASES) - 1)
+        base = EXTENDED_BASES[idx]
+        if base == "symbolic" and network.has_conv():
+            # Symbolic intervals cannot express max pooling; degrade to the
+            # strongest zonotope choice instead of failing mid-proof.
+            base = "zonotope"
+        if base == "symbolic":
+            return DomainSpec("symbolic", 1)
+        frac_k = float(np.clip(out[1], 0.0, 1.0))
+        k_idx = min(int(frac_k * len(DISJUNCT_CHOICES)), len(DISJUNCT_CHOICES) - 1)
+        return DomainSpec(base, DISJUNCT_CHOICES[k_idx])
+
+    @staticmethod
+    def default() -> "SolverAwareLinearPolicy":
+        """Prior: symbolic domain, split the longest dimension at its
+        midpoint — a 'ReluVal with PGD' starting point learning can refine."""
+        base = LinearPolicy.default()
+        theta = base.theta.copy()
+        theta[0, -1] = 0.9  # top third of [0, 1] -> symbolic
+        return SolverAwareLinearPolicy(theta)
+
+    def describe(self) -> str:
+        return (
+            "SolverAwareLinearPolicy"
+            f"(theta_norm={np.linalg.norm(self.theta):.3f})"
+        )

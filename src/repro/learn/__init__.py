@@ -1,0 +1,15 @@
+"""Policy learning: Bayesian optimization of the verification policy (§4.2)."""
+
+from repro.learn.objective import PolicyCostObjective, TrainingProblem
+from repro.learn.trainer import PolicyTrainer, TrainedPolicy, train_policy
+from repro.learn.pretrained import PRETRAINED_THETA, pretrained_policy
+
+__all__ = [
+    "PolicyCostObjective",
+    "TrainingProblem",
+    "PolicyTrainer",
+    "TrainedPolicy",
+    "train_policy",
+    "PRETRAINED_THETA",
+    "pretrained_policy",
+]

@@ -1,0 +1,85 @@
+"""The policy-training objective ``F(θ) = -Σ_s cost_θ(s)`` from §4.2.
+
+``cost_θ(s)`` is the verification time when benchmark ``s`` is solved within
+the per-benchmark limit ``t``, and ``p · t`` otherwise.  The paper uses
+``p = 2`` and ``t = 700 s``; our scaled-down default keeps the same penalty
+ratio with second-scale limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import VerifierConfig
+from repro.core.policy import LinearPolicy
+from repro.core.property import RobustnessProperty
+from repro.core.verifier import Verifier
+from repro.nn.network import Network
+
+
+@dataclass(frozen=True)
+class TrainingProblem:
+    """One benchmark of the training suite: a network plus a property."""
+
+    network: Network
+    prop: RobustnessProperty
+
+
+class PolicyCostObjective:
+    """Callable ``θ-vector -> score`` for Bayesian optimization.
+
+    Higher is better (the optimizer maximizes).  Scores are negative total
+    cost over the training suite, exactly the paper's ``F``.
+    """
+
+    def __init__(
+        self,
+        problems: list[TrainingProblem],
+        time_limit: float = 2.0,
+        penalty: float = 2.0,
+        base_config: VerifierConfig | None = None,
+        rng_seed: int = 0,
+    ) -> None:
+        if not problems:
+            raise ValueError("the training suite must be non-empty")
+        if time_limit <= 0:
+            raise ValueError("time_limit must be positive")
+        if penalty < 1.0:
+            raise ValueError(
+                "penalty must be >= 1 (unsolved must cost at least the limit)"
+            )
+        self.problems = list(problems)
+        self.time_limit = time_limit
+        self.penalty = penalty
+        base = base_config or VerifierConfig()
+        # Per-problem budget comes from the objective, not the base config.
+        self._config = VerifierConfig(
+            delta=base.delta,
+            timeout=time_limit,
+            max_depth=base.max_depth,
+            min_split_fraction=base.min_split_fraction,
+            pgd=base.pgd,
+        )
+        self.rng_seed = rng_seed
+        self.evaluations = 0
+
+    def cost(self, theta_vec: np.ndarray) -> float:
+        """Total cost of running the policy over the suite (lower is better)."""
+        policy = LinearPolicy.from_vector(theta_vec)
+        total = 0.0
+        for problem in self.problems:
+            verifier = Verifier(
+                problem.network, policy, self._config, rng=self.rng_seed
+            )
+            outcome = verifier.verify(problem.prop)
+            if outcome.kind == "timeout":
+                total += self.penalty * self.time_limit
+            else:
+                total += min(outcome.stats.time_seconds, self.time_limit)
+        self.evaluations += 1
+        return total
+
+    def __call__(self, theta_vec: np.ndarray) -> float:
+        return -self.cost(theta_vec)

@@ -1,0 +1,41 @@
+"""The shipped verification policy (the paper's deployment-phase artifact).
+
+The paper trains its policy once, on 12 ACAS Xu properties, then deploys it
+unchanged on MNIST/CIFAR benchmarks (§6).  This module plays the role of
+that shipped artifact: ``PRETRAINED_THETA`` was produced by running::
+
+    net = acas_network(hidden=(24, 24, 24, 24), epochs=25, rng=7)
+    props = acas_training_properties(net, count=12, radii=(0.03, 0.08, 0.15), rng=11)
+    train_policy([TrainingProblem(net, p) for p in props],
+                 iterations=40, time_limit=1.5, penalty=2.0, rng=0)
+
+(see ``examples/policy_training.py`` for the runnable version).  Benchmarks
+use :func:`pretrained_policy` so that "Charon" always means "Algorithm 1
+with the learned policy", exactly as in the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.policy import LinearPolicy
+
+#: θ learned by Bayesian optimization on the ACAS-style training suite
+#: (40 iterations, suite cost 9.44s -> 9.06s over the 12 properties).
+PRETRAINED_THETA = [
+    -0.4650839743693158, -0.5894770829901388, -0.07368511957297708,
+    -0.5226777134066198, 1.831405317392845,
+    0.5845557171577656, 0.8806230320189212, 0.49361362559653177,
+    -0.34659969952186076, -1.267182905398394,
+    -0.30435963215245687, -0.24335976962541173, 0.030889390777643744,
+    -0.4550357583868494, 0.27449656938098155,
+    -1.3315495439122942, -1.3490949798132608, 0.7646775501571894,
+    -0.002409444074796152, -0.7950623128044891,
+    0.7963542775641019, -0.6727233111029638, 1.894490679288436,
+    -0.5401595489791662, 0.7357595423098697,
+]
+
+
+def pretrained_policy() -> LinearPolicy:
+    """The policy learned on the ACAS training suite."""
+    return LinearPolicy.from_vector(np.array(PRETRAINED_THETA))

@@ -1,0 +1,94 @@
+"""The training phase: learn θ on a suite of problems (Figure 2, top).
+
+The paper trains on 12 ACAS Xu properties with MPI-parallel evaluation; the
+sequential trainer here follows the same structure with laptop-scale
+budgets.  The hand-initialized default policy is always evaluated first so
+learning can only improve on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bayesopt.optimizer import BayesianOptimizer, OptimizationHistory
+from repro.core.config import VerifierConfig
+from repro.core.policy import LinearPolicy
+from repro.learn.objective import PolicyCostObjective, TrainingProblem
+from repro.utils.rng import as_generator
+
+
+@dataclass(frozen=True)
+class TrainedPolicy:
+    """The outcome of a training run.
+
+    Attributes:
+        policy: the best policy found.
+        best_score: its objective value (negative total cost).
+        history: the full Bayesian-optimization trace.
+    """
+
+    policy: LinearPolicy
+    best_score: float
+    history: OptimizationHistory
+
+
+class PolicyTrainer:
+    """Configurable wrapper around the Bayesian-optimization loop."""
+
+    def __init__(
+        self,
+        problems: list[TrainingProblem],
+        time_limit: float = 2.0,
+        penalty: float = 2.0,
+        theta_scale: float = 2.0,
+        n_initial: int = 5,
+        base_config: VerifierConfig | None = None,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        self.objective = PolicyCostObjective(
+            problems, time_limit=time_limit, penalty=penalty, base_config=base_config
+        )
+        self.bounds = LinearPolicy.parameter_box(theta_scale)
+        self._rng = as_generator(rng)
+        self.n_initial = n_initial
+
+    def train(self, iterations: int = 20, verbose: bool = False) -> TrainedPolicy:
+        """Run Bayesian optimization for ``iterations`` evaluations."""
+        optimizer = BayesianOptimizer(
+            self.bounds, n_initial=self.n_initial, rng=self._rng
+        )
+        # Seed with the hand-initialized default so the learned policy is
+        # never worse than the prior.
+        default_vec = LinearPolicy.default().to_vector()
+        optimizer.observe(default_vec, self.objective(default_vec))
+
+        def report(i: int, obs) -> None:
+            if verbose:
+                print(
+                    f"  BO iter {i + 1}/{iterations}: score={obs.y:.3f} "
+                    f"(best={optimizer.best().y:.3f})"
+                )
+
+        best = optimizer.maximize(self.objective, iterations, callback=report)
+        return TrainedPolicy(
+            policy=LinearPolicy.from_vector(best.x),
+            best_score=best.y,
+            history=optimizer.history,
+        )
+
+
+def train_policy(
+    problems: list[TrainingProblem],
+    iterations: int = 20,
+    time_limit: float = 2.0,
+    penalty: float = 2.0,
+    rng: int | np.random.Generator | None = None,
+    verbose: bool = False,
+) -> TrainedPolicy:
+    """Convenience one-call training (the paper's full training phase)."""
+    trainer = PolicyTrainer(
+        problems, time_limit=time_limit, penalty=penalty, rng=rng
+    )
+    return trainer.train(iterations, verbose=verbose)

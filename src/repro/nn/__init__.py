@@ -1,0 +1,41 @@
+"""Neural network substrate: numpy feed-forward networks.
+
+The paper analyzes ReLU networks built from affine layers (fully-connected
+and convolutional — §2.1 notes both are affine transformations) plus max
+pooling.  This package provides:
+
+- :mod:`repro.nn.layers` — Dense, Conv2d, MaxPool2d, ReLU, Flatten with
+  forward, input-gradient, and parameter-gradient passes.
+- :mod:`repro.nn.network` — the :class:`Network` container, plus lowering to
+  the flat operation sequence (affine / relu / maxpool) consumed by the
+  abstract interpreter.
+- :mod:`repro.nn.builders` — constructors for the paper's architectures
+  (``NxM`` MLPs and the LeNet-style conv net).
+- :mod:`repro.nn.training` — minibatch SGD training (softmax cross-entropy).
+- :mod:`repro.nn.serialize` — save/load networks as ``.npz``.
+"""
+
+from repro.nn.layers import Conv2d, Dense, Flatten, MaxPool2d, ReLU
+from repro.nn.network import AffineOp, MaxPoolOp, Network, ReluOp
+from repro.nn.builders import lenet_conv, mlp, xor_network
+from repro.nn.training import TrainConfig, train_classifier
+from repro.nn.serialize import load_network, save_network
+
+__all__ = [
+    "Dense",
+    "Conv2d",
+    "MaxPool2d",
+    "ReLU",
+    "Flatten",
+    "Network",
+    "AffineOp",
+    "ReluOp",
+    "MaxPoolOp",
+    "mlp",
+    "lenet_conv",
+    "xor_network",
+    "TrainConfig",
+    "train_classifier",
+    "save_network",
+    "load_network",
+]

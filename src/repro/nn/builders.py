@@ -1,0 +1,112 @@
+"""Constructors for the network architectures used in the paper.
+
+The evaluation (§7) uses fully-connected nets of sizes 3x100, 6x100, 9x100,
+9x200 (``NxM`` = N hidden layers of width M) and a LeNet-style convolutional
+network, plus the small worked examples from §2–§3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Conv2d, Dense, Flatten, MaxPool2d, ReLU
+from repro.nn.network import Network
+from repro.utils.rng import as_generator
+
+
+def mlp(
+    input_size: int,
+    hidden_sizes: list[int],
+    num_classes: int,
+    rng: int | np.random.Generator | None = None,
+) -> Network:
+    """Fully-connected ReLU classifier.
+
+    ``mlp(784, [100]*3, 10)`` is the paper's "3x100" MNIST network.
+    """
+    if input_size < 1 or num_classes < 1:
+        raise ValueError("input_size and num_classes must be positive")
+    gen = as_generator(rng)
+    layers: list = []
+    size = input_size
+    for width in hidden_sizes:
+        layers.append(Dense.initialize(size, width, gen))
+        layers.append(ReLU())
+        size = width
+    layers.append(Dense.initialize(size, num_classes, gen))
+    return Network(layers, input_shape=(input_size,))
+
+
+def lenet_conv(
+    input_shape: tuple[int, int, int] = (1, 8, 8),
+    num_classes: int = 10,
+    conv_channels: tuple[int, int, int, int] = (4, 4, 8, 8),
+    fc_sizes: tuple[int, int] = (32, 16),
+    rng: int | np.random.Generator | None = None,
+) -> Network:
+    """A LeNet-style conv net, scaled for laptop verification budgets.
+
+    Mirrors the paper's architecture: two conv layers, max pool, two more
+    conv layers, max pool, then three fully-connected layers.  The default
+    channel/width parameters are the scaled-down substitution documented in
+    DESIGN.md §5; pass larger ones to approach the paper's sizes.
+    """
+    c, h, w = input_shape
+    if h % 4 != 0 or w % 4 != 0:
+        raise ValueError("input height/width must be divisible by 4 (two 2x2 pools)")
+    gen = as_generator(rng)
+    c1, c2, c3, c4 = conv_channels
+    f1, f2 = fc_sizes
+    layers = [
+        Conv2d.initialize(c, c1, kernel_size=3, padding=1, rng=gen),
+        ReLU(),
+        Conv2d.initialize(c1, c2, kernel_size=3, padding=1, rng=gen),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d.initialize(c2, c3, kernel_size=3, padding=1, rng=gen),
+        ReLU(),
+        Conv2d.initialize(c3, c4, kernel_size=3, padding=1, rng=gen),
+        ReLU(),
+        MaxPool2d(2),
+        Flatten(),
+        Dense.initialize(c4 * (h // 4) * (w // 4), f1, gen),
+        ReLU(),
+        Dense.initialize(f1, f2, gen),
+        ReLU(),
+        Dense.initialize(f2, num_classes, gen),
+    ]
+    return Network(layers, input_shape=input_shape)
+
+
+def xor_network() -> Network:
+    """The XOR network of Figure 3.
+
+    Classifies ``[0,0]`` and ``[1,1]`` as class 0, ``[0,1]`` and ``[1,0]``
+    as class 1.
+    """
+    w1 = np.array([[1.0, 1.0], [1.0, 1.0]])
+    b1 = np.array([0.0, -1.0])
+    w2 = np.array([[-1.0, 2.0], [1.0, -2.0]])
+    b2 = np.array([1.0, 0.0])
+    layers = [Dense(w1, b1), ReLU(), Dense(w2, b2)]
+    return Network(layers, input_shape=(2,))
+
+
+def example_2_2_network() -> Network:
+    """The 1-input network of Example 2.2 (robust on [-1,1], not on [-1,2])."""
+    w1 = np.array([[1.0], [2.0]])
+    b1 = np.array([-1.0, 1.0])
+    w2 = np.array([[2.0, 1.0], [-1.0, 1.0]])
+    b2 = np.array([1.0, 2.0])
+    layers = [Dense(w1, b1), ReLU(), Dense(w2, b2)]
+    return Network(layers, input_shape=(1,))
+
+
+def example_2_3_network() -> Network:
+    """The network of Example 2.3 (needs 2 zonotope disjuncts to verify)."""
+    w1 = np.array([[1.0, -3.0], [0.0, 3.0]])
+    b1 = np.array([1.0, 1.0])
+    w2 = np.array([[1.0, 1.1], [-1.0, 1.0]])
+    b2 = np.array([-3.0, 1.2])
+    layers = [Dense(w1, b1), ReLU(), Dense(w2, b2)]
+    return Network(layers, input_shape=(2,))

@@ -1,0 +1,390 @@
+"""Network layers with forward, backward, and shape propagation.
+
+All layers operate on batched arrays: the leading axis is the batch.  Dense
+layers take ``(N, in_features)``; convolution and pooling take
+``(N, C, H, W)``.  ``forward_cached`` returns the activations plus whatever
+the backward pass needs, keeping layers stateless and re-entrant.
+
+The backward convention: ``backward(cache, grad_out)`` returns
+``(grad_in, param_grads)`` where ``param_grads`` aligns with ``params()``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+
+
+class Layer:
+    """Base class for all layers."""
+
+    def params(self) -> list[np.ndarray]:
+        """Trainable parameter arrays (possibly empty)."""
+        return []
+
+    def set_params(self, params: list[np.ndarray]) -> None:
+        if params:
+            raise ValueError(f"{type(self).__name__} takes no parameters")
+
+    def out_shape(self, in_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Output sample shape for the given input sample shape."""
+        raise NotImplementedError
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out, _ = self.forward_cached(x)
+        return out
+
+    def forward_cached(self, x: np.ndarray) -> tuple[np.ndarray, Any]:
+        raise NotImplementedError
+
+    def backward(
+        self, cache: Any, grad_out: np.ndarray
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        raise NotImplementedError
+
+    @property
+    def is_linear(self) -> bool:
+        """True when the layer computes an affine map of its input."""
+        return False
+
+
+class Dense(Layer):
+    """Fully-connected layer ``y = W x + b``."""
+
+    def __init__(self, weight: np.ndarray, bias: np.ndarray) -> None:
+        weight = np.asarray(weight, dtype=np.float64)
+        bias = np.asarray(bias, dtype=np.float64).reshape(-1)
+        if weight.ndim != 2:
+            raise ValueError(f"weight must be 2-D, got shape {weight.shape}")
+        if bias.size != weight.shape[0]:
+            raise ValueError(
+                f"bias size {bias.size} does not match {weight.shape[0]} outputs"
+            )
+        self.weight = weight
+        self.bias = bias
+
+    @staticmethod
+    def initialize(
+        in_features: int,
+        out_features: int,
+        rng: int | np.random.Generator | None = None,
+    ) -> "Dense":
+        """He-initialized dense layer (suits ReLU networks)."""
+        gen = as_generator(rng)
+        scale = np.sqrt(2.0 / in_features)
+        weight = gen.normal(0.0, scale, size=(out_features, in_features))
+        return Dense(weight, np.zeros(out_features))
+
+    @property
+    def in_features(self) -> int:
+        return self.weight.shape[1]
+
+    @property
+    def out_features(self) -> int:
+        return self.weight.shape[0]
+
+    @property
+    def is_linear(self) -> bool:
+        return True
+
+    def params(self) -> list[np.ndarray]:
+        return [self.weight, self.bias]
+
+    def set_params(self, params: list[np.ndarray]) -> None:
+        weight, bias = params
+        if weight.shape != self.weight.shape or bias.shape != self.bias.shape:
+            raise ValueError("parameter shape mismatch")
+        self.weight = np.asarray(weight, dtype=np.float64)
+        self.bias = np.asarray(bias, dtype=np.float64)
+
+    def out_shape(self, in_shape: tuple[int, ...]) -> tuple[int, ...]:
+        if in_shape != (self.in_features,):
+            raise ValueError(
+                f"Dense expects input shape ({self.in_features},), got {in_shape}"
+            )
+        return (self.out_features,)
+
+    def forward_cached(self, x: np.ndarray) -> tuple[np.ndarray, Any]:
+        out = x @ self.weight.T + self.bias
+        return out, x
+
+    def backward(
+        self, cache: Any, grad_out: np.ndarray
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        x = cache
+        grad_in = grad_out @ self.weight
+        grad_w = grad_out.T @ x
+        grad_b = grad_out.sum(axis=0)
+        return grad_in, [grad_w, grad_b]
+
+
+class ReLU(Layer):
+    """Element-wise rectifier ``max(x, 0)``."""
+
+    def out_shape(self, in_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return in_shape
+
+    def forward_cached(self, x: np.ndarray) -> tuple[np.ndarray, Any]:
+        mask = x > 0
+        return x * mask, mask
+
+    def backward(
+        self, cache: Any, grad_out: np.ndarray
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        return grad_out * cache, []
+
+
+class Flatten(Layer):
+    """Collapse a sample to a vector; the identity on already-flat input."""
+
+    @property
+    def is_linear(self) -> bool:
+        return True
+
+    def out_shape(self, in_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return (int(np.prod(in_shape)),)
+
+    def forward_cached(self, x: np.ndarray) -> tuple[np.ndarray, Any]:
+        return x.reshape(x.shape[0], -1), x.shape
+
+    def backward(
+        self, cache: Any, grad_out: np.ndarray
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        return grad_out.reshape(cache), []
+
+
+def _pad_input(x: np.ndarray, padding: int) -> np.ndarray:
+    if padding == 0:
+        return x
+    return np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+
+
+def _conv_out_hw(
+    h: int, w: int, kh: int, kw: int, stride: int, padding: int
+) -> tuple[int, int]:
+    out_h = (h + 2 * padding - kh) // stride + 1
+    out_w = (w + 2 * padding - kw) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"kernel ({kh}x{kw}, stride {stride}, padding {padding}) "
+            f"does not fit input {h}x{w}"
+        )
+    return out_h, out_w
+
+
+def _im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int, padding: int
+) -> tuple[np.ndarray, tuple[int, int]]:
+    """Unfold ``(N, C, H, W)`` into ``(N, C*kh*kw, out_h*out_w)`` columns."""
+    n, c, h, w = x.shape
+    out_h, out_w = _conv_out_hw(h, w, kh, kw, stride, padding)
+    xp = _pad_input(x, padding)
+    cols = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
+    for i in range(kh):
+        i_end = i + stride * out_h
+        for j in range(kw):
+            j_end = j + stride * out_w
+            cols[:, :, i, j, :, :] = xp[:, :, i:i_end:stride, j:j_end:stride]
+    return cols.reshape(n, c * kh * kw, out_h * out_w), (out_h, out_w)
+
+
+def _col2im(
+    cols: np.ndarray,
+    in_shape: tuple[int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Adjoint of :func:`_im2col`: scatter-add columns back to an image."""
+    c, h, w = in_shape
+    n = cols.shape[0]
+    out_h, out_w = _conv_out_hw(h, w, kh, kw, stride, padding)
+    cols = cols.reshape(n, c, kh, kw, out_h, out_w)
+    xp = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    for i in range(kh):
+        i_end = i + stride * out_h
+        for j in range(kw):
+            j_end = j + stride * out_w
+            xp[:, :, i:i_end:stride, j:j_end:stride] += cols[:, :, i, j, :, :]
+    if padding == 0:
+        return xp
+    return xp[:, :, padding:-padding, padding:-padding]
+
+
+class Conv2d(Layer):
+    """2-D convolution (cross-correlation) with square stride and padding."""
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        bias: np.ndarray,
+        stride: int = 1,
+        padding: int = 0,
+    ) -> None:
+        weight = np.asarray(weight, dtype=np.float64)
+        bias = np.asarray(bias, dtype=np.float64).reshape(-1)
+        if weight.ndim != 4:
+            raise ValueError(
+                f"conv weight must be (out_c, in_c, kh, kw), got {weight.shape}"
+            )
+        if bias.size != weight.shape[0]:
+            raise ValueError(
+                f"bias size {bias.size} does not match {weight.shape[0]} channels"
+            )
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
+        if padding < 0:
+            raise ValueError(f"padding must be >= 0, got {padding}")
+        self.weight = weight
+        self.bias = bias
+        self.stride = stride
+        self.padding = padding
+
+    @staticmethod
+    def initialize(
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        rng: int | np.random.Generator | None = None,
+    ) -> "Conv2d":
+        gen = as_generator(rng)
+        fan_in = in_channels * kernel_size * kernel_size
+        scale = np.sqrt(2.0 / fan_in)
+        weight = gen.normal(
+            0.0, scale, size=(out_channels, in_channels, kernel_size, kernel_size)
+        )
+        return Conv2d(weight, np.zeros(out_channels), stride=stride, padding=padding)
+
+    @property
+    def is_linear(self) -> bool:
+        return True
+
+    def params(self) -> list[np.ndarray]:
+        return [self.weight, self.bias]
+
+    def set_params(self, params: list[np.ndarray]) -> None:
+        weight, bias = params
+        if weight.shape != self.weight.shape or bias.shape != self.bias.shape:
+            raise ValueError("parameter shape mismatch")
+        self.weight = np.asarray(weight, dtype=np.float64)
+        self.bias = np.asarray(bias, dtype=np.float64)
+
+    def out_shape(self, in_shape: tuple[int, ...]) -> tuple[int, ...]:
+        if len(in_shape) != 3:
+            raise ValueError(f"Conv2d expects (C, H, W) input, got {in_shape}")
+        c, h, w = in_shape
+        out_c, in_c, kh, kw = self.weight.shape
+        if c != in_c:
+            raise ValueError(f"Conv2d expects {in_c} channels, got {c}")
+        out_h, out_w = _conv_out_hw(h, w, kh, kw, self.stride, self.padding)
+        return (out_c, out_h, out_w)
+
+    def forward_cached(self, x: np.ndarray) -> tuple[np.ndarray, Any]:
+        out_c, in_c, kh, kw = self.weight.shape
+        cols, (out_h, out_w) = _im2col(x, kh, kw, self.stride, self.padding)
+        w_mat = self.weight.reshape(out_c, in_c * kh * kw)
+        out = np.einsum("oc,ncp->nop", w_mat, cols) + self.bias[None, :, None]
+        out = out.reshape(x.shape[0], out_c, out_h, out_w)
+        return out, (cols, x.shape)
+
+    def backward(
+        self, cache: Any, grad_out: np.ndarray
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        cols, x_shape = cache
+        n, out_c = grad_out.shape[0], grad_out.shape[1]
+        _, in_c, kh, kw = self.weight.shape
+        grad_flat = grad_out.reshape(n, out_c, -1)
+        w_mat = self.weight.reshape(out_c, in_c * kh * kw)
+        grad_w = np.einsum("nop,ncp->oc", grad_flat, cols).reshape(self.weight.shape)
+        grad_b = grad_flat.sum(axis=(0, 2))
+        grad_cols = np.einsum("oc,nop->ncp", w_mat, grad_flat)
+        grad_in = _col2im(
+            grad_cols, x_shape[1:], kh, kw, self.stride, self.padding
+        )
+        return grad_in, [grad_w, grad_b]
+
+
+class MaxPool2d(Layer):
+    """Max pooling with a square window.
+
+    ``stride`` defaults to the window size (non-overlapping pooling, as in
+    LeNet).  The pooling geometry also drives the abstract transformer, via
+    :meth:`window_indices`.
+    """
+
+    def __init__(self, kernel_size: int, stride: int | None = None) -> None:
+        if kernel_size < 1:
+            raise ValueError(f"kernel_size must be >= 1, got {kernel_size}")
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        if self.stride < 1:
+            raise ValueError(f"stride must be >= 1, got {self.stride}")
+
+    def out_shape(self, in_shape: tuple[int, ...]) -> tuple[int, ...]:
+        if len(in_shape) != 3:
+            raise ValueError(f"MaxPool2d expects (C, H, W) input, got {in_shape}")
+        c, h, w = in_shape
+        k = self.kernel_size
+        out_h, out_w = _conv_out_hw(h, w, k, k, self.stride, 0)
+        return (c, out_h, out_w)
+
+    def forward_cached(self, x: np.ndarray) -> tuple[np.ndarray, Any]:
+        n, c, h, w = x.shape
+        k = self.kernel_size
+        out_h, out_w = _conv_out_hw(h, w, k, k, self.stride, 0)
+        cols = np.empty((n, c, k * k, out_h, out_w), dtype=x.dtype)
+        for i in range(k):
+            i_end = i + self.stride * out_h
+            for j in range(k):
+                j_end = j + self.stride * out_w
+                cols[:, :, i * k + j, :, :] = x[:, :, i:i_end:self.stride, j:j_end:self.stride]
+        argmax = cols.argmax(axis=2)
+        out = cols.max(axis=2)
+        return out, (argmax, x.shape)
+
+    def backward(
+        self, cache: Any, grad_out: np.ndarray
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        argmax, x_shape = cache
+        n, c, h, w = x_shape
+        k = self.kernel_size
+        out_h, out_w = grad_out.shape[2], grad_out.shape[3]
+        grad_in = np.zeros(x_shape, dtype=grad_out.dtype)
+        # Scatter each output gradient to the argmax position of its window.
+        oh_idx, ow_idx = np.meshgrid(
+            np.arange(out_h), np.arange(out_w), indexing="ij"
+        )
+        for ni in range(n):
+            for ci in range(c):
+                flat = argmax[ni, ci]
+                di, dj = flat // k, flat % k
+                rows = oh_idx * self.stride + di
+                cols_ = ow_idx * self.stride + dj
+                np.add.at(grad_in[ni, ci], (rows, cols_), grad_out[ni, ci])
+        return grad_in, []
+
+    def window_indices(self, in_shape: tuple[int, int, int]) -> np.ndarray:
+        """Flat input indices per output unit: shape ``(out_units, k*k)``.
+
+        The abstract interpreter uses this to apply per-window max
+        transformers on flattened abstract elements.
+        """
+        c, h, w = in_shape
+        k = self.kernel_size
+        out_h, out_w = _conv_out_hw(h, w, k, k, self.stride, 0)
+        flat = np.arange(c * h * w).reshape(c, h, w)
+        windows = np.empty((c, out_h, out_w, k * k), dtype=np.int64)
+        for i in range(k):
+            for j in range(k):
+                windows[:, :, :, i * k + j] = flat[
+                    :,
+                    i : i + self.stride * out_h : self.stride,
+                    j : j + self.stride * out_w : self.stride,
+                ]
+        return windows.reshape(c * out_h * out_w, k * k)

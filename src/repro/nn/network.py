@@ -1,0 +1,304 @@
+"""The :class:`Network` container and its lowering to analyzer operations.
+
+A network is a sequence of layers ``L1 ∘ σ1 ∘ … ∘ Lk`` (§2.1 of the paper).
+For analysis we lower every network to a flat list of three op kinds over
+vectors:
+
+- :class:`AffineOp` — ``y = W x + b``.  Dense layers map directly;
+  convolutions are materialized to their (dense) affine form, which is what
+  lets a single abstract interpreter cover both architectures, exactly as
+  AI2 does.
+- :class:`ReluOp` — element-wise rectification.
+- :class:`MaxPoolOp` — per-window maxima described by index sets.
+
+The lowering is cached per network; mutating parameters through
+:meth:`Network.set_params` (or calling :meth:`Network.invalidate_ops`)
+invalidates the cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.layers import Conv2d, Dense, Flatten, Layer, MaxPool2d, ReLU
+
+
+@dataclass(frozen=True)
+class AffineOp:
+    """``y = weight @ x + bias`` over flattened vectors."""
+
+    weight: np.ndarray
+    bias: np.ndarray
+
+    @property
+    def in_size(self) -> int:
+        return self.weight.shape[1]
+
+    @property
+    def out_size(self) -> int:
+        return self.weight.shape[0]
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        return self.weight @ x + self.bias
+
+
+@dataclass(frozen=True)
+class ReluOp:
+    """Element-wise ``max(x, 0)``."""
+
+    size: int
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0.0)
+
+
+@dataclass(frozen=True)
+class MaxPoolOp:
+    """Per-window max: ``y_o = max(x[windows[o]])``."""
+
+    windows: np.ndarray  # (out_units, window_size) int indices
+    in_size: int
+
+    @property
+    def out_size(self) -> int:
+        return self.windows.shape[0]
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        return x[self.windows].max(axis=1)
+
+
+Op = "AffineOp | ReluOp | MaxPoolOp"
+
+
+def _affine_of_linear_layer(
+    layer: Layer, in_shape: tuple[int, ...]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Materialize any affine layer as ``(W, b)`` by probing basis vectors."""
+    n_in = int(np.prod(in_shape))
+    zero = np.zeros((1, *in_shape))
+    bias = layer.forward(zero).reshape(-1)
+    basis = np.eye(n_in).reshape(n_in, *in_shape)
+    images = layer.forward(basis).reshape(n_in, -1)
+    weight = images.T - bias[:, None]
+    return weight, bias
+
+
+class Network:
+    """A feed-forward classifier ``N : R^n -> R^m``.
+
+    Args:
+        layers: the layer sequence.
+        input_shape: sample shape, e.g. ``(16,)`` for an MLP or ``(1, 8, 8)``
+            for a conv net.  Shapes are validated through the whole stack at
+            construction time.
+    """
+
+    def __init__(self, layers: list[Layer], input_shape: tuple[int, ...]) -> None:
+        if not layers:
+            raise ValueError("a network needs at least one layer")
+        self.layers = list(layers)
+        self.input_shape = tuple(int(s) for s in input_shape)
+        shapes = [self.input_shape]
+        for layer in self.layers:
+            shapes.append(layer.out_shape(shapes[-1]))
+        if len(shapes[-1]) != 1:
+            raise ValueError(
+                f"network output must be a vector of class scores, got {shapes[-1]}"
+            )
+        self._shapes = shapes
+        self._ops_cache: list | None = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def input_size(self) -> int:
+        return int(np.prod(self.input_shape))
+
+    @property
+    def output_size(self) -> int:
+        return self._shapes[-1][0]
+
+    @property
+    def num_classes(self) -> int:
+        return self.output_size
+
+    def layer_shapes(self) -> list[tuple[int, ...]]:
+        """Sample shape after each layer, starting with the input shape."""
+        return list(self._shapes)
+
+    def num_params(self) -> int:
+        return sum(p.size for layer in self.layers for p in layer.params())
+
+    def num_relu_units(self) -> int:
+        """Total ReLU activations — the paper's rough hardness measure."""
+        total = 0
+        for layer, shape in zip(self.layers, self._shapes[:-1]):
+            if isinstance(layer, ReLU):
+                total += int(np.prod(shape))
+        return total
+
+    def has_conv(self) -> bool:
+        return any(isinstance(layer, Conv2d) for layer in self.layers)
+
+    def summary(self) -> str:
+        lines = [f"Network(input={self.input_shape}, params={self.num_params()})"]
+        for layer, shape in zip(self.layers, self._shapes[1:]):
+            lines.append(f"  {type(layer).__name__:<10} -> {shape}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Concrete execution
+    # ------------------------------------------------------------------
+
+    def _as_batch(self, x: np.ndarray) -> tuple[np.ndarray, bool]:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1 and x.size == self.input_size:
+            return x.reshape(1, *self.input_shape), True
+        if x.shape == self.input_shape:
+            return x.reshape(1, *self.input_shape), True
+        if x.shape[1:] == self.input_shape:
+            return x, False
+        if x.ndim == 2 and x.shape[1] == self.input_size:
+            return x.reshape(x.shape[0], *self.input_shape), False
+        raise ValueError(
+            f"input shape {x.shape} incompatible with network input "
+            f"{self.input_shape}"
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Class scores; single samples in, single score vectors out."""
+        batch, single = self._as_batch(x)
+        for layer in self.layers:
+            batch = layer.forward(batch)
+        return batch[0] if single else batch
+
+    def logits(self, x: np.ndarray) -> np.ndarray:
+        """Alias of :meth:`forward` for a single sample."""
+        out = self.forward(x)
+        if out.ndim != 1:
+            raise ValueError("logits() expects a single sample")
+        return out
+
+    def classify(self, x: np.ndarray) -> int:
+        """Predicted class: argmax of the score vector."""
+        return int(np.argmax(self.logits(x)))
+
+    def classify_batch(self, x: np.ndarray) -> np.ndarray:
+        batch, _ = self._as_batch(x)
+        out = self.forward(batch)
+        return np.argmax(out, axis=1)
+
+    # ------------------------------------------------------------------
+    # Gradients
+    # ------------------------------------------------------------------
+
+    def forward_cached(self, x: np.ndarray) -> tuple[np.ndarray, list]:
+        """Batched forward keeping every layer cache (for backprop)."""
+        batch, _ = self._as_batch(x)
+        caches = []
+        for layer in self.layers:
+            batch, cache = layer.forward_cached(batch)
+            caches.append(cache)
+        return batch, caches
+
+    def backward(
+        self, caches: list, grad_out: np.ndarray
+    ) -> tuple[np.ndarray, list[list[np.ndarray]]]:
+        """Backpropagate ``grad_out`` (batched) through the cached pass.
+
+        Returns the gradient w.r.t. the input batch and per-layer parameter
+        gradients (aligned with ``self.layers``).
+        """
+        param_grads: list[list[np.ndarray]] = [[] for _ in self.layers]
+        grad = grad_out
+        for idx in range(len(self.layers) - 1, -1, -1):
+            grad, grads = self.layers[idx].backward(caches[idx], grad)
+            param_grads[idx] = grads
+        return grad, param_grads
+
+    def input_gradient(self, x: np.ndarray, seed: np.ndarray) -> np.ndarray:
+        """Gradient of ``seed · N(x)`` w.r.t. a single flat input ``x``.
+
+        This is the primitive behind both PGD (gradient of the margin) and
+        the "influence" feature of the partition policy.
+        """
+        seed = np.asarray(seed, dtype=np.float64).reshape(-1)
+        if seed.size != self.output_size:
+            raise ValueError(
+                f"seed has {seed.size} entries, network outputs {self.output_size}"
+            )
+        out, caches = self.forward_cached(x)
+        grad_out = np.broadcast_to(seed, out.shape).copy()
+        grad_in, _ = self.backward(caches, grad_out)
+        return grad_in.reshape(-1)
+
+    # ------------------------------------------------------------------
+    # Parameters
+    # ------------------------------------------------------------------
+
+    def params(self) -> list[np.ndarray]:
+        return [p for layer in self.layers for p in layer.params()]
+
+    def set_params(self, params: list[np.ndarray]) -> None:
+        offset = 0
+        for layer in self.layers:
+            count = len(layer.params())
+            layer.set_params(params[offset : offset + count])
+            offset += count
+        if offset != len(params):
+            raise ValueError(f"expected {offset} parameter arrays, got {len(params)}")
+        self.invalidate_ops()
+
+    def invalidate_ops(self) -> None:
+        """Drop the cached analyzer lowering after parameter mutation."""
+        self._ops_cache = None
+
+    # ------------------------------------------------------------------
+    # Lowering for the analyzers
+    # ------------------------------------------------------------------
+
+    def ops(self) -> list:
+        """Flat op sequence (affine / relu / maxpool) over vectors.
+
+        Flatten layers disappear (they are the identity on flat vectors) and
+        convolutions are materialized to dense affine maps.  The result is
+        cached.
+        """
+        if self._ops_cache is not None:
+            return self._ops_cache
+        ops: list = []
+        for layer, in_shape in zip(self.layers, self._shapes[:-1]):
+            n_in = int(np.prod(in_shape))
+            if isinstance(layer, Dense):
+                ops.append(AffineOp(layer.weight.copy(), layer.bias.copy()))
+            elif isinstance(layer, Conv2d):
+                weight, bias = _affine_of_linear_layer(layer, in_shape)
+                ops.append(AffineOp(weight, bias))
+            elif isinstance(layer, ReLU):
+                ops.append(ReluOp(size=n_in))
+            elif isinstance(layer, MaxPool2d):
+                if len(in_shape) != 3:
+                    raise ValueError("MaxPool2d lowering requires (C,H,W) input")
+                ops.append(
+                    MaxPoolOp(windows=layer.window_indices(in_shape), in_size=n_in)
+                )
+            elif isinstance(layer, Flatten):
+                continue
+            else:
+                raise TypeError(
+                    f"no analyzer lowering for layer type {type(layer).__name__}"
+                )
+        self._ops_cache = ops
+        return ops
+
+    def eval_ops(self, x: np.ndarray) -> np.ndarray:
+        """Run the lowered op sequence on a flat vector (used by tests to
+        check that lowering agrees with the layer-level forward pass)."""
+        v = np.asarray(x, dtype=np.float64).reshape(-1)
+        for op in self.ops():
+            v = op.apply(v)
+        return v

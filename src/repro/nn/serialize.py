@@ -1,0 +1,80 @@
+"""Save and load networks as ``.npz`` archives.
+
+The archive stores a JSON header describing the layer stack plus one array
+entry per parameter.  Round-tripping is exact (float64 bit patterns are
+preserved by ``.npz``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.layers import Conv2d, Dense, Flatten, MaxPool2d, ReLU
+from repro.nn.network import Network
+
+
+def _layer_spec(layer) -> dict:
+    if isinstance(layer, Dense):
+        return {"kind": "dense"}
+    if isinstance(layer, Conv2d):
+        return {"kind": "conv2d", "stride": layer.stride, "padding": layer.padding}
+    if isinstance(layer, ReLU):
+        return {"kind": "relu"}
+    if isinstance(layer, Flatten):
+        return {"kind": "flatten"}
+    if isinstance(layer, MaxPool2d):
+        return {
+            "kind": "maxpool2d",
+            "kernel_size": layer.kernel_size,
+            "stride": layer.stride,
+        }
+    raise TypeError(f"cannot serialize layer type {type(layer).__name__}")
+
+
+def save_network(network: Network, path: str | Path) -> None:
+    """Write ``network`` to ``path`` as an ``.npz`` archive."""
+    header = {
+        "input_shape": list(network.input_shape),
+        "layers": [_layer_spec(layer) for layer in network.layers],
+    }
+    arrays: dict[str, np.ndarray] = {}
+    for i, layer in enumerate(network.layers):
+        for j, param in enumerate(layer.params()):
+            arrays[f"param_{i}_{j}"] = param
+    np.savez(path, header=np.array(json.dumps(header)), **arrays)
+
+
+def load_network(path: str | Path) -> Network:
+    """Read a network previously written by :func:`save_network`."""
+    with np.load(path, allow_pickle=False) as archive:
+        header = json.loads(str(archive["header"]))
+        layers = []
+        for i, spec in enumerate(header["layers"]):
+            kind = spec["kind"]
+            if kind == "dense":
+                layers.append(
+                    Dense(archive[f"param_{i}_0"], archive[f"param_{i}_1"])
+                )
+            elif kind == "conv2d":
+                layers.append(
+                    Conv2d(
+                        archive[f"param_{i}_0"],
+                        archive[f"param_{i}_1"],
+                        stride=spec["stride"],
+                        padding=spec["padding"],
+                    )
+                )
+            elif kind == "relu":
+                layers.append(ReLU())
+            elif kind == "flatten":
+                layers.append(Flatten())
+            elif kind == "maxpool2d":
+                layers.append(
+                    MaxPool2d(spec["kernel_size"], stride=spec["stride"])
+                )
+            else:
+                raise ValueError(f"unknown layer kind {kind!r}")
+    return Network(layers, input_shape=tuple(header["input_shape"]))

@@ -1,0 +1,7 @@
+"""Shared utilities: box geometry, RNG handling, timing, validation."""
+
+from repro.utils.boxes import Box
+from repro.utils.rng import as_generator
+from repro.utils.timing import Stopwatch, Deadline
+
+__all__ = ["Box", "as_generator", "Stopwatch", "Deadline"]

@@ -1,0 +1,80 @@
+"""Wall-clock measurement helpers used by the verifier and bench harness.
+
+The paper reports CPU time with per-benchmark limits (1000 s evaluation,
+700 s training).  We model both with a :class:`Deadline` that components can
+poll cooperatively, and a :class:`Stopwatch` for accumulating phase timings.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+
+class Stopwatch:
+    """Accumulates elapsed time; can be started/stopped repeatedly."""
+
+    def __init__(self) -> None:
+        self._accumulated = 0.0
+        self._started_at: float | None = None
+
+    def start(self) -> "Stopwatch":
+        if self._started_at is None:
+            self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._started_at is not None:
+            self._accumulated += time.perf_counter() - self._started_at
+            self._started_at = None
+        return self._accumulated
+
+    @property
+    def elapsed(self) -> float:
+        running = 0.0
+        if self._started_at is not None:
+            running = time.perf_counter() - self._started_at
+        return self._accumulated + running
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+@dataclass
+class Deadline:
+    """A cooperative timeout.
+
+    ``Deadline(limit)`` expires ``limit`` seconds after construction.  A
+    ``limit`` of ``None`` (or ``inf``) never expires, which lets callers pass
+    deadlines unconditionally.
+    """
+
+    limit: float | None = None
+    _start: float = field(default_factory=time.perf_counter)
+
+    @property
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._start
+
+    @property
+    def remaining(self) -> float:
+        if self.limit is None:
+            return math.inf
+        return self.limit - self.elapsed
+
+    def expired(self) -> bool:
+        return self.remaining <= 0.0
+
+    def check(self) -> None:
+        """Raise :class:`TimeoutError` if the deadline has passed."""
+        if self.expired():
+            raise TimeoutError(f"deadline of {self.limit}s exceeded")
+
+
+def never() -> Deadline:
+    """A deadline that never expires."""
+    return Deadline(limit=None)

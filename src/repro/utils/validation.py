@@ -1,0 +1,54 @@
+"""Small argument-validation helpers shared across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def require_positive(name: str, value: float) -> float:
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def require_nonnegative(name: str, value: float) -> float:
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def require_in_range(name: str, value: float, lo: float, hi: float) -> float:
+    if not lo <= value <= hi:
+        raise ValueError(f"{name} must lie in [{lo}, {hi}], got {value}")
+    return value
+
+
+def require_vector(name: str, value: np.ndarray, size: int | None = None) -> np.ndarray:
+    arr = np.asarray(value, dtype=np.float64)
+    if arr.ndim != 1:
+        arr = arr.reshape(-1)
+    if size is not None and arr.size != size:
+        raise ValueError(f"{name} must have {size} entries, got {arr.size}")
+    return arr
+
+
+def require_matrix(
+    name: str, value: np.ndarray, shape: tuple[int | None, int | None] | None = None
+) -> np.ndarray:
+    arr = np.asarray(value, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be a matrix, got ndim={arr.ndim}")
+    if shape is not None:
+        rows, cols = shape
+        if rows is not None and arr.shape[0] != rows:
+            raise ValueError(f"{name} must have {rows} rows, got {arr.shape[0]}")
+        if cols is not None and arr.shape[1] != cols:
+            raise ValueError(f"{name} must have {cols} columns, got {arr.shape[1]}")
+    return arr
+
+
+def require_finite(name: str, value: np.ndarray) -> np.ndarray:
+    arr = np.asarray(value, dtype=np.float64)
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite entries")
+    return arr

@@ -1,0 +1,74 @@
+"""Tests for DomainSpec."""
+
+import numpy as np
+import pytest
+
+from repro.abstract.domains import (
+    DomainSpec,
+    INTERVAL,
+    ZONOTOPE,
+    bounded_intervals,
+    bounded_zonotopes,
+)
+from repro.abstract.interval import IntervalElement
+from repro.abstract.powerset import PowersetElement
+from repro.abstract.zonotope import Zonotope
+from repro.utils.boxes import Box
+
+
+class TestDomainSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown base"):
+            DomainSpec("octagon", 1)
+        with pytest.raises(ValueError, match="disjuncts"):
+            DomainSpec("interval", 0)
+
+    def test_lift_interval(self):
+        element = INTERVAL.lift(Box.unit(3))
+        assert isinstance(element, IntervalElement)
+
+    def test_lift_zonotope(self):
+        element = ZONOTOPE.lift(Box.unit(3))
+        assert isinstance(element, Zonotope)
+
+    def test_lift_powerset(self):
+        element = DomainSpec("zonotope", 4).lift(Box.unit(2))
+        assert isinstance(element, PowersetElement)
+        assert element.max_disjuncts == 4
+
+    def test_lift_preserves_bounds(self):
+        box = Box(np.array([-1.0, 2.0]), np.array([0.0, 3.0]))
+        for spec in (INTERVAL, ZONOTOPE, DomainSpec("interval", 8)):
+            lo, hi = spec.lift(box).bounds()
+            np.testing.assert_allclose(lo, box.low)
+            np.testing.assert_allclose(hi, box.high)
+
+    def test_names(self):
+        assert str(DomainSpec("zonotope", 2)) == "(Z, 2)"
+        assert str(INTERVAL) == "(I, 1)"
+        assert DomainSpec("zonotope", 2).short_name == "Zx2"
+        assert INTERVAL.short_name == "I"
+
+    def test_precise_domain_names(self):
+        from repro.abstract.domains import DEEPPOLY, SYMBOLIC
+
+        assert SYMBOLIC.short_name == "S"
+        assert DEEPPOLY.short_name == "D"
+        assert str(DEEPPOLY) == "(D, 1)"
+
+    def test_helpers(self):
+        assert bounded_zonotopes(64) == DomainSpec("zonotope", 64)
+        assert bounded_intervals(4) == DomainSpec("interval", 4)
+
+    def test_hashable(self):
+        assert len({INTERVAL, ZONOTOPE, INTERVAL}) == 2
+
+    def test_all_bases_liftable(self):
+        from repro.abstract.domains import BASE_DOMAINS
+
+        box = Box.unit(3)
+        for base in BASE_DOMAINS:
+            element = DomainSpec(base, 1).lift(box)
+            lo, hi = element.bounds()
+            np.testing.assert_allclose(lo, box.low)
+            np.testing.assert_allclose(hi, box.high)

@@ -1,0 +1,205 @@
+"""Tests for the interval domain."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.abstract.interval import IntervalElement
+from repro.utils.boxes import Box
+
+
+def elem(low, high):
+    return IntervalElement(np.array(low, float), np.array(high, float))
+
+
+class TestConstruction:
+    def test_from_box(self):
+        box = Box(np.array([0.0, -1.0]), np.array([1.0, 1.0]))
+        e = IntervalElement.from_box(box)
+        lo, hi = e.bounds()
+        np.testing.assert_array_equal(lo, box.low)
+        np.testing.assert_array_equal(hi, box.high)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            elem([1.0], [0.0])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            IntervalElement(np.zeros(2), np.zeros(3))
+
+    def test_size_and_repr(self):
+        e = elem([0, 0], [1, 1])
+        assert e.size == 2
+        assert "size=2" in repr(e)
+
+
+class TestAffine:
+    def test_exact_on_identity(self):
+        e = elem([-1, 0], [1, 2])
+        out = e.affine(np.eye(2), np.array([1.0, -1.0]))
+        lo, hi = out.bounds()
+        np.testing.assert_allclose(lo, [0.0, -1.0])
+        np.testing.assert_allclose(hi, [2.0, 1.0])
+
+    def test_negative_weights_swap_bounds(self):
+        e = elem([0.0], [1.0])
+        out = e.affine(np.array([[-2.0]]), np.array([0.0]))
+        lo, hi = out.bounds()
+        assert lo[0] == -2.0 and hi[0] == 0.0
+
+    def test_optimal_per_output(self):
+        # Interval affine is the exact per-output range.
+        rng = np.random.default_rng(0)
+        e = elem([-1, -1, -1], [1, 2, 0.5])
+        w = rng.normal(size=(2, 3))
+        b = rng.normal(size=2)
+        out = e.affine(w, b)
+        lo, hi = out.bounds()
+        exact_lo = np.minimum(w, 0) @ e.high + np.maximum(w, 0) @ e.low + b
+        np.testing.assert_allclose(lo, exact_lo)
+
+
+class TestRelu:
+    def test_clamps(self):
+        e = elem([-2, 1, -1], [-1, 2, 3])
+        out = e.relu()
+        lo, hi = out.bounds()
+        np.testing.assert_array_equal(lo, [0, 1, 0])
+        np.testing.assert_array_equal(hi, [0, 2, 3])
+
+    def test_idempotent(self):
+        e = elem([-1, 0.5], [2, 1])
+        once = e.relu()
+        twice = once.relu()
+        np.testing.assert_array_equal(once.low, twice.low)
+        np.testing.assert_array_equal(once.high, twice.high)
+
+
+class TestMaxPool:
+    def test_window_max(self):
+        e = elem([0, 2, -1, 5], [1, 3, 0, 6])
+        windows = np.array([[0, 1], [2, 3]])
+        out = e.maxpool(windows)
+        lo, hi = out.bounds()
+        np.testing.assert_array_equal(lo, [2, 5])
+        np.testing.assert_array_equal(hi, [3, 6])
+
+    def test_sound_vs_concrete(self):
+        rng = np.random.default_rng(0)
+        low = rng.uniform(-1, 0, 6)
+        high = low + rng.uniform(0, 1, 6)
+        e = IntervalElement(low, high)
+        windows = np.array([[0, 1, 2], [3, 4, 5]])
+        out = e.maxpool(windows)
+        lo, hi = out.bounds()
+        for _ in range(100):
+            x = rng.uniform(low, high)
+            y = x[windows].max(axis=1)
+            assert np.all(y >= lo - 1e-12) and np.all(y <= hi + 1e-12)
+
+
+class TestSplits:
+    def test_crossing_dims_ordered_by_width(self):
+        e = elem([-1, -5, 1], [1, 5, 2])
+        crossing = e.crossing_dims()
+        np.testing.assert_array_equal(crossing, [1, 0])
+
+    def test_relu_split_partitions(self):
+        e = elem([-2, 0], [3, 1])
+        pos, neg = e.relu_split(0)
+        assert pos.low[0] == 0.0 and pos.high[0] == 3.0
+        assert neg.low[0] == 0.0 and neg.high[0] == 0.0
+        # Untouched dimension survives in both branches.
+        assert pos.low[1] == 0.0 and neg.high[1] == 1.0
+
+    def test_relu_split_rejects_noncrossing(self):
+        with pytest.raises(ValueError, match="cross"):
+            elem([1.0], [2.0]).relu_split(0)
+
+    def test_relu_dim(self):
+        e = elem([-2, -2], [3, 3])
+        out = e.relu_dim(0)
+        assert out.low[0] == 0.0
+        assert out.low[1] == -2.0  # other dim untouched
+
+    def test_join(self):
+        a = elem([0, 0], [1, 1])
+        b = elem([-1, 0.5], [0.5, 2])
+        j = a.join(b)
+        np.testing.assert_array_equal(j.low, [-1, 0])
+        np.testing.assert_array_equal(j.high, [1, 2])
+
+    def test_join_type_error(self):
+        with pytest.raises(TypeError):
+            elem([0], [1]).join(object())
+
+
+class TestMargins:
+    def test_lower_margin(self):
+        e = elem([1.0, -1.0], [2.0, 0.5])
+        assert e.lower_margin(0, 1) == pytest.approx(0.5)
+        assert e.lower_margin(1, 0) == pytest.approx(-3.0)
+
+    def test_min_margin(self):
+        e = elem([1.0, -1.0, 0.0], [2.0, 0.5, 0.8])
+        assert e.min_margin(0) == pytest.approx(min(1 - 0.5, 1 - 0.8))
+
+    def test_min_margin_validates_label(self):
+        with pytest.raises(ValueError):
+            elem([0, 0], [1, 1]).min_margin(5)
+
+    def test_contains_via_bounds(self):
+        e = elem([0, 0], [1, 1])
+        assert e.contains(np.array([0.5, 0.5]))
+        assert not e.contains(np.array([2.0, 0.5]))
+
+
+@st.composite
+def interval_and_points(draw):
+    n = draw(st.integers(1, 5))
+    rng = np.random.default_rng(draw(st.integers(0, 1000)))
+    low = rng.uniform(-2, 1, n)
+    high = low + rng.uniform(0, 2, n)
+    points = rng.uniform(low, high, size=(20, n))
+    return IntervalElement(low, high), points
+
+
+class TestSoundnessProperties:
+    @given(interval_and_points(), st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_affine_sound(self, data, seed):
+        e, points = data
+        rng = np.random.default_rng(seed)
+        w = rng.normal(size=(3, e.size))
+        b = rng.normal(size=3)
+        out = e.affine(w, b)
+        lo, hi = out.bounds()
+        for x in points:
+            y = w @ x + b
+            assert np.all(y >= lo - 1e-9) and np.all(y <= hi + 1e-9)
+
+    @given(interval_and_points())
+    @settings(max_examples=40, deadline=None)
+    def test_relu_sound(self, data):
+        e, points = data
+        out = e.relu()
+        lo, hi = out.bounds()
+        for x in points:
+            y = np.maximum(x, 0)
+            assert np.all(y >= lo - 1e-12) and np.all(y <= hi + 1e-12)
+
+    @given(interval_and_points())
+    @settings(max_examples=40, deadline=None)
+    def test_relu_split_covers(self, data):
+        e, points = data
+        crossing = e.crossing_dims()
+        if crossing.size == 0:
+            return
+        dim = int(crossing[0])
+        pos, neg = e.relu_split(dim)
+        for x in points:
+            y = x.copy()
+            y[dim] = max(y[dim], 0.0)
+            assert pos.contains(y) or neg.contains(y)

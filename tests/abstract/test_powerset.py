@@ -1,0 +1,181 @@
+"""Tests for the bounded powerset domain."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.abstract.interval import IntervalElement
+from repro.abstract.powerset import PowersetElement
+from repro.abstract.zonotope import Zonotope
+from repro.utils.boxes import Box
+
+
+def lift(low, high, base="zonotope", k=2):
+    box = Box(np.array(low, float), np.array(high, float))
+    if base == "zonotope":
+        element = Zonotope.from_box(box)
+    else:
+        element = IntervalElement.from_box(box)
+    return PowersetElement([element], max_disjuncts=k)
+
+
+class TestConstruction:
+    def test_validation(self):
+        base = IntervalElement(np.zeros(2), np.ones(2))
+        with pytest.raises(ValueError, match="max_disjuncts"):
+            PowersetElement([base], max_disjuncts=0)
+        with pytest.raises(ValueError, match="at least one"):
+            PowersetElement([], max_disjuncts=2)
+        with pytest.raises(ValueError, match="exceed"):
+            PowersetElement([base, base, base], max_disjuncts=2)
+        other = IntervalElement(np.zeros(3), np.ones(3))
+        with pytest.raises(ValueError, match="dimension"):
+            PowersetElement([base, other], max_disjuncts=4)
+
+    def test_introspection(self):
+        p = lift([0, 0], [1, 1], k=4)
+        assert p.size == 2
+        assert p.num_disjuncts == 1
+        assert "1/4" in repr(p)
+
+
+class TestTransformers:
+    def test_affine_maps_all(self):
+        p = lift([0, 0], [1, 1], base="interval", k=2)
+        out = p.affine(2 * np.eye(2), np.zeros(2))
+        lo, hi = out.bounds()
+        np.testing.assert_allclose(hi, [2, 2])
+
+    def test_relu_splits_crossing_dims(self):
+        p = lift([-1, -1], [1, 1], base="interval", k=4)
+        # One affine to materialize, then relu should case-split.
+        out = p.affine(np.eye(2), np.zeros(2)).relu()
+        assert out.num_disjuncts > 1
+        assert out.num_disjuncts <= 4
+
+    def test_relu_respects_budget(self):
+        p = lift([-1] * 4, [1] * 4, base="interval", k=2)
+        out = p.affine(np.eye(4), np.zeros(4)).relu()
+        assert out.num_disjuncts <= 2
+
+    def test_budget_one_equals_base_domain(self):
+        box = Box(-np.ones(2), np.ones(2))
+        base = Zonotope.from_box(box).affine(np.eye(2), np.zeros(2)).relu()
+        p = (
+            PowersetElement([Zonotope.from_box(box)], max_disjuncts=1)
+            .affine(np.eye(2), np.zeros(2))
+            .relu()
+        )
+        lo_b, hi_b = base.bounds()
+        lo_p, hi_p = p.bounds()
+        np.testing.assert_allclose(lo_p, lo_b, atol=1e-12)
+        np.testing.assert_allclose(hi_p, hi_b, atol=1e-12)
+
+    def test_more_disjuncts_tighter_union_bounds(self):
+        # With enough budget to split every crossing dim, the union bounds
+        # are at least as tight as the plain domain's.
+        box = Box(np.array([-1.0, -1.0]), np.array([1.0, 1.0]))
+        plain = Zonotope.from_box(box).affine(np.eye(2), np.zeros(2)).relu()
+        split = (
+            PowersetElement([Zonotope.from_box(box)], max_disjuncts=4)
+            .affine(np.eye(2), np.zeros(2))
+            .relu()
+        )
+        lo_p, hi_p = plain.bounds()
+        lo_s, hi_s = split.bounds()
+        assert np.all(lo_s >= lo_p - 1e-9)
+        assert np.all(hi_s <= hi_p + 1e-9)
+
+    def test_maxpool_maps_elements(self):
+        p = lift([0, 0, 2, 2], [1, 1, 3, 3], base="interval", k=2)
+        out = p.maxpool(np.array([[0, 1], [2, 3]]))
+        lo, hi = out.bounds()
+        np.testing.assert_allclose(lo, [0, 2])
+        np.testing.assert_allclose(hi, [1, 3])
+
+
+class TestCaseSplitHooks:
+    def test_nested_powerset_rejected(self):
+        p = lift([-1], [1])
+        with pytest.raises(TypeError, match="nested"):
+            p.relu_split(0)
+
+    def test_relu_dim_maps(self):
+        p = lift([-1, -1], [1, 1], base="interval", k=2)
+        out = p.relu_dim(0)
+        lo, _ = out.bounds()
+        assert lo[0] == 0.0
+
+    def test_crossing_dims_union(self):
+        a = IntervalElement(np.array([-1.0, 1.0]), np.array([1.0, 2.0]))
+        b = IntervalElement(np.array([1.0, -1.0]), np.array([2.0, 1.0]))
+        p = PowersetElement([a, b], max_disjuncts=2)
+        assert set(p.crossing_dims().tolist()) == {0, 1}
+
+
+class TestJoin:
+    def test_join_concatenates_within_budget(self):
+        a = lift([0, 0], [1, 1], base="interval", k=4)
+        b = lift([2, 2], [3, 3], base="interval", k=4)
+        j = a.join(b)
+        assert j.num_disjuncts == 2
+        lo, hi = j.bounds()
+        np.testing.assert_allclose(lo, [0, 0])
+        np.testing.assert_allclose(hi, [3, 3])
+
+    def test_join_reduces_over_budget(self):
+        elems_a = [
+            IntervalElement(np.array([float(i)]), np.array([float(i) + 0.5]))
+            for i in range(2)
+        ]
+        elems_b = [
+            IntervalElement(np.array([float(i) + 10]), np.array([float(i) + 10.5]))
+            for i in range(2)
+        ]
+        a = PowersetElement(elems_a, max_disjuncts=2)
+        b = PowersetElement(elems_b, max_disjuncts=2)
+        j = a.join(b)
+        assert j.num_disjuncts <= 2
+        lo, hi = j.bounds()
+        assert lo[0] <= 0.0 and hi[0] >= 11.5 - 1e-9
+
+    def test_join_type_error(self):
+        with pytest.raises(TypeError):
+            lift([0], [1]).join(object())
+
+
+class TestMargins:
+    def test_margin_is_min_over_disjuncts(self):
+        a = IntervalElement(np.array([2.0, 0.0]), np.array([3.0, 1.0]))
+        b = IntervalElement(np.array([5.0, 0.0]), np.array([6.0, 1.0]))
+        p = PowersetElement([a, b], max_disjuncts=2)
+        assert p.lower_margin(0, 1) == pytest.approx(a.lower_margin(0, 1))
+        assert p.min_margin(0) == pytest.approx(a.min_margin(0))
+
+
+class TestSoundness:
+    @given(st.integers(0, 100), st.sampled_from([1, 2, 4, 8]))
+    @settings(max_examples=30, deadline=None)
+    def test_relu_network_sound(self, seed, budget):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 5))
+        low = rng.uniform(-1.5, 0, n)
+        high = low + rng.uniform(0.1, 1.5, n)
+        box = Box(low, high)
+        w1 = rng.normal(size=(5, n))
+        b1 = rng.normal(size=5)
+        w2 = rng.normal(size=(3, 5))
+        b2 = rng.normal(size=3)
+        p = (
+            PowersetElement([Zonotope.from_box(box)], max_disjuncts=budget)
+            .affine(w1, b1)
+            .relu()
+            .affine(w2, b2)
+        )
+        lo, hi = p.bounds()
+        margin_lb = p.lower_margin(0, 1)
+        for x in box.sample(rng, 40):
+            y = w2 @ np.maximum(w1 @ x + b1, 0) + b2
+            assert np.all(y >= lo - 1e-8) and np.all(y <= hi + 1e-8)
+            assert y[0] - y[1] >= margin_lb - 1e-8

@@ -1,0 +1,258 @@
+"""Tests for the zonotope domain: exactness, soundness, and join behavior."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.abstract.zonotope import Zonotope
+from repro.utils.boxes import Box
+
+
+def from_box(low, high):
+    return Zonotope.from_box(Box(np.array(low, float), np.array(high, float)))
+
+
+def sample_concretization(z: Zonotope, rng, n=50) -> np.ndarray:
+    """Random points of γ(z) via random noise-symbol assignments."""
+    etas = rng.uniform(-1, 1, size=(n, max(z.num_gens, 1)))
+    xis = rng.uniform(-1, 1, size=(n, z.size))
+    pts = z.center[None, :] + xis * z.err[None, :]
+    if z.num_gens:
+        pts = pts + etas[:, : z.num_gens] @ z.gens
+    return pts
+
+
+class TestConstruction:
+    def test_from_box_bounds(self):
+        z = from_box([-1, 0], [1, 2])
+        lo, hi = z.bounds()
+        np.testing.assert_allclose(lo, [-1, 0])
+        np.testing.assert_allclose(hi, [1, 2])
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError, match="generator"):
+            Zonotope(np.zeros(2), np.zeros((3, 3)), np.zeros(2))
+        with pytest.raises(ValueError, match="error"):
+            Zonotope(np.zeros(2), np.zeros((1, 2)), np.zeros(3))
+        with pytest.raises(ValueError, match="non-negative"):
+            Zonotope(np.zeros(2), np.zeros((1, 2)), -np.ones(2))
+
+    def test_repr(self):
+        z = from_box([0], [1])
+        assert "Zonotope" in repr(z)
+
+
+class TestAffine:
+    def test_exact_translation(self):
+        z = from_box([0, 0], [1, 1])
+        out = z.affine(np.eye(2), np.array([5.0, -5.0]))
+        lo, hi = out.bounds()
+        np.testing.assert_allclose(lo, [5, -5])
+        np.testing.assert_allclose(hi, [6, -4])
+
+    def test_rotation_preserves_relations(self):
+        # Unlike intervals, zonotopes track y = x exactly through [x, x].
+        z = from_box([0.0], [1.0])
+        out = z.affine(np.array([[1.0], [1.0]]), np.zeros(2))
+        # margin y0 - y1 == 0 exactly.
+        assert out.lower_margin(0, 1) == pytest.approx(0.0)
+        assert out.lower_margin(1, 0) == pytest.approx(0.0)
+
+    def test_interval_would_lose_the_relation(self):
+        from repro.abstract.interval import IntervalElement
+
+        e = IntervalElement(np.zeros(1), np.ones(1))
+        out = e.affine(np.array([[1.0], [1.0]]), np.zeros(2))
+        assert out.lower_margin(0, 1) == pytest.approx(-1.0)
+
+    def test_err_promoted_to_generators(self):
+        z = Zonotope(np.zeros(2), np.zeros((0, 2)), np.array([1.0, 2.0]))
+        out = z.affine(np.eye(2), np.zeros(2))
+        assert out.num_gens == 2
+        np.testing.assert_array_equal(out.err, 0.0)
+
+    def test_affine_composition_matches_direct(self):
+        rng = np.random.default_rng(0)
+        z = from_box([-1, -1, -1], [1, 1, 1])
+        w1, b1 = rng.normal(size=(4, 3)), rng.normal(size=4)
+        w2, b2 = rng.normal(size=(2, 4)), rng.normal(size=2)
+        two_step = z.affine(w1, b1).affine(w2, b2)
+        direct = z.affine(w2 @ w1, w2 @ b1 + b2)
+        lo_a, hi_a = two_step.bounds()
+        lo_b, hi_b = direct.bounds()
+        np.testing.assert_allclose(lo_a, lo_b, atol=1e-12)
+        np.testing.assert_allclose(hi_a, hi_b, atol=1e-12)
+
+
+class TestRelu:
+    def test_positive_is_identity(self):
+        z = from_box([1, 2], [3, 4]).affine(np.eye(2), np.zeros(2))
+        out = z.relu()
+        lo, hi = out.bounds()
+        np.testing.assert_allclose(lo, [1, 2])
+        np.testing.assert_allclose(hi, [3, 4])
+
+    def test_negative_is_projected(self):
+        z = from_box([-3, -2], [-1, -1]).affine(np.eye(2), np.zeros(2))
+        out = z.relu()
+        lo, hi = out.bounds()
+        np.testing.assert_allclose(lo, [0, 0])
+        np.testing.assert_allclose(hi, [0, 0])
+
+    def test_crossing_is_sound(self):
+        rng = np.random.default_rng(0)
+        z = from_box([-1, -2], [2, 1]).affine(
+            rng.normal(size=(2, 2)), rng.normal(size=2)
+        )
+        out = z.relu()
+        lo, hi = out.bounds()
+        for x in sample_concretization(z, rng, 200):
+            y = np.maximum(x, 0)
+            assert np.all(y >= lo - 1e-9) and np.all(y <= hi + 1e-9)
+
+    def test_relu_dim_noncrossing_shortcuts(self):
+        z = from_box([1.0], [2.0]).affine(np.eye(1), np.zeros(1))
+        out = z.relu_dim(0)
+        lo, hi = out.bounds()
+        assert lo[0] == pytest.approx(1.0)
+        z_neg = from_box([-2.0], [-1.0]).affine(np.eye(1), np.zeros(1))
+        out = z_neg.relu_dim(0)
+        lo, hi = out.bounds()
+        assert lo[0] == hi[0] == 0.0
+
+
+class TestContraction:
+    def test_pos_branch_over_approximates_meet(self):
+        rng = np.random.default_rng(1)
+        z = from_box([-2, -1], [2, 1]).affine(rng.normal(size=(2, 2)), np.zeros(2))
+        crossing = z.crossing_dims()
+        if crossing.size == 0:
+            pytest.skip("no crossing dim for this seed")
+        dim = int(crossing[0])
+        pos, neg = z.relu_split(dim)
+        for x in sample_concretization(z, rng, 300):
+            y = x.copy()
+            y[dim] = max(y[dim], 0.0)
+            assert pos.contains(y, atol=1e-7) or neg.contains(y, atol=1e-7)
+
+    def test_neg_branch_projects_dim(self):
+        z = from_box([-2, 1], [2, 3]).affine(np.eye(2), np.zeros(2))
+        _, neg = z.relu_split(0)
+        lo, hi = neg.bounds()
+        assert lo[0] == hi[0] == 0.0
+
+    def test_contraction_shrinks(self):
+        z = from_box([-2.0], [2.0]).affine(np.eye(1), np.zeros(1))
+        pos, neg = z.relu_split(0)
+        # Each branch should be no wider than the parent.
+        assert pos.bounds()[1][0] - pos.bounds()[0][0] <= 4.0 + 1e-12
+        assert neg.bounds()[1][0] <= 1e-12
+
+    def test_split_rejects_noncrossing(self):
+        z = from_box([1.0], [2.0]).affine(np.eye(1), np.zeros(1))
+        with pytest.raises(ValueError, match="cross"):
+            z.relu_split(0)
+
+
+class TestJoin:
+    def test_join_contains_both(self):
+        rng = np.random.default_rng(2)
+        w = rng.normal(size=(2, 2))
+        z1 = from_box([-1, -1], [0.5, 0.5]).affine(w, np.zeros(2))
+        z2 = from_box([-0.5, -0.5], [1, 1]).affine(w, np.zeros(2))
+        j = z1.join(z2)
+        for z in (z1, z2):
+            for x in sample_concretization(z, rng, 100):
+                assert j.contains(x, atol=1e-9)
+
+    def test_join_keeps_shared_structure(self):
+        # Joining an element with itself must be lossless.
+        z = from_box([-1, 0], [1, 2]).affine(np.eye(2), np.zeros(2))
+        j = z.join(z)
+        lo, hi = z.bounds()
+        jlo, jhi = j.bounds()
+        np.testing.assert_allclose(jlo, lo, atol=1e-12)
+        np.testing.assert_allclose(jhi, hi, atol=1e-12)
+        # Relational margin survives a self-join.
+        assert j.lower_margin(0, 1) == pytest.approx(z.lower_margin(0, 1))
+
+    def test_join_type_and_shape_errors(self):
+        z = from_box([0], [1])
+        with pytest.raises(TypeError):
+            z.join(object())
+        other = Zonotope(np.zeros(1), np.zeros((3, 1)), np.zeros(1))
+        with pytest.raises(ValueError, match="matching"):
+            z.join(other)
+
+
+class TestMargins:
+    def test_relational_margin_beats_interval(self):
+        # y0 = x, y1 = x - 1: margin exactly 1 despite overlapping ranges.
+        z = from_box([0.0], [10.0]).affine(
+            np.array([[1.0], [1.0]]), np.array([0.0, -1.0])
+        )
+        assert z.lower_margin(0, 1) == pytest.approx(1.0)
+        lo, hi = z.bounds()
+        interval_bound = lo[0] - hi[1]
+        assert interval_bound < 0  # the interval view cannot prove it
+
+    def test_margin_sound(self):
+        rng = np.random.default_rng(3)
+        z = from_box([-1, -1], [1, 1]).affine(rng.normal(size=(3, 2)), rng.normal(size=3))
+        bound = z.lower_margin(0, 1)
+        for x in sample_concretization(z, rng, 300):
+            assert x[0] - x[1] >= bound - 1e-9
+
+
+class TestMaxPool:
+    def test_dominant_unit_stays_relational(self):
+        # Window where unit 0 strictly dominates: output == unit 0.
+        z = from_box([5.0, 0.0], [6.0, 1.0]).affine(np.eye(2), np.zeros(2))
+        out = z.maxpool(np.array([[0, 1]]))
+        lo, hi = out.bounds()
+        assert lo[0] == pytest.approx(5.0)
+        assert hi[0] == pytest.approx(6.0)
+        assert out.num_gens == z.num_gens
+
+    def test_overlapping_window_falls_back_to_hull(self):
+        z = from_box([0.0, 0.0], [1.0, 1.0]).affine(np.eye(2), np.zeros(2))
+        out = z.maxpool(np.array([[0, 1]]))
+        lo, hi = out.bounds()
+        assert lo[0] <= 0.0 + 1e-12
+        assert hi[0] >= 1.0 - 1e-12
+
+    def test_maxpool_sound(self):
+        rng = np.random.default_rng(4)
+        z = from_box([-1, -1, -1, -1], [1, 2, 0.5, 1.5]).affine(
+            rng.normal(size=(4, 4)), np.zeros(4)
+        )
+        windows = np.array([[0, 1], [2, 3]])
+        out = z.maxpool(windows)
+        lo, hi = out.bounds()
+        for x in sample_concretization(z, rng, 200):
+            y = x[windows].max(axis=1)
+            assert np.all(y >= lo - 1e-9) and np.all(y <= hi + 1e-9)
+
+
+class TestSoundnessFuzz:
+    @given(st.integers(0, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_full_relu_pipeline_sound(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 5))
+        low = rng.uniform(-2, 0, n)
+        high = low + rng.uniform(0.1, 2, n)
+        box_pts = rng.uniform(low, high, size=(30, n))
+        z = Zonotope.from_box(Box(low, high))
+        w1 = rng.normal(size=(4, n))
+        b1 = rng.normal(size=4)
+        w2 = rng.normal(size=(3, 4))
+        b2 = rng.normal(size=3)
+        out = z.affine(w1, b1).relu().affine(w2, b2)
+        lo, hi = out.bounds()
+        for x in box_pts:
+            y = w2 @ np.maximum(w1 @ x + b1, 0) + b2
+            assert np.all(y >= lo - 1e-8) and np.all(y <= hi + 1e-8)
+            margin = y[0] - y[1]
+            assert margin >= out.lower_margin(0, 1) - 1e-8

@@ -1,0 +1,41 @@
+"""Tests for FGSM."""
+
+import numpy as np
+
+from repro.attack.fgsm import fgsm_step
+from repro.attack.objective import MarginObjective
+from repro.nn.builders import example_2_2_network, mlp
+from repro.utils.boxes import Box
+
+
+class TestFGSM:
+    def test_stays_in_region(self):
+        net = mlp(4, [10], 3, rng=0)
+        obj = MarginObjective(net, 0)
+        box = Box.from_center_radius(np.zeros(4), 0.3)
+        x, _ = fgsm_step(obj, box)
+        assert box.contains(x)
+
+    def test_never_worse_than_start(self):
+        net = mlp(4, [10], 3, rng=1)
+        obj = MarginObjective(net, 0)
+        box = Box.from_center_radius(np.zeros(4), 0.3)
+        x, value = fgsm_step(obj, box)
+        assert value <= obj.value(box.center) + 1e-12
+
+    def test_finds_cex_on_monotone_problem(self):
+        # The margin F of example 2.2 is flat for x <= 1 (dead ReLU), so a
+        # single sign step only works from the sloped part of the region —
+        # exactly the FGSM limitation PGD's restarts paper over.
+        net = example_2_2_network()
+        obj = MarginObjective(net, 1)
+        box = Box(np.array([-1.0]), np.array([2.0]))
+        _, value = fgsm_step(obj, box, start=np.array([1.5]))
+        assert value <= 0.0
+
+    def test_custom_start(self):
+        net = mlp(2, [6], 2, rng=0)
+        obj = MarginObjective(net, 0)
+        box = Box.unit(2)
+        x, _ = fgsm_step(obj, box, start=np.array([0.9, 0.9]))
+        assert box.contains(x)

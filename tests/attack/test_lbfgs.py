@@ -1,0 +1,59 @@
+"""Tests for the L-BFGS counterexample search."""
+
+import numpy as np
+import pytest
+
+from repro.attack.lbfgs import lbfgs_minimize
+from repro.attack.objective import MarginObjective
+from repro.nn.builders import example_2_2_network, mlp
+from repro.utils.boxes import Box
+
+
+class TestLBFGS:
+    def test_stays_in_region(self):
+        net = mlp(4, [10], 3, rng=0)
+        obj = MarginObjective(net, 0)
+        box = Box.from_center_radius(np.zeros(4), 0.4)
+        x, _ = lbfgs_minimize(obj, box, rng=0)
+        assert box.contains(x)
+
+    def test_never_worse_than_center(self):
+        net = mlp(4, [12, 12], 3, rng=1)
+        obj = MarginObjective(net, 0)
+        box = Box.from_center_radius(np.full(4, 0.2), 0.5)
+        _, value = lbfgs_minimize(obj, box, rng=0)
+        assert value <= obj.value(box.center) + 1e-12
+
+    def test_finds_cex_on_sloped_problem(self):
+        net = example_2_2_network()
+        obj = MarginObjective(net, 1)
+        # Start region inside the sloped part so gradients are informative.
+        box = Box(np.array([1.1]), np.array([2.0]))
+        _, value = lbfgs_minimize(obj, box, restarts=3, rng=0)
+        assert value <= 0.0
+
+    def test_validation(self):
+        net = mlp(2, [4], 2, rng=0)
+        obj = MarginObjective(net, 0)
+        box = Box.unit(2)
+        with pytest.raises(ValueError):
+            lbfgs_minimize(obj, box, restarts=0)
+        with pytest.raises(ValueError):
+            lbfgs_minimize(obj, box, max_iter=0)
+
+    def test_comparable_to_pgd(self):
+        # Both optimizers attack the same margins; on a batch of random
+        # problems L-BFGS should be in the same ballpark as PGD.
+        from repro.attack.pgd import PGDConfig, pgd_minimize
+
+        rng = np.random.default_rng(0)
+        wins = 0
+        for seed in range(6):
+            net = mlp(4, [10], 3, rng=seed)
+            obj = MarginObjective(net, 0)
+            box = Box.from_center_radius(rng.uniform(-0.5, 0.5, 4), 0.4)
+            _, f_lbfgs = lbfgs_minimize(obj, box, restarts=2, rng=0)
+            _, f_pgd = pgd_minimize(obj, box, PGDConfig(steps=40, restarts=2), rng=0)
+            if f_lbfgs <= f_pgd + 1e-6:
+                wins += 1
+        assert wins >= 2

@@ -1,0 +1,83 @@
+"""Tests for the margin objective F (Eq. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.attack.objective import MarginObjective
+from repro.nn.builders import mlp, xor_network
+
+
+class TestValue:
+    def test_known_values_on_xor(self):
+        net = xor_network()
+        obj = MarginObjective(net, label=0)
+        # N([0,0]) = [1, 0]: margin for class 0 is 1.
+        assert obj.value(np.array([0.0, 0.0])) == pytest.approx(1.0)
+        # N([0,1]) = [0, 1]: margin for class 0 is -1.
+        assert obj.value(np.array([0.0, 1.0])) == pytest.approx(-1.0)
+
+    def test_callable(self):
+        net = xor_network()
+        obj = MarginObjective(net, 1)
+        assert obj(np.array([0.0, 1.0])) == obj.value(np.array([0.0, 1.0]))
+
+    def test_nonpositive_iff_misclassified_or_tied(self):
+        net = mlp(4, [10], 3, rng=0)
+        obj = MarginObjective(net, 1)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            x = rng.normal(size=4)
+            value = obj.value(x)
+            if net.classify(x) == 1 and value > 0:
+                assert value > 0
+            if value < 0:
+                assert net.classify(x) != 1
+
+    def test_validates_label(self):
+        net = mlp(4, [8], 3, rng=0)
+        with pytest.raises(ValueError, match="label"):
+            MarginObjective(net, 5)
+
+    def test_rejects_single_class(self):
+        net = mlp(4, [8], 1, rng=0)
+        with pytest.raises(ValueError, match="two classes"):
+            MarginObjective(net, 0)
+
+
+class TestGradient:
+    def test_matches_numerical(self):
+        net = mlp(5, [12, 12], 4, rng=1)
+        obj = MarginObjective(net, 2)
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=5)
+        value, grad = obj.value_and_gradient(x)
+        assert value == pytest.approx(obj.value(x))
+        eps = 1e-6
+        for i in range(5):
+            xp, xm = x.copy(), x.copy()
+            xp[i] += eps
+            xm[i] -= eps
+            num = (obj.value(xp) - obj.value(xm)) / (2 * eps)
+            np.testing.assert_allclose(grad[i], num, rtol=1e-4, atol=1e-7)
+
+    def test_gradient_alias(self):
+        net = mlp(3, [6], 2, rng=0)
+        obj = MarginObjective(net, 0)
+        x = np.ones(3)
+        np.testing.assert_array_equal(
+            obj.gradient(x), obj.value_and_gradient(x)[1]
+        )
+
+    def test_target_gradient_matches_numerical(self):
+        net = mlp(4, [10], 3, rng=2)
+        obj = MarginObjective(net, 1)
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=4)
+        grad = obj.target_gradient(x)
+        eps = 1e-6
+        for i in range(4):
+            xp, xm = x.copy(), x.copy()
+            xp[i] += eps
+            xm[i] -= eps
+            num = (net.logits(xp)[1] - net.logits(xm)[1]) / (2 * eps)
+            np.testing.assert_allclose(grad[i], num, rtol=1e-4, atol=1e-7)

@@ -1,0 +1,88 @@
+"""Tests for projected gradient descent."""
+
+import numpy as np
+import pytest
+
+from repro.attack.objective import MarginObjective
+from repro.attack.pgd import PGDConfig, pgd_minimize
+from repro.nn.builders import example_2_2_network, mlp, xor_network
+from repro.utils.boxes import Box
+from repro.utils.timing import Deadline
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"steps": 0},
+            {"restarts": 0},
+            {"step_fraction": 0.0},
+            {"step_fraction": 1.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            PGDConfig(**kwargs)
+
+
+class TestMinimize:
+    def test_result_stays_in_region(self):
+        net = mlp(4, [10], 3, rng=0)
+        obj = MarginObjective(net, 0)
+        box = Box.from_center_radius(np.zeros(4), 0.5)
+        x, _ = pgd_minimize(obj, box, PGDConfig(steps=20, restarts=3), rng=0)
+        assert box.contains(x)
+
+    def test_improves_over_center(self):
+        net = mlp(4, [12, 12], 3, rng=1)
+        obj = MarginObjective(net, 0)
+        box = Box.from_center_radius(np.full(4, 0.3), 0.5)
+        x, value = pgd_minimize(obj, box, PGDConfig(steps=40, restarts=3), rng=0)
+        assert value <= obj.value(box.center) + 1e-12
+
+    def test_finds_true_counterexample(self):
+        # Example 2.2 on [-1, 2]: inputs above ~1.5 flip to class 0.
+        net = example_2_2_network()
+        obj = MarginObjective(net, 1)
+        box = Box(np.array([-1.0]), np.array([2.0]))
+        x, value = pgd_minimize(obj, box, PGDConfig(steps=50, restarts=3), rng=0)
+        assert value <= 0.0
+        assert net.classify(x) == 0
+
+    def test_early_stop_on_threshold(self):
+        net = example_2_2_network()
+        obj = MarginObjective(net, 1)
+        box = Box(np.array([-1.0]), np.array([2.0]))
+        # A very permissive stop threshold should end the search quickly and
+        # still respect the region.
+        x, value = pgd_minimize(
+            obj, box, PGDConfig(steps=1000, restarts=1, stop_below=100.0), rng=0
+        )
+        assert box.contains(x)
+        assert value <= 100.0
+
+    def test_respects_deadline(self):
+        net = mlp(4, [10], 3, rng=0)
+        obj = MarginObjective(net, 0)
+        box = Box.from_center_radius(np.zeros(4), 0.5)
+        expired = Deadline(limit=-1.0)
+        x, value = pgd_minimize(obj, box, PGDConfig(steps=10_000), rng=0, deadline=expired)
+        assert box.contains(x)
+
+    def test_deterministic_given_seed(self):
+        net = mlp(4, [10], 3, rng=0)
+        obj = MarginObjective(net, 0)
+        box = Box.from_center_radius(np.zeros(4), 0.5)
+        a = pgd_minimize(obj, box, rng=7)
+        b = pgd_minimize(obj, box, rng=7)
+        np.testing.assert_array_equal(a[0], b[0])
+        assert a[1] == b[1]
+
+    def test_degenerate_region(self):
+        net = xor_network()
+        obj = MarginObjective(net, 0)
+        point = np.array([0.0, 0.0])
+        box = Box(point, point)
+        x, value = pgd_minimize(obj, box, rng=0)
+        np.testing.assert_array_equal(x, point)
+        assert value == pytest.approx(1.0)

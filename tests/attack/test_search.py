@@ -1,0 +1,34 @@
+"""Tests for the counterexample search wrapper."""
+
+import numpy as np
+
+from repro.attack.pgd import PGDConfig
+from repro.attack.search import SearchResult, find_counterexample
+from repro.core.property import RobustnessProperty
+from repro.nn.builders import example_2_2_network, xor_network
+from repro.utils.boxes import Box
+
+
+class TestSearch:
+    def test_robust_region_no_cex(self):
+        net = xor_network()
+        prop = RobustnessProperty(
+            Box(np.array([0.3, 0.3]), np.array([0.7, 0.7])), 1
+        )
+        result = find_counterexample(net, prop, rng=0)
+        assert not result.is_counterexample()
+        assert prop.region.contains(result.x_star)
+
+    def test_violated_region_finds_cex(self):
+        net = example_2_2_network()
+        prop = RobustnessProperty(Box(np.array([-1.0]), np.array([2.0])), 1)
+        result = find_counterexample(
+            net, prop, PGDConfig(steps=50, restarts=3), rng=0
+        )
+        assert result.is_counterexample()
+        assert prop.violated_by(net, result.x_star)
+
+    def test_delta_counterexample_threshold(self):
+        result = SearchResult(x_star=np.zeros(1), value=0.05)
+        assert not result.is_counterexample(delta=0.0)
+        assert result.is_counterexample(delta=0.1)

@@ -1,0 +1,55 @@
+"""Tests for the AI2 baseline."""
+
+import numpy as np
+
+from repro.abstract.domains import DomainSpec
+from repro.baselines.ai2 import AI2, AI2_BOUNDED64, AI2_ZONOTOPE
+from repro.core.property import RobustnessProperty
+from repro.nn.builders import example_2_3_network, xor_network
+from repro.utils.boxes import Box
+
+
+class TestAI2:
+    def test_never_falsifies(self):
+        # AI2 has exactly three outcomes: verified / unknown / timeout.
+        net = xor_network()
+        broken = RobustnessProperty(Box(np.zeros(2), np.ones(2)), 0)
+        result = AI2(AI2_ZONOTOPE).verify(net, broken)
+        assert result.kind == "unknown"
+
+    def test_verifies_easy_property(self):
+        net = xor_network()
+        prop = RobustnessProperty(
+            Box(np.array([0.45, 0.45]), np.array([0.55, 0.55])), 1
+        )
+        result = AI2(AI2_ZONOTOPE).verify(net, prop)
+        assert result.kind == "verified"
+        assert bool(result)
+
+    def test_bounded64_more_precise_than_zonotope(self):
+        # Example 2.3: plain zonotope fails, powerset succeeds.
+        net = example_2_3_network()
+        prop = RobustnessProperty(Box(np.zeros(2), np.ones(2)), 1)
+        weak = AI2(AI2_ZONOTOPE).verify(net, prop)
+        strong = AI2(AI2_BOUNDED64).verify(net, prop)
+        assert weak.kind == "unknown"
+        assert strong.kind == "verified"
+        assert strong.margin_lower_bound > weak.margin_lower_bound
+
+    def test_timeout(self):
+        net = xor_network()
+        prop = RobustnessProperty(Box(np.zeros(2), np.ones(2)), 1)
+        result = AI2(DomainSpec("zonotope", 64), timeout=-1.0).verify(net, prop)
+        # Deadline already expired: propagate aborts.
+        assert result.kind == "timeout"
+
+    def test_records_time(self):
+        net = xor_network()
+        prop = RobustnessProperty(
+            Box(np.array([0.4, 0.4]), np.array([0.6, 0.6])), 1
+        )
+        result = AI2(AI2_ZONOTOPE).verify(net, prop)
+        assert result.time_seconds >= 0.0
+
+    def test_describe(self):
+        assert "Zx64" in AI2(AI2_BOUNDED64).describe()

@@ -1,0 +1,59 @@
+"""Tests for the LP wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.lp import INFEASIBLE, OPTIMAL, UNBOUNDED, LPResult, solve_lp
+
+
+class TestSolveLP:
+    def test_simple_bounded_problem(self):
+        # min x + y s.t. x >= 1, y >= 2 (via bounds).
+        result = solve_lp(
+            np.array([1.0, 1.0]), bounds=[(1.0, None), (2.0, None)]
+        )
+        assert result.is_optimal
+        assert result.value == pytest.approx(3.0)
+        np.testing.assert_allclose(result.x, [1.0, 2.0])
+
+    def test_equality_constraints(self):
+        # min x s.t. x + y = 4, y <= 1.
+        result = solve_lp(
+            np.array([1.0, 0.0]),
+            a_ub=np.array([[0.0, 1.0]]),
+            b_ub=np.array([1.0]),
+            a_eq=np.array([[1.0, 1.0]]),
+            b_eq=np.array([4.0]),
+        )
+        assert result.is_optimal
+        assert result.value == pytest.approx(3.0)
+
+    def test_infeasible(self):
+        # x <= -1 and x >= 1 simultaneously.
+        result = solve_lp(
+            np.array([1.0]),
+            a_ub=np.array([[1.0]]),
+            b_ub=np.array([-1.0]),
+            bounds=[(1.0, None)],
+        )
+        assert result.status == INFEASIBLE
+        assert result.x is None
+
+    def test_unbounded(self):
+        result = solve_lp(np.array([-1.0]))
+        assert result.status in (UNBOUNDED, "error")
+
+    def test_default_bounds_are_free(self):
+        # min x s.t. x >= -5 would be -5 with free vars + constraint;
+        # scipy's default x>=0 would wrongly give 0.
+        result = solve_lp(
+            np.array([1.0]),
+            a_ub=np.array([[-1.0]]),
+            b_ub=np.array([5.0]),
+        )
+        assert result.is_optimal
+        assert result.value == pytest.approx(-5.0)
+
+    def test_result_flags(self):
+        assert LPResult(OPTIMAL, np.zeros(1), 0.0).is_optimal
+        assert not LPResult(INFEASIBLE, None, None).is_optimal

@@ -1,0 +1,115 @@
+"""Tests for the Reluplex-style complete decision procedure."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.reluplex import Reluplex, ReluplexConfig, _Encoding
+from repro.core.property import RobustnessProperty, linf_property
+from repro.core.results import Falsified, Timeout, Verified
+from repro.nn.builders import example_2_2_network, lenet_conv, mlp, xor_network
+from repro.utils.boxes import Box
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReluplexConfig(timeout=0.0)
+        with pytest.raises(ValueError):
+            ReluplexConfig(node_limit=0)
+
+
+class TestEncoding:
+    def test_variable_layout(self):
+        net = mlp(3, [4], 2, rng=0)
+        enc = _Encoding(net, Box.unit(3))
+        # Stages: input(3), affine(4), relu(4), affine(2).
+        assert enc.num_vars == 3 + 4 + 4 + 2
+        assert enc.output_offset == 3 + 4 + 4
+
+    def test_objective_vector(self):
+        net = mlp(3, [4], 2, rng=0)
+        enc = _Encoding(net, Box.unit(3))
+        c = enc.objective(label=0, adversary=1)
+        assert c[enc.output_offset] == 1.0
+        assert c[enc.output_offset + 1] == -1.0
+
+    def test_conv_rejected(self):
+        net = lenet_conv(input_shape=(1, 4, 4), num_classes=3, rng=0)
+        with pytest.raises(TypeError, match="max pooling"):
+            _Encoding(net, Box.unit(16))
+
+    def test_static_phases_reduce_branching(self):
+        # A tiny box fixes most ReLU phases statically.
+        net = mlp(3, [8], 2, rng=0)
+        x = np.full(3, 0.5)
+        tight = _Encoding(net, Box.linf_ball(x, 1e-4))
+        wide = _Encoding(net, Box.linf_ball(x, 10.0))
+        assert len(tight.branchable) <= len(wide.branchable)
+
+
+class TestDecisions:
+    def test_verifies_xor_region(self):
+        net = xor_network()
+        prop = RobustnessProperty(
+            Box(np.array([0.3, 0.3]), np.array([0.7, 0.7])), 1
+        )
+        outcome = Reluplex(ReluplexConfig(timeout=20)).verify(net, prop)
+        assert isinstance(outcome, Verified)
+
+    def test_falsifies_with_valid_witness(self):
+        net = example_2_2_network()
+        prop = RobustnessProperty(Box(np.array([-1.0]), np.array([2.0])), 1)
+        outcome = Reluplex(ReluplexConfig(timeout=20)).verify(net, prop)
+        assert isinstance(outcome, Falsified)
+        assert prop.region.contains(outcome.counterexample)
+        assert outcome.margin <= 1e-6
+
+    def test_complete_on_tight_boundary(self):
+        # Region that barely satisfies the property: Example 2.3 has true
+        # minimum margin exactly 0.1 > 0, so Reluplex must verify.
+        from repro.nn.builders import example_2_3_network
+
+        net = example_2_3_network()
+        prop = RobustnessProperty(Box(np.zeros(2), np.ones(2)), 1)
+        outcome = Reluplex(ReluplexConfig(timeout=30)).verify(net, prop)
+        assert isinstance(outcome, Verified)
+
+    def test_agreement_with_sampling(self):
+        # On random small nets, Reluplex's verdict must match dense sampling:
+        # verified -> no sampled cex; falsified -> witness checks out.
+        rng = np.random.default_rng(0)
+        outcomes = set()
+        for seed in range(8):
+            net = mlp(3, [6], 3, rng=seed)
+            center = rng.uniform(-0.3, 0.3, 3)
+            prop = linf_property(net, center, 0.05, clip_low=None, clip_high=None)
+            outcome = Reluplex(ReluplexConfig(timeout=20)).verify(net, prop)
+            outcomes.add(outcome.kind)
+            if isinstance(outcome, Verified):
+                preds = net.classify_batch(prop.region.sample(rng, 400))
+                assert np.all(preds == prop.label)
+            elif isinstance(outcome, Falsified):
+                assert prop.margin_at(net, outcome.counterexample) <= 1e-6
+        assert "verified" in outcomes  # the fuzz covered the sound direction
+
+    def test_timeout_on_hard_instance(self):
+        net = mlp(10, [32, 32], 5, rng=3)
+        prop = linf_property(net, np.full(10, 0.5), 0.5)
+        outcome = Reluplex(ReluplexConfig(timeout=0.2)).verify(net, prop)
+        assert isinstance(outcome, (Timeout, Falsified))
+
+    def test_node_budget(self):
+        net = mlp(6, [16, 16], 4, rng=4)
+        prop = linf_property(net, np.full(6, 0.5), 0.4)
+        outcome = Reluplex(
+            ReluplexConfig(timeout=60, node_limit=3)
+        ).verify(net, prop)
+        assert outcome.kind in ("timeout", "falsified", "verified")
+
+    def test_stats_count_lp_calls(self):
+        net = xor_network()
+        prop = RobustnessProperty(
+            Box(np.array([0.4, 0.4]), np.array([0.6, 0.6])), 1
+        )
+        outcome = Reluplex(ReluplexConfig(timeout=20)).verify(net, prop)
+        assert outcome.stats.analyze_calls >= 1

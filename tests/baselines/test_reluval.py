@@ -1,0 +1,87 @@
+"""Tests for the ReluVal baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.reluval import ReluVal, ReluValConfig
+from repro.core.property import RobustnessProperty, linf_property
+from repro.core.results import Falsified, Timeout, Verified
+from repro.nn.builders import example_2_2_network, lenet_conv, mlp, xor_network
+from repro.utils.boxes import Box
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReluValConfig(timeout=0.0)
+        with pytest.raises(ValueError):
+            ReluValConfig(max_depth=0)
+
+
+class TestReluVal:
+    def test_verifies_xor_region(self):
+        net = xor_network()
+        prop = RobustnessProperty(
+            Box(np.array([0.3, 0.3]), np.array([0.7, 0.7])), 1
+        )
+        outcome = ReluVal(ReluValConfig(timeout=10)).verify(net, prop)
+        assert isinstance(outcome, Verified)
+
+    def test_refinement_helps(self):
+        # A region symbolic intervals can't settle in one shot but can with
+        # splits: XOR over a wide region.
+        net = xor_network()
+        prop = RobustnessProperty(
+            Box(np.array([0.26, 0.26]), np.array([0.74, 0.74])), 1
+        )
+        outcome = ReluVal(ReluValConfig(timeout=10)).verify(net, prop)
+        assert isinstance(outcome, Verified)
+
+    def test_falsifies_via_center_sample(self):
+        net = example_2_2_network()
+        prop = RobustnessProperty(Box(np.array([1.4]), np.array([2.0])), 1)
+        outcome = ReluVal(ReluValConfig(timeout=10)).verify(net, prop)
+        assert isinstance(outcome, Falsified)
+        assert prop.region.contains(outcome.counterexample)
+        assert net.classify(outcome.counterexample) != 1
+
+    def test_soundness_fuzz(self):
+        rng = np.random.default_rng(0)
+        verified_seen = False
+        for seed in range(8):
+            net = mlp(3, [8], 3, rng=seed)
+            center = rng.uniform(-0.3, 0.3, 3)
+            prop = linf_property(net, center, 0.1, clip_low=None, clip_high=None)
+            outcome = ReluVal(ReluValConfig(timeout=5)).verify(net, prop)
+            if isinstance(outcome, Verified):
+                verified_seen = True
+                preds = net.classify_batch(prop.region.sample(rng, 300))
+                assert np.all(preds == prop.label)
+        assert verified_seen
+
+    def test_timeout(self):
+        net = mlp(8, [24, 24, 24], 5, rng=1)
+        prop = linf_property(net, np.full(8, 0.5), 0.5)
+        outcome = ReluVal(ReluValConfig(timeout=0.05)).verify(net, prop)
+        assert isinstance(outcome, (Timeout, Falsified))
+
+    def test_depth_cap(self):
+        net = mlp(4, [16], 3, rng=2)
+        prop = linf_property(net, np.full(4, 0.5), 0.4)
+        outcome = ReluVal(ReluValConfig(timeout=30, max_depth=2)).verify(net, prop)
+        assert outcome.stats.max_depth_reached <= 2
+
+    def test_conv_unsupported(self):
+        net = lenet_conv(input_shape=(1, 4, 4), num_classes=3, rng=0)
+        prop = linf_property(net, np.full(16, 0.5), 0.01)
+        with pytest.raises(TypeError, match="max pooling"):
+            ReluVal().verify(net, prop)
+
+    def test_stats_recorded(self):
+        net = xor_network()
+        prop = RobustnessProperty(
+            Box(np.array([0.3, 0.3]), np.array([0.7, 0.7])), 1
+        )
+        outcome = ReluVal(ReluValConfig(timeout=10)).verify(net, prop)
+        assert outcome.stats.analyze_calls >= 1
+        assert outcome.stats.time_seconds > 0

@@ -1,0 +1,56 @@
+"""Tests for acquisition functions."""
+
+import numpy as np
+import pytest
+
+from repro.bayesopt.acquisition import expected_improvement, upper_confidence_bound
+
+
+class TestExpectedImprovement:
+    def test_nonnegative(self):
+        rng = np.random.default_rng(0)
+        mean = rng.normal(size=50)
+        var = rng.uniform(0, 2, size=50)
+        ei = expected_improvement(mean, var, best=0.5)
+        assert np.all(ei >= 0)
+
+    def test_zero_variance_below_best(self):
+        ei = expected_improvement(np.array([0.0]), np.array([0.0]), best=1.0)
+        assert ei[0] == 0.0
+
+    def test_zero_variance_above_best(self):
+        ei = expected_improvement(np.array([2.0]), np.array([0.0]), best=1.0, xi=0.0)
+        assert ei[0] == pytest.approx(1.0)
+
+    def test_grows_with_mean(self):
+        var = np.array([1.0, 1.0])
+        ei = expected_improvement(np.array([0.0, 1.0]), var, best=0.0)
+        assert ei[1] > ei[0]
+
+    def test_grows_with_variance_when_mean_below_best(self):
+        mean = np.array([-1.0, -1.0])
+        ei = expected_improvement(mean, np.array([0.1, 4.0]), best=0.0)
+        assert ei[1] > ei[0]
+
+    def test_xi_discourages_exploitation(self):
+        mean = np.array([1.01])
+        var = np.array([1e-6])
+        greedy = expected_improvement(mean, var, best=1.0, xi=0.0)
+        cautious = expected_improvement(mean, var, best=1.0, xi=0.5)
+        assert greedy[0] > cautious[0]
+
+
+class TestUCB:
+    def test_mean_plus_beta_std(self):
+        ucb = upper_confidence_bound(np.array([1.0]), np.array([4.0]), beta=2.0)
+        assert ucb[0] == pytest.approx(5.0)
+
+    def test_beta_zero_is_mean(self):
+        mean = np.array([0.3, -0.7])
+        np.testing.assert_allclose(
+            upper_confidence_bound(mean, np.ones(2), beta=0.0), mean
+        )
+
+    def test_rejects_negative_beta(self):
+        with pytest.raises(ValueError):
+            upper_confidence_bound(np.zeros(1), np.ones(1), beta=-1.0)

@@ -1,0 +1,78 @@
+"""Tests for Gaussian-process regression."""
+
+import numpy as np
+import pytest
+
+from repro.bayesopt.gp import GaussianProcess
+from repro.bayesopt.kernels import RBF
+
+
+class TestFit:
+    def test_requires_fit_before_posterior(self):
+        gp = GaussianProcess()
+        with pytest.raises(RuntimeError, match="fit"):
+            gp.posterior(np.zeros((1, 2)))
+        with pytest.raises(RuntimeError, match="fit"):
+            gp.log_marginal_likelihood()
+
+    def test_validation(self):
+        gp = GaussianProcess()
+        with pytest.raises(ValueError, match="targets"):
+            gp.fit(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(ValueError, match="zero observations"):
+            gp.fit(np.zeros((0, 2)), np.zeros(0))
+        with pytest.raises(ValueError, match="noise"):
+            GaussianProcess(noise=-1.0)
+
+
+class TestPosterior:
+    def test_interpolates_training_points(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 1, size=(8, 1))
+        y = np.sin(4 * x[:, 0])
+        gp = GaussianProcess(RBF(lengthscale=0.3), noise=1e-8).fit(x, y)
+        mean, var = gp.posterior(x)
+        np.testing.assert_allclose(mean, y, atol=1e-4)
+        assert np.all(var < 1e-4)
+
+    def test_uncertainty_grows_away_from_data(self):
+        x = np.array([[0.0], [0.1]])
+        y = np.array([0.0, 0.1])
+        gp = GaussianProcess(RBF(lengthscale=0.2), noise=1e-6).fit(x, y)
+        _, var_near = gp.posterior(np.array([[0.05]]))
+        _, var_far = gp.posterior(np.array([[2.0]]))
+        assert var_far[0] > var_near[0]
+
+    def test_posterior_reverts_to_prior_far_away(self):
+        x = np.array([[0.0]])
+        y = np.array([5.0])
+        gp = GaussianProcess(RBF(lengthscale=0.1), noise=1e-6).fit(x, y)
+        mean_far, _ = gp.posterior(np.array([[100.0]]))
+        # Standardization makes the prior mean the data mean.
+        assert mean_far[0] == pytest.approx(5.0, abs=1e-6)
+
+    def test_variance_nonnegative(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-1, 1, size=(20, 3))
+        y = rng.normal(size=20)
+        gp = GaussianProcess(noise=1e-6).fit(x, y)
+        _, var = gp.posterior(rng.uniform(-1, 1, size=(50, 3)))
+        assert np.all(var >= 0)
+
+    def test_constant_targets_handled(self):
+        # Zero variance targets must not divide by zero.
+        x = np.array([[0.0], [1.0]])
+        y = np.array([3.0, 3.0])
+        gp = GaussianProcess(noise=1e-6).fit(x, y)
+        mean, _ = gp.posterior(np.array([[0.5]]))
+        assert mean[0] == pytest.approx(3.0, abs=1e-6)
+
+
+class TestLikelihood:
+    def test_good_lengthscale_scores_higher(self):
+        rng = np.random.default_rng(2)
+        x = np.linspace(0, 1, 15).reshape(-1, 1)
+        y = np.sin(6 * x[:, 0]) + 0.01 * rng.normal(size=15)
+        good = GaussianProcess(RBF(lengthscale=0.25), noise=1e-4).fit(x, y)
+        bad = GaussianProcess(RBF(lengthscale=100.0), noise=1e-4).fit(x, y)
+        assert good.log_marginal_likelihood() > bad.log_marginal_likelihood()

@@ -1,0 +1,56 @@
+"""Tests for covariance kernels."""
+
+import numpy as np
+import pytest
+
+from repro.bayesopt.kernels import Matern52, RBF, _sqdist
+
+
+class TestSqdist:
+    def test_known_distances(self):
+        x1 = np.array([[0.0, 0.0], [1.0, 0.0]])
+        x2 = np.array([[0.0, 1.0]])
+        d = _sqdist(x1, x2)
+        np.testing.assert_allclose(d, [[1.0], [2.0]])
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(10, 3))
+        assert np.all(_sqdist(x, x) >= 0)
+
+
+@pytest.mark.parametrize("kernel_cls", [RBF, Matern52])
+class TestKernelProperties:
+    def test_diagonal_is_variance(self, kernel_cls):
+        kernel = kernel_cls(lengthscale=0.7, variance=2.5)
+        x = np.random.default_rng(0).normal(size=(5, 3))
+        cov = kernel(x, x)
+        np.testing.assert_allclose(np.diag(cov), 2.5)
+        np.testing.assert_allclose(kernel.diag(x), 2.5)
+
+    def test_symmetric(self, kernel_cls):
+        kernel = kernel_cls()
+        x = np.random.default_rng(1).normal(size=(6, 2))
+        cov = kernel(x, x)
+        np.testing.assert_allclose(cov, cov.T)
+
+    def test_positive_semidefinite(self, kernel_cls):
+        kernel = kernel_cls(lengthscale=0.5)
+        x = np.random.default_rng(2).normal(size=(8, 2))
+        eigs = np.linalg.eigvalsh(kernel(x, x))
+        assert np.all(eigs >= -1e-9)
+
+    def test_decays_with_distance(self, kernel_cls):
+        kernel = kernel_cls(lengthscale=1.0)
+        near = kernel(np.zeros((1, 1)), np.array([[0.1]]))[0, 0]
+        far = kernel(np.zeros((1, 1)), np.array([[3.0]]))[0, 0]
+        assert near > far
+
+    def test_validation(self, kernel_cls):
+        with pytest.raises(ValueError):
+            kernel_cls(lengthscale=0.0)
+        with pytest.raises(ValueError):
+            kernel_cls(variance=-1.0)
+
+    def test_repr(self, kernel_cls):
+        assert kernel_cls.__name__ in repr(kernel_cls())

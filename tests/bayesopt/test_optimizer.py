@@ -1,0 +1,92 @@
+"""Tests for the Bayesian optimization loop."""
+
+import numpy as np
+import pytest
+
+from repro.bayesopt.optimizer import BayesianOptimizer
+from repro.utils.boxes import Box
+
+
+def bounds1d():
+    return Box(np.array([-2.0]), np.array([2.0]))
+
+
+class TestValidation:
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            BayesianOptimizer(bounds1d(), n_initial=0)
+        with pytest.raises(ValueError):
+            BayesianOptimizer(bounds1d(), candidates=0)
+        degenerate = Box(np.zeros(2), np.array([1.0, 0.0]))
+        with pytest.raises(ValueError, match="positive width"):
+            BayesianOptimizer(degenerate)
+
+    def test_observe_validates(self):
+        opt = BayesianOptimizer(bounds1d(), rng=0)
+        with pytest.raises(ValueError, match="dims"):
+            opt.observe(np.zeros(3), 1.0)
+        with pytest.raises(ValueError, match="finite"):
+            opt.observe(np.zeros(1), float("nan"))
+
+    def test_best_requires_observations(self):
+        with pytest.raises(RuntimeError):
+            BayesianOptimizer(bounds1d(), rng=0).best()
+
+
+class TestSuggest:
+    def test_initial_suggestions_random_within_bounds(self):
+        opt = BayesianOptimizer(bounds1d(), n_initial=3, rng=0)
+        for _ in range(3):
+            x = opt.suggest()
+            assert bounds1d().contains(x)
+            opt.observe(x, 0.0)
+
+    def test_model_based_suggestion_within_bounds(self):
+        opt = BayesianOptimizer(bounds1d(), n_initial=2, candidates=64, rng=0)
+        rng = np.random.default_rng(0)
+        for _ in range(4):
+            x = opt.suggest()
+            opt.observe(x, float(-(x[0] ** 2)))
+        x = opt.suggest()
+        assert bounds1d().contains(x)
+
+
+class TestMaximize:
+    def test_finds_quadratic_peak(self):
+        opt = BayesianOptimizer(bounds1d(), n_initial=4, candidates=128, rng=1)
+        best = opt.maximize(lambda x: -(x[0] - 1.0) ** 2, n_iter=20)
+        assert best.x[0] == pytest.approx(1.0, abs=0.25)
+
+    def test_beats_initial_random_phase(self):
+        opt = BayesianOptimizer(bounds1d(), n_initial=5, rng=2)
+        best = opt.maximize(lambda x: -abs(x[0] + 0.5), n_iter=20)
+        history = opt.history
+        random_phase_best = max(o.y for o in history.observations[:5])
+        assert best.y >= random_phase_best
+
+    def test_2d_objective(self):
+        bounds = Box(-np.ones(2), np.ones(2))
+        opt = BayesianOptimizer(bounds, n_initial=5, candidates=128, rng=3)
+        best = opt.maximize(
+            lambda x: -float(np.sum((x - 0.3) ** 2)), n_iter=25
+        )
+        assert np.linalg.norm(best.x - 0.3) < 0.45
+
+    def test_history_best_so_far_monotone(self):
+        opt = BayesianOptimizer(bounds1d(), rng=4)
+        opt.maximize(lambda x: float(np.sin(3 * x[0])), n_iter=10)
+        trace = opt.history.best_so_far
+        assert all(b >= a for a, b in zip(trace, trace[1:]))
+
+    def test_callback_invoked(self):
+        calls = []
+        opt = BayesianOptimizer(bounds1d(), rng=5)
+        opt.maximize(
+            lambda x: 0.0, n_iter=3, callback=lambda i, obs: calls.append(i)
+        )
+        assert calls == [0, 1, 2]
+
+    def test_rejects_zero_iterations(self):
+        opt = BayesianOptimizer(bounds1d(), rng=0)
+        with pytest.raises(ValueError):
+            opt.maximize(lambda x: 0.0, n_iter=0)

@@ -1,0 +1,86 @@
+"""Tests for benchmark suite construction."""
+
+import numpy as np
+import pytest
+
+from repro.bench.suites import (
+    NETWORK_SPECS,
+    SuiteScale,
+    build_network,
+    build_problems,
+)
+
+
+TINY = SuiteScale(width_factor=0.12, image_size=4, train_samples=500, train_epochs=8)
+
+
+class TestSuiteScale:
+    def test_width_scaling(self):
+        scale = SuiteScale(width_factor=0.24)
+        assert scale.width(100) == 24
+        assert scale.width(200) == 48
+
+    def test_width_floor(self):
+        assert SuiteScale(width_factor=0.001).width(100) == 4
+
+
+class TestBuildNetwork:
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown network"):
+            build_network("mnist_42x42")
+
+    def test_all_specs_present(self):
+        assert len(NETWORK_SPECS) == 7  # the paper's seven networks
+        assert "mnist_conv" in NETWORK_SPECS
+
+    def test_builds_and_trains(self):
+        bench_net = build_network("mnist_3x100", TINY, seed=0)
+        assert bench_net.accuracy > 0.5
+        assert bench_net.network.input_size == 16
+
+    def test_width_factor_applied(self):
+        bench_net = build_network("mnist_3x100", TINY, seed=0)
+        hidden = bench_net.network.layers[0].out_features
+        assert hidden == TINY.width(100)
+
+    def test_cached(self):
+        a = build_network("mnist_3x100", TINY, seed=0)
+        b = build_network("mnist_3x100", TINY, seed=0)
+        assert a is b
+
+    def test_cifar_has_three_channels(self):
+        bench_net = build_network("cifar_3x100", TINY, seed=0)
+        assert bench_net.dataset.sample_shape == (3, 4, 4)
+        assert bench_net.network.input_size == 48
+
+
+class TestBuildProblems:
+    def test_count_and_names(self):
+        bench_net = build_network("mnist_3x100", TINY, seed=0)
+        problems = build_problems(bench_net, count=5, rng=0)
+        assert len(problems) == 5
+        assert all(p.network_name == "mnist_3x100" for p in problems)
+        assert len({p.prop.name for p in problems}) == 5
+
+    def test_properties_anchored_at_correct_images(self):
+        bench_net = build_network("mnist_3x100", TINY, seed=0)
+        problems = build_problems(bench_net, count=4, rng=0)
+        for problem in problems:
+            # The region's lower corner is the original image; it must be
+            # classified as the property label (correctly-classified image).
+            x = problem.prop.region.low
+            assert bench_net.network.classify(x) == problem.prop.label
+
+    def test_strengths_grade_difficulty(self):
+        bench_net = build_network("mnist_3x100", TINY, seed=0)
+        problems = build_problems(
+            bench_net, count=4, strengths=(0.1, 1.0), rng=0
+        )
+        narrow = problems[0].prop.region.widths.sum()
+        wide = problems[1].prop.region.widths.sum()
+        assert narrow < wide
+
+    def test_rejects_bad_count(self):
+        bench_net = build_network("mnist_3x100", TINY, seed=0)
+        with pytest.raises(ValueError):
+            build_problems(bench_net, count=0)

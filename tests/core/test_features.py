@@ -1,0 +1,51 @@
+"""Tests for the featurization function ρ."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import FEATURE_NAMES, NUM_FEATURES, featurize
+from repro.core.property import RobustnessProperty
+from repro.nn.builders import mlp
+from repro.utils.boxes import Box
+
+
+class TestFeaturize:
+    def test_shape_and_names(self):
+        assert NUM_FEATURES == 4
+        assert len(FEATURE_NAMES) == 4
+        net = mlp(4, [8], 3, rng=0)
+        prop = RobustnessProperty(Box.unit(4), 0)
+        feats = featurize(net, prop, np.full(4, 0.5), 1.0)
+        assert feats.shape == (4,)
+
+    def test_distance_feature(self):
+        net = mlp(4, [8], 3, rng=0)
+        prop = RobustnessProperty(Box.unit(4), 0)
+        at_center = featurize(net, prop, prop.region.center, 1.0)
+        assert at_center[0] == pytest.approx(0.0)
+        at_corner = featurize(net, prop, np.ones(4), 1.0)
+        assert at_corner[0] == pytest.approx(1.0)  # ||(.5,.5,.5,.5)||
+
+    def test_objective_feature_passthrough(self):
+        net = mlp(4, [8], 3, rng=0)
+        prop = RobustnessProperty(Box.unit(4), 0)
+        feats = featurize(net, prop, np.full(4, 0.5), 2.5)
+        assert feats[1] == pytest.approx(2.5)
+
+    def test_width_feature(self):
+        net = mlp(2, [4], 2, rng=0)
+        prop = RobustnessProperty(Box(np.zeros(2), np.array([1.0, 3.0])), 0)
+        feats = featurize(net, prop, prop.region.center, 0.0)
+        assert feats[3] == pytest.approx(2.0)
+
+    def test_gradient_feature_nonnegative(self):
+        net = mlp(4, [8], 3, rng=0)
+        prop = RobustnessProperty(Box.unit(4), 0)
+        feats = featurize(net, prop, np.full(4, 0.3), 0.0)
+        assert feats[2] >= 0.0
+
+    def test_rejects_dim_mismatch(self):
+        net = mlp(4, [8], 3, rng=0)
+        prop = RobustnessProperty(Box.unit(4), 0)
+        with pytest.raises(ValueError, match="dims"):
+            featurize(net, prop, np.zeros(3), 0.0)

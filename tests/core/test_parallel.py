@@ -1,0 +1,85 @@
+"""Tests for the parallel verifier (§6 parallelization)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import VerifierConfig
+from repro.core.parallel import ParallelVerifier, verify_parallel
+from repro.core.policy import BisectionPolicy
+from repro.core.property import RobustnessProperty, linf_property
+from repro.core.verifier import verify
+from repro.abstract.domains import DomainSpec
+from repro.nn.builders import example_2_2_network, mlp, xor_network
+from repro.utils.boxes import Box
+
+
+class TestParallelVerifier:
+    def test_validates_workers(self):
+        with pytest.raises(ValueError):
+            ParallelVerifier(xor_network(), workers=0)
+
+    def test_verifies_xor_region(self):
+        net = xor_network()
+        prop = RobustnessProperty(
+            Box(np.array([0.3, 0.3]), np.array([0.7, 0.7])), 1
+        )
+        outcome = verify_parallel(
+            net, prop, config=VerifierConfig(timeout=20), workers=3, rng=0
+        )
+        assert outcome.kind == "verified"
+
+    def test_parallel_splits_still_verify(self):
+        # Force the weak plain-zonotope domain so real splitting happens
+        # across workers.
+        net = xor_network()
+        prop = RobustnessProperty(
+            Box(np.array([0.3, 0.3]), np.array([0.7, 0.7])), 1
+        )
+        policy = BisectionPolicy(domain=DomainSpec("zonotope", 1))
+        outcome = verify_parallel(
+            net, prop, policy=policy,
+            config=VerifierConfig(timeout=20), workers=4, rng=0,
+        )
+        assert outcome.kind == "verified"
+        assert outcome.stats.splits >= 1
+
+    def test_falsifies_with_valid_witness(self):
+        net = example_2_2_network()
+        prop = RobustnessProperty(Box(np.array([-1.0]), np.array([2.0])), 1)
+        outcome = verify_parallel(
+            net, prop, config=VerifierConfig(timeout=20), workers=3, rng=0
+        )
+        assert outcome.kind == "falsified"
+        assert prop.region.contains(outcome.counterexample)
+        margin = prop.margin_at(net, outcome.counterexample)
+        assert margin <= 1e-6 + 1e-12
+
+    def test_agrees_with_sequential_on_decided_instances(self):
+        rng = np.random.default_rng(0)
+        for seed in range(6):
+            net = mlp(3, [8], 3, rng=seed)
+            center = rng.uniform(-0.3, 0.3, 3)
+            prop = linf_property(net, center, 0.1, clip_low=None, clip_high=None)
+            config = VerifierConfig(timeout=10)
+            seq = verify(net, prop, config=config, rng=0)
+            par = verify_parallel(net, prop, config=config, workers=3, rng=0)
+            if "timeout" not in (seq.kind, par.kind):
+                assert seq.kind == par.kind, f"seed {seed}: {seq.kind} vs {par.kind}"
+
+    def test_timeout_budget(self):
+        net = mlp(8, [24, 24, 24], 5, rng=3)
+        prop = linf_property(net, np.full(8, 0.5), 0.5)
+        outcome = verify_parallel(
+            net, prop, config=VerifierConfig(timeout=0.2), workers=2, rng=0
+        )
+        assert outcome.kind in ("timeout", "falsified")
+
+    def test_single_worker_equals_pool_of_one(self):
+        net = xor_network()
+        prop = RobustnessProperty(
+            Box(np.array([0.4, 0.4]), np.array([0.6, 0.6])), 1
+        )
+        outcome = verify_parallel(
+            net, prop, config=VerifierConfig(timeout=10), workers=1, rng=0
+        )
+        assert outcome.kind == "verified"

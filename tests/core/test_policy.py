@@ -1,0 +1,132 @@
+"""Tests for the verification policies (π_α, π_I)."""
+
+import numpy as np
+import pytest
+
+from repro.abstract.domains import DomainSpec, INTERVAL, ZONOTOPE
+from repro.core.policy import (
+    BisectionPolicy,
+    DISJUNCT_CHOICES,
+    LinearPolicy,
+    NUM_OUTPUTS,
+    SplitChoice,
+    default_policy,
+)
+from repro.core.property import RobustnessProperty
+from repro.nn.builders import mlp
+from repro.utils.boxes import Box
+
+
+def context(seed=0, n=4):
+    net = mlp(n, [8], 3, rng=seed)
+    prop = RobustnessProperty(Box.unit(n), 0)
+    x_star = prop.region.center
+    return net, prop, x_star, 1.0
+
+
+class TestLinearPolicy:
+    def test_theta_shape_validation(self):
+        with pytest.raises(ValueError, match="shape"):
+            LinearPolicy(np.zeros((3, 3)))
+
+    def test_vector_roundtrip(self):
+        policy = LinearPolicy.default()
+        vec = policy.to_vector()
+        assert vec.size == LinearPolicy.num_params
+        again = LinearPolicy.from_vector(vec)
+        np.testing.assert_array_equal(again.theta, policy.theta)
+
+    def test_from_vector_validates_size(self):
+        with pytest.raises(ValueError, match="parameters"):
+            LinearPolicy.from_vector(np.zeros(7))
+
+    def test_parameter_box(self):
+        box = LinearPolicy.parameter_box(scale=1.5)
+        assert box.ndim == LinearPolicy.num_params
+        assert box.low[0] == -1.5
+
+    def test_default_chooses_zonotope_2(self):
+        net, prop, x_star, f_star = context()
+        domain = default_policy().choose_domain(net, prop, x_star, f_star)
+        assert domain == DomainSpec("zonotope", 2)
+
+    def test_default_bisects_longest(self):
+        net = mlp(2, [4], 2, rng=0)
+        prop = RobustnessProperty(Box(np.zeros(2), np.array([1.0, 4.0])), 0)
+        choice = default_policy().choose_split(net, prop, prop.region.center, 1.0)
+        assert choice.dim == 1
+        assert choice.value == pytest.approx(prop.region.center[1])
+
+    def test_domain_discretization_covers_menu(self):
+        # Sweeping the disjunct output across [0, 1] hits every menu entry.
+        net, prop, x_star, f_star = context()
+        seen = set()
+        for frac in np.linspace(0.0, 1.0, 21):
+            theta = np.zeros((NUM_OUTPUTS, 5))
+            theta[0, -1] = 1.0
+            theta[1, -1] = frac
+            domain = LinearPolicy(theta).choose_domain(net, prop, x_star, f_star)
+            seen.add(domain.disjuncts)
+        assert seen == set(DISJUNCT_CHOICES)
+
+    def test_interval_choice(self):
+        net, prop, x_star, f_star = context()
+        theta = np.zeros((NUM_OUTPUTS, 5))  # base score 0 -> interval
+        domain = LinearPolicy(theta).choose_domain(net, prop, x_star, f_star)
+        assert domain.base == "interval"
+
+    def test_split_through_xstar(self):
+        # Offset output 1 -> the splitting plane passes through x*.
+        net = mlp(2, [4], 2, rng=0)
+        prop = RobustnessProperty(Box.unit(2), 0)
+        x_star = np.array([0.9, 0.5])
+        theta = np.zeros((NUM_OUTPUTS, 5))
+        theta[2, -1] = 1.0  # longest dim (ties -> dim 0)
+        theta[4, -1] = 1.0  # ratio 1
+        choice = LinearPolicy(theta).choose_split(net, prop, x_star, 1.0)
+        assert choice.value == pytest.approx(x_star[choice.dim])
+
+    def test_influence_dim_choice(self):
+        # With the influence score dominating, the policy picks the most
+        # gradient-sensitive wide dimension.
+        net, prop, x_star, f_star = context()
+        theta = np.zeros((NUM_OUTPUTS, 5))
+        theta[3, -1] = 1.0  # influence beats longest
+        choice = LinearPolicy(theta).choose_split(net, prop, x_star, f_star)
+        assert 0 <= choice.dim < prop.region.ndim
+
+    def test_degenerate_dim_fallback(self):
+        net = mlp(2, [4], 2, rng=0)
+        region = Box(np.array([0.0, 0.5]), np.array([1.0, 0.5]))
+        prop = RobustnessProperty(region, 0)
+        choice = default_policy().choose_split(net, prop, region.center, 1.0)
+        assert choice.dim == 0  # dim 1 is degenerate
+
+    def test_describe(self):
+        assert "LinearPolicy" in default_policy().describe()
+
+
+class TestBisectionPolicy:
+    def test_fixed_domain(self):
+        net, prop, x_star, f_star = context()
+        policy = BisectionPolicy(domain=INTERVAL)
+        assert policy.choose_domain(net, prop, x_star, f_star) == INTERVAL
+
+    def test_longest_split(self):
+        net = mlp(2, [4], 2, rng=0)
+        prop = RobustnessProperty(Box(np.zeros(2), np.array([1.0, 2.0])), 0)
+        choice = BisectionPolicy().choose_split(net, prop, prop.region.center, 1.0)
+        assert choice == SplitChoice(dim=1, value=1.0)
+
+    def test_influence_split(self):
+        net, prop, x_star, f_star = context()
+        policy = BisectionPolicy(split="influence")
+        choice = policy.choose_split(net, prop, x_star, f_star)
+        assert choice.value == pytest.approx(prop.region.center[choice.dim])
+
+    def test_rejects_unknown_split(self):
+        with pytest.raises(ValueError, match="split"):
+            BisectionPolicy(split="random")
+
+    def test_describe_mentions_domain(self):
+        assert "Z" in BisectionPolicy(domain=ZONOTOPE).describe()

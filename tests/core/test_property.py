@@ -1,0 +1,101 @@
+"""Tests for robustness properties and attack-region builders."""
+
+import numpy as np
+import pytest
+
+from repro.core.property import (
+    RobustnessProperty,
+    brightening_property,
+    linf_property,
+)
+from repro.nn.builders import mlp, xor_network
+from repro.utils.boxes import Box
+
+
+class TestRobustnessProperty:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="label"):
+            RobustnessProperty(Box.unit(2), -1)
+
+    def test_with_region(self):
+        prop = RobustnessProperty(Box.unit(2), 1, name="p")
+        smaller = prop.with_region(Box(np.zeros(2), 0.5 * np.ones(2)))
+        assert smaller.label == 1
+        assert smaller.name == "p"
+        assert smaller.region.high[0] == 0.5
+
+    def test_holds_at(self):
+        net = xor_network()
+        prop = RobustnessProperty(Box.unit(2), 1)
+        assert prop.holds_at(net, np.array([0.0, 1.0]))
+        assert not prop.holds_at(net, np.array([0.0, 0.0]))
+
+    def test_violated_by_requires_membership(self):
+        net = xor_network()
+        prop = RobustnessProperty(
+            Box(np.array([0.4, 0.9]), np.array([0.6, 1.0])), 1
+        )
+        # [0,0] is misclassified-as-0 but outside the region.
+        assert not prop.violated_by(net, np.array([0.0, 0.0]))
+
+    def test_margin_at_matches_definition(self):
+        net = xor_network()
+        prop = RobustnessProperty(Box.unit(2), 0)
+        scores = net.logits(np.array([0.0, 0.0]))
+        expected = scores[0] - np.delete(scores, 0).max()
+        assert prop.margin_at(net, np.array([0.0, 0.0])) == pytest.approx(expected)
+
+    def test_margin_at_validates_label(self):
+        net = xor_network()
+        prop = RobustnessProperty(Box.unit(2), 5)
+        with pytest.raises(ValueError, match="label"):
+            prop.margin_at(net, np.zeros(2))
+
+
+class TestLinfProperty:
+    def test_label_comes_from_network(self):
+        net = mlp(4, [8], 3, rng=0)
+        x = np.full(4, 0.5)
+        prop = linf_property(net, x, 0.1)
+        assert prop.label == net.classify(x)
+
+    def test_region_clipped(self):
+        net = mlp(2, [4], 2, rng=0)
+        prop = linf_property(net, np.array([0.05, 0.5]), 0.1)
+        assert prop.region.low[0] == 0.0
+        assert prop.region.contains(np.array([0.05, 0.5]))
+
+
+class TestBrighteningProperty:
+    def test_region_shape_matches_paper(self):
+        # Pixels >= tau may move to 1; all others are fixed.
+        net = mlp(4, [8], 3, rng=0)
+        x = np.array([0.9, 0.2, 0.7, 0.4])
+        prop = brightening_property(net, x, tau=0.6)
+        np.testing.assert_allclose(prop.region.low, x)
+        np.testing.assert_allclose(prop.region.high, [1.0, 0.2, 1.0, 0.4])
+
+    def test_strength_scales_region(self):
+        net = mlp(2, [4], 2, rng=0)
+        x = np.array([0.8, 0.1])
+        half = brightening_property(net, x, tau=0.5, strength=0.5)
+        assert half.region.high[0] == pytest.approx(0.9)
+
+    def test_rejects_bad_strength(self):
+        net = mlp(2, [4], 2, rng=0)
+        with pytest.raises(ValueError, match="strength"):
+            brightening_property(net, np.array([0.8, 0.1]), tau=0.5, strength=0.0)
+
+    def test_rejects_no_bright_pixels(self):
+        net = mlp(2, [4], 2, rng=0)
+        with pytest.raises(ValueError, match="threshold"):
+            brightening_property(net, np.array([0.1, 0.2]), tau=0.9)
+
+    def test_original_image_always_contained(self):
+        net = mlp(4, [8], 3, rng=1)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            x = rng.uniform(0, 1, 4)
+            if (x >= 0.5).any():
+                prop = brightening_property(net, x, tau=0.5)
+                assert prop.region.contains(x)

@@ -1,0 +1,91 @@
+"""Tests for certified-radius search."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import VerifierConfig
+from repro.core.radius import RadiusResult, certified_accuracy, certified_radius
+from repro.nn.builders import example_2_2_network, mlp, xor_network
+
+
+class TestCertifiedRadius:
+    def test_bracket_invariant(self):
+        net = xor_network()
+        x = np.array([0.0, 1.0])  # classified 1
+        result = certified_radius(
+            net, x, max_radius=0.6, tolerance=0.01,
+            clip_low=None, clip_high=None,
+            config=VerifierConfig(timeout=5), rng=0,
+        )
+        assert result.certified <= result.falsified
+        assert result.probes >= 1
+
+    def test_known_frontier_on_1d_network(self):
+        # Example 2.2's network classifies x as 1 until x reaches 1.5
+        # (margin -3*relu(x-1)+1 = 0 at x = 4/3... solve: margin y1-y0 =
+        # 1 - 3*relu(x-1); zero at x = 4/3).  Around x=0 the true L-inf
+        # robustness radius is therefore 4/3.
+        net = example_2_2_network()
+        x = np.array([0.0])
+        result = certified_radius(
+            net, x, max_radius=2.0, tolerance=0.01,
+            clip_low=None, clip_high=None,
+            config=VerifierConfig(timeout=5), rng=0,
+        )
+        assert result.certified == pytest.approx(4.0 / 3.0, abs=0.05)
+        assert result.falsified == pytest.approx(4.0 / 3.0, abs=0.05)
+        assert result.counterexample is not None
+        assert net.classify(result.counterexample) != 1
+
+    def test_gap_property(self):
+        result = RadiusResult(0.1, 0.2, None, 5)
+        assert result.gap == pytest.approx(0.1)
+
+    def test_validation(self):
+        net = xor_network()
+        with pytest.raises(ValueError):
+            certified_radius(net, np.zeros(2), max_radius=0.0)
+        with pytest.raises(ValueError):
+            certified_radius(net, np.zeros(2), tolerance=0.0)
+        with pytest.raises(ValueError):
+            certified_radius(net, np.zeros(2), max_probes=0)
+
+    def test_probe_budget_respected(self):
+        net = mlp(4, [12, 12], 3, rng=0)
+        result = certified_radius(
+            net, np.full(4, 0.5), max_radius=0.5, tolerance=1e-9,
+            config=VerifierConfig(timeout=1), rng=0, max_probes=4,
+        )
+        assert result.probes <= 4
+
+
+class TestCertifiedAccuracy:
+    def test_tiny_epsilon_matches_accuracy(self):
+        # At epsilon ~ 0 every correctly classified point certifies.
+        net = xor_network()
+        inputs = np.array([[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]])
+        labels = np.array([0, 1, 1, 0])
+        certified, correct = certified_accuracy(
+            net, inputs, labels, epsilon=1e-6,
+            config=VerifierConfig(timeout=5), rng=0,
+        )
+        assert correct == 1.0
+        assert certified == 1.0
+
+    def test_certified_never_exceeds_correct(self):
+        net = mlp(2, [8], 2, rng=0)
+        rng = np.random.default_rng(0)
+        inputs = rng.uniform(0, 1, size=(6, 2))
+        labels = rng.integers(0, 2, size=6)
+        certified, correct = certified_accuracy(
+            net, inputs, labels, epsilon=0.05,
+            config=VerifierConfig(timeout=2), rng=0,
+        )
+        assert 0.0 <= certified <= correct <= 1.0
+
+    def test_validation(self):
+        net = xor_network()
+        with pytest.raises(ValueError, match="epsilon"):
+            certified_accuracy(net, np.zeros((1, 2)), np.zeros(1, int), -1.0)
+        with pytest.raises(ValueError, match="mismatch"):
+            certified_accuracy(net, np.zeros((2, 2)), np.zeros(3, int), 0.1)

@@ -1,0 +1,35 @@
+"""Tests for verification outcome types."""
+
+import numpy as np
+
+from repro.core.results import Falsified, Timeout, Verified, VerificationStats
+
+
+class TestOutcomes:
+    def test_verified_truthy(self):
+        outcome = Verified(VerificationStats())
+        assert outcome
+        assert outcome.kind == "verified"
+
+    def test_falsified_falsy_and_true_cex_flag(self):
+        stats = VerificationStats()
+        true_cex = Falsified(np.zeros(2), -0.5, stats)
+        delta_cex = Falsified(np.zeros(2), 1e-7, stats)
+        assert not true_cex
+        assert true_cex.is_true_counterexample
+        assert not delta_cex.is_true_counterexample
+        assert delta_cex.kind == "falsified"
+
+    def test_timeout(self):
+        outcome = Timeout("wall clock", VerificationStats())
+        assert not outcome
+        assert outcome.kind == "timeout"
+        assert outcome.reason == "wall clock"
+
+    def test_stats_domain_counter(self):
+        stats = VerificationStats()
+        stats.record_domain("Zx2")
+        stats.record_domain("Zx2")
+        stats.record_domain("I")
+        assert stats.domains_used["Zx2"] == 2
+        assert stats.domains_used["I"] == 1

@@ -1,0 +1,86 @@
+"""Tests for the ACAS-style substrate."""
+
+import numpy as np
+import pytest
+
+from repro.data.acas import (
+    COC,
+    NUM_ADVISORIES,
+    NUM_INPUTS,
+    acas_dataset,
+    acas_network,
+    acas_table,
+    acas_training_properties,
+)
+
+
+class TestAdvisoryTable:
+    def test_far_away_is_coc(self):
+        # Max distance -> severity 0 -> clear of conflict.
+        x = np.array([1.0, 0.2, 0.5, 0.5, 1.0])
+        assert acas_table(x) == COC
+
+    def test_close_fast_is_strong(self):
+        left = np.array([0.0, 0.1, 0.5, 0.5, 1.0])
+        right = np.array([0.0, 0.9, 0.5, 0.5, 1.0])
+        assert acas_table(left) == 3  # strong left
+        assert acas_table(right) == 4  # strong right
+
+    def test_moderate_is_weak(self):
+        x = np.array([0.4, 0.2, 0.5, 0.5, 0.5])
+        assert acas_table(x) in (1, 2)
+
+    def test_batch_matches_single(self):
+        rng = np.random.default_rng(0)
+        batch = rng.uniform(size=(50, NUM_INPUTS))
+        labels = acas_table(batch)
+        for i in range(50):
+            assert labels[i] == acas_table(batch[i])
+
+    def test_psi_and_vown_ignored(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            x = rng.uniform(size=NUM_INPUTS)
+            y = x.copy()
+            y[2] = rng.uniform()
+            y[3] = rng.uniform()
+            assert acas_table(x) == acas_table(y)
+
+    def test_rejects_wrong_dims(self):
+        with pytest.raises(ValueError):
+            acas_table(np.zeros(3))
+
+    def test_all_advisories_reachable(self):
+        xs, ys = acas_dataset(num_samples=5000, rng=0)
+        assert set(np.unique(ys)) == set(range(NUM_ADVISORIES))
+
+
+class TestAcasNetwork:
+    def test_network_learns_table(self):
+        net = acas_network(hidden=(16, 16), epochs=15, rng=0)
+        xs, ys = acas_dataset(num_samples=1000, rng=99)
+        preds = net.classify_batch(xs)
+        assert np.mean(preds == ys) > 0.85
+
+    def test_training_properties(self):
+        net = acas_network(hidden=(16, 16), epochs=10, rng=0)
+        props = acas_training_properties(net, count=6, rng=0)
+        assert len(props) == 6
+        for prop in props:
+            # Center must be confidently classified as the property label.
+            assert net.classify(prop.region.center) == prop.label
+            assert prop.region.ndim == NUM_INPUTS
+
+    def test_training_properties_radii_cycle(self):
+        net = acas_network(hidden=(16, 16), epochs=10, rng=0)
+        props = acas_training_properties(
+            net, count=4, radii=(0.01, 0.2), rng=0
+        )
+        small = props[0].region.widths.max()
+        large = props[1].region.widths.max()
+        assert small < large
+
+    def test_rejects_bad_count(self):
+        net = acas_network(hidden=(8,), epochs=2, rng=0)
+        with pytest.raises(ValueError):
+            acas_training_properties(net, count=0)

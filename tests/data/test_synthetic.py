@@ -1,0 +1,80 @@
+"""Tests for the synthetic image datasets."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import Dataset, cifar_like, mnist_like
+
+
+class TestDataset:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="labels"):
+            Dataset(np.zeros((3, 4)), np.zeros(2, dtype=int), 2)
+        with pytest.raises(ValueError, match="out of range"):
+            Dataset(np.zeros((2, 4)), np.array([0, 5]), 2)
+        with pytest.raises(ValueError, match="num_classes"):
+            Dataset(np.zeros((2, 4)), np.zeros(2, dtype=int), 0)
+
+    def test_len_and_shape(self):
+        ds = mnist_like(num_samples=50, image_size=6, rng=0)
+        assert len(ds) == 50
+        assert ds.sample_shape == (1, 6, 6)
+
+    def test_subset(self):
+        ds = mnist_like(num_samples=20, rng=0)
+        sub = ds.subset(np.array([0, 5, 7]))
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.labels, ds.labels[[0, 5, 7]])
+
+    def test_split(self):
+        ds = mnist_like(num_samples=100, rng=0)
+        train, test = ds.split(0.8, rng=0)
+        assert len(train) == 80
+        assert len(test) == 20
+
+    def test_split_rejects_bad_fraction(self):
+        ds = mnist_like(num_samples=10, rng=0)
+        with pytest.raises(ValueError):
+            ds.split(1.5)
+
+
+class TestGenerators:
+    def test_mnist_like_range_and_classes(self):
+        ds = mnist_like(num_samples=200, image_size=8, rng=0)
+        assert ds.inputs.min() >= 0.0
+        assert ds.inputs.max() <= 1.0
+        assert ds.num_classes == 10
+        assert set(np.unique(ds.labels)) <= set(range(10))
+
+    def test_cifar_like_shape(self):
+        ds = cifar_like(num_samples=20, image_size=8, rng=0)
+        assert ds.sample_shape == (3, 8, 8)
+
+    def test_deterministic(self):
+        a = mnist_like(num_samples=10, rng=3)
+        b = mnist_like(num_samples=10, rng=3)
+        np.testing.assert_array_equal(a.inputs, b.inputs)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = mnist_like(num_samples=10, rng=1)
+        b = mnist_like(num_samples=10, rng=2)
+        assert not np.array_equal(a.inputs, b.inputs)
+
+    def test_classes_are_separable(self):
+        # Same-class samples must be closer to their class prototype than to
+        # other prototypes on average — the property that makes training work.
+        ds = mnist_like(num_samples=500, image_size=8, rng=0)
+        flat = ds.inputs.reshape(len(ds), -1)
+        protos = np.stack(
+            [flat[ds.labels == k].mean(axis=0) for k in range(10)]
+        )
+        dists = np.linalg.norm(flat[:, None, :] - protos[None, :, :], axis=2)
+        nearest = np.argmin(dists, axis=1)
+        assert np.mean(nearest == ds.labels) > 0.9
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            mnist_like(num_samples=0)
+        with pytest.raises(ValueError):
+            mnist_like(noise=-1.0)

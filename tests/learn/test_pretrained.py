@@ -1,0 +1,54 @@
+"""Tests for the shipped pretrained policy."""
+
+import numpy as np
+
+from repro.core.policy import LinearPolicy
+from repro.core.property import RobustnessProperty
+from repro.core.verifier import verify
+from repro.core.config import VerifierConfig
+from repro.learn.pretrained import PRETRAINED_THETA, pretrained_policy
+from repro.nn.builders import xor_network
+from repro.utils.boxes import Box
+
+
+class TestPretrainedPolicy:
+    def test_loads_as_linear_policy(self):
+        policy = pretrained_policy()
+        assert isinstance(policy, LinearPolicy)
+        assert len(PRETRAINED_THETA) == LinearPolicy.num_params
+
+    def test_fresh_instance_each_call(self):
+        a = pretrained_policy()
+        b = pretrained_policy()
+        assert a is not b
+        np.testing.assert_array_equal(a.theta, b.theta)
+
+    def test_decides_paper_examples(self):
+        net = xor_network()
+        config = VerifierConfig(timeout=10)
+        robust = RobustnessProperty(
+            Box(np.array([0.3, 0.3]), np.array([0.7, 0.7])), 1
+        )
+        assert verify(net, robust, policy=pretrained_policy(), config=config, rng=0).kind == "verified"
+        broken = RobustnessProperty(Box(np.zeros(2), np.ones(2)), 0)
+        assert verify(net, broken, policy=pretrained_policy(), config=config, rng=0).kind == "falsified"
+
+    def test_makes_valid_choices_everywhere(self):
+        # The policy must emit legal domains and splits for arbitrary
+        # contexts (clipping/discretization can never go out of menu).
+        from repro.nn.builders import mlp
+
+        policy = pretrained_policy()
+        rng = np.random.default_rng(0)
+        for seed in range(10):
+            net = mlp(4, [8], 3, rng=seed)
+            center = rng.uniform(0, 1, 4)
+            region = Box.from_center_radius(center, rng.uniform(0.01, 0.5))
+            prop = RobustnessProperty(region, 0)
+            x_star = region.sample(rng)
+            f_star = rng.uniform(-1, 5)
+            domain = policy.choose_domain(net, prop, x_star, f_star)
+            assert domain.base in ("interval", "zonotope")
+            assert domain.disjuncts >= 1
+            choice = policy.choose_split(net, prop, x_star, f_star)
+            assert 0 <= choice.dim < 4

@@ -1,0 +1,54 @@
+"""Tests for the policy trainer (the paper's training phase)."""
+
+import numpy as np
+
+from repro.core.policy import LinearPolicy
+from repro.core.property import RobustnessProperty
+from repro.learn.objective import TrainingProblem
+from repro.learn.trainer import PolicyTrainer, train_policy
+from repro.nn.builders import xor_network
+from repro.utils.boxes import Box
+
+
+def tiny_suite():
+    net = xor_network()
+    props = [
+        RobustnessProperty(Box(np.array([0.4, 0.4]), np.array([0.6, 0.6])), 1),
+        RobustnessProperty(Box(np.array([0.3, 0.3]), np.array([0.7, 0.7])), 1),
+    ]
+    return [TrainingProblem(net, p) for p in props]
+
+
+class TestTrainer:
+    def test_returns_policy_and_history(self):
+        trained = train_policy(tiny_suite(), iterations=3, time_limit=1.0, rng=0)
+        assert isinstance(trained.policy, LinearPolicy)
+        # Default seed observation + 3 BO iterations.
+        assert len(trained.history.observations) == 4
+
+    def test_best_score_is_max_of_history(self):
+        trained = train_policy(tiny_suite(), iterations=3, time_limit=1.0, rng=1)
+        scores = [o.y for o in trained.history.observations]
+        assert trained.best_score == max(scores)
+
+    def test_never_worse_than_default_prior(self):
+        # The default policy is seeded as observation 0, so the returned
+        # policy's score is at least the default's.
+        trainer = PolicyTrainer(tiny_suite(), time_limit=1.0, rng=2)
+        trained = trainer.train(iterations=3)
+        default_score = trained.history.observations[0].y
+        assert trained.best_score >= default_score
+
+    def test_trained_policy_usable(self):
+        from repro.core.verifier import verify
+        from repro.core.config import VerifierConfig
+
+        trained = train_policy(tiny_suite(), iterations=2, time_limit=1.0, rng=3)
+        net = xor_network()
+        prop = RobustnessProperty(
+            Box(np.array([0.45, 0.45]), np.array([0.55, 0.55])), 1
+        )
+        outcome = verify(
+            net, prop, policy=trained.policy, config=VerifierConfig(timeout=5), rng=0
+        )
+        assert outcome.kind == "verified"

@@ -1,0 +1,119 @@
+"""Tests for network constructors, including the paper's worked examples."""
+
+import numpy as np
+import pytest
+
+from repro.nn.builders import (
+    example_2_2_network,
+    example_2_3_network,
+    lenet_conv,
+    mlp,
+    xor_network,
+)
+
+
+class TestMLP:
+    def test_paper_sizes(self):
+        net = mlp(784, [100] * 3, 10, rng=0)
+        assert net.input_size == 784
+        assert net.num_relu_units() == 300
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            mlp(0, [10], 10)
+        with pytest.raises(ValueError):
+            mlp(10, [10], 0)
+
+    def test_no_hidden_layers(self):
+        net = mlp(4, [], 3, rng=0)
+        assert net.num_relu_units() == 0
+        assert net.output_size == 3
+
+    def test_deterministic_given_seed(self):
+        a = mlp(4, [8], 3, rng=7)
+        b = mlp(4, [8], 3, rng=7)
+        x = np.ones(4)
+        np.testing.assert_array_equal(a.logits(x), b.logits(x))
+
+
+class TestLeNet:
+    def test_structure(self):
+        net = lenet_conv(input_shape=(1, 8, 8), num_classes=10, rng=0)
+        assert net.has_conv()
+        assert net.input_size == 64
+        assert net.output_size == 10
+
+    def test_rejects_indivisible_input(self):
+        with pytest.raises(ValueError, match="divisible"):
+            lenet_conv(input_shape=(1, 6, 6))
+
+    def test_forward_runs(self):
+        net = lenet_conv(input_shape=(3, 4, 4), num_classes=5, rng=0)
+        out = net.logits(np.random.default_rng(0).uniform(size=48))
+        assert out.shape == (5,)
+
+
+class TestXorNetwork:
+    """Figure 3 of the paper."""
+
+    @pytest.mark.parametrize(
+        "x, label",
+        [([0, 0], 0), ([0, 1], 1), ([1, 0], 1), ([1, 1], 0)],
+    )
+    def test_truth_table(self, x, label):
+        net = xor_network()
+        assert net.classify(np.array(x, dtype=float)) == label
+
+    def test_hidden_biases_match_figure(self):
+        net = xor_network()
+        np.testing.assert_array_equal(net.layers[0].bias, [0.0, -1.0])
+
+
+class TestExample22:
+    """Example 2.2: the network is robust on [-1, 1] but not on [-1, 2]."""
+
+    def test_output_form(self):
+        # For x in [-1, 1] the output is [a+1, a+2] with a = relu(2x+1).
+        net = example_2_2_network()
+        for x in np.linspace(-1.0, 1.0, 21):
+            a = max(2 * x + 1, 0.0)
+            np.testing.assert_allclose(
+                net.logits(np.array([x])), [a + 1.0, a + 2.0], atol=1e-12
+            )
+
+    def test_robust_region_classifies_1(self):
+        net = example_2_2_network()
+        for x in np.linspace(-1.0, 1.0, 21):
+            assert net.classify(np.array([x])) == 1
+
+    def test_outside_region_violates(self):
+        # N(2) = [8, 6]: class 0, exactly the paper's counterexample.
+        net = example_2_2_network()
+        np.testing.assert_allclose(net.logits(np.array([2.0])), [8.0, 6.0])
+        assert net.classify(np.array([2.0])) == 0
+
+
+class TestExample23:
+    def test_weights_as_printed(self):
+        net = example_2_3_network()
+        np.testing.assert_array_equal(
+            net.layers[0].weight, [[1.0, -3.0], [0.0, 3.0]]
+        )
+        np.testing.assert_array_equal(
+            net.layers[2].weight, [[1.0, 1.1], [-1.0, 1.0]]
+        )
+
+    def test_region_truly_classifies_b(self):
+        # Dense sampling: every point of [0,1]^2 gets class B (index 1).
+        net = example_2_3_network()
+        grid = np.linspace(0.0, 1.0, 21)
+        for x1 in grid:
+            for x2 in grid:
+                assert net.classify(np.array([x1, x2])) == 1
+
+    def test_minimum_margin_is_tight(self):
+        # The hardest point is (1, 0) with margin exactly 0.1 — the value
+        # our powerset-of-2-zonotopes analysis proves (see analyzer tests).
+        net = example_2_3_network()
+        scores = net.logits(np.array([1.0, 0.0]))
+        assert scores[1] - scores[0] == pytest.approx(0.1)

@@ -1,0 +1,245 @@
+"""Tests for the layer zoo: forward correctness and gradient checks.
+
+Every layer's backward pass is validated against central finite differences
+on random inputs — the canonical compilers-style check that the analytic
+adjoint matches the primal.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Conv2d, Dense, Flatten, MaxPool2d, ReLU
+
+
+def numerical_input_grad(layer, x, seed_out, eps=1e-6):
+    """Central-difference gradient of ``sum(seed_out * layer(x))`` w.r.t. x."""
+    grad = np.zeros_like(x)
+    flat_x = x.reshape(-1)
+    flat_g = grad.reshape(-1)
+    for i in range(flat_x.size):
+        orig = flat_x[i]
+        flat_x[i] = orig + eps
+        up = float(np.sum(seed_out * layer.forward(x)))
+        flat_x[i] = orig - eps
+        down = float(np.sum(seed_out * layer.forward(x)))
+        flat_x[i] = orig
+        flat_g[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_input_gradient(layer, x, rtol=1e-5, atol=1e-6):
+    rng = np.random.default_rng(0)
+    out, cache = layer.forward_cached(x)
+    seed = rng.normal(size=out.shape)
+    grad_in, _ = layer.backward(cache, seed)
+    expected = numerical_input_grad(layer, x.copy(), seed)
+    np.testing.assert_allclose(grad_in, expected, rtol=rtol, atol=atol)
+
+
+def check_param_gradients(layer, x, rtol=1e-5, atol=1e-6, eps=1e-6):
+    rng = np.random.default_rng(1)
+    out, cache = layer.forward_cached(x)
+    seed = rng.normal(size=out.shape)
+    _, param_grads = layer.backward(cache, seed)
+    for param, grad in zip(layer.params(), param_grads):
+        flat_p = param.reshape(-1)
+        flat_g = grad.reshape(-1)
+        for i in range(0, flat_p.size, max(1, flat_p.size // 10)):
+            orig = flat_p[i]
+            flat_p[i] = orig + eps
+            up = float(np.sum(seed * layer.forward(x)))
+            flat_p[i] = orig - eps
+            down = float(np.sum(seed * layer.forward(x)))
+            flat_p[i] = orig
+            np.testing.assert_allclose(
+                flat_g[i], (up - down) / (2 * eps), rtol=rtol, atol=atol
+            )
+
+
+class TestDense:
+    def test_forward(self):
+        layer = Dense(np.array([[1.0, 2.0], [3.0, 4.0]]), np.array([1.0, -1.0]))
+        out = layer.forward(np.array([[1.0, 1.0]]))
+        np.testing.assert_allclose(out, [[4.0, 6.0]])
+
+    def test_shapes(self):
+        layer = Dense.initialize(4, 7, rng=0)
+        assert layer.out_shape((4,)) == (7,)
+        with pytest.raises(ValueError):
+            layer.out_shape((5,))
+
+    def test_rejects_bad_bias(self):
+        with pytest.raises(ValueError, match="bias"):
+            Dense(np.ones((2, 3)), np.ones(3))
+
+    def test_rejects_bad_weight(self):
+        with pytest.raises(ValueError, match="2-D"):
+            Dense(np.ones(3), np.ones(3))
+
+    def test_input_gradient(self):
+        layer = Dense.initialize(5, 3, rng=0)
+        x = np.random.default_rng(2).normal(size=(4, 5))
+        check_input_gradient(layer, x)
+
+    def test_param_gradients(self):
+        layer = Dense.initialize(5, 3, rng=0)
+        x = np.random.default_rng(3).normal(size=(4, 5))
+        check_param_gradients(layer, x)
+
+    def test_set_params_roundtrip(self):
+        layer = Dense.initialize(3, 2, rng=0)
+        weight, bias = layer.params()
+        layer.set_params([weight * 2, bias + 1])
+        np.testing.assert_allclose(layer.weight, weight * 2)
+
+    def test_set_params_rejects_wrong_shape(self):
+        layer = Dense.initialize(3, 2, rng=0)
+        with pytest.raises(ValueError):
+            layer.set_params([np.ones((5, 5)), np.ones(2)])
+
+    def test_is_linear(self):
+        assert Dense.initialize(2, 2, rng=0).is_linear
+
+
+class TestReLU:
+    def test_forward(self):
+        out = ReLU().forward(np.array([[-1.0, 0.0, 2.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 0.0, 2.0]])
+
+    def test_gradient_masks_negatives(self):
+        layer = ReLU()
+        x = np.array([[-1.0, 2.0]])
+        out, cache = layer.forward_cached(x)
+        grad_in, grads = layer.backward(cache, np.ones_like(out))
+        np.testing.assert_array_equal(grad_in, [[0.0, 1.0]])
+        assert grads == []
+
+    def test_shape_preserved(self):
+        assert ReLU().out_shape((3, 4, 4)) == (3, 4, 4)
+
+    def test_not_linear(self):
+        assert not ReLU().is_linear
+
+
+class TestFlatten:
+    def test_forward_and_backward(self):
+        layer = Flatten()
+        x = np.arange(24.0).reshape(2, 3, 2, 2)
+        out, cache = layer.forward_cached(x)
+        assert out.shape == (2, 12)
+        grad_in, _ = layer.backward(cache, out)
+        np.testing.assert_array_equal(grad_in, x)
+
+    def test_out_shape(self):
+        assert Flatten().out_shape((3, 4, 4)) == (48,)
+
+
+class TestConv2d:
+    def test_identity_kernel(self):
+        weight = np.zeros((1, 1, 1, 1))
+        weight[0, 0, 0, 0] = 1.0
+        layer = Conv2d(weight, np.zeros(1))
+        x = np.random.default_rng(0).normal(size=(1, 1, 4, 4))
+        np.testing.assert_allclose(layer.forward(x), x)
+
+    def test_known_convolution(self):
+        # 2x2 averaging kernel on a 2x2 image with stride 1 -> single value.
+        weight = np.full((1, 1, 2, 2), 0.25)
+        layer = Conv2d(weight, np.zeros(1))
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        np.testing.assert_allclose(layer.forward(x), [[[[2.5]]]])
+
+    def test_out_shape_with_padding_stride(self):
+        layer = Conv2d.initialize(2, 5, kernel_size=3, stride=2, padding=1, rng=0)
+        assert layer.out_shape((2, 8, 8)) == (5, 4, 4)
+
+    def test_rejects_channel_mismatch(self):
+        layer = Conv2d.initialize(2, 3, kernel_size=3, rng=0)
+        with pytest.raises(ValueError, match="channels"):
+            layer.out_shape((4, 8, 8))
+
+    def test_rejects_kernel_too_large(self):
+        layer = Conv2d.initialize(1, 1, kernel_size=5, rng=0)
+        with pytest.raises(ValueError, match="fit"):
+            layer.out_shape((1, 3, 3))
+
+    def test_rejects_bad_stride_padding(self):
+        with pytest.raises(ValueError, match="stride"):
+            Conv2d(np.ones((1, 1, 2, 2)), np.zeros(1), stride=0)
+        with pytest.raises(ValueError, match="padding"):
+            Conv2d(np.ones((1, 1, 2, 2)), np.zeros(1), padding=-1)
+
+    def test_input_gradient(self):
+        layer = Conv2d.initialize(2, 3, kernel_size=3, padding=1, rng=0)
+        x = np.random.default_rng(4).normal(size=(2, 2, 5, 5))
+        check_input_gradient(layer, x)
+
+    def test_input_gradient_strided(self):
+        layer = Conv2d.initialize(1, 2, kernel_size=2, stride=2, rng=0)
+        x = np.random.default_rng(5).normal(size=(1, 1, 6, 6))
+        check_input_gradient(layer, x)
+
+    def test_param_gradients(self):
+        layer = Conv2d.initialize(2, 2, kernel_size=3, padding=1, rng=0)
+        x = np.random.default_rng(6).normal(size=(2, 2, 4, 4))
+        check_param_gradients(layer, x)
+
+    def test_is_linear(self):
+        assert Conv2d.initialize(1, 1, kernel_size=1, rng=0).is_linear
+
+
+class TestMaxPool2d:
+    def test_forward_known(self):
+        layer = MaxPool2d(2)
+        x = np.array([[[[1.0, 2.0, 5.0, 6.0],
+                        [3.0, 4.0, 7.0, 8.0],
+                        [1.0, 0.0, 2.0, 1.0],
+                        [0.0, 1.0, 1.0, 3.0]]]])
+        out = layer.forward(x)
+        np.testing.assert_allclose(out, [[[[4.0, 8.0], [1.0, 3.0]]]])
+
+    def test_out_shape(self):
+        assert MaxPool2d(2).out_shape((3, 8, 8)) == (3, 4, 4)
+
+    def test_rejects_bad_kernel(self):
+        with pytest.raises(ValueError):
+            MaxPool2d(0)
+
+    def test_backward_routes_to_argmax(self):
+        layer = MaxPool2d(2)
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        out, cache = layer.forward_cached(x)
+        grad_in, _ = layer.backward(cache, np.ones_like(out))
+        np.testing.assert_array_equal(
+            grad_in, [[[[0.0, 0.0], [0.0, 1.0]]]]
+        )
+
+    def test_input_gradient_numeric(self):
+        # Perturbations must be smaller than gaps between window values for
+        # finite differences to be valid on a piecewise-linear max.
+        layer = MaxPool2d(2)
+        rng = np.random.default_rng(7)
+        x = rng.permutation(64).astype(np.float64).reshape(1, 1, 8, 8)
+        check_input_gradient(layer, x)
+
+    def test_window_indices_cover_input(self):
+        layer = MaxPool2d(2)
+        windows = layer.window_indices((2, 4, 4))
+        assert windows.shape == (2 * 2 * 2, 4)
+        assert set(windows.reshape(-1).tolist()) == set(range(32))
+
+    def test_window_indices_match_forward(self):
+        layer = MaxPool2d(2)
+        rng = np.random.default_rng(8)
+        x = rng.normal(size=(1, 2, 4, 4))
+        out = layer.forward(x).reshape(-1)
+        flat = x.reshape(-1)
+        windows = layer.window_indices((2, 4, 4))
+        np.testing.assert_allclose(out, flat[windows].max(axis=1))
+
+    def test_overlapping_stride(self):
+        layer = MaxPool2d(2, stride=1)
+        assert layer.out_shape((1, 4, 4)) == (1, 3, 3)
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = layer.forward(x)
+        assert out[0, 0, 0, 0] == 5.0

@@ -1,0 +1,169 @@
+"""Tests for the Network container and its analyzer lowering."""
+
+import numpy as np
+import pytest
+
+from repro.nn.builders import lenet_conv, mlp, xor_network
+from repro.nn.layers import Dense, ReLU
+from repro.nn.network import AffineOp, MaxPoolOp, Network, ReluOp
+
+
+class TestConstruction:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="Dense expects"):
+            Network([Dense(np.ones((2, 3)), np.zeros(2))], input_shape=(5,))
+
+    def test_requires_layers(self):
+        with pytest.raises(ValueError, match="at least one layer"):
+            Network([], input_shape=(2,))
+
+    def test_output_must_be_vector(self):
+        from repro.nn.layers import Conv2d
+
+        conv = Conv2d.initialize(1, 2, kernel_size=3, padding=1, rng=0)
+        with pytest.raises(ValueError, match="vector"):
+            Network([conv], input_shape=(1, 4, 4))
+
+    def test_introspection(self):
+        net = mlp(6, [10, 10], 4, rng=0)
+        assert net.input_size == 6
+        assert net.output_size == 4
+        assert net.num_classes == 4
+        assert net.num_relu_units() == 20
+        assert not net.has_conv()
+        assert net.num_params() == 6 * 10 + 10 + 10 * 10 + 10 + 10 * 4 + 4
+        assert "Dense" in net.summary()
+
+    def test_conv_introspection(self):
+        net = lenet_conv(input_shape=(1, 8, 8), num_classes=4, rng=0)
+        assert net.has_conv()
+        assert net.num_relu_units() > 0
+
+
+class TestForward:
+    def test_single_and_batch_agree(self):
+        net = mlp(4, [8], 3, rng=0)
+        rng = np.random.default_rng(0)
+        xs = rng.normal(size=(5, 4))
+        batch = net.forward(xs)
+        for i in range(5):
+            np.testing.assert_allclose(net.forward(xs[i]), batch[i])
+
+    def test_flat_input_for_conv_net(self):
+        net = lenet_conv(input_shape=(1, 4, 4), num_classes=3, rng=0)
+        rng = np.random.default_rng(1)
+        img = rng.uniform(size=(1, 4, 4))
+        np.testing.assert_allclose(
+            net.forward(img.reshape(-1)), net.forward(img)
+        )
+
+    def test_rejects_bad_shape(self):
+        net = mlp(4, [8], 3, rng=0)
+        with pytest.raises(ValueError, match="incompatible"):
+            net.forward(np.zeros(7))
+
+    def test_classify(self):
+        net = xor_network()
+        assert net.classify(np.array([0.0, 1.0])) == 1
+        preds = net.classify_batch(np.array([[0.0, 0.0], [1.0, 0.0]]))
+        np.testing.assert_array_equal(preds, [0, 1])
+
+    def test_logits_rejects_batch(self):
+        net = mlp(4, [8], 3, rng=0)
+        with pytest.raises(ValueError, match="single sample"):
+            net.logits(np.zeros((2, 4)))
+
+
+class TestGradients:
+    def test_input_gradient_matches_numerical(self):
+        net = mlp(5, [12, 12], 4, rng=0)
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=5)
+        seed = rng.normal(size=4)
+        grad = net.input_gradient(x, seed)
+        eps = 1e-6
+        for i in range(5):
+            xp, xm = x.copy(), x.copy()
+            xp[i] += eps
+            xm[i] -= eps
+            num = (seed @ net.logits(xp) - seed @ net.logits(xm)) / (2 * eps)
+            np.testing.assert_allclose(grad[i], num, rtol=1e-4, atol=1e-7)
+
+    def test_input_gradient_conv(self):
+        net = lenet_conv(input_shape=(1, 4, 4), num_classes=3, rng=0)
+        rng = np.random.default_rng(3)
+        x = rng.uniform(0.3, 0.7, size=16)
+        seed = np.array([1.0, -1.0, 0.0])
+        grad = net.input_gradient(x, seed)
+        eps = 1e-6
+        for i in range(0, 16, 5):
+            xp, xm = x.copy(), x.copy()
+            xp[i] += eps
+            xm[i] -= eps
+            num = (seed @ net.logits(xp) - seed @ net.logits(xm)) / (2 * eps)
+            np.testing.assert_allclose(grad[i], num, rtol=1e-4, atol=1e-7)
+
+    def test_input_gradient_rejects_bad_seed(self):
+        net = mlp(4, [8], 3, rng=0)
+        with pytest.raises(ValueError, match="seed"):
+            net.input_gradient(np.zeros(4), np.zeros(5))
+
+
+class TestLowering:
+    def test_mlp_ops_structure(self):
+        net = mlp(4, [8, 8], 3, rng=0)
+        ops = net.ops()
+        kinds = [type(op).__name__ for op in ops]
+        assert kinds == [
+            "AffineOp", "ReluOp", "AffineOp", "ReluOp", "AffineOp"
+        ]
+
+    def test_ops_agree_with_forward_mlp(self):
+        net = mlp(6, [10, 10], 4, rng=1)
+        rng = np.random.default_rng(4)
+        for _ in range(10):
+            x = rng.normal(size=6)
+            np.testing.assert_allclose(net.eval_ops(x), net.logits(x), atol=1e-10)
+
+    def test_ops_agree_with_forward_conv(self):
+        net = lenet_conv(input_shape=(1, 4, 4), num_classes=3, rng=2)
+        rng = np.random.default_rng(5)
+        for _ in range(5):
+            x = rng.uniform(size=16)
+            np.testing.assert_allclose(net.eval_ops(x), net.logits(x), atol=1e-9)
+
+    def test_conv_ops_contain_maxpool(self):
+        net = lenet_conv(input_shape=(1, 4, 4), num_classes=3, rng=0)
+        ops = net.ops()
+        assert any(isinstance(op, MaxPoolOp) for op in ops)
+        assert any(isinstance(op, AffineOp) for op in ops)
+        assert any(isinstance(op, ReluOp) for op in ops)
+
+    def test_ops_cached_and_invalidated(self):
+        net = mlp(4, [8], 3, rng=0)
+        first = net.ops()
+        assert net.ops() is first
+        net.invalidate_ops()
+        assert net.ops() is not first
+
+    def test_set_params_invalidates(self):
+        net = mlp(4, [8], 3, rng=0)
+        ops_before = net.ops()
+        params = [p.copy() * 0.5 for p in net.params()]
+        net.set_params(params)
+        assert net.ops() is not ops_before
+        # The new lowering must reflect the new parameters.
+        x = np.ones(4)
+        np.testing.assert_allclose(net.eval_ops(x), net.logits(x), atol=1e-10)
+
+    def test_op_apply_helpers(self):
+        affine = AffineOp(np.eye(2) * 2, np.ones(2))
+        np.testing.assert_allclose(affine.apply(np.ones(2)), [3.0, 3.0])
+        assert affine.in_size == affine.out_size == 2
+        relu = ReluOp(size=2)
+        np.testing.assert_allclose(relu.apply(np.array([-1.0, 1.0])), [0.0, 1.0])
+        pool = MaxPoolOp(windows=np.array([[0, 1], [2, 3]]), in_size=4)
+        np.testing.assert_allclose(
+            pool.apply(np.array([1.0, 5.0, 2.0, 0.0])), [5.0, 2.0]
+        )
+        assert pool.out_size == 2

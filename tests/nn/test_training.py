@@ -1,0 +1,156 @@
+"""Tests for the training substrate."""
+
+import numpy as np
+import pytest
+
+from repro.nn.builders import mlp
+from repro.nn.training import (
+    TrainConfig,
+    accuracy,
+    cross_entropy,
+    cross_entropy_grad,
+    softmax,
+    train_classifier,
+)
+
+
+def two_blob_data(n=200, seed=0):
+    """Two linearly-separable Gaussian blobs."""
+    rng = np.random.default_rng(seed)
+    half = n // 2
+    xs = np.vstack(
+        [
+            rng.normal([-1.0, -1.0], 0.3, size=(half, 2)),
+            rng.normal([1.0, 1.0], 0.3, size=(half, 2)),
+        ]
+    )
+    ys = np.array([0] * half + [1] * half)
+    return xs, ys
+
+
+class TestLossFunctions:
+    def test_softmax_normalizes(self):
+        probs = softmax(np.array([[1.0, 2.0, 3.0]]))
+        assert probs.sum() == pytest.approx(1.0)
+        assert probs[0, 2] > probs[0, 0]
+
+    def test_softmax_stable_for_large_logits(self):
+        probs = softmax(np.array([[1000.0, 1000.0]]))
+        np.testing.assert_allclose(probs, [[0.5, 0.5]])
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.array([[100.0, 0.0]])
+        assert cross_entropy(logits, np.array([0])) == pytest.approx(0.0, abs=1e-6)
+
+    def test_cross_entropy_uniform(self):
+        logits = np.zeros((1, 4))
+        assert cross_entropy(logits, np.array([2])) == pytest.approx(np.log(4))
+
+    def test_grad_matches_numerical(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(3, 4))
+        labels = np.array([0, 2, 3])
+        grad = cross_entropy_grad(logits, labels)
+        eps = 1e-6
+        for i in range(3):
+            for j in range(4):
+                up, down = logits.copy(), logits.copy()
+                up[i, j] += eps
+                down[i, j] -= eps
+                num = (cross_entropy(up, labels) - cross_entropy(down, labels)) / (
+                    2 * eps
+                )
+                np.testing.assert_allclose(grad[i, j], num, rtol=1e-4, atol=1e-8)
+
+
+class TestTrainConfig:
+    def test_defaults_valid(self):
+        TrainConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"epochs": -1},
+            {"batch_size": 0},
+            {"learning_rate": 0.0},
+            {"momentum": 1.0},
+            {"beta2": 1.5},
+            {"weight_decay": -0.1},
+            {"optimizer": "rmsprop"},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            TrainConfig(**kwargs)
+
+
+class TestTraining:
+    def test_loss_decreases_on_separable_data(self):
+        xs, ys = two_blob_data()
+        net = mlp(2, [8], 2, rng=0)
+        losses = train_classifier(
+            net, xs, ys, TrainConfig(epochs=5, learning_rate=0.01), rng=0
+        )
+        assert losses[-1] < losses[0]
+        assert accuracy(net, xs, ys) > 0.95
+
+    def test_sgd_optimizer_works(self):
+        xs, ys = two_blob_data()
+        net = mlp(2, [8], 2, rng=0)
+        train_classifier(
+            net,
+            xs,
+            ys,
+            TrainConfig(epochs=10, learning_rate=0.05, optimizer="sgd"),
+            rng=0,
+        )
+        assert accuracy(net, xs, ys) > 0.9
+
+    def test_weight_decay_shrinks_weights(self):
+        xs, ys = two_blob_data()
+        net_plain = mlp(2, [8], 2, rng=1)
+        net_decay = mlp(2, [8], 2, rng=1)
+        config = TrainConfig(epochs=5, learning_rate=0.01)
+        decay_config = TrainConfig(epochs=5, learning_rate=0.01, weight_decay=0.1)
+        train_classifier(net_plain, xs, ys, config, rng=0)
+        train_classifier(net_decay, xs, ys, decay_config, rng=0)
+        norm_plain = sum(np.linalg.norm(p) for p in net_plain.params())
+        norm_decay = sum(np.linalg.norm(p) for p in net_decay.params())
+        assert norm_decay < norm_plain
+
+    def test_zero_epochs_is_noop(self):
+        xs, ys = two_blob_data()
+        net = mlp(2, [8], 2, rng=0)
+        before = [p.copy() for p in net.params()]
+        losses = train_classifier(net, xs, ys, TrainConfig(epochs=0), rng=0)
+        assert losses == []
+        for p, q in zip(net.params(), before):
+            np.testing.assert_array_equal(p, q)
+
+    def test_rejects_mismatched_labels(self):
+        net = mlp(2, [4], 2, rng=0)
+        with pytest.raises(ValueError, match="labels"):
+            train_classifier(net, np.zeros((5, 2)), np.zeros(4, dtype=int))
+
+    def test_rejects_out_of_range_labels(self):
+        net = mlp(2, [4], 2, rng=0)
+        with pytest.raises(ValueError, match="out of range"):
+            train_classifier(net, np.zeros((3, 2)), np.array([0, 1, 5]))
+
+    def test_training_invalidates_ops_cache(self):
+        xs, ys = two_blob_data(n=40)
+        net = mlp(2, [4], 2, rng=0)
+        ops_before = net.ops()
+        train_classifier(net, xs, ys, TrainConfig(epochs=1), rng=0)
+        assert net.ops() is not ops_before
+        x = np.ones(2)
+        np.testing.assert_allclose(net.eval_ops(x), net.logits(x), atol=1e-10)
+
+    def test_deterministic_given_seeds(self):
+        xs, ys = two_blob_data()
+        net_a = mlp(2, [8], 2, rng=3)
+        net_b = mlp(2, [8], 2, rng=3)
+        train_classifier(net_a, xs, ys, TrainConfig(epochs=2), rng=5)
+        train_classifier(net_b, xs, ys, TrainConfig(epochs=2), rng=5)
+        for p, q in zip(net_a.params(), net_b.params()):
+            np.testing.assert_array_equal(p, q)

@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.nn.builders import xor_network
+from repro.nn.serialize import save_network
+
+
+@pytest.fixture()
+def xor_path(tmp_path):
+    path = tmp_path / "xor.npz"
+    save_network(xor_network(), path)
+    return str(path)
+
+
+class TestVerifyCommand:
+    def test_verified_exit_zero(self, xor_path, capsys, monkeypatch, tmp_path):
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            ["verify", xor_path, "--center", "0.5,0.5", "--epsilon", "0.05"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verified" in out
+
+    def test_falsified_exit_one_and_writes_witness(
+        self, xor_path, capsys, monkeypatch, tmp_path
+    ):
+        monkeypatch.chdir(tmp_path)
+        # Around the decision boundary with a big radius: falsifiable.
+        code = main(
+            ["verify", xor_path, "--center", "0.5,0.9", "--epsilon", "0.5"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "falsified" in out
+        witness = np.load(tmp_path / "counterexample.npy")
+        assert witness.shape == (2,)
+
+    def test_center_from_npy(self, xor_path, capsys, monkeypatch, tmp_path):
+        monkeypatch.chdir(tmp_path)
+        center = tmp_path / "center.npy"
+        np.save(center, np.array([0.5, 0.5]))
+        code = main(
+            ["verify", xor_path, "--center", str(center), "--epsilon", "0.01"]
+        )
+        assert code == 0
+
+    def test_dimension_mismatch_exits(self, xor_path):
+        with pytest.raises(SystemExit, match="entries"):
+            main(["verify", xor_path, "--center", "0.5", "--epsilon", "0.1"])
+
+
+class TestRadiusCommand:
+    def test_prints_bracket(self, xor_path, capsys):
+        code = main(
+            ["radius", xor_path, "--center", "0.0,1.0", "--epsilon", "0.4",
+             "--timeout", "2.0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "certified radius" in out
+        assert "falsified radius" in out
+
+
+class TestAttackCommand:
+    def test_reports_margin(self, xor_path, capsys, monkeypatch, tmp_path):
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            ["attack", xor_path, "--center", "0.5,0.9", "--epsilon", "0.5",
+             "--steps", "50", "--restarts", "3"]
+        )
+        out = capsys.readouterr().out
+        assert "best margin found" in out
+        assert code in (0, 1)
+
+
+class TestInfoCommand:
+    def test_prints_summary(self, xor_path, capsys):
+        code = main(["info", xor_path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Network" in out
+        assert "ReLU units" in out

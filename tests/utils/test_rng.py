@@ -1,0 +1,44 @@
+"""Tests for RNG normalization."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn
+
+
+class TestAsGenerator:
+    def test_int_seed_deterministic(self):
+        a = as_generator(42).uniform(size=5)
+        b = as_generator(42).uniform(size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_distinct_seeds_differ(self):
+        a = as_generator(1).uniform(size=5)
+        b = as_generator(2).uniform(size=5)
+        assert not np.array_equal(a, b)
+
+
+class TestSpawn:
+    def test_children_independent_of_consumption_order(self):
+        children_a = spawn(np.random.default_rng(0), 3)
+        children_b = spawn(np.random.default_rng(0), 3)
+        # Consuming child 0 heavily must not change child 1's stream.
+        children_a[0].uniform(size=100)
+        np.testing.assert_array_equal(
+            children_a[1].uniform(size=5), children_b[1].uniform(size=5)
+        )
+
+    def test_spawn_count(self):
+        assert len(spawn(np.random.default_rng(0), 4)) == 4
+        assert spawn(np.random.default_rng(0), 0) == []
+
+    def test_spawn_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn(np.random.default_rng(0), -1)

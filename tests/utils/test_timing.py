@@ -1,0 +1,58 @@
+"""Tests for Stopwatch and Deadline."""
+
+import time
+
+import pytest
+
+from repro.utils.timing import Deadline, Stopwatch, never
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        watch = Stopwatch().start()
+        time.sleep(0.01)
+        first = watch.stop()
+        assert first >= 0.01
+        watch.start()
+        time.sleep(0.01)
+        assert watch.stop() >= first + 0.01
+
+    def test_elapsed_while_running(self):
+        watch = Stopwatch().start()
+        time.sleep(0.005)
+        assert watch.elapsed > 0.0
+
+    def test_stop_idempotent(self):
+        watch = Stopwatch().start()
+        a = watch.stop()
+        b = watch.stop()
+        assert a == b
+
+    def test_context_manager(self):
+        with Stopwatch() as watch:
+            time.sleep(0.005)
+        assert watch.elapsed >= 0.005
+
+
+class TestDeadline:
+    def test_unlimited_never_expires(self):
+        deadline = Deadline(limit=None)
+        assert not deadline.expired()
+        assert deadline.remaining == float("inf")
+        deadline.check()  # must not raise
+
+    def test_expires(self):
+        deadline = Deadline(limit=0.005)
+        time.sleep(0.01)
+        assert deadline.expired()
+        with pytest.raises(TimeoutError):
+            deadline.check()
+
+    def test_remaining_decreases(self):
+        deadline = Deadline(limit=10.0)
+        first = deadline.remaining
+        time.sleep(0.005)
+        assert deadline.remaining < first
+
+    def test_never_helper(self):
+        assert not never().expired()

@@ -1,0 +1,50 @@
+"""Tests for argument-validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils import validation as v
+
+
+class TestScalars:
+    def test_require_positive(self):
+        assert v.require_positive("x", 1.5) == 1.5
+        with pytest.raises(ValueError, match="positive"):
+            v.require_positive("x", 0.0)
+
+    def test_require_nonnegative(self):
+        assert v.require_nonnegative("x", 0.0) == 0.0
+        with pytest.raises(ValueError, match="non-negative"):
+            v.require_nonnegative("x", -1.0)
+
+    def test_require_in_range(self):
+        assert v.require_in_range("x", 0.5, 0.0, 1.0) == 0.5
+        with pytest.raises(ValueError, match="lie in"):
+            v.require_in_range("x", 2.0, 0.0, 1.0)
+
+
+class TestArrays:
+    def test_require_vector_flattens(self):
+        out = v.require_vector("x", np.ones((2, 2)))
+        assert out.shape == (4,)
+
+    def test_require_vector_size(self):
+        with pytest.raises(ValueError, match="entries"):
+            v.require_vector("x", np.ones(3), size=4)
+
+    def test_require_matrix(self):
+        out = v.require_matrix("m", np.ones((2, 3)), shape=(2, 3))
+        assert out.shape == (2, 3)
+        with pytest.raises(ValueError, match="rows"):
+            v.require_matrix("m", np.ones((2, 3)), shape=(4, None))
+        with pytest.raises(ValueError, match="columns"):
+            v.require_matrix("m", np.ones((2, 3)), shape=(None, 5))
+        with pytest.raises(ValueError, match="matrix"):
+            v.require_matrix("m", np.ones(3))
+
+    def test_require_finite(self):
+        v.require_finite("x", np.ones(3))
+        with pytest.raises(ValueError, match="non-finite"):
+            v.require_finite("x", np.array([1.0, np.nan]))
+        with pytest.raises(ValueError, match="non-finite"):
+            v.require_finite("x", np.array([np.inf]))
