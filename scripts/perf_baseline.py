@@ -1,0 +1,272 @@
+"""Perf baseline for the batched verification engine -> BENCH_batched.json.
+
+Establishes the benchmark trajectory for perf PRs: runs the fig06 MLP suite
+(the paper's six MNIST/CIFAR MLPs at default laptop scale) through the
+sequential :class:`Verifier` and the frontier-based :class:`BatchedVerifier`
+and records wall-clock, outcome counts, and PGD/analyze throughput per
+engine, plus fixed-workload kernel comparisons (identical region sets
+through the one-at-a-time and batched kernels).
+
+Metrics and how to read them:
+
+- ``engine_suites.*.speedup.pgd_throughput`` / ``analyze_throughput`` —
+  work items processed per second, batched over sequential.  This is the
+  honest engine ratio on budget-bounded runs: problems that hit the shared
+  per-problem timeout burn identical wall-clock in both engines by
+  construction, so completed-work rate is the comparable quantity.
+- ``engine_suites.*.speedup.wall_clock_common_solved`` — total time ratio
+  restricted to problems both engines decided (the paper's "among
+  benchmarks solved by both tools" convention).
+- ``kernels.*.speedup`` — same fixed workload (one frontier of sub-regions)
+  through the per-region loop vs the batched kernel; pure wall-clock.
+
+The ``deeppoly_policy`` suite exercises the fully-batched analysis path;
+``learned_policy`` is figure parity (the pretrained policy mostly selects
+bounded zonotope powersets, whose data-dependent case splits fall back to
+the per-region loop, so its ratio isolates batched-PGD + frontier gains).
+
+Usage::
+
+    PYTHONPATH=src python scripts/perf_baseline.py [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.abstract.analyzer import analyze, analyze_batch
+from repro.abstract.domains import DEEPPOLY, INTERVAL
+from repro.attack.objective import MarginObjective
+from repro.attack.pgd import PGDConfig, pgd_minimize, pgd_minimize_batch
+from repro.bench.suites import SuiteScale, build_network, build_problems
+from repro.core.config import VerifierConfig
+from repro.core.policy import BisectionPolicy
+from repro.core.verifier import BatchedVerifier, Verifier
+from repro.learn.pretrained import pretrained_policy
+
+MLP_NETWORKS = (
+    "mnist_3x100",
+    "mnist_6x100",
+    "mnist_9x200",
+    "cifar_3x100",
+    "cifar_6x100",
+    "cifar_9x100",
+)
+
+
+def run_engine_suite(problems, networks, policy, config, engine_cls):
+    """One engine over the whole suite; returns aggregate measurements."""
+    outcomes = {"verified": 0, "falsified": 0, "timeout": 0}
+    per_problem = []
+    pgd_calls = 0
+    analyze_calls = 0
+    start = time.perf_counter()
+    for problem in problems:
+        network = networks[problem.network_name]
+        outcome = engine_cls(network, policy, config, rng=0).verify(problem.prop)
+        outcomes[outcome.kind] += 1
+        per_problem.append((outcome.kind, outcome.stats.time_seconds))
+        pgd_calls += outcome.stats.pgd_calls
+        analyze_calls += outcome.stats.analyze_calls
+    wall = time.perf_counter() - start
+    return {
+        "wall_clock_s": round(wall, 3),
+        "outcomes": outcomes,
+        "pgd_calls": pgd_calls,
+        "analyze_calls": analyze_calls,
+        "pgd_per_s": round(pgd_calls / wall, 1),
+        "analyze_per_s": round(analyze_calls / wall, 1),
+        "_per_problem": per_problem,
+    }
+
+
+def engine_speedups(seq, bat):
+    common_seq = common_bat = 0.0
+    common = 0
+    for (kind_s, t_s), (kind_b, t_b) in zip(
+        seq["_per_problem"], bat["_per_problem"]
+    ):
+        if kind_s != "timeout" and kind_b != "timeout":
+            common += 1
+            common_seq += t_s
+            common_bat += t_b
+    return {
+        "pgd_throughput": round(bat["pgd_per_s"] / max(seq["pgd_per_s"], 1e-9), 2),
+        "analyze_throughput": round(
+            bat["analyze_per_s"] / max(seq["analyze_per_s"], 1e-9), 2
+        ),
+        "wall_clock_common_solved": (
+            round(common_seq / common_bat, 2) if common_bat > 0 else None
+        ),
+        "common_solved": common,
+    }
+
+
+def frontier_workload(problems, networks, per_problem=8):
+    """A fixed refinement frontier: each root region bisected recursively."""
+    workload = []
+    for problem in problems:
+        regions = [problem.prop.region]
+        while len(regions) < per_problem:
+            regions = [half for r in regions for half in r.bisect()]
+        workload.append(
+            (networks[problem.network_name], problem.prop.label, regions)
+        )
+    return workload
+
+
+def bench_pgd_kernel(workload, batch_size):
+    config = PGDConfig(steps=40, restarts=2, stop_below=-np.inf)
+    total = 0
+    start = time.perf_counter()
+    for network, label, regions in workload:
+        objective = MarginObjective(network, label)
+        for i, region in enumerate(regions):
+            pgd_minimize(objective, region, config, np.random.default_rng(i))
+        total += len(regions)
+    seq_s = time.perf_counter() - start
+    start = time.perf_counter()
+    for network, label, regions in workload:
+        objective = MarginObjective(network, label)
+        for i in range(0, len(regions), batch_size):
+            chunk = regions[i : i + batch_size]
+            pgd_minimize_batch(
+                objective,
+                chunk,
+                config,
+                [np.random.default_rng(i + j) for j in range(len(chunk))],
+            )
+    bat_s = time.perf_counter() - start
+    return {
+        "regions": total,
+        "batch_size": batch_size,
+        "sequential_s": round(seq_s, 3),
+        "batched_s": round(bat_s, 3),
+        "speedup": round(seq_s / bat_s, 2),
+    }
+
+
+def bench_analyze_kernel(workload, domain, batch_size):
+    total = 0
+    start = time.perf_counter()
+    for network, label, regions in workload:
+        for region in regions:
+            analyze(network, region, label, domain)
+        total += len(regions)
+    seq_s = time.perf_counter() - start
+    start = time.perf_counter()
+    for network, label, regions in workload:
+        for i in range(0, len(regions), batch_size):
+            analyze_batch(network, regions[i : i + batch_size], label, domain)
+    bat_s = time.perf_counter() - start
+    return {
+        "regions": total,
+        "batch_size": batch_size,
+        "sequential_s": round(seq_s, 3),
+        "batched_s": round(bat_s, 3),
+        "speedup": round(seq_s / bat_s, 2),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="one network, fewer problems (smoke run; not the baseline)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_batched.json", help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    scale = SuiteScale()
+    names = MLP_NETWORKS[:1] if args.quick else MLP_NETWORKS
+    count = 4 if args.quick else 8
+    timeout = 2.0
+    batch_size = 16
+
+    print(f"training {len(names)} networks ...", flush=True)
+    networks = {}
+    problems = []
+    for name in names:
+        bench_net = build_network(name, scale, seed=0)
+        networks[name] = bench_net.network
+        problems.extend(build_problems(bench_net, count=count, rng=13))
+    print(f"{len(problems)} problems", flush=True)
+
+    config = VerifierConfig(timeout=timeout, batch_size=batch_size)
+    report = {
+        "bench": "batched_engine_baseline",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "suite": {
+            "networks": list(names),
+            "problems": len(problems),
+            "problems_per_network": count,
+            "timeout_s": timeout,
+            "batch_size": batch_size,
+            "scale": {
+                "width_factor": scale.width_factor,
+                "image_size": scale.image_size,
+            },
+        },
+        "engine_suites": {},
+        "kernels": {},
+    }
+
+    policies = {
+        "deeppoly_policy": BisectionPolicy(domain=DEEPPOLY),
+        "learned_policy": pretrained_policy(),
+    }
+    for policy_name, policy in policies.items():
+        print(f"engine suite [{policy_name}] ...", flush=True)
+        seq = run_engine_suite(problems, networks, policy, config, Verifier)
+        bat = run_engine_suite(
+            problems, networks, policy, config, BatchedVerifier
+        )
+        speedup = engine_speedups(seq, bat)
+        seq.pop("_per_problem")
+        bat.pop("_per_problem")
+        report["engine_suites"][policy_name] = {
+            "sequential": seq,
+            "batched": bat,
+            "speedup": speedup,
+        }
+        print(f"  speedup: {speedup}", flush=True)
+
+    print("kernel benches ...", flush=True)
+    workload = frontier_workload(problems, networks, per_problem=16)
+    report["kernels"]["pgd"] = bench_pgd_kernel(workload, batch_size)
+    report["kernels"]["analyze_interval"] = bench_analyze_kernel(
+        workload, INTERVAL, batch_size
+    )
+    report["kernels"]["analyze_deeppoly"] = bench_analyze_kernel(
+        workload, DEEPPOLY, batch_size
+    )
+    for name, kernel in report["kernels"].items():
+        print(f"  {name}: {kernel['speedup']}x", flush=True)
+
+    deeppoly = report["engine_suites"]["deeppoly_policy"]["speedup"]
+    report["headline"] = {
+        "engine_pgd_throughput_speedup": deeppoly["pgd_throughput"],
+        "engine_analyze_throughput_speedup": deeppoly["analyze_throughput"],
+        "kernel_speedups": {
+            k: v["speedup"] for k, v in report["kernels"].items()
+        },
+    }
+
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

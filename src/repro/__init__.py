@@ -36,9 +36,9 @@ from repro.core.policy import (
     VerificationPolicy,
     default_policy,
 )
-from repro.core.verifier import Verifier, verify
+from repro.core.verifier import BatchedVerifier, Verifier, verify, verify_batched
 from repro.abstract.domains import DomainSpec, INTERVAL, ZONOTOPE
-from repro.abstract.analyzer import analyze
+from repro.abstract.analyzer import analyze, analyze_batch
 
 __version__ = "1.0.0"
 
@@ -57,9 +57,12 @@ __all__ = [
     "default_policy",
     "Verifier",
     "verify",
+    "BatchedVerifier",
+    "verify_batched",
     "DomainSpec",
     "INTERVAL",
     "ZONOTOPE",
     "analyze",
+    "analyze_batch",
     "__version__",
 ]

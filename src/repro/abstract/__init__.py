@@ -16,7 +16,7 @@ Implements the numeric domains the paper's analyzer chooses among (§2.3):
 """
 
 from repro.abstract.element import AbstractElement
-from repro.abstract.interval import IntervalElement
+from repro.abstract.interval import IntervalBatch, IntervalElement
 from repro.abstract.zonotope import Zonotope
 from repro.abstract.powerset import PowersetElement
 from repro.abstract.domains import (
@@ -26,13 +26,14 @@ from repro.abstract.domains import (
     SYMBOLIC,
     ZONOTOPE,
 )
-from repro.abstract.analyzer import AnalysisResult, analyze, propagate
-from repro.abstract.deeppoly import DeepPolyState, deeppoly_analyze
+from repro.abstract.analyzer import AnalysisResult, analyze, analyze_batch, propagate
+from repro.abstract.deeppoly import DeepPolyBatch, DeepPolyState, deeppoly_analyze
 from repro.abstract.symbolic_interval import SymbolicInterval, symbolic_analyze
 
 __all__ = [
     "AbstractElement",
     "IntervalElement",
+    "IntervalBatch",
     "Zonotope",
     "PowersetElement",
     "DomainSpec",
@@ -42,8 +43,10 @@ __all__ = [
     "DEEPPOLY",
     "AnalysisResult",
     "analyze",
+    "analyze_batch",
     "propagate",
     "DeepPolyState",
+    "DeepPolyBatch",
     "deeppoly_analyze",
     "SymbolicInterval",
     "symbolic_analyze",

@@ -8,9 +8,11 @@ immediate input*:
 
 Affine ops are exact (Al = Au = W).  Crossing ReLUs use the DeepPoly
 relaxation: the chord as upper bound and the adaptive 0-or-identity lower
-bound (identity when the positive side dominates).  Max pooling keeps the
-window's best lower unit as the lower bound and degrades the upper bound to
-a constant unless one unit dominates.
+bound (identity when the positive side dominates).  ReLU relations are
+diagonal, so they are stored as coefficient *vectors* and applied
+element-wise during back-substitution — never materialized as ``(n, n)``
+matrices.  Max pooling keeps the window's best lower unit as the lower
+bound and degrades the upper bound to a constant unless one unit dominates.
 
 Concrete bounds of *any* linear expression over the current output are
 computed by **back-substitution**: the expression is rewritten layer by
@@ -19,6 +21,12 @@ coefficient sign, and finally evaluated over the input box.  Composing the
 relaxations symbolically — rather than concretizing at every layer like
 plain symbolic intervals — is what makes DeepPoly-style analyses tight on
 deep networks, and it directly yields relational margin bounds.
+
+:class:`DeepPolyBatch` runs the same analysis for ``B`` regions at once:
+affine relations are shared across the batch (one weight matrix), ReLU
+relaxation vectors get a leading batch axis, and back-substitution becomes
+a stack of GEMMs — the §6 "independent sub-region analyses" opportunity
+realized as batching.
 """
 
 from __future__ import annotations
@@ -34,7 +42,7 @@ from repro.utils.timing import Deadline
 
 @dataclass(frozen=True)
 class _LayerBounds:
-    """Linear bounds of one op's output w.r.t. its input vector."""
+    """Dense linear bounds of one op's output w.r.t. its input vector."""
 
     al: np.ndarray
     bl: np.ndarray
@@ -42,8 +50,42 @@ class _LayerBounds:
     bu: np.ndarray
 
 
+@dataclass(frozen=True)
+class _DiagBounds:
+    """Diagonal (per-unit) bounds — the shape every ReLU relaxation has.
+
+    The lower relation is ``diag(dl)·v`` (its bias is identically zero in
+    DeepPoly's 0-or-identity lower bound); the upper relation is
+    ``diag(du)·v + bu``.  Coefficients may carry a leading batch axis.
+    """
+
+    dl: np.ndarray
+    du: np.ndarray
+    bu: np.ndarray
+
+
 def _split_signs(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     return np.maximum(a, 0.0), np.minimum(a, 0.0)
+
+
+def _relu_relaxation(
+    low: np.ndarray, high: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """DeepPoly ReLU coefficients ``(dl, du, bu)`` from concrete bounds.
+
+    Vectorized over any leading axes: stable units get the identity, dead
+    units zero, and crossing units the chord upper bound
+    ``u(z - l)/(u - l)`` with the adaptive 0-or-identity lower bound
+    (identity when the positive side dominates, minimizing relaxation area).
+    """
+    stable = low >= 0.0
+    crossing = (~stable) & (high > 0.0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        slope = np.where(crossing, high / (high - low), 0.0)
+    du = np.where(stable, 1.0, slope)
+    bu = np.where(crossing, -slope * low, 0.0)
+    dl = np.where(stable | (crossing & (high > -low)), 1.0, 0.0)
+    return dl, du, bu
 
 
 class DeepPolyState:
@@ -53,9 +95,13 @@ class DeepPolyState:
     already-processed layer list.
     """
 
-    def __init__(self, box: Box, layers: list[_LayerBounds] | None = None) -> None:
+    def __init__(
+        self, box: Box, layers: list[_LayerBounds | _DiagBounds] | None = None
+    ) -> None:
         self.box = box
-        self.layers: list[_LayerBounds] = list(layers) if layers else []
+        self.layers: list[_LayerBounds | _DiagBounds] = (
+            list(layers) if layers else []
+        )
 
     @staticmethod
     def identity(box: Box) -> "DeepPolyState":
@@ -64,7 +110,10 @@ class DeepPolyState:
     @property
     def size(self) -> int:
         if self.layers:
-            return self.layers[-1].bl.size
+            last = self.layers[-1]
+            if isinstance(last, _DiagBounds):
+                return last.dl.shape[-1]
+            return last.bl.size
         return self.box.ndim
 
     # ------------------------------------------------------------------
@@ -77,6 +126,20 @@ class DeepPolyState:
         a = np.atleast_2d(a)
         b = np.atleast_1d(b).astype(np.float64)
         for layer in reversed(self.layers):
+            if isinstance(layer, _DiagBounds):
+                pos, neg = _split_signs(a)
+                if lower:
+                    b = b + neg @ layer.bu
+                    a = pos * layer.dl + neg * layer.du
+                else:
+                    b = b + pos @ layer.bu
+                    a = pos * layer.du + neg * layer.dl
+                continue
+            if layer.al is layer.au:
+                # Exact affine relation: no sign split needed.
+                b = a @ layer.bl + b
+                a = a @ layer.al
+                continue
             pos, neg = _split_signs(a)
             if lower:
                 b = pos @ layer.bl + neg @ layer.bu + b
@@ -102,7 +165,7 @@ class DeepPolyState:
     # Transformers
     # ------------------------------------------------------------------
 
-    def _extended(self, layer: _LayerBounds) -> "DeepPolyState":
+    def _extended(self, layer: _LayerBounds | _DiagBounds) -> "DeepPolyState":
         return DeepPolyState(self.box, self.layers + [layer])
 
     def affine(self, weight: np.ndarray, bias: np.ndarray) -> "DeepPolyState":
@@ -110,49 +173,12 @@ class DeepPolyState:
 
     def relu(self) -> "DeepPolyState":
         low, high = self.bounds()
-        n = self.size
-        al = np.zeros((n, n))
-        bl = np.zeros(n)
-        au = np.zeros((n, n))
-        bu = np.zeros(n)
-        for i in range(n):
-            l, u = low[i], high[i]
-            if l >= 0.0:
-                al[i, i] = 1.0
-                au[i, i] = 1.0
-            elif u <= 0.0:
-                pass  # both bounds stay 0
-            else:
-                # Chord upper bound: u(z - l)/(u - l).
-                slope = u / (u - l)
-                au[i, i] = slope
-                bu[i] = -slope * l
-                # DeepPoly's adaptive lower bound: identity when the
-                # positive side dominates (minimizes relaxation area).
-                if u > -l:
-                    al[i, i] = 1.0
-        return self._extended(_LayerBounds(al, bl, au, bu))
+        return self._extended(_DiagBounds(*_relu_relaxation(low, high)))
 
     def maxpool(self, windows: np.ndarray) -> "DeepPolyState":
         low, high = self.bounds()
-        out = windows.shape[0]
-        n = self.size
-        al = np.zeros((out, n))
-        bl = np.zeros(out)
-        au = np.zeros((out, n))
-        bu = np.zeros(out)
-        for o, window in enumerate(windows):
-            lows = low[window]
-            highs = high[window]
-            winner = int(np.argmax(lows))
-            # Lower bound: the max is at least the best single unit.
-            al[o, window[winner]] = 1.0
-            others = np.delete(np.arange(window.size), winner)
-            if others.size == 0 or lows[winner] >= highs[others].max():
-                au[o, window[winner]] = 1.0  # dominant unit: exact
-            else:
-                bu[o] = highs.max()  # constant fallback
-        return self._extended(_LayerBounds(al, bl, au, bu))
+        al, au, bu = _maxpool_relaxation(low, high, windows, self.size)
+        return self._extended(_LayerBounds(al, np.zeros(windows.shape[0]), au, bu))
 
     # ------------------------------------------------------------------
     # Margin checks
@@ -168,9 +194,220 @@ class DeepPolyState:
     def min_margin(self, label: int) -> float:
         if not 0 <= label < self.size:
             raise ValueError(f"label {label} out of range for size {self.size}")
-        return min(
-            self.lower_margin(label, j) for j in range(self.size) if j != label
+        a = _margin_rows(label, self.size)
+        margins = self._bound_expr(a, np.zeros(a.shape[0]), lower=True)
+        return float(margins.min())
+
+
+def _margin_rows(label: int, size: int) -> np.ndarray:
+    """The ``size - 1`` expressions ``y_label - y_j`` as one coefficient
+    matrix, so all margins back-substitute in a single pass."""
+    if size < 2:
+        raise ValueError("margin undefined for single-output networks")
+    a = -np.eye(size)
+    a[:, label] += 1.0
+    return np.delete(a, label, axis=0)
+
+
+def _maxpool_relaxation(
+    low: np.ndarray, high: np.ndarray, windows: np.ndarray, size: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Dense maxpool bounds ``(al, au, bu)`` for one region, vectorized.
+
+    Lower bound: the unit with the best lower bound.  Upper bound: that
+    same unit when it dominates every other unit's upper bound, else the
+    constant ``max(highs)``.
+    """
+    out = windows.shape[0]
+    rows = np.arange(out)
+    lows = low[windows]
+    highs = high[windows]
+    winners = lows.argmax(axis=1)
+    winner_src = windows[rows, winners]
+    al = np.zeros((out, size))
+    al[rows, winner_src] = 1.0
+    rivals = highs.copy()
+    rivals[rows, winners] = -np.inf
+    dominant = lows[rows, winners] >= rivals.max(axis=1)
+    au = np.zeros((out, size))
+    au[rows[dominant], winner_src[dominant]] = 1.0
+    bu = np.where(dominant, 0.0, highs.max(axis=1))
+    return al, au, bu
+
+
+class DeepPolyBatch:
+    """DeepPoly analysis of ``B`` input regions in lockstep.
+
+    Affine relations are shared across the batch; ReLU relaxations carry a
+    leading batch axis; maxpool relations are per-region dense.  During
+    back-substitution the expression matrix stays shared ``(rows, n)`` until
+    the first per-region relation, after which it is promoted to
+    ``(B, rows, n)`` and every rewrite is a batched GEMM.  Row ``i`` matches
+    what :class:`DeepPolyState` computes for region ``i`` alone up to BLAS
+    kernel round-off (reduction order depends on operand shapes).
+    """
+
+    def __init__(
+        self,
+        low: np.ndarray,
+        high: np.ndarray,
+        layers: list[_LayerBounds | _DiagBounds] | None = None,
+    ) -> None:
+        low = np.asarray(low, dtype=np.float64)
+        high = np.asarray(high, dtype=np.float64)
+        if low.ndim != 2 or low.shape != high.shape:
+            raise ValueError(
+                f"batch bounds must be matching (B, n) arrays, got "
+                f"{low.shape} vs {high.shape}"
+            )
+        self.box_low = low
+        self.box_high = high
+        self.layers: list[_LayerBounds | _DiagBounds] = (
+            list(layers) if layers else []
         )
+
+    @staticmethod
+    def from_boxes(boxes: list[Box]) -> "DeepPolyBatch":
+        if not boxes:
+            raise ValueError("need at least one box")
+        return DeepPolyBatch(
+            np.stack([b.low for b in boxes]), np.stack([b.high for b in boxes])
+        )
+
+    @property
+    def batch_size(self) -> int:
+        return self.box_low.shape[0]
+
+    @property
+    def size(self) -> int:
+        for layer in reversed(self.layers):
+            if isinstance(layer, _DiagBounds):
+                return layer.dl.shape[-1]
+            return layer.bl.shape[-1]
+        return self.box_low.shape[1]
+
+    def row(self, i: int) -> DeepPolyState:
+        """The ``i``-th region's analysis as a plain :class:`DeepPolyState`."""
+        layers: list[_LayerBounds | _DiagBounds] = []
+        for layer in self.layers:
+            if isinstance(layer, _DiagBounds):
+                layers.append(
+                    _DiagBounds(layer.dl[i], layer.du[i], layer.bu[i])
+                )
+            elif layer.al.ndim == 3:
+                layers.append(
+                    _LayerBounds(
+                        layer.al[i], layer.bl[i], layer.au[i], layer.bu[i]
+                    )
+                )
+            else:
+                layers.append(layer)  # shared affine relation
+        return DeepPolyState(Box(self.box_low[i], self.box_high[i]), layers)
+
+    # ------------------------------------------------------------------
+    # Batched back-substitution
+    # ------------------------------------------------------------------
+
+    def _bound_expr(self, a: np.ndarray, lower: bool) -> np.ndarray:
+        """Bounds of the shared expressions ``a·v`` per region: ``(B, rows)``.
+
+        ``a``: shared coefficients ``(rows, size)`` over the current output.
+        Rewrites through shared affine relations run as one
+        ``(B·rows, n)``-shaped GEMM; per-region relations are elementwise
+        (ReLU) or batched GEMMs (maxpool).
+        """
+        batch = self.batch_size
+        a = np.atleast_2d(a)
+        b: np.ndarray | float = 0.0
+
+        def _promote(arr: np.ndarray) -> np.ndarray:
+            if arr.ndim == 2:
+                return np.broadcast_to(arr, (batch, *arr.shape))
+            return arr
+
+        def _dot_rows(arr: np.ndarray, vec: np.ndarray) -> np.ndarray:
+            # (B, rows, n) · per-region (B, n) -> (B, rows)
+            return (arr @ vec[:, :, None])[:, :, 0]
+
+        for layer in reversed(self.layers):
+            if isinstance(layer, _DiagBounds):
+                a = _promote(a)
+                pos, neg = _split_signs(a)
+                b = b + _dot_rows(neg if lower else pos, layer.bu)
+                if lower:
+                    a = pos * layer.dl[:, None, :] + neg * layer.du[:, None, :]
+                else:
+                    a = pos * layer.du[:, None, :] + neg * layer.dl[:, None, :]
+            elif layer.al.ndim == 3:  # per-region dense relation (maxpool)
+                a = _promote(a)
+                pos, neg = _split_signs(a)
+                if lower:
+                    b = b + _dot_rows(pos, layer.bl) + _dot_rows(neg, layer.bu)
+                    a = pos @ layer.al + neg @ layer.au
+                else:
+                    b = b + _dot_rows(pos, layer.bu) + _dot_rows(neg, layer.bl)
+                    a = pos @ layer.au + neg @ layer.al
+            else:  # shared exact affine relation: no sign split needed
+                b = b + a @ layer.bl
+                if a.ndim == 3:
+                    rows = a.shape[1]
+                    a = (
+                        a.reshape(batch * rows, -1) @ layer.al
+                    ).reshape(batch, rows, -1)
+                else:
+                    a = a @ layer.al
+        a = _promote(a)
+        pos, neg = _split_signs(a)
+        if lower:
+            return _dot_rows(pos, self.box_low) + _dot_rows(neg, self.box_high) + b
+        return _dot_rows(pos, self.box_high) + _dot_rows(neg, self.box_low) + b
+
+    def bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """Concrete per-unit bounds of the current output: ``(B, n)`` each."""
+        eye = np.eye(self.size)
+        return (
+            self._bound_expr(eye, lower=True),
+            self._bound_expr(eye, lower=False),
+        )
+
+    # ------------------------------------------------------------------
+    # Transformers
+    # ------------------------------------------------------------------
+
+    def _extended(self, layer: _LayerBounds | _DiagBounds) -> "DeepPolyBatch":
+        return DeepPolyBatch(self.box_low, self.box_high, self.layers + [layer])
+
+    def affine(self, weight: np.ndarray, bias: np.ndarray) -> "DeepPolyBatch":
+        return self._extended(_LayerBounds(weight, bias, weight, bias))
+
+    def relu(self) -> "DeepPolyBatch":
+        low, high = self.bounds()
+        return self._extended(_DiagBounds(*_relu_relaxation(low, high)))
+
+    def maxpool(self, windows: np.ndarray) -> "DeepPolyBatch":
+        low, high = self.bounds()
+        out = windows.shape[0]
+        al = np.empty((self.batch_size, out, self.size))
+        au = np.empty((self.batch_size, out, self.size))
+        bu = np.empty((self.batch_size, out))
+        for i in range(self.batch_size):
+            al[i], au[i], bu[i] = _maxpool_relaxation(
+                low[i], high[i], windows, self.size
+            )
+        return self._extended(
+            _LayerBounds(al, np.zeros((self.batch_size, out)), au, bu)
+        )
+
+    # ------------------------------------------------------------------
+    # Margin checks
+    # ------------------------------------------------------------------
+
+    def min_margin(self, label: int) -> np.ndarray:
+        """Per-region relational bound on ``min_{j≠K} (y_K - y_j)``."""
+        if not 0 <= label < self.size:
+            raise ValueError(f"label {label} out of range for size {self.size}")
+        margins = self._bound_expr(_margin_rows(label, self.size), lower=True)
+        return margins.min(axis=1)
 
 
 def deeppoly_analyze(

@@ -59,6 +59,24 @@ class Zonotope(AbstractElement):
         self.center = center
         self.gens = gens
         self.err = err
+        self._radius: np.ndarray | None = None
+
+    @classmethod
+    def _make(
+        cls, center: np.ndarray, gens: np.ndarray, err: np.ndarray
+    ) -> "Zonotope":
+        """Internal constructor for already-validated float64 arrays.
+
+        The transformers construct zonotopes in tight loops (one per ReLU
+        case split); skipping re-validation of arrays we just computed is a
+        measurable win on the powerset hot path.
+        """
+        obj = object.__new__(cls)
+        obj.center = center
+        obj.gens = gens
+        obj.err = err
+        obj._radius = None
+        return obj
 
     @staticmethod
     def from_box(box: Box) -> "Zonotope":
@@ -80,11 +98,24 @@ class Zonotope(AbstractElement):
         return self.gens.shape[0]
 
     def radius(self) -> np.ndarray:
-        return np.abs(self.gens).sum(axis=0) + self.err
+        # Cached: zonotopes are immutable by convention and the verifier's
+        # case-split loops re-query bounds of the same element many times.
+        if self._radius is None:
+            self._radius = np.abs(self.gens).sum(axis=0) + self.err
+        return self._radius
 
     def bounds(self) -> tuple[np.ndarray, np.ndarray]:
         rad = self.radius()
         return self.center - rad, self.center + rad
+
+    def dim_bounds(self, dim: int) -> tuple[float, float]:
+        # O(num_gens) instead of materializing all-dimension bounds.
+        if self._radius is not None:
+            rad = self._radius[dim]
+        else:
+            rad = np.abs(self.gens[:, dim]).sum() + self.err[dim]
+        c = self.center[dim]
+        return float(c - rad), float(c + rad)
 
     def __repr__(self) -> str:
         return f"Zonotope(size={self.size}, gens={self.num_gens})"
@@ -109,7 +140,7 @@ class Zonotope(AbstractElement):
         center = weight @ self.center + bias
         promoted = self.err[:, None] * weight.T  # row i = err_i * W[:, i]
         gens = np.vstack([self.gens @ weight.T, promoted])
-        return Zonotope(center, gens, np.zeros(center.size))
+        return Zonotope._make(center, gens, np.zeros(center.size))
 
     def relu(self, skip_dims: frozenset[int] = frozenset()) -> "Zonotope":
         element = self._clamp_nonpositive(skip_dims)
@@ -139,7 +170,7 @@ class Zonotope(AbstractElement):
         center = np.where(dead, 0.0, self.center)
         gens = np.where(dead[None, :], 0.0, self.gens)
         err = np.where(dead, 0.0, self.err)
-        return Zonotope(center, gens, err)
+        return Zonotope._make(center, gens, err)
 
     def _project_dim(self, dim: int) -> "Zonotope":
         """Set one dimension to exactly 0 (the dead ReLU branch)."""
@@ -149,33 +180,30 @@ class Zonotope(AbstractElement):
         center[dim] = 0.0
         gens[:, dim] = 0.0
         err[dim] = 0.0
-        return Zonotope(center, gens, err)
+        return Zonotope._make(center, gens, err)
 
     def maxpool(self, windows: np.ndarray) -> "Zonotope":
         low, high = self.bounds()
         out = windows.shape[0]
-        center = np.empty(out)
-        gens = np.zeros((self.num_gens, out))
-        err = np.zeros(out)
-        for o, window in enumerate(windows):
-            lows = low[window]
-            highs = high[window]
-            winner = int(np.argmax(lows))
-            others = np.delete(np.arange(window.size), winner)
-            if others.size == 0 or lows[winner] >= highs[others].max():
-                # One unit dominates the window: the max is exactly that unit,
-                # so relational information survives.
-                src = window[winner]
-                center[o] = self.center[src]
-                gens[:, o] = self.gens[:, src]
-                err[o] = self.err[src]
-            else:
-                # Fall back to the interval hull of the window max.
-                lo = lows.max()
-                hi = highs.max()
-                center[o] = (lo + hi) / 2.0
-                err[o] = (hi - lo) / 2.0
-        return Zonotope(center, gens, err)
+        rows = np.arange(out)
+        lows = low[windows]  # (out, k)
+        highs = high[windows]
+        winners = lows.argmax(axis=1)
+        winner_src = windows[rows, winners]
+        # A window is exact when its best-lower unit dominates every rival's
+        # upper bound: the max is that unit and relational info survives.
+        rivals = highs.copy()
+        rivals[rows, winners] = -np.inf
+        dominant = lows[rows, winners] >= rivals.max(axis=1)
+        # Interval-hull fallback for contested windows.
+        hull_lo = lows.max(axis=1)
+        hull_hi = highs.max(axis=1)
+        center = np.where(
+            dominant, self.center[winner_src], (hull_lo + hull_hi) / 2.0
+        )
+        gens = np.where(dominant[None, :], self.gens[:, winner_src], 0.0)
+        err = np.where(dominant, self.err[winner_src], (hull_hi - hull_lo) / 2.0)
+        return Zonotope._make(center, gens, err)
 
     # ------------------------------------------------------------------
     # Case splits
@@ -187,55 +215,79 @@ class Zonotope(AbstractElement):
         widths = high[crossing] - low[crossing]
         return crossing[np.argsort(-widths, kind="stable")]
 
-    def _contract(self, dim: int, keep_nonneg: bool) -> "Zonotope":
-        """Soundly tighten noise symbols under ``x_dim >= 0`` (or ``<= 0``).
-
-        One round of per-symbol interval contraction: every noise symbol's
-        range is narrowed as far as the single linear constraint allows when
-        all other symbols are relaxed to their full range.  The result
-        always over-approximates the true intersection.
-        """
-        coeffs = self.gens[:, dim]
-        c = self.center[dim]
-        slack = self.err[dim]
-        abs_coeffs = np.abs(coeffs)
-        total = abs_coeffs.sum() + slack
+    def _contract_from(
+        self,
+        bound: np.ndarray,
+        lower_side: np.ndarray,
+        upper_side: np.ndarray,
+    ) -> "Zonotope":
+        """Apply precomputed per-symbol range cuts (see :meth:`_contract`)."""
         lo_sym = -np.ones(self.num_gens)
         hi_sym = np.ones(self.num_gens)
-        for j in np.flatnonzero(abs_coeffs > _COEF_TOL):
-            rest = total - abs_coeffs[j]
-            if keep_nonneg:
-                # c + g_j*eta_j - rest >= 0 at the loosest: eta_j bound below
-                # (g_j > 0) or above (g_j < 0).
-                bound = (-c - rest) / coeffs[j]
-                if coeffs[j] > 0:
-                    lo_sym[j] = max(lo_sym[j], bound)
-                else:
-                    hi_sym[j] = min(hi_sym[j], bound)
-            else:
-                bound = (-c + rest) / coeffs[j]
-                if coeffs[j] > 0:
-                    hi_sym[j] = min(hi_sym[j], bound)
-                else:
-                    lo_sym[j] = max(lo_sym[j], bound)
+        lo_sym = np.where(lower_side, np.maximum(lo_sym, bound), lo_sym)
+        hi_sym = np.where(upper_side, np.minimum(hi_sym, bound), hi_sym)
         lo_sym = np.minimum(lo_sym, hi_sym)  # guard against numeric inversion
         mid = (lo_sym + hi_sym) / 2.0
         half = (hi_sym - lo_sym) / 2.0
         center = self.center + self.gens.T @ mid
         gens = self.gens * half[:, None]
-        return Zonotope(center, gens, self.err.copy())
+        return Zonotope._make(center, gens, self.err.copy())
+
+    def _contract_cuts(
+        self, dim: int, keep_nonneg: bool
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-symbol range cuts under ``x_dim >= 0`` (or ``<= 0``).
+
+        One round of per-symbol interval contraction: with every other
+        symbol relaxed to its full range (``rest``), the constraint
+        ``c + g_j*eta_j ∓ rest >= 0`` (or ``<= 0``) bounds ``eta_j`` below
+        when the coefficient and constraint orientation agree, above
+        otherwise.  The result always over-approximates the intersection.
+        """
+        coeffs = self.gens[:, dim]
+        c = self.center[dim]
+        abs_coeffs = np.abs(coeffs)
+        total = abs_coeffs.sum() + self.err[dim]
+        touched = abs_coeffs > _COEF_TOL
+        rest = total - abs_coeffs
+        with np.errstate(divide="ignore", invalid="ignore"):
+            if keep_nonneg:
+                bound = (-c - rest) / coeffs
+            else:
+                bound = (-c + rest) / coeffs
+        lower_side = touched & ((coeffs > 0) == keep_nonneg)
+        upper_side = touched & ~lower_side
+        return bound, lower_side, upper_side
+
+    def _contract(self, dim: int, keep_nonneg: bool) -> "Zonotope":
+        """Soundly tighten noise symbols under ``x_dim >= 0`` (or ``<= 0``)."""
+        return self._contract_from(*self._contract_cuts(dim, keep_nonneg))
 
     def relu_split(self, dim: int) -> tuple["Zonotope", "Zonotope"]:
         lo, hi = self.dim_bounds(dim)
         if not lo < 0.0 < hi:
             raise ValueError(f"dimension {dim} does not cross zero: [{lo}, {hi}]")
+        coeffs = self.gens[:, dim]
+        abs_coeffs = np.abs(coeffs)
+        total = abs_coeffs.sum() + self.err[dim]
+        touched = abs_coeffs > _COEF_TOL
+        rest = total - abs_coeffs
+        c = self.center[dim]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            pos_bound = (-c - rest) / coeffs
+            neg_bound = (-c + rest) / coeffs
+        pos_lower = touched & (coeffs > 0)
+        pos_upper = touched & ~pos_lower
         # Positive branch: on {x_dim >= 0} the ReLU is the identity, and the
         # contracted zonotope over-approximates that meet, so it directly
         # over-approximates the branch image (any residual negative tail left
         # by the one-round contraction is imprecision, not unsoundness).
-        pos = self._contract(dim, keep_nonneg=True)
-        # Negative branch: ReLU projects the dimension to exactly 0.
-        neg = self._contract(dim, keep_nonneg=False)._project_dim(dim)
+        pos = self._contract_from(pos_bound, pos_lower, pos_upper)
+        # Negative branch: ReLU projects the dimension to exactly 0.  The
+        # cut sides swap with the constraint orientation.
+        neg = self._contract_from(
+            neg_bound, pos_upper, pos_lower
+        )._project_dim(dim)
         return pos, neg
 
     def relu_dim(self, dim: int) -> "Zonotope":
@@ -274,7 +326,7 @@ class Zonotope(AbstractElement):
             + np.abs(other.gens - gens).sum(axis=0)
             + other.err
         )
-        return Zonotope(center, gens, np.maximum(pad1, pad2))
+        return Zonotope._make(center, gens, np.maximum(pad1, pad2))
 
     # ------------------------------------------------------------------
     # Margins

@@ -7,7 +7,7 @@
 """
 
 from repro.attack.objective import MarginObjective
-from repro.attack.pgd import PGDConfig, pgd_minimize
+from repro.attack.pgd import PGDConfig, pgd_minimize, pgd_minimize_batch
 from repro.attack.fgsm import fgsm_step
 from repro.attack.search import SearchResult, find_counterexample
 
@@ -15,6 +15,7 @@ __all__ = [
     "MarginObjective",
     "PGDConfig",
     "pgd_minimize",
+    "pgd_minimize_batch",
     "fgsm_step",
     "SearchResult",
     "find_counterexample",

@@ -54,6 +54,38 @@ class MarginObjective:
         grad = self.network.input_gradient(x, seed)
         return float(scores[self.label] - scores[j]), grad
 
+    # ------------------------------------------------------------------
+    # Batched evaluation (the GEMM-shaped path used by batched PGD)
+    # ------------------------------------------------------------------
+
+    def value_batch(self, x: np.ndarray) -> np.ndarray:
+        """``F`` at every row of ``x``: shape ``(B,)``."""
+        scores = self.network.forward(np.atleast_2d(x))
+        masked = scores.copy()
+        masked[:, self.label] = -np.inf
+        return scores[:, self.label] - masked.max(axis=1)
+
+    def value_and_gradient_batch(
+        self, x: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(F, ∇F)`` for a whole batch: shapes ``(B,)`` and ``(B, n)``.
+
+        One forward plus one input-only backward pass; each affine layer is
+        a single GEMM over the batch instead of ``B`` GEMVs.
+        """
+        x = np.atleast_2d(x)
+        scores, caches = self.network.forward_cached(x)
+        masked = scores.copy()
+        masked[:, self.label] = -np.inf
+        runners = np.argmax(masked, axis=1)
+        rows = np.arange(scores.shape[0])
+        values = scores[:, self.label] - scores[rows, runners]
+        seeds = np.zeros_like(scores)
+        seeds[:, self.label] = 1.0
+        seeds[rows, runners] = -1.0  # runner-up is never the label
+        grads = self.network.backward_input(caches, seeds)
+        return values, grads.reshape(x.shape[0], -1)
+
     def gradient(self, x: np.ndarray) -> np.ndarray:
         return self.value_and_gradient(x)[1]
 

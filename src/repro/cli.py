@@ -21,11 +21,20 @@ import numpy as np
 from repro.attack.pgd import PGDConfig
 from repro.attack.search import find_counterexample
 from repro.core.config import VerifierConfig
+from repro.core.parallel import ParallelVerifier
 from repro.core.property import linf_property
 from repro.core.radius import certified_radius
-from repro.core.verifier import Verifier
+from repro.core.verifier import BatchedVerifier, Verifier
 from repro.learn.pretrained import pretrained_policy
 from repro.nn.serialize import load_network
+
+#: ``--engine`` menu: every engine decides the same property with the same
+#: soundness/δ-completeness semantics; they differ in execution shape.
+ENGINES = {
+    "sequential": Verifier,
+    "batched": BatchedVerifier,
+    "parallel": ParallelVerifier,
+}
 
 
 def _load_point(spec: str, expected_size: int) -> np.ndarray:
@@ -61,11 +70,11 @@ def cmd_verify(args: argparse.Namespace) -> int:
     network = load_network(args.network)
     center = _load_point(args.center, network.input_size)
     prop = linf_property(network, center, args.epsilon)
-    verifier = Verifier(
-        network,
-        pretrained_policy(),
-        VerifierConfig(timeout=args.timeout, delta=args.delta),
-        rng=args.seed,
+    config = VerifierConfig(
+        timeout=args.timeout, delta=args.delta, batch_size=args.batch_size
+    )
+    verifier = ENGINES[args.engine](
+        network, pretrained_policy(), config, rng=args.seed
     )
     outcome = verifier.verify(prop)
     print(f"result: {outcome.kind}")
@@ -138,6 +147,18 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(verify_parser)
     verify_parser.add_argument(
         "--delta", type=float, default=1e-6, help="δ-completeness slack"
+    )
+    verify_parser.add_argument(
+        "--engine",
+        choices=sorted(ENGINES),
+        default="batched",
+        help="execution engine (same semantics, different shape)",
+    )
+    verify_parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=16,
+        help="frontier sub-regions per batched sweep",
     )
     verify_parser.set_defaults(func=cmd_verify)
 

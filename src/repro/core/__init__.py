@@ -22,7 +22,13 @@ from repro.core.policy import (
     VerificationPolicy,
     default_policy,
 )
-from repro.core.verifier import Verifier, verify
+from repro.core.verifier import (
+    BatchedVerifier,
+    Verifier,
+    WorkItem,
+    verify,
+    verify_batched,
+)
 from repro.core.parallel import ParallelVerifier, verify_parallel
 from repro.core.radius import RadiusResult, certified_accuracy, certified_radius
 
@@ -50,4 +56,7 @@ __all__ = [
     "default_policy",
     "Verifier",
     "verify",
+    "BatchedVerifier",
+    "verify_batched",
+    "WorkItem",
 ]

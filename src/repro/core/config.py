@@ -26,6 +26,10 @@ class VerifierConfig:
             on each side (enforces Assumption 1 / the paper's §6 boundary
             offset).
         pgd: counterexample-search settings used at every node.
+        batch_size: how many frontier sub-regions the batched engines
+            (:class:`~repro.core.verifier.BatchedVerifier`,
+            :class:`~repro.core.parallel.ParallelVerifier`) minimize and
+            analyze per sweep.  The sequential :class:`Verifier` ignores it.
     """
 
     delta: float = 1e-6
@@ -33,6 +37,7 @@ class VerifierConfig:
     max_depth: int = 200
     min_split_fraction: float = 0.02
     pgd: PGDConfig = field(default_factory=PGDConfig)
+    batch_size: int = 16
 
     def __post_init__(self) -> None:
         if self.delta <= 0:
@@ -46,3 +51,5 @@ class VerifierConfig:
             raise ValueError("max_depth must be >= 1")
         if not 0.0 < self.min_split_fraction < 0.5:
             raise ValueError("min_split_fraction must lie in (0, 0.5)")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")

@@ -6,7 +6,17 @@ each work item is independent, the property is verified when *all* items
 verify, and any single δ-counterexample settles the whole query.  The
 original Charon exploits this with ELINA calls on parallel threads; this
 module does the same with a thread pool (numpy releases the GIL inside the
-dense kernels where the analyzer spends its time).
+dense kernels where the analyzer spends its time), and each worker task
+processes a *chunk* of up to ``config.batch_size`` frontier items through
+the batched Minimize/Analyze kernels — batching within a worker, workers
+across the frontier.
+
+Randomness is path-keyed per work item (see
+:class:`~repro.core.verifier.WorkItem`), so a sub-region's PGD stream never
+depends on which thread processes it or on pool scheduling.  This replaces
+the earlier per-worker generator pool, whose overflow fallback could hand
+several workers the same seed-0 stream — a silent reproducibility hole that
+is now structurally impossible.
 
 Semantics match the sequential :class:`~repro.core.verifier.Verifier`:
 sound, δ-complete, same budgets.  Work-item *order* differs, so when a
@@ -16,27 +26,26 @@ sequential run — both are valid by Theorem 5.4.
 
 from __future__ import annotations
 
+import math
 import threading
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 
 import numpy as np
 
-from repro.abstract.analyzer import analyze
-from repro.abstract.domains import INTERVAL
 from repro.attack.objective import MarginObjective
-from repro.attack.pgd import PGDConfig, pgd_minimize
+from repro.attack.pgd import PGDConfig
 from repro.core.config import VerifierConfig
 from repro.core.policy import VerificationPolicy, default_policy
 from repro.core.property import RobustnessProperty
 from repro.core.results import Falsified, Timeout, Verified, VerificationStats
+from repro.core.verifier import WorkItem, batched_sweep, root_item
 from repro.nn.network import Network
-from repro.utils.boxes import Box
-from repro.utils.rng import as_generator, spawn
+from repro.utils.rng import as_generator
 from repro.utils.timing import Deadline, Stopwatch
 
 
 class ParallelVerifier:
-    """Algorithm 1 with a worker pool over sub-regions."""
+    """Algorithm 1 with a worker pool over frontier chunks."""
 
     def __init__(
         self,
@@ -54,6 +63,20 @@ class ParallelVerifier:
         self.workers = workers
         self._rng = as_generator(rng)
 
+    def _chunk(self, items: list[WorkItem]) -> list[list[WorkItem]]:
+        """Split child items into worker chunks.
+
+        Chunks are capped at ``config.batch_size`` (the batched kernels'
+        sweep width) but shrink when work is scarce so every worker stays
+        busy while the frontier is still fanning out.
+        """
+        if not items:
+            return []
+        size = max(
+            1, min(self.config.batch_size, math.ceil(len(items) / self.workers))
+        )
+        return [items[i : i + size] for i in range(0, len(items), size)]
+
     def verify(self, prop: RobustnessProperty):
         config = self.config
         stats = VerificationStats()
@@ -61,79 +84,18 @@ class ParallelVerifier:
         deadline = Deadline(config.timeout)
         watch = Stopwatch().start()
         objective = MarginObjective(self.network, prop.label)
+        # PGD exits early once it drops to δ: anything at or below δ is
+        # already a δ-counterexample.
         pgd_config = PGDConfig(
             steps=config.pgd.steps,
             restarts=config.pgd.restarts,
             step_fraction=config.pgd.step_fraction,
             stop_below=config.delta,
         )
-        # Pre-spawned per-worker RNG streams keep runs reproducible
-        # regardless of thread scheduling.
-        worker_rngs = spawn(self._rng, self.workers)
-        rng_pool: list[np.random.Generator] = list(worker_rngs)
-        rng_lock = threading.Lock()
 
         failure: dict = {}
         failure_lock = threading.Lock()
         stop_event = threading.Event()
-
-        def process(item: tuple[Box, int]) -> list[tuple[Box, int]]:
-            """One Algorithm-1 step; returns child work items."""
-            region, depth = item
-            if stop_event.is_set():
-                return []
-            if deadline.expired():
-                _record_failure(Timeout("wall clock", stats))
-                return []
-            with rng_lock:
-                gen = rng_pool.pop() if rng_pool else np.random.default_rng(0)
-            try:
-                sub_prop = prop.with_region(region)
-                x_star, f_star = pgd_minimize(
-                    objective, region, pgd_config, gen, deadline
-                )
-                with stats_lock:
-                    stats.pgd_calls += 1
-                    stats.max_depth_reached = max(stats.max_depth_reached, depth)
-                if f_star <= config.delta:
-                    _record_failure(Falsified(x_star, f_star, stats))
-                    return []
-                domain = self.policy.choose_domain(
-                    self.network, sub_prop, x_star, f_star
-                )
-                if region.is_degenerate():
-                    domain = INTERVAL
-                with stats_lock:
-                    stats.analyze_calls += 1
-                    stats.record_domain(domain.short_name)
-                try:
-                    result = analyze(
-                        self.network, region, prop.label, domain, deadline
-                    )
-                except TimeoutError:
-                    _record_failure(Timeout("wall clock", stats))
-                    return []
-                if result.verified:
-                    return []
-                if depth >= config.max_depth:
-                    _record_failure(Timeout("split depth", stats))
-                    return []
-                choice = self.policy.choose_split(
-                    self.network, sub_prop, x_star, f_star
-                )
-                try:
-                    left, right = region.split_interior(
-                        choice.dim, choice.value, config.min_split_fraction
-                    )
-                except ValueError:
-                    _record_failure(Timeout("degenerate region", stats))
-                    return []
-                with stats_lock:
-                    stats.splits += 1
-                return [(left, depth + 1), (right, depth + 1)]
-            finally:
-                with rng_lock:
-                    rng_pool.append(gen)
 
         def _record_failure(outcome) -> None:
             with failure_lock:
@@ -141,14 +103,41 @@ class ParallelVerifier:
                     failure["outcome"] = outcome
             stop_event.set()
 
+        def process(chunk: list[WorkItem]) -> list[WorkItem]:
+            """One batched Algorithm-1 sweep; returns child work items."""
+            if stop_event.is_set():
+                return []
+            if deadline.expired():
+                _record_failure(Timeout("wall clock", stats))
+                return []
+            try:
+                terminal, pairs, sweep = batched_sweep(
+                    self.network, self.policy, config, objective,
+                    pgd_config, prop, chunk, deadline,
+                )
+            except TimeoutError:
+                _record_failure(Timeout("wall clock", stats))
+                return []
+            with stats_lock:
+                stats.merge(sweep)
+            if terminal is not None:
+                if terminal[0] == "falsified":
+                    _record_failure(Falsified(terminal[1], terminal[2], stats))
+                else:
+                    _record_failure(Timeout(terminal[1], stats))
+                return []
+            return [child for pair in pairs for child in pair]
+
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            pending = {pool.submit(process, (prop.region, 0))}
+            pending = {pool.submit(process, [root_item(prop.region, self._rng)])}
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                children: list[WorkItem] = []
                 for future in done:
-                    for child in future.result():
-                        if not stop_event.is_set():
-                            pending.add(pool.submit(process, child))
+                    children.extend(future.result())
+                if not stop_event.is_set():
+                    for chunk in self._chunk(children):
+                        pending.add(pool.submit(process, chunk))
                 if stop_event.is_set() and not pending:
                     break
 

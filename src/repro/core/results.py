@@ -29,6 +29,16 @@ class VerificationStats:
     def record_domain(self, name: str) -> None:
         self.domains_used[name] += 1
 
+    def merge(self, other: "VerificationStats") -> None:
+        """Fold another stats bag into this one (used per frontier sweep)."""
+        self.pgd_calls += other.pgd_calls
+        self.analyze_calls += other.analyze_calls
+        self.splits += other.splits
+        self.max_depth_reached = max(
+            self.max_depth_reached, other.max_depth_reached
+        )
+        self.domains_used.update(other.domains_used)
+
 
 @dataclass(frozen=True)
 class Verified:

@@ -1,7 +1,8 @@
 """Algorithm 1: the sound and δ-complete decision procedure.
 
-Work items are (region, depth) pairs on an explicit stack (equivalent to the
-paper's recursion, but immune to Python's recursion limit).  Per item:
+Work items are (region, depth, seed) triples on an explicit stack
+(equivalent to the paper's recursion, but immune to Python's recursion
+limit).  Per item:
 
 1. **Minimize** — PGD searches the region for a counterexample; if
    ``F(x*) <= δ`` the property is falsified with witness ``x*`` (Eq. 4,
@@ -15,16 +16,33 @@ paper's recursion, but immune to Python's recursion limit).  Per item:
 The property is verified when the stack drains.  δ-completeness: if the
 outcome is not Verified (and budgets have not run out), the returned point
 satisfies ``F(x*) <= δ`` — Theorem 5.4's guarantee, checked by our tests.
+
+Randomness is attached to the *work item*, not the verifier: every item
+carries a :class:`numpy.random.SeedSequence` and spawns child sequences for
+its PGD call and its two split halves.  A sub-region's random stream is
+therefore a pure function of its path from the root, which is what lets the
+frontier-based :class:`BatchedVerifier` (and the thread pool in
+:mod:`repro.core.parallel`) process items in any order — or many at once —
+and still reproduce the sequential engine's per-region results.
+
+:class:`BatchedVerifier` is the GEMM-shaped engine: it restructures the
+stack into a frontier that pops up to ``config.batch_size`` items per
+sweep, runs one batched Minimize and one batched Analyze over all of them
+(§6's "independent sub-region analyses"), and pushes every resulting split.
+Soundness, δ-completeness, budgets, and statistics semantics are identical
+to :class:`Verifier`; differences are traversal order and BLAS round-off.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
-from repro.abstract.analyzer import analyze
-from repro.abstract.domains import INTERVAL
+from repro.abstract.analyzer import analyze, analyze_batch
+from repro.abstract.domains import INTERVAL, DomainSpec
 from repro.attack.objective import MarginObjective
-from repro.attack.pgd import PGDConfig, pgd_minimize
+from repro.attack.pgd import PGDConfig, pgd_minimize, pgd_minimize_batch
 from repro.core.config import VerifierConfig
 from repro.core.policy import VerificationPolicy, default_policy
 from repro.core.property import RobustnessProperty
@@ -33,6 +51,131 @@ from repro.nn.network import Network
 from repro.utils.boxes import Box
 from repro.utils.rng import as_generator
 from repro.utils.timing import Deadline, Stopwatch
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One sub-problem of the refinement recursion.
+
+    The seed sequence is spawned exactly once (see :meth:`derive_seeds`)
+    into the PGD stream and the two child sequences, making every
+    sub-region's randomness a pure function of its path from the root.
+    """
+
+    region: Box
+    depth: int
+    seed: np.random.SeedSequence
+
+    def derive_seeds(
+        self,
+    ) -> tuple[np.random.Generator, np.random.SeedSequence, np.random.SeedSequence]:
+        """``(pgd_rng, left_seed, right_seed)`` for this item."""
+        pgd_seq, left_seq, right_seq = self.seed.spawn(3)
+        return np.random.default_rng(pgd_seq), left_seq, right_seq
+
+
+def root_item(
+    region: Box, rng: np.random.Generator
+) -> WorkItem:
+    """The root work item, seeded deterministically from ``rng``."""
+    entropy = int(rng.integers(0, 2**63 - 1))
+    return WorkItem(region, 0, np.random.SeedSequence(entropy))
+
+
+def batched_sweep(
+    network: Network,
+    policy: VerificationPolicy,
+    config: VerifierConfig,
+    objective: MarginObjective,
+    pgd_config: PGDConfig,
+    prop: RobustnessProperty,
+    items: list[WorkItem],
+    deadline: Deadline | None,
+) -> tuple["tuple | None", list[tuple[WorkItem, WorkItem]], VerificationStats]:
+    """One Algorithm-1 sweep over a frontier batch (items[0] = DFS-first).
+
+    Runs one batched Minimize over all items, one batched Analyze per
+    chosen-domain group, and refines every unverified item.  Returns
+    ``(terminal, child_pairs, sweep_stats)`` — the shared kernel of
+    :class:`BatchedVerifier` and the parallel engine's worker chunks, so
+    the two can never drift apart semantically.  May raise
+    :class:`TimeoutError` from the analyzer's deadline checks.
+    """
+    sweep = VerificationStats()
+    count = len(items)
+    seeds = [item.derive_seeds() for item in items]
+    sub_props = [prop.with_region(item.region) for item in items]
+
+    # --- 1. Batched Minimize ---------------------------------------------
+    x_stars, f_stars = pgd_minimize_batch(
+        objective,
+        [item.region for item in items],
+        pgd_config,
+        [pgd_rng for pgd_rng, _, _ in seeds],
+        deadline,
+    )
+    sweep.pgd_calls = count
+    sweep.max_depth_reached = max(item.depth for item in items)
+    for idx in range(count):
+        if f_stars[idx] <= config.delta:
+            return ("falsified", x_stars[idx], float(f_stars[idx])), [], sweep
+
+    # --- 2. Batched Analyze, grouped by chosen domain --------------------
+    domains: list[DomainSpec] = []
+    for idx, item in enumerate(items):
+        domain = policy.choose_domain(
+            network, sub_props[idx], x_stars[idx], float(f_stars[idx])
+        )
+        if item.region.is_degenerate():
+            # A point region: the interval domain is exact on it, so this
+            # branch always resolves (F(x*) > δ implies the margin at the
+            # point is positive).
+            domain = INTERVAL
+        domains.append(domain)
+        sweep.analyze_calls += 1
+        sweep.record_domain(domain.short_name)
+    groups: dict[DomainSpec, list[int]] = {}
+    for idx, domain in enumerate(domains):
+        groups.setdefault(domain, []).append(idx)
+    results: list = [None] * count
+    for domain, idxs in groups.items():
+        analyses = analyze_batch(
+            network,
+            [items[i].region for i in idxs],
+            prop.label,
+            domain,
+            deadline,
+        )
+        for i, analysis in zip(idxs, analyses):
+            results[i] = analysis
+
+    # --- 3. Refine every unverified item ---------------------------------
+    pairs: list[tuple[WorkItem, WorkItem]] = []
+    for idx, item in enumerate(items):
+        if results[idx].verified:
+            continue
+        if item.depth >= config.max_depth:
+            return ("timeout", "split depth"), [], sweep
+        choice = policy.choose_split(
+            network, sub_props[idx], x_stars[idx], float(f_stars[idx])
+        )
+        try:
+            left, right = item.region.split_interior(
+                choice.dim, choice.value, config.min_split_fraction
+            )
+        except ValueError:
+            # Region width below float resolution yet analysis still
+            # fails: no further refinement is possible.
+            return ("timeout", "degenerate region"), [], sweep
+        sweep.splits += 1
+        _, left_seq, right_seq = seeds[idx]
+        pairs.append(
+            (
+                WorkItem(left, item.depth + 1, left_seq),
+                WorkItem(right, item.depth + 1, right_seq),
+            )
+        )
+    return None, pairs, sweep
 
 
 class Verifier:
@@ -50,6 +193,17 @@ class Verifier:
         self.config = config or VerifierConfig()
         self._rng = as_generator(rng)
 
+    def _pgd_config(self) -> PGDConfig:
+        # PGD exits early once it drops to δ: anything at or below δ is
+        # already a δ-counterexample.
+        pgd = self.config.pgd
+        return PGDConfig(
+            steps=pgd.steps,
+            restarts=pgd.restarts,
+            step_fraction=pgd.step_fraction,
+            stop_below=self.config.delta,
+        )
+
     def verify(self, prop: RobustnessProperty):
         """Decide the robustness property; see the module docstring."""
         config = self.config
@@ -57,28 +211,23 @@ class Verifier:
         deadline = Deadline(config.timeout)
         watch = Stopwatch().start()
         objective = MarginObjective(self.network, prop.label)
-        # PGD exits early once it drops to δ: anything at or below δ is
-        # already a δ-counterexample.
-        pgd_config = PGDConfig(
-            steps=config.pgd.steps,
-            restarts=config.pgd.restarts,
-            step_fraction=config.pgd.step_fraction,
-            stop_below=config.delta,
-        )
+        pgd_config = self._pgd_config()
 
-        stack: list[tuple[Box, int]] = [(prop.region, 0)]
+        stack: list[WorkItem] = [root_item(prop.region, self._rng)]
         try:
             while stack:
                 if deadline.expired():
                     stats.time_seconds = watch.stop()
                     return Timeout("wall clock", stats)
-                region, depth = stack.pop()
+                item = stack.pop()
+                region, depth = item.region, item.depth
                 stats.max_depth_reached = max(stats.max_depth_reached, depth)
                 sub_prop = prop.with_region(region)
+                pgd_rng, left_seq, right_seq = item.derive_seeds()
 
                 # --- 1. Minimize -----------------------------------------
                 x_star, f_star = pgd_minimize(
-                    objective, region, pgd_config, self._rng, deadline
+                    objective, region, pgd_config, pgd_rng, deadline
                 )
                 stats.pgd_calls += 1
                 if f_star <= config.delta:
@@ -119,11 +268,72 @@ class Verifier:
                     stats.time_seconds = watch.stop()
                     return Timeout("degenerate region", stats)
                 stats.splits += 1
-                stack.append((right, depth + 1))
-                stack.append((left, depth + 1))
+                stack.append(WorkItem(right, depth + 1, right_seq))
+                stack.append(WorkItem(left, depth + 1, left_seq))
         except TimeoutError:
             stats.time_seconds = watch.stop()
             return Timeout("wall clock", stats)
+
+        stats.time_seconds = watch.stop()
+        return Verified(stats)
+
+
+class BatchedVerifier(Verifier):
+    """Algorithm 1 over a frontier of sub-regions, batched per sweep.
+
+    Pops up to ``config.batch_size`` items from the refinement frontier,
+    runs **one** batched PGD minimization and **one** batched abstract
+    interpretation per domain group over all of them, then pushes every
+    resulting split.  Children are pushed so the frontier preserves the
+    sequential engine's depth-first orientation (the first popped item's
+    left child ends on top), making the traversal a DFS with a
+    ``batch_size``-wide lookahead.
+
+    Because work-item randomness is path-keyed (see :class:`WorkItem`),
+    each sub-region's PGD search matches the sequential engine's per-region
+    arithmetic; outcomes and witnesses agree up to BLAS kernel round-off.
+    Terminal sweeps may have minimized a few frontier companions the
+    sequential engine would never have reached — order-only, speculative
+    work that the statistics count honestly.
+    """
+
+    def verify(self, prop: RobustnessProperty):
+        config = self.config
+        stats = VerificationStats()
+        deadline = Deadline(config.timeout)
+        watch = Stopwatch().start()
+        objective = MarginObjective(self.network, prop.label)
+        pgd_config = self._pgd_config()
+
+        def finish(outcome_cls, *args):
+            stats.time_seconds = watch.stop()
+            return outcome_cls(*args, stats)
+
+        frontier: list[WorkItem] = [root_item(prop.region, self._rng)]
+        try:
+            while frontier:
+                if deadline.expired():
+                    return finish(Timeout, "wall clock")
+                count = min(config.batch_size, len(frontier))
+                # items[0] is the stack top: the item the sequential
+                # engine would pop next.
+                items = [frontier.pop() for _ in range(count)]
+                terminal, pairs, sweep = batched_sweep(
+                    self.network, self.policy, config, objective,
+                    pgd_config, prop, items, deadline,
+                )
+                stats.merge(sweep)
+                if terminal is not None:
+                    if terminal[0] == "falsified":
+                        return finish(Falsified, terminal[1], terminal[2])
+                    return finish(Timeout, terminal[1])
+                # Reverse push order keeps the DFS orientation: the first
+                # popped item's left child ends on top of the frontier.
+                for left_item, right_item in reversed(pairs):
+                    frontier.append(right_item)
+                    frontier.append(left_item)
+        except TimeoutError:
+            return finish(Timeout, "wall clock")
 
         stats.time_seconds = watch.stop()
         return Verified(stats)
@@ -138,3 +348,14 @@ def verify(
 ):
     """One-shot convenience wrapper around :class:`Verifier`."""
     return Verifier(network, policy, config, rng).verify(prop)
+
+
+def verify_batched(
+    network: Network,
+    prop: RobustnessProperty,
+    policy: VerificationPolicy | None = None,
+    config: VerifierConfig | None = None,
+    rng: int | np.random.Generator | None = None,
+):
+    """One-shot convenience wrapper around :class:`BatchedVerifier`."""
+    return BatchedVerifier(network, policy, config, rng).verify(prop)

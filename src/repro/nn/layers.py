@@ -45,6 +45,16 @@ class Layer:
     ) -> tuple[np.ndarray, list[np.ndarray]]:
         raise NotImplementedError
 
+    def backward_input(self, cache: Any, grad_out: np.ndarray) -> np.ndarray:
+        """Input gradient only, skipping parameter-gradient work.
+
+        Inference-time consumers (PGD, the influence feature) never read the
+        parameter gradients, and for dense/conv layers those cost as much as
+        the input gradient itself.  The default falls back to
+        :meth:`backward`; layers with parameters override it.
+        """
+        return self.backward(cache, grad_out)[0]
+
     @property
     def is_linear(self) -> bool:
         """True when the layer computes an affine map of its input."""
@@ -119,6 +129,9 @@ class Dense(Layer):
         grad_w = grad_out.T @ x
         grad_b = grad_out.sum(axis=0)
         return grad_in, [grad_w, grad_b]
+
+    def backward_input(self, cache: Any, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out @ self.weight
 
 
 class ReLU(Layer):
@@ -308,6 +321,17 @@ class Conv2d(Layer):
             grad_cols, x_shape[1:], kh, kw, self.stride, self.padding
         )
         return grad_in, [grad_w, grad_b]
+
+    def backward_input(self, cache: Any, grad_out: np.ndarray) -> np.ndarray:
+        _, x_shape = cache
+        n, out_c = grad_out.shape[0], grad_out.shape[1]
+        _, in_c, kh, kw = self.weight.shape
+        grad_flat = grad_out.reshape(n, out_c, -1)
+        w_mat = self.weight.reshape(out_c, in_c * kh * kw)
+        grad_cols = np.einsum("oc,nop->ncp", w_mat, grad_flat)
+        return _col2im(
+            grad_cols, x_shape[1:], kh, kw, self.stride, self.padding
+        )
 
 
 class MaxPool2d(Layer):

@@ -19,10 +19,11 @@ invalidates the cache.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from weakref import WeakKeyDictionary
 
 import numpy as np
 
-from repro.nn.layers import Conv2d, Dense, Flatten, Layer, MaxPool2d, ReLU
+from repro.nn.layers import Conv2d, Dense, Flatten, Layer, MaxPool2d, ReLU, _conv_out_hw
 
 
 @dataclass(frozen=True)
@@ -73,16 +74,109 @@ Op = "AffineOp | ReluOp | MaxPoolOp"
 
 
 def _affine_of_linear_layer(
-    layer: Layer, in_shape: tuple[int, ...]
+    layer: Layer, in_shape: tuple[int, ...], chunk: int = 256
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Materialize any affine layer as ``(W, b)`` by probing basis vectors."""
+    """Materialize any affine layer as ``(W, b)`` by probing basis vectors.
+
+    Probes in ``chunk``-column slabs so peak memory is ``O(chunk · n_in)``
+    instead of the ``O(n_in²)`` a one-shot ``np.eye(n_in)`` basis needs.
+    Kept as the architecture-agnostic fallback; convolutions take the
+    direct :func:`_affine_of_conv` construction instead.
+    """
     n_in = int(np.prod(in_shape))
     zero = np.zeros((1, *in_shape))
     bias = layer.forward(zero).reshape(-1)
-    basis = np.eye(n_in).reshape(n_in, *in_shape)
-    images = layer.forward(basis).reshape(n_in, -1)
-    weight = images.T - bias[:, None]
+    weight = np.empty((bias.size, n_in))
+    for start in range(0, n_in, chunk):
+        stop = min(start + chunk, n_in)
+        basis = np.zeros((stop - start, n_in))
+        basis[np.arange(stop - start), np.arange(start, stop)] = 1.0
+        images = layer.forward(basis.reshape(-1, *in_shape))
+        weight[:, start:stop] = images.reshape(stop - start, -1).T - bias[:, None]
     return weight, bias
+
+
+def _affine_of_conv(
+    layer: Conv2d, in_shape: tuple[int, ...]
+) -> tuple[np.ndarray, np.ndarray]:
+    """The dense affine form of a convolution, built from kernel indices.
+
+    Instead of probing an ``n_in``-vector basis through ``forward`` (an
+    O(n_in · nnz) sweep with an O(n_in²) scratch basis), scatter each of
+    the ``kh · kw`` kernel taps into the weight matrix directly — O(nnz)
+    work and exact kernel values, no float subtraction residue.
+    """
+    if len(in_shape) != 3:
+        raise ValueError(f"Conv2d lowering requires (C, H, W) input, got {in_shape}")
+    c_in, h, w = in_shape
+    out_c, k_in, kh, kw = layer.weight.shape
+    if c_in != k_in:
+        raise ValueError(f"Conv2d expects {k_in} channels, got {c_in}")
+    stride, padding = layer.stride, layer.padding
+    out_h, out_w = _conv_out_hw(h, w, kh, kw, stride, padding)
+    n_in = c_in * h * w
+    n_out = out_c * out_h * out_w
+    weight = np.zeros((n_out, n_in))
+    w6 = weight.reshape(out_c, out_h, out_w, c_in, h, w)
+    oh = np.arange(out_h)
+    ow = np.arange(out_w)
+    for i in range(kh):
+        ih = oh * stride - padding + i
+        oh_ok = (ih >= 0) & (ih < h)
+        if not oh_ok.any():
+            continue
+        for j in range(kw):
+            iw = ow * stride - padding + j
+            ow_ok = (iw >= 0) & (iw < w)
+            if not ow_ok.any():
+                continue
+            # w6[o, oh, ow, c, ih, iw] = kernel[o, c, i, j] for every valid
+            # (oh, ow).  Output rows/input cols never collide within or
+            # across taps (distinct (oh, i) give distinct ih), so plain
+            # assignment is enough.  The advanced indices are separated by
+            # slices, so their broadcast axes lead the result: the target
+            # reads (oh, ow, out_c, c_in).
+            taps = layer.weight[None, None, :, :, i, j]
+            w6[
+                :,
+                oh[oh_ok, None],
+                ow[None, ow_ok],
+                :,
+                ih[oh_ok, None],
+                iw[None, ow_ok],
+            ] = np.broadcast_to(
+                taps, (int(oh_ok.sum()), int(ow_ok.sum()), out_c, c_in)
+            )
+    bias = np.repeat(layer.bias, out_h * out_w)
+    return weight, bias
+
+
+#: Lowered conv affine forms, keyed per layer object by the exact parameter
+#: bytes (training updates parameters in place, so identity alone is not a
+#: safe key).  Bounded per layer; geometry changes are rare.
+_CONV_AFFINE_CACHE: "WeakKeyDictionary[Conv2d, dict]" = WeakKeyDictionary()
+_CONV_CACHE_ENTRIES = 4
+
+
+def _conv_affine_cached(
+    layer: Conv2d, in_shape: tuple[int, ...]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Memoized :func:`_affine_of_conv` per ``(layer, in_shape, params)``."""
+    per_layer = _CONV_AFFINE_CACHE.setdefault(layer, {})
+    key = (
+        in_shape,
+        layer.stride,
+        layer.padding,
+        layer.weight.tobytes(),
+        layer.bias.tobytes(),
+    )
+    hit = per_layer.get(key)
+    if hit is None:
+        if len(per_layer) >= _CONV_CACHE_ENTRIES:
+            per_layer.pop(next(iter(per_layer)))
+        hit = _affine_of_conv(layer, in_shape)
+        per_layer[key] = hit
+    return hit
 
 
 class Network:
@@ -220,6 +314,18 @@ class Network:
             param_grads[idx] = grads
         return grad, param_grads
 
+    def backward_input(self, caches: list, grad_out: np.ndarray) -> np.ndarray:
+        """Input gradient of the cached pass, skipping parameter gradients.
+
+        Verification-time backprop (PGD, policy features) never consumes
+        parameter gradients, and for affine layers computing them doubles the
+        backward cost; this path keeps only the input-gradient GEMMs.
+        """
+        grad = grad_out
+        for idx in range(len(self.layers) - 1, -1, -1):
+            grad = self.layers[idx].backward_input(caches[idx], grad)
+        return grad
+
     def input_gradient(self, x: np.ndarray, seed: np.ndarray) -> np.ndarray:
         """Gradient of ``seed · N(x)`` w.r.t. a single flat input ``x``.
 
@@ -233,7 +339,7 @@ class Network:
             )
         out, caches = self.forward_cached(x)
         grad_out = np.broadcast_to(seed, out.shape).copy()
-        grad_in, _ = self.backward(caches, grad_out)
+        grad_in = self.backward_input(caches, grad_out)
         return grad_in.reshape(-1)
 
     # ------------------------------------------------------------------
@@ -276,8 +382,11 @@ class Network:
             if isinstance(layer, Dense):
                 ops.append(AffineOp(layer.weight.copy(), layer.bias.copy()))
             elif isinstance(layer, Conv2d):
-                weight, bias = _affine_of_linear_layer(layer, in_shape)
-                ops.append(AffineOp(weight, bias))
+                weight, bias = _conv_affine_cached(layer, in_shape)
+                # Copies keep the ops contract uniform with the Dense
+                # branch: callers own their arrays, the shared cache stays
+                # pristine.
+                ops.append(AffineOp(weight.copy(), bias.copy()))
             elif isinstance(layer, ReLU):
                 ops.append(ReluOp(size=n_in))
             elif isinstance(layer, MaxPool2d):
@@ -288,6 +397,11 @@ class Network:
                 )
             elif isinstance(layer, Flatten):
                 continue
+            elif layer.is_linear:
+                # Architecture-agnostic fallback: any affine layer can be
+                # materialized by probing basis vectors through forward().
+                weight, bias = _affine_of_linear_layer(layer, in_shape)
+                ops.append(AffineOp(weight, bias))
             else:
                 raise TypeError(
                     f"no analyzer lowering for layer type {type(layer).__name__}"

@@ -1,0 +1,153 @@
+"""Batched analysis must match per-region analysis, region by region.
+
+Tolerances: the batched interval/DeepPoly paths run the same arithmetic as
+the sequential elements but through GEMMs whose BLAS reduction order depends
+on operand shapes, so "bitwise" equality across batch widths is physically
+unattainable; observed drift is a few ulps and the assertions below bound it
+at 1e-12 (interval) and 1e-9 (DeepPoly).  Domains that fall back to the
+per-region loop (zonotope, powerset, symbolic) must match exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.abstract.analyzer import analyze, analyze_batch
+from repro.abstract.domains import (
+    DEEPPOLY,
+    INTERVAL,
+    SYMBOLIC,
+    ZONOTOPE,
+    bounded_zonotopes,
+)
+from repro.nn.builders import lenet_conv, mlp, xor_network
+from repro.utils.boxes import Box
+
+
+def _regions(seed: int, count: int, n: int, lo=-0.6, hi=0.6) -> list[Box]:
+    rng = np.random.default_rng(seed)
+    return [
+        Box.from_center_radius(
+            rng.uniform(lo, hi, n), float(rng.uniform(0.01, 0.3))
+        )
+        for _ in range(count)
+    ]
+
+
+class TestIntervalBatch:
+    def test_bounds_match_per_region(self):
+        net = mlp(6, [14, 10], 4, rng=0)
+        regions = _regions(1, 6, 6)
+        batch = analyze_batch(net, regions, 2, INTERVAL)
+        for i, region in enumerate(regions):
+            single = analyze(net, region, 2, INTERVAL)
+            assert batch[i].verified == single.verified
+            assert batch[i].margin_lower_bound == pytest.approx(
+                single.margin_lower_bound, abs=1e-12
+            )
+            lo_b, hi_b = batch[i].output.bounds()
+            lo_s, hi_s = single.output.bounds()
+            np.testing.assert_allclose(lo_b, lo_s, atol=1e-12)
+            np.testing.assert_allclose(hi_b, hi_s, atol=1e-12)
+
+    def test_conv_with_maxpool(self):
+        net = lenet_conv(input_shape=(1, 8, 8), num_classes=4, rng=0)
+        regions = _regions(2, 3, net.input_size, lo=0.2, hi=0.8)
+        batch = analyze_batch(net, regions, 1, INTERVAL)
+        for i, region in enumerate(regions):
+            single = analyze(net, region, 1, INTERVAL)
+            assert batch[i].verified == single.verified
+            assert batch[i].margin_lower_bound == pytest.approx(
+                single.margin_lower_bound, abs=1e-10
+            )
+
+    def test_soundness_on_samples(self):
+        net = mlp(4, [12], 3, rng=3)
+        regions = _regions(4, 4, 4)
+        batch = analyze_batch(net, regions, 0, INTERVAL)
+        rng = np.random.default_rng(0)
+        for i, region in enumerate(regions):
+            lo, hi = batch[i].output.bounds()
+            for x in region.sample(rng, 50):
+                y = net.logits(x)
+                assert np.all(y >= lo - 1e-9) and np.all(y <= hi + 1e-9)
+
+
+class TestDeepPolyBatch:
+    def test_bounds_match_per_region(self):
+        net = mlp(6, [14, 12, 8], 4, rng=1)
+        regions = _regions(5, 6, 6)
+        batch = analyze_batch(net, regions, 3, DEEPPOLY)
+        for i, region in enumerate(regions):
+            single = analyze(net, region, 3, DEEPPOLY)
+            assert batch[i].verified == single.verified
+            assert batch[i].margin_lower_bound == pytest.approx(
+                single.margin_lower_bound, abs=1e-9
+            )
+            lo_b, hi_b = batch[i].output.bounds()
+            lo_s, hi_s = single.output.bounds()
+            np.testing.assert_allclose(lo_b, lo_s, atol=1e-9)
+            np.testing.assert_allclose(hi_b, hi_s, atol=1e-9)
+
+    def test_conv_with_maxpool(self):
+        net = lenet_conv(input_shape=(1, 8, 8), num_classes=4, rng=1)
+        regions = _regions(6, 3, net.input_size, lo=0.2, hi=0.8)
+        batch = analyze_batch(net, regions, 2, DEEPPOLY)
+        for i, region in enumerate(regions):
+            single = analyze(net, region, 2, DEEPPOLY)
+            assert batch[i].verified == single.verified
+            assert batch[i].margin_lower_bound == pytest.approx(
+                single.margin_lower_bound, abs=1e-9
+            )
+
+    def test_soundness_on_samples(self):
+        net = mlp(4, [10, 10], 3, rng=2)
+        regions = _regions(7, 3, 4)
+        batch = analyze_batch(net, regions, 1, DEEPPOLY)
+        rng = np.random.default_rng(1)
+        for i, region in enumerate(regions):
+            lo, hi = batch[i].output.bounds()
+            for x in region.sample(rng, 50):
+                y = net.logits(x)
+                assert np.all(y >= lo - 1e-9) and np.all(y <= hi + 1e-9)
+
+
+class TestFallbackDomains:
+    @pytest.mark.parametrize(
+        "domain", [ZONOTOPE, bounded_zonotopes(2), SYMBOLIC], ids=str
+    )
+    def test_exactly_matches_per_region(self, domain):
+        net = mlp(5, [12, 10], 3, rng=4)
+        regions = _regions(8, 4, 5)
+        batch = analyze_batch(net, regions, 1, domain)
+        for i, region in enumerate(regions):
+            single = analyze(net, region, 1, domain)
+            assert batch[i].verified == single.verified
+            assert batch[i].margin_lower_bound == single.margin_lower_bound
+
+
+class TestBatchOfOne:
+    @pytest.mark.parametrize("domain", [INTERVAL, DEEPPOLY], ids=str)
+    def test_single_region_batch(self, domain):
+        net = xor_network()
+        region = Box(np.array([0.3, 0.3]), np.array([0.7, 0.7]))
+        batch = analyze_batch(net, [region], 1, domain)
+        single = analyze(net, region, 1, domain)
+        assert len(batch) == 1
+        assert batch[0].verified == single.verified
+        assert batch[0].margin_lower_bound == pytest.approx(
+            single.margin_lower_bound, abs=1e-12
+        )
+
+
+class TestValidation:
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_batch(xor_network(), [], 0, INTERVAL)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_batch(xor_network(), [Box.unit(3)], 0, INTERVAL)
+
+    def test_label_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_batch(xor_network(), [Box.unit(2)], 5, INTERVAL)

