@@ -25,6 +25,11 @@ The ``deeppoly_policy`` suite exercises the fully-batched analysis path;
 bounded zonotope powersets, whose data-dependent case splits fall back to
 the per-region loop, so its ratio isolates batched-PGD + frontier gains).
 
+Runs *append* to the trajectory list in the output file (legacy
+single-report files are wrapped into a one-entry trajectory first), so the
+baseline file accumulates the perf history across PRs instead of losing it
+on every rerun.  Each entry carries a ``recorded_unix`` timestamp.
+
 Usage::
 
     PYTHONPATH=src python scripts/perf_baseline.py [--quick] [--out PATH]
@@ -263,9 +268,36 @@ def main(argv=None):
     }
 
     out = Path(args.out)
-    out.write_text(json.dumps(report, indent=2) + "\n")
+    append_trajectory(out, "batched_engine_baseline", report)
     print(f"wrote {out}")
     return 0
+
+
+def append_trajectory(out: Path, bench_name: str, report: dict) -> None:
+    """Append ``report`` to the trajectory list in ``out``.
+
+    A legacy file holding one bare report becomes the trajectory's first
+    entry; an unreadable file is replaced (after all, the trajectory is a
+    measurement log, not a source of truth).
+    """
+    report = dict(report)
+    report["recorded_unix"] = round(time.time(), 3)
+    trajectory = []
+    if out.exists():
+        try:
+            existing = json.loads(out.read_text())
+        except ValueError:
+            existing = None
+        if isinstance(existing, dict):
+            if isinstance(existing.get("trajectory"), list):
+                trajectory = existing["trajectory"]
+            elif existing.get("bench") == bench_name:
+                trajectory = [existing]
+    trajectory.append(report)
+    out.write_text(
+        json.dumps({"bench": bench_name, "trajectory": trajectory}, indent=2)
+        + "\n"
+    )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,207 @@
+"""Perf baseline for the multi-property scheduler -> BENCH_sched.json.
+
+Measures what the scheduler exists for: the throughput ratio between
+**single-property** execution (each fig06 property through its own solo
+``BatchedVerifier``, the scheduler's ``sequential`` engine) and
+**cross-property** execution (all properties of the suite through one
+shared frontier, the ``batched`` engine) at the *same* ``batch_size`` —
+so the ratio isolates batch-slot filling, not kernel changes.  Outcomes
+are asserted identical per job (the scheduler's reproducibility contract).
+
+The workload is deterministic: no wall-clock timeout, bounded by the split
+depth cap instead.  Depth-cap timeouts are scheduling-independent, so the
+total work is *fixed* — the ratio is a pure wall-clock comparison and the
+trajectory stays comparable across machines and PRs.
+
+Also records the cache round-trip: a second scheduler run against a warm
+persistent cache must serve every decided job with zero fused sweeps.
+
+Like ``perf_baseline.py``, runs append to a trajectory list in the output
+file, accumulating the perf history across PRs.
+
+Usage::
+
+    PYTHONPATH=src python scripts/sched_baseline.py [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import platform
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from perf_baseline import append_trajectory
+from repro.abstract.domains import DEEPPOLY
+from repro.bench.suites import SuiteScale, build_network, build_problems
+from repro.core.config import VerifierConfig
+from repro.core.policy import BisectionPolicy
+from repro.learn.pretrained import pretrained_policy
+from repro.sched import ResultCache, Scheduler, VerificationJob
+
+MLP_NETWORKS = (
+    "mnist_3x100",
+    "mnist_6x100",
+    "mnist_9x200",
+    "cifar_3x100",
+    "cifar_6x100",
+    "cifar_9x100",
+)
+
+
+def build_jobs(problems, networks, policy, config, seed=0):
+    """One scheduler job per benchmark problem."""
+    return [
+        VerificationJob(
+            networks[problem.network_name],
+            problem.prop,
+            config=config,
+            policy=policy,
+            seed=seed,
+            name=problem.prop.name,
+        )
+        for problem in problems
+    ]
+
+
+def summarize(report):
+    counts = report.outcome_counts()
+    return {
+        "wall_clock_s": round(report.wall_clock, 3),
+        "outcomes": counts,
+        "fresh_calls": report.fresh_calls(),
+        "throughput_per_s": round(report.throughput(), 1),
+        "sweeps": report.sweeps,
+        "swept_items": report.swept_items,
+        "final_batch_target": report.final_batch_target,
+    }
+
+
+def outcomes_agree(a, b) -> bool:
+    for ra, rb in zip(a.results, b.results):
+        if ra.outcome.kind != rb.outcome.kind:
+            return False
+        if ra.outcome.kind == "falsified" and not np.array_equal(
+            ra.outcome.counterexample, rb.outcome.counterexample
+        ):
+            return False
+    return True
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="one network, fewer problems (smoke run; not the baseline)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_sched.json", help="output JSON path"
+    )
+    args = parser.parse_args(argv)
+
+    scale = SuiteScale()
+    names = MLP_NETWORKS[:1] if args.quick else MLP_NETWORKS
+    count = 4 if args.quick else 8
+    config = VerifierConfig(timeout=None, max_depth=10, batch_size=16)
+    # The learned policy mostly selects bounded zonotope powersets, whose
+    # per-region analyses are orders of magnitude slower than DeepPoly's
+    # batched kernel; a lower depth cap keeps its deterministic workload
+    # baseline-sized without reintroducing wall-clock nondeterminism.
+    learned_config = VerifierConfig(timeout=None, max_depth=6, batch_size=16)
+
+    print(f"training {len(names)} networks ...", flush=True)
+    networks = {}
+    problems = []
+    for name in names:
+        bench_net = build_network(name, scale, seed=0)
+        networks[name] = bench_net.network
+        problems.extend(build_problems(bench_net, count=count, rng=13))
+    print(f"{len(problems)} problems", flush=True)
+
+    report = {
+        "bench": "sched_baseline",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "suite": {
+            "networks": list(names),
+            "problems": len(problems),
+            "max_depth": config.max_depth,
+            "batch_size": config.batch_size,
+        },
+        "engines": {},
+    }
+
+    # The learned-policy leg is figure parity, not the scheduler's perf
+    # story (powerset analyses dominate and fall back to per-region loops,
+    # so its ratio hovers near 1x); one network keeps it baseline-sized.
+    learned_problems = [p for p in problems if p.network_name == names[0]]
+    policies = {
+        "deeppoly_policy": (BisectionPolicy(domain=DEEPPOLY), config, problems),
+        "learned_policy": (
+            pretrained_policy(), learned_config, learned_problems,
+        ),
+    }
+    for policy_name, (policy, policy_config, policy_problems) in policies.items():
+        jobs = build_jobs(policy_problems, networks, policy, policy_config)
+        print(f"[{policy_name}] sequential (per-property) ...", flush=True)
+        seq = Scheduler(jobs, engine="sequential").run()
+        entry = {
+            "problems": len(jobs),
+            "max_depth": policy_config.max_depth,
+            "single_property": summarize(seq),
+            "cross_property": {},
+        }
+        for frontier in ("dfs", "priority", "fifo"):
+            print(f"[{policy_name}] batched ({frontier}) ...", flush=True)
+            bat = Scheduler(jobs, frontier=frontier).run()
+            summary = summarize(bat)
+            summary["outcomes_agree"] = outcomes_agree(seq, bat)
+            summary["throughput_ratio"] = round(
+                bat.throughput() / max(seq.throughput(), 1e-9), 2
+            )
+            entry["cross_property"][frontier] = summary
+            print(
+                f"  ratio {summary['throughput_ratio']}x, "
+                f"agree={summary['outcomes_agree']}", flush=True,
+            )
+        report["engines"][policy_name] = entry
+
+    # Cache round-trip: second run must do zero fresh work for decided jobs.
+    jobs = build_jobs(
+        problems, networks, policies["deeppoly_policy"][0], config
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(tmp)
+        first = Scheduler(jobs, cache=cache).run()
+        second = Scheduler(jobs, cache=cache).run()
+        decided = (
+            first.outcome_counts()["verified"]
+            + first.outcome_counts()["falsified"]
+        )
+        report["cache"] = {
+            "decided_jobs": decided,
+            "second_run_hits": second.cache_hits,
+            "second_run_sweeps": second.sweeps,
+            "second_run_wall_clock_s": round(second.wall_clock, 3),
+            "all_decided_served": second.cache_hits == decided,
+        }
+    print(f"cache: {report['cache']}", flush=True)
+
+    ratios = [
+        entry["cross_property"]["dfs"]["throughput_ratio"]
+        for entry in report["engines"].values()
+    ]
+    report["headline"] = {
+        "cross_property_throughput_ratio_dfs": ratios,
+    }
+
+    append_trajectory(Path(args.out), "sched_baseline", report)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from repro.abstract.domains import DomainSpec
 from repro.abstract.element import AbstractElement
 from repro.nn.network import AffineOp, MaxPoolOp, Network, ReluOp
@@ -90,23 +92,6 @@ def analyze(
     )
 
 
-def _validate_batch(
-    network: Network, regions: Sequence[Box], label: int
-) -> None:
-    if not regions:
-        raise ValueError("analyze_batch needs at least one region")
-    for region in regions:
-        if region.ndim != network.input_size:
-            raise ValueError(
-                f"region has {region.ndim} dims, network expects "
-                f"{network.input_size}"
-            )
-    if not 0 <= label < network.output_size:
-        raise ValueError(
-            f"label {label} out of range for {network.output_size} outputs"
-        )
-
-
 def analyze_batch(
     network: Network,
     regions: Sequence[Box],
@@ -122,7 +107,45 @@ def analyze_batch(
     powerset, and symbolic domains — whose ReLU case splits are
     data-dependent per region — fall back to the per-region loop.
     """
-    _validate_batch(network, regions, label)
+    return analyze_batch_multi(
+        network, regions, [label] * len(regions), domain, deadline
+    )
+
+
+def analyze_batch_multi(
+    network: Network,
+    regions: Sequence[Box],
+    labels: Sequence[int],
+    domain: DomainSpec,
+    deadline: Deadline | None = None,
+) -> list[AnalysisResult]:
+    """:func:`analyze_batch` with one target label per region.
+
+    This is the sweep kernel of the multi-property scheduler: sub-regions
+    of different properties of the same network share one batched
+    propagation (the label plays no role until the output margin check),
+    then the margin bound is evaluated per label group on the matching
+    row subset.  Region ``i``'s result is identical to
+    ``analyze(network, regions[i], labels[i], ...)`` up to the usual BLAS
+    kernel round-off of the batched domains.
+    """
+    if len(labels) != len(regions):
+        raise ValueError(
+            f"got {len(labels)} labels for {len(regions)} regions"
+        )
+    if not regions:
+        raise ValueError("analyze_batch needs at least one region")
+    for region in regions:
+        if region.ndim != network.input_size:
+            raise ValueError(
+                f"region has {region.ndim} dims, network expects "
+                f"{network.input_size}"
+            )
+    for lab in labels:
+        if not 0 <= lab < network.output_size:
+            raise ValueError(
+                f"label {lab} out of range for {network.output_size} outputs"
+            )
     ops = network.ops()
     if domain.base == "interval" and domain.disjuncts == 1:
         from repro.abstract.interval import IntervalBatch
@@ -134,11 +157,22 @@ def analyze_batch(
         element = DeepPolyBatch.from_boxes(list(regions))
     else:
         return [
-            analyze(network, region, label, domain, deadline)
-            for region in regions
+            analyze(network, region, lab, domain, deadline)
+            for region, lab in zip(regions, labels)
         ]
     element = propagate(ops, element, deadline)
-    margins = element.min_margin(label)
+    label_arr = np.asarray(labels, dtype=np.int64)
+    distinct = sorted(set(labels))
+    if len(distinct) == 1:
+        margins = element.min_margin(int(distinct[0]))
+    else:
+        # Margin back-substitution scales with rows × batch, so bound each
+        # label group only on its own row subset instead of paying the
+        # full batch once per distinct label.
+        margins = np.empty(len(regions))
+        for lab in distinct:
+            rows = np.flatnonzero(label_arr == lab)
+            margins[rows] = element.rows(rows).min_margin(int(lab))
     return [
         AnalysisResult(
             verified=bool(margins[i] > 0.0),

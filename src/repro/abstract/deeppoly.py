@@ -304,6 +304,38 @@ class DeepPolyBatch:
                 layers.append(layer)  # shared affine relation
         return DeepPolyState(Box(self.box_low[i], self.box_high[i]), layers)
 
+    def rows(self, indices) -> "DeepPolyBatch":
+        """The sub-batch holding the given rows.
+
+        Shared affine relations are reused as-is; per-region relations are
+        sliced.  Lets mixed-label callers bound output margins per label
+        group without re-running the back-substitution for rows whose
+        result would be discarded.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        layers: list[_LayerBounds | _DiagBounds] = []
+        for layer in self.layers:
+            if isinstance(layer, _DiagBounds):
+                layers.append(
+                    _DiagBounds(
+                        layer.dl[indices], layer.du[indices], layer.bu[indices]
+                    )
+                )
+            elif layer.al.ndim == 3:
+                layers.append(
+                    _LayerBounds(
+                        layer.al[indices],
+                        layer.bl[indices],
+                        layer.au[indices],
+                        layer.bu[indices],
+                    )
+                )
+            else:
+                layers.append(layer)  # shared affine relation
+        return DeepPolyBatch(
+            self.box_low[indices], self.box_high[indices], layers
+        )
+
     # ------------------------------------------------------------------
     # Batched back-substitution
     # ------------------------------------------------------------------

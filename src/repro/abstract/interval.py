@@ -154,6 +154,12 @@ class IntervalBatch:
         """The ``i``-th region's bounds as a plain :class:`IntervalElement`."""
         return IntervalElement(self.low[i].copy(), self.high[i].copy())
 
+    def rows(self, indices) -> "IntervalBatch":
+        """The sub-batch holding the given rows (used for per-label
+        margin checks over mixed-label batches)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return IntervalBatch(self.low[indices], self.high[indices])
+
     def affine(self, weight: np.ndarray, bias: np.ndarray) -> "IntervalBatch":
         pos = np.maximum(weight, 0.0)
         neg = np.minimum(weight, 0.0)

@@ -278,15 +278,31 @@ class Zonotope(AbstractElement):
             neg_bound = (-c + rest) / coeffs
         pos_lower = touched & (coeffs > 0)
         pos_upper = touched & ~pos_lower
+        # Both branches' symbol-range cuts in one (2, k) pass: the positive
+        # branch cuts {x_dim >= 0}, the negative branch swaps the cut sides
+        # with the constraint orientation.  Sharing the center/generator
+        # rescale (one GEMM for both centers) halves the dominant cost of
+        # the powerset domains' case-split loop.
+        lo_sym = np.full((2, self.num_gens), -1.0)
+        hi_sym = np.ones((2, self.num_gens))
+        lo_sym[0] = np.where(pos_lower, np.maximum(lo_sym[0], pos_bound), lo_sym[0])
+        hi_sym[0] = np.where(pos_upper, np.minimum(hi_sym[0], pos_bound), hi_sym[0])
+        lo_sym[1] = np.where(pos_upper, np.maximum(lo_sym[1], neg_bound), lo_sym[1])
+        hi_sym[1] = np.where(pos_lower, np.minimum(hi_sym[1], neg_bound), hi_sym[1])
+        lo_sym = np.minimum(lo_sym, hi_sym)  # guard against numeric inversion
+        mid = (lo_sym + hi_sym) / 2.0
+        half = (hi_sym - lo_sym) / 2.0
+        centers = self.center + (mid @ self.gens)
         # Positive branch: on {x_dim >= 0} the ReLU is the identity, and the
         # contracted zonotope over-approximates that meet, so it directly
         # over-approximates the branch image (any residual negative tail left
         # by the one-round contraction is imprecision, not unsoundness).
-        pos = self._contract_from(pos_bound, pos_lower, pos_upper)
-        # Negative branch: ReLU projects the dimension to exactly 0.  The
-        # cut sides swap with the constraint orientation.
-        neg = self._contract_from(
-            neg_bound, pos_upper, pos_lower
+        pos = Zonotope._make(
+            centers[0], self.gens * half[0][:, None], self.err.copy()
+        )
+        # Negative branch: ReLU projects the dimension to exactly 0.
+        neg = Zonotope._make(
+            centers[1], self.gens * half[1][:, None], self.err.copy()
         )._project_dim(dim)
         return pos, neg
 

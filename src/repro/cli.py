@@ -3,17 +3,35 @@
 Commands:
 
 - ``verify``   — decide one robustness property of a saved network.
+- ``schedule`` — run a manifest of many (network, property) jobs through
+  the multi-property scheduler (shared frontier, optional result cache).
 - ``radius``   — binary-search the certified L∞ radius around a point.
 - ``attack``   — run PGD only (fast falsification attempt, no proof).
 - ``info``     — print a saved network's architecture summary.
 
 Networks are ``.npz`` archives produced by :func:`repro.nn.save_network`;
 points are ``.npy`` arrays or comma-separated values.
+
+Manifests are JSON files of the shape::
+
+    {
+      "defaults": {"epsilon": 0.05, "timeout": 10.0},
+      "jobs": [
+        {"network": "net.npz", "center": "point.npy", "epsilon": 0.1},
+        {"network": "net.npz", "center": "0.5,0.5", "label": 1,
+         "name": "xor-center"}
+      ]
+    }
+
+Per-job keys override ``defaults``; ``label`` pins the target class
+(otherwise the network's own prediction at ``center`` is used); networks
+referenced by several jobs are loaded once.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -22,11 +40,19 @@ from repro.attack.pgd import PGDConfig
 from repro.attack.search import find_counterexample
 from repro.core.config import VerifierConfig
 from repro.core.parallel import ParallelVerifier
-from repro.core.property import linf_property
+from repro.core.property import RobustnessProperty, linf_property
 from repro.core.radius import certified_radius
 from repro.core.verifier import BatchedVerifier, Verifier
 from repro.learn.pretrained import pretrained_policy
 from repro.nn.serialize import load_network
+from repro.sched import (
+    FRONTIER_POLICIES,
+    ResultCache,
+    SCHED_ENGINES,
+    Scheduler,
+    VerificationJob,
+    point_digest,
+)
 
 #: ``--engine`` menu: every engine decides the same property with the same
 #: soundness/δ-completeness semantics; they differ in execution shape.
@@ -90,6 +116,109 @@ def cmd_verify(args: argparse.Namespace) -> int:
         print("counterexample written to counterexample.npy")
         return 1
     return 0 if outcome.kind == "verified" else 2
+
+
+def _manifest_jobs(args: argparse.Namespace) -> list[VerificationJob]:
+    """Build :class:`VerificationJob`s from a JSON manifest file."""
+    try:
+        with open(args.manifest) as handle:
+            manifest = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read manifest {args.manifest}: {exc}")
+    specs = manifest.get("jobs")
+    if not specs:
+        raise SystemExit("manifest has no jobs")
+    defaults = manifest.get("defaults", {})
+    networks: dict[str, object] = {}
+    policy = pretrained_policy()
+    jobs = []
+    for i, spec in enumerate(specs):
+        merged = {**defaults, **spec}
+        for required in ("network", "center"):
+            if required not in merged:
+                raise SystemExit(f"job {i} is missing {required!r}")
+        path = merged["network"]
+        if path not in networks:
+            networks[path] = load_network(path)
+        network = networks[path]
+        center = _load_point(str(merged["center"]), network.input_size)
+        epsilon = float(merged.get("epsilon", 0.05))
+        name = str(merged.get("name", f"job-{i}"))
+        # Radius-query metadata is only attached when the target label is
+        # the network's own prediction at the center — the semantics a
+        # certified-radius bracket assumes.  A pinned label asks a
+        # different question, so such records must not fold into
+        # ResultCache.radius_bounds.
+        metadata = {}
+        if "label" in merged:
+            label = int(merged["label"])
+            if not 0 <= label < network.output_size:
+                raise SystemExit(
+                    f"job {name!r}: label {label} out of range for "
+                    f"{network.output_size}-class network {path}"
+                )
+            prop = RobustnessProperty(
+                linf_property(network, center, epsilon).region,
+                label,
+                name=name,
+            )
+        else:
+            prop = linf_property(network, center, epsilon, name=name)
+            metadata = {
+                "center_digest": point_digest(center),
+                "epsilon": epsilon,
+            }
+        config = VerifierConfig(
+            timeout=float(merged.get("timeout", args.timeout)),
+            delta=float(merged.get("delta", args.delta)),
+            batch_size=int(merged.get("batch_size", args.batch_size)),
+        )
+        jobs.append(
+            VerificationJob(
+                network,
+                prop,
+                config=config,
+                policy=policy,
+                seed=int(merged.get("seed", args.seed)),
+                name=name,
+                metadata=metadata,
+            )
+        )
+    return jobs
+
+
+def cmd_schedule(args: argparse.Namespace) -> int:
+    jobs = _manifest_jobs(args)
+    cache = ResultCache(args.cache) if args.cache else None
+    scheduler = Scheduler(
+        jobs, frontier=args.frontier, cache=cache, engine=args.engine
+    )
+    report = scheduler.run()
+    width = max(len(job.name) for job in jobs)
+    for result in report.results:
+        suffix = "  [cached]" if result.cached else ""
+        print(
+            f"{result.job.name:<{width}}  {result.outcome.kind:<9} "
+            f"{result.elapsed:8.2f}s{suffix}"
+        )
+    counts = report.outcome_counts()
+    print(
+        f"jobs: {len(report.results)}  verified: {counts['verified']}  "
+        f"falsified: {counts['falsified']}  timeout: {counts['timeout']}"
+    )
+    print(
+        f"engine: {report.engine} ({report.frontier} frontier), "
+        f"{report.sweeps} fused sweeps, {report.swept_items} work items, "
+        f"{report.wall_clock:.2f}s wall clock"
+    )
+    if cache is not None:
+        print(f"cache: {report.cache_hits} hits")
+    # Same convention as ``verify``: 0 only when everything is proven,
+    # 1 when any property is falsified, 2 when budgets ran out — so a CI
+    # gate never mistakes an all-timeout run for success.
+    if counts["falsified"]:
+        return 1
+    return 2 if counts["timeout"] else 0
 
 
 def cmd_radius(args: argparse.Namespace) -> int:
@@ -161,6 +290,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="frontier sub-regions per batched sweep",
     )
     verify_parser.set_defaults(func=cmd_verify)
+
+    schedule_parser = sub.add_parser(
+        "schedule",
+        help="run a manifest of jobs through the multi-property scheduler",
+    )
+    schedule_parser.add_argument(
+        "manifest", help="path to a JSON job manifest (see module docstring)"
+    )
+    schedule_parser.add_argument(
+        "--engine",
+        choices=sorted(SCHED_ENGINES),
+        default="batched",
+        help="batched = fused cross-property sweeps; sequential = solo "
+        "BatchedVerifier per job",
+    )
+    schedule_parser.add_argument(
+        "--frontier",
+        choices=sorted(FRONTIER_POLICIES),
+        default="dfs",
+        help="which jobs' chunks fill each fused sweep",
+    )
+    schedule_parser.add_argument(
+        "--cache",
+        default=None,
+        help="directory of the persistent result cache (created on demand)",
+    )
+    schedule_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        help="per-job budget in seconds, counted from the job's first "
+        "fused sweep (under the batched engine it bounds completion "
+        "latency, since fused kernel time is shared across jobs)",
+    )
+    schedule_parser.add_argument(
+        "--delta", type=float, default=1e-6, help="δ-completeness slack"
+    )
+    schedule_parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=16,
+        help="per-job frontier chunk width inside fused sweeps",
+    )
+    schedule_parser.add_argument("--seed", type=int, default=0, help="random seed")
+    schedule_parser.set_defaults(func=cmd_schedule)
 
     radius_parser = sub.add_parser("radius", help="certified-radius search")
     _add_common(radius_parser)

@@ -33,12 +33,16 @@ from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 import numpy as np
 
 from repro.attack.objective import MarginObjective
-from repro.attack.pgd import PGDConfig
 from repro.core.config import VerifierConfig
 from repro.core.policy import VerificationPolicy, default_policy
 from repro.core.property import RobustnessProperty
 from repro.core.results import Falsified, Timeout, Verified, VerificationStats
-from repro.core.verifier import WorkItem, batched_sweep, root_item
+from repro.core.verifier import (
+    WorkItem,
+    batched_sweep,
+    minimize_pgd_config,
+    root_item,
+)
 from repro.nn.network import Network
 from repro.utils.rng import as_generator
 from repro.utils.timing import Deadline, Stopwatch
@@ -84,14 +88,7 @@ class ParallelVerifier:
         deadline = Deadline(config.timeout)
         watch = Stopwatch().start()
         objective = MarginObjective(self.network, prop.label)
-        # PGD exits early once it drops to δ: anything at or below δ is
-        # already a δ-counterexample.
-        pgd_config = PGDConfig(
-            steps=config.pgd.steps,
-            restarts=config.pgd.restarts,
-            step_fraction=config.pgd.step_fraction,
-            stop_below=config.delta,
-        )
+        pgd_config = minimize_pgd_config(config)
 
         failure: dict = {}
         failure_lock = threading.Lock()

@@ -82,6 +82,97 @@ def root_item(
     return WorkItem(region, 0, np.random.SeedSequence(entropy))
 
 
+def first_falsified(f_stars, delta: float) -> int | None:
+    """Index of the first item whose PGD minimum is a δ-counterexample.
+
+    "First" is frontier order — ``items[0]`` is what the sequential engine
+    would pop next — which is what makes the batched engines' witness
+    deterministic for a fixed chunking.
+    """
+    for idx, f_star in enumerate(f_stars):
+        if f_star <= delta:
+            return idx
+    return None
+
+
+def choose_domains(
+    network: Network,
+    policy: VerificationPolicy,
+    prop: RobustnessProperty,
+    items: list[WorkItem],
+    x_stars: np.ndarray,
+    f_stars: np.ndarray,
+    stats: VerificationStats,
+) -> list[DomainSpec]:
+    """The policy half of step 2: one domain choice per frontier item.
+
+    Counts every choice in ``stats`` (analyze calls + domain histogram);
+    the caller runs the actual abstract interpretation, grouping items
+    however its batching shape prefers.
+    """
+    domains: list[DomainSpec] = []
+    for idx, item in enumerate(items):
+        domain = policy.choose_domain(
+            network, prop.with_region(item.region), x_stars[idx], float(f_stars[idx])
+        )
+        if item.region.is_degenerate():
+            # A point region: the interval domain is exact on it, so this
+            # branch always resolves (F(x*) > δ implies the margin at the
+            # point is positive).
+            domain = INTERVAL
+        domains.append(domain)
+        stats.analyze_calls += 1
+        stats.record_domain(domain.short_name)
+    return domains
+
+
+def refine_unverified(
+    network: Network,
+    policy: VerificationPolicy,
+    config: VerifierConfig,
+    prop: RobustnessProperty,
+    items: list[WorkItem],
+    seeds: list,
+    x_stars: np.ndarray,
+    f_stars: np.ndarray,
+    results: list,
+    stats: VerificationStats,
+) -> tuple["tuple | None", list[tuple[WorkItem, WorkItem]]]:
+    """Step 3 of a sweep: split every unverified item into child work items.
+
+    Returns ``(terminal, child_pairs)``; a non-``None`` terminal is a
+    ``("timeout", reason)`` tuple raised by the depth cap or a region too
+    narrow to split.  Children inherit the seeds spawned for their parent,
+    keeping sub-region randomness a pure function of the refinement path.
+    """
+    pairs: list[tuple[WorkItem, WorkItem]] = []
+    for idx, item in enumerate(items):
+        if results[idx].verified:
+            continue
+        if item.depth >= config.max_depth:
+            return ("timeout", "split depth"), []
+        choice = policy.choose_split(
+            network, prop.with_region(item.region), x_stars[idx], float(f_stars[idx])
+        )
+        try:
+            left, right = item.region.split_interior(
+                choice.dim, choice.value, config.min_split_fraction
+            )
+        except ValueError:
+            # Region width below float resolution yet analysis still
+            # fails: no further refinement is possible.
+            return ("timeout", "degenerate region"), []
+        stats.splits += 1
+        _, left_seq, right_seq = seeds[idx]
+        pairs.append(
+            (
+                WorkItem(left, item.depth + 1, left_seq),
+                WorkItem(right, item.depth + 1, right_seq),
+            )
+        )
+    return None, pairs
+
+
 def batched_sweep(
     network: Network,
     policy: VerificationPolicy,
@@ -100,11 +191,16 @@ def batched_sweep(
     :class:`BatchedVerifier` and the parallel engine's worker chunks, so
     the two can never drift apart semantically.  May raise
     :class:`TimeoutError` from the analyzer's deadline checks.
+
+    The three steps are exposed as standalone hooks (:func:`first_falsified`,
+    :func:`choose_domains`, :func:`refine_unverified`) so the multi-property
+    scheduler (:mod:`repro.sched`) can interleave many properties' frontier
+    chunks through shared kernel calls without re-implementing — or silently
+    diverging from — the per-chunk semantics.
     """
     sweep = VerificationStats()
     count = len(items)
     seeds = [item.derive_seeds() for item in items]
-    sub_props = [prop.with_region(item.region) for item in items]
 
     # --- 1. Batched Minimize ---------------------------------------------
     x_stars, f_stars = pgd_minimize_batch(
@@ -116,24 +212,14 @@ def batched_sweep(
     )
     sweep.pgd_calls = count
     sweep.max_depth_reached = max(item.depth for item in items)
-    for idx in range(count):
-        if f_stars[idx] <= config.delta:
-            return ("falsified", x_stars[idx], float(f_stars[idx])), [], sweep
+    idx = first_falsified(f_stars, config.delta)
+    if idx is not None:
+        return ("falsified", x_stars[idx], float(f_stars[idx])), [], sweep
 
     # --- 2. Batched Analyze, grouped by chosen domain --------------------
-    domains: list[DomainSpec] = []
-    for idx, item in enumerate(items):
-        domain = policy.choose_domain(
-            network, sub_props[idx], x_stars[idx], float(f_stars[idx])
-        )
-        if item.region.is_degenerate():
-            # A point region: the interval domain is exact on it, so this
-            # branch always resolves (F(x*) > δ implies the margin at the
-            # point is positive).
-            domain = INTERVAL
-        domains.append(domain)
-        sweep.analyze_calls += 1
-        sweep.record_domain(domain.short_name)
+    domains = choose_domains(
+        network, policy, prop, items, x_stars, f_stars, sweep
+    )
     groups: dict[DomainSpec, list[int]] = {}
     for idx, domain in enumerate(domains):
         groups.setdefault(domain, []).append(idx)
@@ -150,32 +236,28 @@ def batched_sweep(
             results[i] = analysis
 
     # --- 3. Refine every unverified item ---------------------------------
-    pairs: list[tuple[WorkItem, WorkItem]] = []
-    for idx, item in enumerate(items):
-        if results[idx].verified:
-            continue
-        if item.depth >= config.max_depth:
-            return ("timeout", "split depth"), [], sweep
-        choice = policy.choose_split(
-            network, sub_props[idx], x_stars[idx], float(f_stars[idx])
-        )
-        try:
-            left, right = item.region.split_interior(
-                choice.dim, choice.value, config.min_split_fraction
-            )
-        except ValueError:
-            # Region width below float resolution yet analysis still
-            # fails: no further refinement is possible.
-            return ("timeout", "degenerate region"), [], sweep
-        sweep.splits += 1
-        _, left_seq, right_seq = seeds[idx]
-        pairs.append(
-            (
-                WorkItem(left, item.depth + 1, left_seq),
-                WorkItem(right, item.depth + 1, right_seq),
-            )
-        )
-    return None, pairs, sweep
+    terminal, pairs = refine_unverified(
+        network, policy, config, prop, items, seeds, x_stars, f_stars,
+        results, sweep,
+    )
+    return terminal, pairs, sweep
+
+
+def minimize_pgd_config(config: VerifierConfig) -> PGDConfig:
+    """The PGD settings every engine's Minimize step must share.
+
+    PGD exits early once it drops to δ: anything at or below δ is already
+    a δ-counterexample.  Centralized so the sequential, parallel, and
+    scheduler engines can never drift on the early-exit threshold (the
+    solo/fused equivalence contract depends on identical PGD configs).
+    """
+    pgd = config.pgd
+    return PGDConfig(
+        steps=pgd.steps,
+        restarts=pgd.restarts,
+        step_fraction=pgd.step_fraction,
+        stop_below=config.delta,
+    )
 
 
 class Verifier:
@@ -194,15 +276,7 @@ class Verifier:
         self._rng = as_generator(rng)
 
     def _pgd_config(self) -> PGDConfig:
-        # PGD exits early once it drops to δ: anything at or below δ is
-        # already a δ-counterexample.
-        pgd = self.config.pgd
-        return PGDConfig(
-            steps=pgd.steps,
-            restarts=pgd.restarts,
-            step_fraction=pgd.step_fraction,
-            stop_below=self.config.delta,
-        )
+        return minimize_pgd_config(self.config)
 
     def verify(self, prop: RobustnessProperty):
         """Decide the robustness property; see the module docstring."""

@@ -12,14 +12,15 @@ pooling.  This package provides:
 - :mod:`repro.nn.builders` — constructors for the paper's architectures
   (``NxM`` MLPs and the LeNet-style conv net).
 - :mod:`repro.nn.training` — minibatch SGD training (softmax cross-entropy).
-- :mod:`repro.nn.serialize` — save/load networks as ``.npz``.
+- :mod:`repro.nn.serialize` — save/load networks as ``.npz`` and stable
+  content digests (:func:`network_digest`).
 """
 
 from repro.nn.layers import Conv2d, Dense, Flatten, MaxPool2d, ReLU
 from repro.nn.network import AffineOp, MaxPoolOp, Network, ReluOp
 from repro.nn.builders import lenet_conv, mlp, xor_network
 from repro.nn.training import TrainConfig, train_classifier
-from repro.nn.serialize import load_network, save_network
+from repro.nn.serialize import load_network, network_digest, save_network
 
 __all__ = [
     "Dense",
@@ -38,4 +39,5 @@ __all__ = [
     "train_classifier",
     "save_network",
     "load_network",
+    "network_digest",
 ]

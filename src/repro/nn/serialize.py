@@ -1,12 +1,19 @@
-"""Save and load networks as ``.npz`` archives.
+"""Save and load networks as ``.npz`` archives, plus stable content digests.
 
 The archive stores a JSON header describing the layer stack plus one array
 entry per parameter.  Round-tripping is exact (float64 bit patterns are
 preserved by ``.npz``).
+
+:func:`network_digest` hashes the same header plus the raw parameter bytes,
+giving every network a stable content address: two networks digest equally
+iff they have identical architectures and bit-identical parameters,
+regardless of where (or whether) they live on disk.  The scheduler's result
+cache (:mod:`repro.sched.cache`) keys on this digest.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 
@@ -32,6 +39,25 @@ def _layer_spec(layer) -> dict:
             "stride": layer.stride,
         }
     raise TypeError(f"cannot serialize layer type {type(layer).__name__}")
+
+
+def network_digest(network: Network) -> str:
+    """A stable sha256 content address for a network.
+
+    Covers the input shape, the layer stack (kinds plus structural
+    attributes, exactly as serialized), and every parameter's float64 bit
+    pattern.  Save/load round-trips preserve the digest; any weight or
+    architecture change alters it.
+    """
+    header = {
+        "input_shape": list(network.input_shape),
+        "layers": [_layer_spec(layer) for layer in network.layers],
+    }
+    digest = hashlib.sha256(json.dumps(header, sort_keys=True).encode())
+    for layer in network.layers:
+        for param in layer.params():
+            digest.update(np.ascontiguousarray(param, dtype=np.float64).tobytes())
+    return digest.hexdigest()
 
 
 def save_network(network: Network, path: str | Path) -> None:

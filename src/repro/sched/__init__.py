@@ -1,0 +1,73 @@
+"""Multi-property verification scheduling (the §6 parallelism, cross-property).
+
+The paper treats every sub-region as an independent work item; PR 1's
+batched engine exploited that *within* one property.  This package widens
+the scope to whole job manifests: many (network, property) pairs drive one
+shared frontier so fused PGD/Analyze sweeps mix sub-regions from different
+properties of the same network and keep every ``batch_size`` slot full.
+
+- :mod:`repro.sched.job` — :class:`VerificationJob` / :class:`JobQueue`.
+- :mod:`repro.sched.frontier` — FIFO / DFS / hardest-first frontier
+  policies plus the adaptive batch-width controller.
+- :mod:`repro.sched.cache` — the persistent content-addressed result
+  cache (network/property/config digests, certified-radius queries).
+- :mod:`repro.sched.scheduler` — the :class:`Scheduler` engine and its
+  :class:`ScheduleReport`.
+
+Per-job results are independent of scheduling — identical to solo
+``BatchedVerifier`` runs up to the same BLAS-kernel round-off budget the
+PR 1 engines share (fusing changes GEMM operand shapes, nothing else; the
+equivalence tests pin exact-equal witnesses and counters on the stock
+numpy build); see DESIGN.md §6.
+"""
+
+from repro.sched.cache import (
+    CacheRecord,
+    ResultCache,
+    config_digest,
+    job_key,
+    point_digest,
+    policy_digest,
+    property_digest,
+)
+from repro.sched.frontier import (
+    FRONTIER_POLICIES,
+    AdaptiveBatchController,
+    DfsFrontier,
+    FifoFrontier,
+    FixedBatchController,
+    FrontierPolicy,
+    PriorityFrontier,
+    make_frontier,
+)
+from repro.sched.job import JobQueue, VerificationJob
+from repro.sched.scheduler import (
+    SCHED_ENGINES,
+    JobResult,
+    ScheduleReport,
+    Scheduler,
+)
+
+__all__ = [
+    "VerificationJob",
+    "JobQueue",
+    "Scheduler",
+    "ScheduleReport",
+    "JobResult",
+    "SCHED_ENGINES",
+    "FrontierPolicy",
+    "FifoFrontier",
+    "DfsFrontier",
+    "PriorityFrontier",
+    "FRONTIER_POLICIES",
+    "make_frontier",
+    "AdaptiveBatchController",
+    "FixedBatchController",
+    "ResultCache",
+    "CacheRecord",
+    "job_key",
+    "property_digest",
+    "policy_digest",
+    "config_digest",
+    "point_digest",
+]

@@ -1,0 +1,310 @@
+"""Persistent, content-addressed verification result cache.
+
+Every decided job (verified or falsified) is recorded under a sha256 key of
+``(network digest, property digest, config digest, policy digest, seed)``:
+
+- the **network digest** (:func:`repro.nn.serialize.network_digest`) covers
+  architecture and every parameter bit, so retraining or editing a network
+  can never serve stale results;
+- the **property digest** covers the region's float64 bit patterns and the
+  target label;
+- the **config digest** covers every outcome-relevant knob — δ, depth cap,
+  split fraction, PGD budget, and ``batch_size`` (chunk width changes which
+  witness a falsified run reports) — but deliberately *not* the wall-clock
+  timeout: a cached Verified/Falsified record is a proof or a concrete
+  witness, both valid under any budget.  Timeouts are never cached for the
+  same reason in reverse — they are budget artifacts, not results.
+
+Records live one-per-file under a two-level fan-out directory (like git's
+object store), written atomically (temp file + rename) so concurrent
+scheduler runs can share a cache directory.
+
+Beyond exact-key lookups the cache answers **certified-radius queries**:
+jobs created from L∞ manifests record ``center_digest`` and ``epsilon``
+metadata, and :meth:`ResultCache.radius_bounds` folds every cached record
+for a (network, center) pair into the tightest known bracket — the largest
+verified radius and the smallest falsified radius.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import VerifierConfig
+from repro.core.policy import VerificationPolicy
+from repro.core.property import RobustnessProperty
+from repro.core.results import (
+    Falsified,
+    Timeout,
+    Verified,
+    VerificationStats,
+)
+from repro.nn.network import Network
+from repro.nn.serialize import network_digest
+
+
+def _sha256(*parts: bytes) -> str:
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part)
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def property_digest(prop: RobustnessProperty) -> str:
+    """Content address of a property: region bit patterns plus label."""
+    return _sha256(
+        np.ascontiguousarray(prop.region.low, dtype=np.float64).tobytes(),
+        np.ascontiguousarray(prop.region.high, dtype=np.float64).tobytes(),
+        str(prop.label).encode(),
+    )
+
+
+def point_digest(x: np.ndarray) -> str:
+    """Content address of a concrete input point (for radius queries)."""
+    return _sha256(np.ascontiguousarray(x, dtype=np.float64).tobytes())
+
+
+def policy_digest(policy: VerificationPolicy) -> str:
+    """Content address of a policy's decision function.
+
+    Parameterized policies (anything exposing ``to_vector``) hash their
+    exact parameter bits; hand-crafted policies hash their ``describe()``
+    string, which encodes every constructor knob.
+    """
+    to_vector = getattr(policy, "to_vector", None)
+    if callable(to_vector):
+        vec = np.ascontiguousarray(to_vector(), dtype=np.float64)
+        return _sha256(type(policy).__name__.encode(), vec.tobytes())
+    return _sha256(type(policy).__name__.encode(), policy.describe().encode())
+
+
+def config_digest(config: VerifierConfig) -> str:
+    """Content address of the outcome-relevant verifier knobs.
+
+    Excludes ``timeout`` (see the module docstring); includes the PGD
+    budget and ``batch_size`` because both shape which witness a falsified
+    run returns.
+    """
+    payload = json.dumps(
+        {
+            "delta": config.delta,
+            "max_depth": config.max_depth,
+            "min_split_fraction": config.min_split_fraction,
+            "batch_size": config.batch_size,
+            "pgd": {
+                "steps": config.pgd.steps,
+                "restarts": config.pgd.restarts,
+                "step_fraction": config.pgd.step_fraction,
+            },
+        },
+        sort_keys=True,
+    )
+    return _sha256(payload.encode())
+
+
+def job_key(
+    net_digest: str,
+    prop: RobustnessProperty,
+    config: VerifierConfig,
+    policy: VerificationPolicy,
+    seed: int,
+) -> str:
+    """The cache key of one verification job.
+
+    The key identifies the *decision procedure instance* — network,
+    property, knobs, policy, seed.  It deliberately carries no engine
+    tag: every scheduler engine implements ``BatchedVerifier`` semantics
+    per job (the reproducibility contract), so their results are
+    interchangeable and may serve each other.
+    """
+    return _sha256(
+        net_digest.encode(),
+        property_digest(prop).encode(),
+        config_digest(config).encode(),
+        policy_digest(policy).encode(),
+        str(int(seed)).encode(),
+    )
+
+
+@dataclass(frozen=True)
+class CacheRecord:
+    """One decided outcome, with enough context for radius queries.
+
+    Attributes:
+        kind: ``"verified"`` or ``"falsified"``.
+        margin: the witness margin for falsified records.
+        counterexample: the witness point for falsified records.
+        stats: the recorded run's counters (pgd/analyze/splits/...).
+        network_digest: content address of the analyzed network.
+        label: the property's target class.
+        metadata: caller-provided job metadata (e.g. ``center_digest`` and
+            ``epsilon`` for L∞ jobs).
+        created_unix: record creation time (seconds since the epoch).
+    """
+
+    kind: str
+    margin: float | None = None
+    counterexample: list | None = None
+    stats: dict = field(default_factory=dict)
+    network_digest: str = ""
+    label: int = 0
+    metadata: dict = field(default_factory=dict)
+    created_unix: float = 0.0
+
+    def to_outcome(self):
+        """Reconstruct a verification outcome from the record.
+
+        The stats carry the recorded run's work counters but zero
+        ``time_seconds`` — a cache hit spends no verification time.
+        """
+        stats = VerificationStats(
+            pgd_calls=int(self.stats.get("pgd_calls", 0)),
+            analyze_calls=int(self.stats.get("analyze_calls", 0)),
+            splits=int(self.stats.get("splits", 0)),
+            max_depth_reached=int(self.stats.get("max_depth_reached", 0)),
+        )
+        for name, count in self.stats.get("domains_used", {}).items():
+            stats.domains_used[name] = int(count)
+        if self.kind == "verified":
+            return Verified(stats)
+        if self.kind == "falsified":
+            return Falsified(
+                np.asarray(self.counterexample, dtype=np.float64),
+                float(self.margin),
+                stats,
+            )
+        raise ValueError(f"cannot reconstruct outcome of kind {self.kind!r}")
+
+    @staticmethod
+    def from_outcome(
+        outcome, net_digest: str, label: int, metadata: dict | None = None
+    ) -> "CacheRecord":
+        """Build a record from a decided outcome.
+
+        Raises ``ValueError`` for timeouts — budget artifacts are not
+        cacheable results.
+        """
+        if isinstance(outcome, Timeout) or outcome.kind not in (
+            "verified",
+            "falsified",
+        ):
+            raise ValueError(f"cannot cache outcome of kind {outcome.kind!r}")
+        stats = {
+            "pgd_calls": outcome.stats.pgd_calls,
+            "analyze_calls": outcome.stats.analyze_calls,
+            "splits": outcome.stats.splits,
+            "max_depth_reached": outcome.stats.max_depth_reached,
+            "domains_used": dict(outcome.stats.domains_used),
+            "time_seconds": outcome.stats.time_seconds,
+        }
+        margin = None
+        counterexample = None
+        if isinstance(outcome, Falsified):
+            margin = float(outcome.margin)
+            counterexample = [float(v) for v in outcome.counterexample]
+        return CacheRecord(
+            kind=outcome.kind,
+            margin=margin,
+            counterexample=counterexample,
+            stats=stats,
+            network_digest=net_digest,
+            label=label,
+            metadata=dict(metadata or {}),
+            created_unix=time.time(),
+        )
+
+
+class ResultCache:
+    """A directory of content-addressed :class:`CacheRecord` files."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> CacheRecord | None:
+        """The record stored under ``key``, or ``None`` (including on any
+        unreadable/corrupt file — a broken entry is a miss, never an
+        error)."""
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+            return CacheRecord(**payload)
+        except (OSError, ValueError, TypeError):
+            return None
+
+    def put(self, key: str, record: CacheRecord) -> None:
+        """Store ``record`` under ``key`` atomically (temp file + rename)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(record.__dict__, sort_keys=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def records(self):
+        """Iterate over every readable record in the cache."""
+        for path in sorted(self.root.glob("*/*.json")):
+            try:
+                yield CacheRecord(**json.loads(path.read_text()))
+            except (OSError, ValueError, TypeError):
+                continue
+
+    # ------------------------------------------------------------------
+    # Certified-radius queries
+    # ------------------------------------------------------------------
+
+    def radius_bounds(
+        self, network: Network | str, center: np.ndarray
+    ) -> tuple[float, float]:
+        """The tightest cached L∞ radius bracket around ``center``.
+
+        Returns ``(certified, falsified)``: the largest ε any cached
+        *verified* record proves and the smallest ε any cached *falsified*
+        record refutes (``0.0`` / ``inf`` when nothing is known).  Only
+        records carrying ``center_digest``/``epsilon`` metadata
+        participate; callers must attach that metadata only to jobs whose
+        target label is the network's own prediction at the center (the
+        CLI's manifest loader enforces this), since a pinned-label job
+        answers a different question and would corrupt the bracket.
+        """
+        net_digest = (
+            network if isinstance(network, str) else network_digest(network)
+        )
+        target = point_digest(np.asarray(center, dtype=np.float64).reshape(-1))
+        certified = 0.0
+        falsified = float("inf")
+        for record in self.records():
+            if record.network_digest != net_digest:
+                continue
+            meta = record.metadata
+            if meta.get("center_digest") != target or "epsilon" not in meta:
+                continue
+            epsilon = float(meta["epsilon"])
+            if record.kind == "verified":
+                certified = max(certified, epsilon)
+            elif record.kind == "falsified":
+                falsified = min(falsified, epsilon)
+        return certified, falsified

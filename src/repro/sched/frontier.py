@@ -1,0 +1,170 @@
+"""Frontier policies and the adaptive batch-size controller.
+
+The scheduler's shared frontier is the union of every active job's
+refinement frontier.  A :class:`FrontierPolicy` decides *which jobs'
+chunks* enter the next fused sweep; it never reorders the items inside a
+job's own frontier.  That invariant is what makes scheduling a pure
+performance knob: each job's chunk sequence — and therefore its outcome,
+witness, and statistics — is identical under every policy (DESIGN.md §6).
+
+Policies:
+
+- :class:`FifoFrontier` — fair round-robin: the least recently served job
+  first (submission order breaks ties).  Uniform progress across jobs.
+- :class:`DfsFrontier` — deepest frontier first: drills one job's
+  refinement tree down before spreading, the cross-job analogue of the
+  batched engine's depth-first orientation.  Minimizes peak frontier size.
+- :class:`PriorityFrontier` — hardest first, keyed by the smallest PGD
+  margin a job saw in its last sweep: jobs closest to falsification get
+  attention first, so falsifiable jobs terminate (and free their slots)
+  early.
+
+The :class:`AdaptiveBatchController` picks how many frontier items each
+fused sweep should target: it widens the target while measured kernel
+throughput (work items per second) keeps scaling with batch width, and
+backs off one step when throughput regresses — batched GEMMs gain from
+width only until memory bandwidth saturates.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+class FrontierPolicy(ABC):
+    """Orders active jobs for the next fused sweep."""
+
+    #: CLI / manifest identifier.
+    name: str = ""
+
+    @abstractmethod
+    def order(self, states: list) -> list:
+        """Rank job states; earlier entries are scheduled first.
+
+        ``states`` are scheduler-internal job states exposing ``index``
+        (submission order), ``last_round`` (when last served), ``depth``
+        (frontier-top depth), and ``last_margin`` (smallest PGD margin of
+        the last sweep, ``-inf`` before the first sweep).
+        """
+
+
+class FifoFrontier(FrontierPolicy):
+    """Least-recently-served job first (round-robin fairness)."""
+
+    name = "fifo"
+
+    def order(self, states: list) -> list:
+        return sorted(states, key=lambda s: (s.last_round, s.index))
+
+
+class DfsFrontier(FrontierPolicy):
+    """Deepest frontier top first: finish drilling before spreading."""
+
+    name = "dfs"
+
+    def order(self, states: list) -> list:
+        return sorted(states, key=lambda s: (-s.depth, s.index))
+
+
+class PriorityFrontier(FrontierPolicy):
+    """Hardest job first: smallest last-sweep PGD margin wins.
+
+    A small margin means PGD already sits close to a counterexample, so the
+    job is likely to falsify (cheap to settle) or to need deep refinement
+    (start it early).  Unswept jobs rank hardest of all (``-inf``) so every
+    job gets an initial measurement quickly.
+    """
+
+    name = "priority"
+
+    def order(self, states: list) -> list:
+        return sorted(states, key=lambda s: (s.last_margin, s.index))
+
+
+#: ``--frontier`` menu: policy name -> constructor.
+FRONTIER_POLICIES: dict[str, type[FrontierPolicy]] = {
+    policy.name: policy
+    for policy in (FifoFrontier, DfsFrontier, PriorityFrontier)
+}
+
+
+def make_frontier(policy: str | FrontierPolicy) -> FrontierPolicy:
+    """Normalize a policy name or instance into a :class:`FrontierPolicy`."""
+    if isinstance(policy, FrontierPolicy):
+        return policy
+    if policy not in FRONTIER_POLICIES:
+        raise ValueError(
+            f"unknown frontier policy {policy!r}; "
+            f"choose from {sorted(FRONTIER_POLICIES)}"
+        )
+    return FRONTIER_POLICIES[policy]()
+
+
+class AdaptiveBatchController:
+    """Widens the fused-sweep item target while throughput keeps scaling.
+
+    Operates like an additive-increase probe with memory: at each plateau
+    the controller averages a few sweeps' throughput; if widening improved
+    items/second by at least ``min_gain`` it widens again (doubling, capped
+    at ``max_target``), otherwise it returns to the previous width and
+    stops probing.  Sweeps smaller than the current target (frontier ran
+    dry) are ignored — they measure scarcity, not kernel scaling.
+    """
+
+    def __init__(
+        self,
+        start: int = 16,
+        max_target: int = 512,
+        samples_per_level: int = 2,
+        min_gain: float = 1.05,
+    ) -> None:
+        if start < 1:
+            raise ValueError("start must be >= 1")
+        if max_target < start:
+            raise ValueError("max_target must be >= start")
+        if samples_per_level < 1:
+            raise ValueError("samples_per_level must be >= 1")
+        if min_gain <= 0:
+            raise ValueError("min_gain must be positive")
+        self.target = start
+        self.max_target = max_target
+        self.samples_per_level = samples_per_level
+        self.min_gain = min_gain
+        self._rates: list[float] = []
+        self._previous: tuple[int, float] | None = None  # (target, rate)
+        self._frozen = False
+
+    def record(self, items: int, seconds: float) -> None:
+        """Feed one fused sweep's size and wall-clock into the probe."""
+        if self._frozen or seconds <= 0.0 or items < self.target:
+            return
+        self._rates.append(items / seconds)
+        if len(self._rates) < self.samples_per_level:
+            return
+        rate = sum(self._rates) / len(self._rates)
+        self._rates = []
+        if self._previous is not None:
+            prev_target, prev_rate = self._previous
+            if rate < prev_rate * self.min_gain:
+                # Widening stopped paying: settle at the previous width.
+                self.target = prev_target
+                self._frozen = True
+                return
+        self._previous = (self.target, rate)
+        if self.target >= self.max_target:
+            self._frozen = True
+            return
+        self.target = min(self.target * 2, self.max_target)
+
+    @property
+    def settled(self) -> bool:
+        """True once the controller has stopped probing for a wider batch."""
+        return self._frozen
+
+
+class FixedBatchController(AdaptiveBatchController):
+    """A controller that never widens — the ``--no-adapt`` baseline."""
+
+    def __init__(self, target: int) -> None:
+        super().__init__(start=target, max_target=target)
+        self._frozen = True

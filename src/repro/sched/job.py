@@ -1,0 +1,84 @@
+"""Verification jobs: the unit of work the multi-property scheduler runs.
+
+A :class:`VerificationJob` is one ``(network, property)`` pair plus the
+knobs a solo :class:`~repro.core.verifier.BatchedVerifier` run would take —
+config, policy, and an integer seed.  The seed matters: each job derives
+its own ``SeedSequence`` root from it exactly the way the solo engine
+does, so a job's refinement tree, witnesses, and statistics are a pure
+function of the job itself, never of which other jobs share the scheduler
+run or how the frontier interleaves them (the reproducibility contract,
+DESIGN.md §6).
+
+:class:`JobQueue` is the ordered intake: manifests and programmatic callers
+submit jobs, the :class:`~repro.sched.scheduler.Scheduler` drains them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.config import VerifierConfig
+from repro.core.policy import VerificationPolicy
+from repro.core.property import RobustnessProperty
+from repro.nn.network import Network
+
+
+@dataclass(frozen=True, eq=False)
+class VerificationJob:
+    """One (network, property) pair under a config/policy/seed triple.
+
+    Attributes:
+        network: the network under analysis.
+        prop: the robustness property to decide.
+        config: Algorithm-1 knobs; ``config.batch_size`` is the width of
+            this job's frontier chunks inside fused sweeps, exactly as it
+            would be in a solo ``BatchedVerifier`` run.
+        policy: domain/partition policy; ``None`` selects the default.
+        seed: root of the job's ``SeedSequence`` tree (the solo engine's
+            ``rng`` argument).
+        name: identifier used in reports and manifests.
+        metadata: free-form caller data carried into cache records — e.g.
+            ``{"epsilon": 0.05, "center_digest": ...}`` for L∞ jobs, which
+            is what lets the cache answer certified-radius queries later.
+    """
+
+    network: Network
+    prop: RobustnessProperty
+    config: VerifierConfig = field(default_factory=VerifierConfig)
+    policy: VerificationPolicy | None = None
+    seed: int = 0
+    name: str = ""
+    metadata: dict = field(default_factory=dict)
+
+
+class JobQueue:
+    """Ordered job intake for the scheduler.
+
+    Submission order is the FIFO frontier policy's notion of "first" and
+    the tiebreaker for every other policy, so it is part of the scheduling
+    contract (though never of any job's *outcome* — see the module
+    docstring).
+    """
+
+    def __init__(self, jobs: list[VerificationJob] | None = None) -> None:
+        self._jobs: list[VerificationJob] = []
+        for job in jobs or []:
+            self.submit(job)
+
+    def submit(self, job: VerificationJob) -> int:
+        """Append a job; returns its queue index (stable for the report)."""
+        if not isinstance(job, VerificationJob):
+            raise TypeError(f"expected VerificationJob, got {type(job).__name__}")
+        self._jobs.append(job)
+        return len(self._jobs) - 1
+
+    def jobs(self) -> list[VerificationJob]:
+        """The submitted jobs in submission order."""
+        return list(self._jobs)
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self) -> Iterator[VerificationJob]:
+        return iter(self._jobs)

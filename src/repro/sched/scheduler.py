@@ -1,0 +1,493 @@
+"""The multi-property verification scheduler: one shared frontier.
+
+``BatchedVerifier`` keeps its GEMM batches full only while a *single*
+property's frontier is at least ``batch_size`` wide — which it rarely is
+near the root and near the leaves.  The :class:`Scheduler` accepts a whole
+manifest of (network, property) jobs and drives them through fused sweeps:
+each round, the frontier policy picks which jobs run, every chosen job
+contributes exactly the chunk its solo ``BatchedVerifier`` would pop next,
+and the union of chunks goes through **one** batched PGD call per
+(network, PGD-config) group and **one** batched Analyze call per
+(network, domain) group.  Properties disagree on the target class, so the
+fused kernels use the per-region-label variants
+(:class:`~repro.attack.objective.MultiLabelMarginObjective`,
+:func:`~repro.abstract.analyzer.analyze_batch_multi`).
+
+**Reproducibility contract.**  Fusing changes only which rows share a
+GEMM, never the per-row semantics: work-item randomness is path-keyed
+from each job's own seed, chunk composition and order within a job are
+exactly the solo engine's, and each chunk's falsified/refine logic is the
+very same code (:func:`~repro.core.verifier.first_falsified` /
+:func:`~repro.core.verifier.choose_domains` /
+:func:`~repro.core.verifier.refine_unverified`).  A job therefore produces
+the same outcome, witness, and statistics under every frontier policy,
+every adaptive batch width, and every co-scheduled job mix as a solo
+``BatchedVerifier(network, policy, config, rng=seed).verify(prop)`` run,
+up to the §4 BLAS round-off caveat (fused batches have different operand
+shapes) — pinned exact on the stock numpy build by
+``tests/sched/test_scheduler.py``.
+
+Decided jobs are recorded in an optional persistent
+:class:`~repro.sched.cache.ResultCache`; a later run with the same key
+serves the recorded outcome without spawning any PGD or Analyze work.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.abstract.analyzer import analyze_batch_multi
+from repro.attack.objective import MultiLabelMarginObjective
+from repro.attack.pgd import pgd_minimize_batch
+from repro.core.policy import default_policy
+from repro.core.results import (
+    Falsified,
+    Timeout,
+    VerificationStats,
+    Verified,
+)
+from repro.core.verifier import (
+    BatchedVerifier,
+    WorkItem,
+    choose_domains,
+    first_falsified,
+    minimize_pgd_config,
+    refine_unverified,
+    root_item,
+)
+from repro.nn.serialize import network_digest
+from repro.sched.cache import CacheRecord, ResultCache, job_key
+from repro.sched.frontier import (
+    AdaptiveBatchController,
+    FrontierPolicy,
+    make_frontier,
+)
+from repro.sched.job import JobQueue, VerificationJob
+from repro.utils.rng import as_generator
+from repro.utils.timing import Deadline, Stopwatch
+
+#: ``--engine`` menu of the ``schedule`` command.  ``batched`` fuses
+#: cross-property sweeps; ``sequential`` runs each job through a solo
+#: :class:`BatchedVerifier` in submission order (the baseline the fused
+#: engine is benchmarked against — both are cache-aware).
+SCHED_ENGINES = ("batched", "sequential")
+
+
+class _JobState:
+    """Mutable per-job scheduling state (the solo engine's locals)."""
+
+    __slots__ = (
+        "index", "job", "policy", "config", "pgd_config", "frontier",
+        "stats", "deadline", "watch", "outcome", "last_margin", "last_round",
+    )
+
+    def __init__(self, index: int, job: VerificationJob) -> None:
+        self.index = index
+        self.job = job
+        self.policy = job.policy or default_policy()
+        self.config = job.config
+        self.pgd_config = minimize_pgd_config(job.config)
+        self.frontier: list[WorkItem] = [
+            root_item(job.prop.region, as_generator(job.seed))
+        ]
+        self.stats = VerificationStats()
+        # The wall-clock budget starts when the job is first *scheduled*,
+        # not when the run starts: queue wait behind other jobs must not
+        # consume a job's own timeout (the solo engine starts its clock at
+        # verify(); this is the closest shared-executor analogue).  Time
+        # spent in fused kernels between a job's sweeps still counts —
+        # under a shared executor the timeout bounds completion latency.
+        self.deadline: Deadline | None = None
+        self.watch = Stopwatch().start()
+        self.outcome = None
+        self.last_margin = float("-inf")
+        self.last_round = -1
+
+    @property
+    def depth(self) -> int:
+        """Depth of the frontier top (the DFS policy's sort key)."""
+        return self.frontier[-1].depth if self.frontier else 0
+
+    def expired(self) -> bool:
+        return self.deadline is not None and self.deadline.expired()
+
+    def pop_chunk(self) -> list[WorkItem]:
+        """Exactly the chunk a solo ``BatchedVerifier`` sweep would pop."""
+        if self.deadline is None:
+            self.deadline = Deadline(self.config.timeout)
+        count = min(self.config.batch_size, len(self.frontier))
+        return [self.frontier.pop() for _ in range(count)]
+
+    def push_children(self, pairs: list[tuple[WorkItem, WorkItem]]) -> None:
+        """Reverse push order keeps the DFS orientation (the first popped
+        item's left child ends on top of the frontier)."""
+        for left_item, right_item in reversed(pairs):
+            self.frontier.append(right_item)
+            self.frontier.append(left_item)
+
+    def finish(self, outcome) -> None:
+        self.stats.time_seconds = self.watch.stop()
+        self.outcome = outcome
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """One job's outcome within a scheduler run.
+
+    ``elapsed`` is completion latency — time from run start to the job's
+    decision, which overlaps other jobs' kernel time in fused sweeps.
+    """
+
+    index: int
+    job: VerificationJob
+    outcome: object
+    cached: bool
+    elapsed: float
+
+
+@dataclass
+class ScheduleReport:
+    """Everything a scheduler run did, per job and in aggregate."""
+
+    results: list[JobResult]
+    wall_clock: float = 0.0
+    sweeps: int = 0
+    swept_items: int = 0
+    cache_hits: int = 0
+    cache_errors: int = 0
+    frontier: str = ""
+    engine: str = ""
+    final_batch_target: int = 0
+
+    def outcome_counts(self) -> dict[str, int]:
+        """``{"verified": ..., "falsified": ..., "timeout": ...}``."""
+        counts = {"verified": 0, "falsified": 0, "timeout": 0}
+        for result in self.results:
+            counts[result.outcome.kind] += 1
+        return counts
+
+    def fresh_calls(self) -> int:
+        """PGD + Analyze calls actually executed (cache hits excluded)."""
+        return sum(
+            r.outcome.stats.pgd_calls + r.outcome.stats.analyze_calls
+            for r in self.results
+            if not r.cached
+        )
+
+    def throughput(self) -> float:
+        """Freshly executed work items per second of wall clock."""
+        if self.wall_clock <= 0.0:
+            return 0.0
+        return self.fresh_calls() / self.wall_clock
+
+
+class Scheduler:
+    """Runs a manifest of verification jobs through one shared frontier.
+
+    Args:
+        jobs: a :class:`JobQueue`, a list of jobs, or ``None`` (submit
+            later via :meth:`submit`).
+        frontier: a :class:`FrontierPolicy` or its name
+            (``"fifo"`` / ``"dfs"`` / ``"priority"``).
+        cache: optional persistent :class:`ResultCache`; decided jobs are
+            recorded, and later runs with identical keys are served
+            without spawning any verification work.
+        controller: adaptive batch-width controller; defaults to probing
+            upward from the largest job ``batch_size``.
+        engine: ``"batched"`` (fused cross-property sweeps) or
+            ``"sequential"`` (solo ``BatchedVerifier`` per job).
+    """
+
+    def __init__(
+        self,
+        jobs: JobQueue | list[VerificationJob] | None = None,
+        frontier: str | FrontierPolicy = "dfs",
+        cache: ResultCache | None = None,
+        controller: AdaptiveBatchController | None = None,
+        engine: str = "batched",
+    ) -> None:
+        if engine not in SCHED_ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; choose from {SCHED_ENGINES}"
+            )
+        if isinstance(jobs, JobQueue):
+            self.queue = jobs
+        else:
+            self.queue = JobQueue(list(jobs) if jobs else None)
+        self.policy = make_frontier(frontier)
+        self.cache = cache
+        self.controller = controller
+        self.engine = engine
+        self._digests: dict[int, str] = {}
+
+    def submit(self, job: VerificationJob) -> int:
+        """Queue one more job; returns its index in the report."""
+        return self.queue.submit(job)
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+
+    def _net_digest(self, network) -> str:
+        key = id(network)
+        if key not in self._digests:
+            self._digests[key] = network_digest(network)
+        return self._digests[key]
+
+    def _job_key(self, job: VerificationJob) -> str:
+        return job_key(
+            self._net_digest(job.network),
+            job.prop,
+            job.config,
+            job.policy or default_policy(),
+            job.seed,
+        )
+
+    def _record(
+        self, report: ScheduleReport, job: VerificationJob, outcome
+    ) -> None:
+        if self.cache is None or outcome.kind not in ("verified", "falsified"):
+            return
+        record = CacheRecord.from_outcome(
+            outcome,
+            self._net_digest(job.network),
+            job.prop.label,
+            job.metadata,
+        )
+        try:
+            self.cache.put(self._job_key(job), record)
+        except OSError:
+            # The cache is an optimization; a full disk must not turn a
+            # decided job into a failure.
+            report.cache_errors += 1
+
+    # ------------------------------------------------------------------
+    # Run
+    # ------------------------------------------------------------------
+
+    def run(self) -> ScheduleReport:
+        """Drive every queued job to an outcome; returns the report."""
+        jobs = self.queue.jobs()
+        if not jobs:
+            raise ValueError("no jobs submitted")
+        watch = Stopwatch().start()
+        report = ScheduleReport(
+            results=[None] * len(jobs),
+            frontier=self.policy.name,
+            engine=self.engine,
+        )
+
+        pending: list[tuple[int, VerificationJob]] = []
+        for index, job in enumerate(jobs):
+            record = self.cache.get(self._job_key(job)) if self.cache else None
+            if record is not None:
+                report.cache_hits += 1
+                report.results[index] = JobResult(
+                    index, job, record.to_outcome(), cached=True, elapsed=0.0
+                )
+            else:
+                pending.append((index, job))
+
+        if self.engine == "sequential":
+            self._run_sequential(report, pending)
+        else:
+            self._run_batched(report, pending)
+
+        report.wall_clock = watch.stop()
+        return report
+
+    def _run_sequential(
+        self, report: ScheduleReport, pending: list[tuple[int, VerificationJob]]
+    ) -> None:
+        for index, job in pending:
+            watch = Stopwatch().start()
+            outcome = BatchedVerifier(
+                job.network, job.policy, job.config, rng=job.seed
+            ).verify(job.prop)
+            self._record(report, job, outcome)
+            report.results[index] = JobResult(
+                index, job, outcome, cached=False, elapsed=watch.stop()
+            )
+            # Same unit as the batched engine's accounting: one swept item
+            # per frontier item minimized (every popped item gets exactly
+            # one PGD call, whether or not its analysis ran).
+            report.swept_items += outcome.stats.pgd_calls
+
+    # ------------------------------------------------------------------
+    # Fused engine
+    # ------------------------------------------------------------------
+
+    def _run_batched(
+        self, report: ScheduleReport, pending: list[tuple[int, VerificationJob]]
+    ) -> None:
+        states = [_JobState(index, job) for index, job in pending]
+        controller = self.controller
+        if controller is None and states:
+            controller = AdaptiveBatchController(
+                start=max(state.config.batch_size for state in states)
+            )
+        round_no = 0
+        active = list(states)
+        while active:
+            still = []
+            for state in active:
+                if state.outcome is not None:
+                    continue
+                if state.expired():
+                    state.finish(Timeout("wall clock", state.stats))
+                    continue
+                still.append(state)
+            active = still
+            if not active:
+                break
+
+            # The frontier policy picks which jobs' next chunks fill the
+            # fused sweep up to the controller's current width target.
+            plan: list[tuple[_JobState, list[WorkItem]]] = []
+            total = 0
+            for state in self.policy.order(active):
+                if total >= controller.target and plan:
+                    break
+                chunk = state.pop_chunk()
+                state.last_round = round_no
+                plan.append((state, chunk))
+                total += len(chunk)
+            round_no += 1
+
+            started = time.perf_counter()
+            self._fused_sweep(plan)
+            controller.record(total, time.perf_counter() - started)
+            report.sweeps += 1
+            report.swept_items += total
+
+            for state, _ in plan:
+                if state.outcome is None and not state.frontier:
+                    state.finish(Verified(state.stats))
+
+        for state in states:
+            outcome = state.outcome
+            self._record(report, state.job, outcome)
+            report.results[state.index] = JobResult(
+                state.index,
+                state.job,
+                outcome,
+                cached=False,
+                elapsed=outcome.stats.time_seconds,
+            )
+        report.final_batch_target = controller.target if controller else 0
+
+    @staticmethod
+    def _group_deadline(states: list[_JobState]) -> Deadline | None:
+        """The *latest* deadline of a fused group.
+
+        Fused kernels cannot abort one job without aborting its batch
+        mates, so mid-kernel aborts only fire once every participant is
+        over budget; individual jobs time out at round boundaries instead.
+        """
+        deadlines = [state.deadline for state in states]
+        if any(d is None or d.limit is None for d in deadlines):
+            return None
+        return max(deadlines, key=lambda deadline: deadline.remaining)
+
+    def _fused_sweep(
+        self, plan: list[tuple[_JobState, list[WorkItem]]]
+    ) -> None:
+        """One scheduler round: fused Minimize, fused Analyze, refine.
+
+        Mirrors :func:`~repro.core.verifier.batched_sweep` chunk by chunk;
+        only the kernel-call grouping spans jobs.
+        """
+        # --- 1. Fused Minimize per (network, PGD-config) group -----------
+        pgd_groups: dict[tuple, list[tuple[_JobState, list[WorkItem]]]] = {}
+        for state, chunk in plan:
+            key = (id(state.job.network), state.pgd_config)
+            pgd_groups.setdefault(key, []).append((state, chunk))
+
+        # Chunks that survive Minimize: (state, chunk, seeds, x*, f*).
+        survivors: list[tuple] = []
+        for group in pgd_groups.values():
+            network = group[0][0].job.network
+            items = [item for _, chunk in group for item in chunk]
+            labels = [
+                state.job.prop.label for state, chunk in group for _ in chunk
+            ]
+            seeds = [item.derive_seeds() for item in items]
+            x_stars, f_stars = pgd_minimize_batch(
+                MultiLabelMarginObjective(network, labels),
+                [item.region for item in items],
+                group[0][0].pgd_config,
+                [pgd_rng for pgd_rng, _, _ in seeds],
+                self._group_deadline([state for state, _ in group]),
+            )
+            offset = 0
+            for state, chunk in group:
+                span = slice(offset, offset + len(chunk))
+                offset += len(chunk)
+                xs, fs = x_stars[span], f_stars[span]
+                state.stats.pgd_calls += len(chunk)
+                state.stats.max_depth_reached = max(
+                    state.stats.max_depth_reached,
+                    max(item.depth for item in chunk),
+                )
+                state.last_margin = float(fs.min())
+                idx = first_falsified(fs, state.config.delta)
+                if idx is not None:
+                    state.finish(
+                        Falsified(xs[idx], float(fs[idx]), state.stats)
+                    )
+                    continue
+                survivors.append((state, chunk, seeds[span], xs, fs))
+
+        # --- 2. Fused Analyze per (network, domain) group ----------------
+        analyze_groups: dict[tuple, list[tuple[_JobState, int, WorkItem]]] = {}
+        results_by_state: dict[int, list] = {}
+        for state, chunk, seeds, xs, fs in survivors:
+            domains = choose_domains(
+                state.job.network, state.policy, state.job.prop,
+                chunk, xs, fs, state.stats,
+            )
+            results_by_state[state.index] = [None] * len(chunk)
+            for pos, (item, domain) in enumerate(zip(chunk, domains)):
+                key = (id(state.job.network), domain)
+                analyze_groups.setdefault(key, []).append((state, pos, item))
+
+        for (_, domain), entries in analyze_groups.items():
+            network = entries[0][0].job.network
+            group_states = list(
+                {id(state): state for state, _, _ in entries}.values()
+            )
+            try:
+                analyses = analyze_batch_multi(
+                    network,
+                    [item.region for _, _, item in entries],
+                    [state.job.prop.label for state, _, _ in entries],
+                    domain,
+                    self._group_deadline(group_states),
+                )
+            except TimeoutError:
+                # The group deadline is the latest of its members, so every
+                # member is over budget.  They must retire *now*: their
+                # chunks never completed analysis, so an empty frontier
+                # here means "aborted", not "verified" (the solo engine
+                # maps this TimeoutError the same way).
+                for state in group_states:
+                    if state.outcome is None:
+                        state.finish(Timeout("wall clock", state.stats))
+                continue
+            for (state, pos, _), analysis in zip(entries, analyses):
+                results_by_state[state.index][pos] = analysis
+
+        # --- 3. Refine per chunk (identical to the solo engine) ----------
+        for state, chunk, seeds, xs, fs in survivors:
+            if state.outcome is not None:
+                continue
+            terminal, pairs = refine_unverified(
+                state.job.network, state.policy, state.config,
+                state.job.prop, chunk, seeds, xs, fs,
+                results_by_state[state.index], state.stats,
+            )
+            if terminal is not None:
+                state.finish(Timeout(terminal[1], state.stats))
+                continue
+            state.push_children(pairs)

@@ -1,0 +1,240 @@
+"""The persistent result cache: keys, round-trips, and radius queries."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import VerifierConfig
+from repro.core.policy import BisectionPolicy, LinearPolicy
+from repro.core.property import RobustnessProperty, linf_property
+from repro.core.results import Falsified, Timeout, Verified, VerificationStats
+from repro.nn.builders import mlp, xor_network
+from repro.nn.serialize import network_digest
+from repro.sched import (
+    CacheRecord,
+    ResultCache,
+    Scheduler,
+    VerificationJob,
+    config_digest,
+    job_key,
+    point_digest,
+    policy_digest,
+    property_digest,
+)
+from repro.utils.boxes import Box
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def _prop(label=1):
+    return RobustnessProperty(
+        Box(np.array([0.3, 0.3]), np.array([0.7, 0.7])), label
+    )
+
+
+class TestDigests:
+    def test_network_digest_stable_and_sensitive(self):
+        a = mlp(4, [8], 3, rng=0)
+        b = mlp(4, [8], 3, rng=0)
+        c = mlp(4, [8], 3, rng=1)
+        assert network_digest(a) == network_digest(b)
+        assert network_digest(a) != network_digest(c)
+
+    def test_network_digest_survives_roundtrip(self, tmp_path):
+        from repro.nn.serialize import load_network, save_network
+
+        net = mlp(4, [8], 3, rng=0)
+        save_network(net, tmp_path / "net.npz")
+        assert network_digest(load_network(tmp_path / "net.npz")) == network_digest(net)
+
+    def test_property_digest_sensitive_to_region_and_label(self):
+        base = _prop()
+        assert property_digest(base) == property_digest(_prop())
+        assert property_digest(base) != property_digest(_prop(label=0))
+        moved = RobustnessProperty(
+            Box(np.array([0.3, 0.3]), np.array([0.7, 0.71])), 1
+        )
+        assert property_digest(base) != property_digest(moved)
+
+    def test_config_digest_ignores_timeout_only(self):
+        base = VerifierConfig(timeout=1.0)
+        assert config_digest(base) == config_digest(VerifierConfig(timeout=99.0))
+        assert config_digest(base) != config_digest(VerifierConfig(delta=0.5))
+        assert config_digest(base) != config_digest(VerifierConfig(batch_size=4))
+
+    def test_policy_digest_covers_parameters(self):
+        learned = LinearPolicy.default()
+        perturbed = LinearPolicy(learned.theta + 1e-9)
+        assert policy_digest(learned) == policy_digest(LinearPolicy.default())
+        assert policy_digest(learned) != policy_digest(perturbed)
+        assert policy_digest(BisectionPolicy()) != policy_digest(
+            BisectionPolicy(split="influence")
+        )
+
+    def test_job_key_sensitive_to_seed(self):
+        net_digest = network_digest(xor_network())
+        config = VerifierConfig()
+        policy = BisectionPolicy()
+        a = job_key(net_digest, _prop(), config, policy, seed=0)
+        b = job_key(net_digest, _prop(), config, policy, seed=1)
+        assert a != b
+
+
+class TestRecordRoundtrip:
+    def test_falsified_roundtrip(self, cache):
+        stats = VerificationStats(pgd_calls=3, analyze_calls=2, splits=1)
+        stats.record_domain("Z")
+        witness = np.array([0.25, 0.75])
+        record = CacheRecord.from_outcome(
+            Falsified(witness, -0.125, stats), "netdigest", 1, {"epsilon": 0.1}
+        )
+        cache.put("k" * 64, record)
+        loaded = cache.get("k" * 64)
+        outcome = loaded.to_outcome()
+        assert outcome.kind == "falsified"
+        np.testing.assert_array_equal(outcome.counterexample, witness)
+        assert outcome.margin == -0.125
+        assert outcome.stats.pgd_calls == 3
+        assert outcome.stats.domains_used == stats.domains_used
+        assert outcome.stats.time_seconds == 0.0  # hits spend no time
+        assert loaded.metadata == {"epsilon": 0.1}
+
+    def test_verified_roundtrip(self, cache):
+        record = CacheRecord.from_outcome(
+            Verified(VerificationStats(analyze_calls=5)), "d", 0
+        )
+        cache.put("v" * 64, record)
+        assert cache.get("v" * 64).to_outcome().kind == "verified"
+
+    def test_timeouts_are_not_cacheable(self):
+        with pytest.raises(ValueError, match="cache"):
+            CacheRecord.from_outcome(
+                Timeout("wall clock", VerificationStats()), "d", 0
+            )
+
+    def test_missing_key_is_none(self, cache):
+        assert cache.get("0" * 64) is None
+
+    def test_corrupt_entry_is_a_miss(self, cache):
+        cache.put("c" * 64, CacheRecord.from_outcome(
+            Verified(VerificationStats()), "d", 0
+        ))
+        path = cache._path("c" * 64)
+        path.write_text("{not json")
+        assert cache.get("c" * 64) is None
+
+    def test_len_counts_entries(self, cache):
+        assert len(cache) == 0
+        record = CacheRecord.from_outcome(Verified(VerificationStats()), "d", 0)
+        cache.put("a" * 64, record)
+        cache.put("b" * 64, record)
+        assert len(cache) == 2
+
+    def test_entries_are_valid_json_files(self, cache):
+        cache.put("e" * 64, CacheRecord.from_outcome(
+            Verified(VerificationStats()), "d", 0
+        ))
+        payload = json.loads(cache._path("e" * 64).read_text())
+        assert payload["kind"] == "verified"
+
+
+class TestSchedulerIntegration:
+    def test_second_run_is_served_from_cache(self, cache):
+        net = mlp(4, [12, 12], 3, rng=5)
+        config = VerifierConfig(timeout=20.0, batch_size=8)
+        rng = np.random.default_rng(3)
+        jobs = []
+        for i in range(4):
+            center = rng.uniform(0.2, 0.8, 4)
+            prop = linf_property(net, center, 0.2, name=f"p{i}")
+            jobs.append(
+                VerificationJob(net, prop, config=config, seed=0, name=prop.name)
+            )
+        first = Scheduler(jobs, cache=cache).run()
+        decided = [
+            r for r in first.results
+            if r.outcome.kind in ("verified", "falsified")
+        ]
+        assert decided
+        second = Scheduler(jobs, cache=cache).run()
+        assert second.cache_hits == len(decided)
+        if len(decided) == len(jobs):
+            assert second.sweeps == 0
+            assert second.fresh_calls() == 0
+        for a, b in zip(first.results, second.results):
+            assert a.outcome.kind == b.outcome.kind
+            if a.outcome.kind == "falsified":
+                np.testing.assert_array_equal(
+                    a.outcome.counterexample, b.outcome.counterexample
+                )
+
+    def test_different_seed_misses(self, cache):
+        net = xor_network()
+        prop = _prop()
+        config = VerifierConfig(timeout=10.0)
+        job_a = VerificationJob(net, prop, config=config, seed=0)
+        Scheduler([job_a], cache=cache).run()
+        job_b = VerificationJob(net, prop, config=config, seed=1)
+        report = Scheduler([job_b], cache=cache).run()
+        assert report.cache_hits == 0
+
+    def test_retrained_network_misses(self, cache):
+        config = VerifierConfig(timeout=10.0)
+        prop_region = Box(np.full(4, 0.4), np.full(4, 0.6))
+        net_a = mlp(4, [8], 3, rng=0)
+        net_b = mlp(4, [8], 3, rng=7)
+        prop_a = RobustnessProperty(prop_region, net_a.classify(prop_region.center))
+        Scheduler(
+            [VerificationJob(net_a, prop_a, config=config)], cache=cache
+        ).run()
+        prop_b = RobustnessProperty(prop_region, prop_a.label)
+        report = Scheduler(
+            [VerificationJob(net_b, prop_b, config=config)], cache=cache
+        ).run()
+        assert report.cache_hits == 0
+
+
+class TestRadiusQueries:
+    def test_bounds_fold_over_cached_entries(self, cache):
+        net = xor_network()
+        center = np.array([0.5, 0.5])
+        digest = network_digest(net)
+        config = VerifierConfig(timeout=10.0)
+        jobs = []
+        for epsilon in (0.02, 0.05, 0.3, 0.45):
+            prop = linf_property(net, center, epsilon, name=f"eps-{epsilon}")
+            jobs.append(
+                VerificationJob(
+                    net, prop, config=config, seed=0, name=prop.name,
+                    metadata={
+                        "center_digest": point_digest(center),
+                        "epsilon": epsilon,
+                    },
+                )
+            )
+        report = Scheduler(jobs, cache=cache).run()
+        kinds = {
+            job.metadata["epsilon"]: result.outcome.kind
+            for job, result in zip(jobs, report.results)
+        }
+        certified, falsified = cache.radius_bounds(net, center)
+        verified_eps = [e for e, k in kinds.items() if k == "verified"]
+        falsified_eps = [e for e, k in kinds.items() if k == "falsified"]
+        assert verified_eps and falsified_eps  # the bracket is real
+        assert certified == max(verified_eps)
+        assert falsified == min(falsified_eps)
+        assert certified < falsified
+
+    def test_unknown_center_has_trivial_bounds(self, cache):
+        net = xor_network()
+        certified, falsified = cache.radius_bounds(net, np.array([0.1, 0.9]))
+        assert certified == 0.0
+        assert falsified == float("inf")
+
+    def test_accepts_precomputed_digest(self, cache):
+        certified, falsified = cache.radius_bounds("deadbeef", np.zeros(2))
+        assert (certified, falsified) == (0.0, float("inf"))

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -51,6 +53,92 @@ class TestVerifyCommand:
     def test_dimension_mismatch_exits(self, xor_path):
         with pytest.raises(SystemExit, match="entries"):
             main(["verify", xor_path, "--center", "0.5", "--epsilon", "0.1"])
+
+
+class TestScheduleCommand:
+    @pytest.fixture()
+    def manifest(self, xor_path, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps({
+            "defaults": {"epsilon": 0.05, "timeout": 5.0},
+            "jobs": [
+                {"network": xor_path, "center": "0.5,0.5", "name": "safe"},
+                {"network": xor_path, "center": "0.5,0.9", "epsilon": 0.5,
+                 "name": "unsafe"},
+                {"network": xor_path, "center": "0.2,0.2", "epsilon": 0.1,
+                 "name": "wrong-label", "label": 0},
+            ],
+        }))
+        return str(path)
+
+    def test_runs_manifest_and_reports(self, manifest, capsys):
+        code = main(["schedule", manifest, "--frontier", "priority"])
+        out = capsys.readouterr().out
+        assert code == 1  # a falsified job exists
+        assert "safe" in out and "unsafe" in out
+        assert "verified" in out and "falsified" in out
+        assert "fused sweeps" in out
+
+    def test_cache_serves_second_run(self, manifest, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        main(["schedule", manifest, "--cache", cache_dir])
+        capsys.readouterr()
+        code = main(["schedule", manifest, "--cache", cache_dir])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "cache: 3 hits" in out
+        assert "[cached]" in out
+        assert "0 fused sweeps" in out
+
+    def test_sequential_engine(self, manifest, capsys):
+        code = main(["schedule", manifest, "--engine", "sequential"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "engine: sequential" in out
+
+    def test_missing_manifest_exits(self):
+        with pytest.raises(SystemExit, match="manifest"):
+            main(["schedule", "/nonexistent/manifest.json"])
+
+    def test_manifest_without_jobs_exits(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"jobs": []}))
+        with pytest.raises(SystemExit, match="no jobs"):
+            main(["schedule", str(path)])
+
+    def test_job_missing_center_exits(self, xor_path, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"jobs": [{"network": xor_path}]}))
+        with pytest.raises(SystemExit, match="center"):
+            main(["schedule", str(path)])
+
+    def test_all_timeout_exits_two(self, tmp_path, capsys):
+        from repro.nn.builders import mlp
+
+        net_path = tmp_path / "wide.npz"
+        save_network(mlp(8, [24, 24, 24], 5, rng=3), net_path)
+        manifest = tmp_path / "slow.json"
+        manifest.write_text(json.dumps({
+            "jobs": [{"network": str(net_path), "center": ",".join(["0.5"] * 8),
+                      "epsilon": 0.5, "name": "hard"}],
+        }))
+        code = main(["schedule", str(manifest), "--timeout", "0.05"])
+        out = capsys.readouterr().out
+        # Nothing proven must never exit 0 (CI-gate convention of verify).
+        if "timeout: 1" in out:
+            assert code == 2
+        else:
+            assert code == 1  # PGD falsified it before the budget ran out
+
+    def test_out_of_range_label_exits(self, xor_path, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({
+            "jobs": [
+                {"network": xor_path, "center": "0.5,0.5", "label": 99}
+            ]
+        }))
+        with pytest.raises(SystemExit, match="label 99 out of range"):
+            main(["schedule", str(path)])
 
 
 class TestRadiusCommand:
