@@ -20,10 +20,16 @@ Metrics and how to read them:
 - ``kernels.*.speedup`` — same fixed workload (one frontier of sub-regions)
   through the per-region loop vs the batched kernel; pure wall-clock.
 
-The ``deeppoly_policy`` suite exercises the fully-batched analysis path;
-``learned_policy`` is figure parity (the pretrained policy mostly selects
-bounded zonotope powersets, whose data-dependent case splits fall back to
-the per-region loop, so its ratio isolates batched-PGD + frontier gains).
+The ``deeppoly_policy`` suite exercises the fully-batched DeepPoly path;
+``learned_policy`` is figure parity *and* the fig06 powerset workload (the
+pretrained policy mostly selects bounded zonotope powersets, which since
+the ZonotopeBatch/PowersetBatch kernels run GEMM-shaped and
+batch-height-stable across frontier regions — see
+``repro.abstract.zonotope_batch``).  ``zonotope_policy`` /
+``powerset_policy`` pin the pure (Z, 1) / (Z, 2) suites on the first two
+fig06 networks, and the ``analyze_zonotope`` / ``analyze_powerset``
+kernel rows compare the stacked kernels against the per-region loops on a
+fixed frontier.
 
 Runs *append* to the trajectory list in the output file (legacy
 single-report files are wrapped into a one-entry trajectory first), so the
@@ -47,7 +53,12 @@ from pathlib import Path
 import numpy as np
 
 from repro.abstract.analyzer import analyze, analyze_batch
-from repro.abstract.domains import DEEPPOLY, INTERVAL
+from repro.abstract.domains import (
+    DEEPPOLY,
+    INTERVAL,
+    ZONOTOPE,
+    bounded_zonotopes,
+)
 from repro.attack.objective import MarginObjective
 from repro.attack.pgd import PGDConfig, pgd_minimize, pgd_minimize_batch
 from repro.bench.suites import SuiteScale, build_network, build_problems
@@ -226,20 +237,34 @@ def main(argv=None):
         "kernels": {},
     }
 
+    # The zonotope legs run on the first two networks' problems: the
+    # powerset per-region loop is orders of magnitude slower than the
+    # other domains, and two networks bound the suite's wall clock while
+    # still mixing MNIST widths.
+    zono_problems = [
+        p for p in problems if p.network_name in names[: min(2, len(names))]
+    ]
     policies = {
-        "deeppoly_policy": BisectionPolicy(domain=DEEPPOLY),
-        "learned_policy": pretrained_policy(),
+        "deeppoly_policy": (BisectionPolicy(domain=DEEPPOLY), problems),
+        "learned_policy": (pretrained_policy(), problems),
+        "zonotope_policy": (BisectionPolicy(domain=ZONOTOPE), zono_problems),
+        "powerset_policy": (
+            BisectionPolicy(domain=bounded_zonotopes(2)), zono_problems,
+        ),
     }
-    for policy_name, policy in policies.items():
+    for policy_name, (policy, policy_problems) in policies.items():
         print(f"engine suite [{policy_name}] ...", flush=True)
-        seq = run_engine_suite(problems, networks, policy, config, Verifier)
+        seq = run_engine_suite(
+            policy_problems, networks, policy, config, Verifier
+        )
         bat = run_engine_suite(
-            problems, networks, policy, config, BatchedVerifier
+            policy_problems, networks, policy, config, BatchedVerifier
         )
         speedup = engine_speedups(seq, bat)
         seq.pop("_per_problem")
         bat.pop("_per_problem")
         report["engine_suites"][policy_name] = {
+            "problems": len(policy_problems),
             "sequential": seq,
             "batched": bat,
             "speedup": speedup,
@@ -255,13 +280,29 @@ def main(argv=None):
     report["kernels"]["analyze_deeppoly"] = bench_analyze_kernel(
         workload, DEEPPOLY, batch_size
     )
+    # Zonotope kernels on a trimmed workload: per-region powerset
+    # analysis is the slow side being replaced, so a subset keeps the
+    # bench minutes-fast without changing the ratio's meaning.
+    zono_workload = frontier_workload(
+        zono_problems[:12], networks, per_problem=16
+    )
+    report["kernels"]["analyze_zonotope"] = bench_analyze_kernel(
+        zono_workload, ZONOTOPE, batch_size
+    )
+    report["kernels"]["analyze_powerset"] = bench_analyze_kernel(
+        zono_workload, bounded_zonotopes(2), batch_size
+    )
     for name, kernel in report["kernels"].items():
         print(f"  {name}: {kernel['speedup']}x", flush=True)
 
     deeppoly = report["engine_suites"]["deeppoly_policy"]["speedup"]
+    powerset = report["engine_suites"]["powerset_policy"]["speedup"]
+    learned = report["engine_suites"]["learned_policy"]["speedup"]
     report["headline"] = {
         "engine_pgd_throughput_speedup": deeppoly["pgd_throughput"],
         "engine_analyze_throughput_speedup": deeppoly["analyze_throughput"],
+        "powerset_engine_pgd_throughput_speedup": powerset["pgd_throughput"],
+        "learned_engine_pgd_throughput_speedup": learned["pgd_throughput"],
         "kernel_speedups": {
             k: v["speedup"] for k, v in report["kernels"].items()
         },

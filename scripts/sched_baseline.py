@@ -35,7 +35,7 @@ from pathlib import Path
 import numpy as np
 
 from perf_baseline import append_trajectory
-from repro.abstract.domains import DEEPPOLY
+from repro.abstract.domains import DEEPPOLY, bounded_zonotopes
 from repro.bench.suites import SuiteScale, build_network, build_problems
 from repro.core.config import VerifierConfig
 from repro.core.policy import BisectionPolicy
@@ -106,10 +106,11 @@ def main(argv=None):
     names = MLP_NETWORKS[:1] if args.quick else MLP_NETWORKS
     count = 4 if args.quick else 8
     config = VerifierConfig(timeout=None, max_depth=10, batch_size=16)
-    # The learned policy mostly selects bounded zonotope powersets, whose
-    # per-region analyses are orders of magnitude slower than DeepPoly's
-    # batched kernel; a lower depth cap keeps its deterministic workload
-    # baseline-sized without reintroducing wall-clock nondeterminism.
+    # The learned policy mostly selects bounded zonotope powersets — now
+    # batched (ZonotopeBatch/PowersetBatch) but still far heavier per
+    # region than DeepPoly; a lower depth cap keeps its deterministic
+    # workload baseline-sized without reintroducing wall-clock
+    # nondeterminism.  The explicit (Z, 2) row shares that cap.
     learned_config = VerifierConfig(timeout=None, max_depth=6, batch_size=16)
 
     print(f"training {len(names)} networks ...", flush=True)
@@ -134,14 +135,21 @@ def main(argv=None):
         "engines": {},
     }
 
-    # The learned-policy leg is figure parity, not the scheduler's perf
-    # story (powerset analyses dominate and fall back to per-region loops,
-    # so its ratio hovers near 1x); one network keeps it baseline-sized.
+    # The learned-policy and (Z, 2) legs run on one network: powerset
+    # analyses dominate their wall clock, and single-network manifests
+    # are the regime where cross-property fusion fills batch slots.
     learned_problems = [p for p in problems if p.network_name == names[0]]
     policies = {
         "deeppoly_policy": (BisectionPolicy(domain=DEEPPOLY), config, problems),
         "learned_policy": (
             pretrained_policy(), learned_config, learned_problems,
+        ),
+        # Named to match perf_baseline's (Z, 2) leg so the two trajectory
+        # files stay comparable key-by-key.
+        "powerset_policy": (
+            BisectionPolicy(domain=bounded_zonotopes(2)),
+            learned_config,
+            learned_problems,
         ),
     }
     for policy_name, (policy, policy_config, policy_problems) in policies.items():

@@ -13,11 +13,19 @@ Implements the numeric domains the paper's analyzer chooses among (§2.3):
   sequence and checks the classification margin (the paper's ``Analyze``).
 - :mod:`repro.abstract.symbolic_interval` — symbolic intervals in the style
   of ReluVal (used by the ReluVal baseline).
+- :mod:`repro.abstract.batched` — the :class:`BatchedElement` protocol the
+  batched kernels implement (``IntervalBatch``, ``DeepPolyBatch``,
+  ``ZonotopeBatch``, ``PowersetBatch``).
+- :mod:`repro.abstract.zonotope_batch` — stacked zonotope/powerset kernels
+  with the round-based batched ReLU case-split loop (bitwise identical to
+  the sequential elements, row by row).
 """
 
+from repro.abstract.batched import BatchedElement
 from repro.abstract.element import AbstractElement
 from repro.abstract.interval import IntervalBatch, IntervalElement
 from repro.abstract.zonotope import Zonotope
+from repro.abstract.zonotope_batch import PowersetBatch, ZonotopeBatch
 from repro.abstract.powerset import PowersetElement
 from repro.abstract.domains import (
     DEEPPOLY,
@@ -32,10 +40,13 @@ from repro.abstract.symbolic_interval import SymbolicInterval, symbolic_analyze
 
 __all__ = [
     "AbstractElement",
+    "BatchedElement",
     "IntervalElement",
     "IntervalBatch",
     "Zonotope",
+    "ZonotopeBatch",
     "PowersetElement",
+    "PowersetBatch",
     "DomainSpec",
     "INTERVAL",
     "ZONOTOPE",

@@ -6,10 +6,12 @@ checks the robustness condition ``∀j≠K. y_K > y_j`` on the output element
 zonotopes).  This is the role ELINA plays inside the original Charon.
 
 :func:`analyze_batch` exploits the paper's §6 observation that sub-region
-analyses are independent: for the interval and DeepPoly domains it
-propagates all ``B`` regions simultaneously, turning every affine
-transformer into a single GEMM over the batch; other domains fall back to
-a per-region loop with identical results.
+analyses are independent: every domain with a batched kernel
+(:meth:`~repro.abstract.domains.DomainSpec.lift_batch` — interval,
+DeepPoly, zonotope, and powerset-of-zonotope) propagates all ``B``
+regions simultaneously, turning every affine transformer into a single
+GEMM over the batch; the remaining domains (symbolic intervals, interval
+powersets) fall back to a per-region loop with identical results.
 """
 
 from __future__ import annotations
@@ -103,9 +105,12 @@ def analyze_batch(
 
     Semantics are per-region :func:`analyze`; the batched interval and
     DeepPoly paths differ from the sequential results only by BLAS kernel
-    round-off (reduction order depends on operand shapes).  Zonotope,
-    powerset, and symbolic domains — whose ReLU case splits are
-    data-dependent per region — fall back to the per-region loop.
+    round-off (reduction order depends on operand shapes), while the
+    zonotope and powerset-of-zonotope kernels are bitwise identical to
+    the sequential elements (their round-based case-split kernels are
+    batch-height-stable by construction — see
+    :mod:`repro.abstract.zonotope_batch`).  Domains without a batched
+    kernel fall back to the per-region loop.
     """
     return analyze_batch_multi(
         network, regions, [label] * len(regions), domain, deadline
@@ -147,15 +152,8 @@ def analyze_batch_multi(
                 f"label {lab} out of range for {network.output_size} outputs"
             )
     ops = network.ops()
-    if domain.base == "interval" and domain.disjuncts == 1:
-        from repro.abstract.interval import IntervalBatch
-
-        element = IntervalBatch.from_boxes(list(regions))
-    elif domain.base == "deeppoly":
-        from repro.abstract.deeppoly import DeepPolyBatch
-
-        element = DeepPolyBatch.from_boxes(list(regions))
-    else:
+    element = domain.lift_batch(list(regions))
+    if element is None:
         return [
             analyze(network, region, lab, domain, deadline)
             for region, lab in zip(regions, labels)

@@ -26,7 +26,9 @@ deep networks, and it directly yields relational margin bounds.
 affine relations are shared across the batch (one weight matrix), ReLU
 relaxation vectors get a leading batch axis, and back-substitution becomes
 a stack of GEMMs — the §6 "independent sub-region analyses" opportunity
-realized as batching.
+realized as batching.  Per-region dense relations (maxpool) pre-stack
+their sign-split operands at construction so every rewrite through them
+runs as one fused ``(B, rows, 2n)`` GEMM (:class:`_DenseBounds`).
 """
 
 from __future__ import annotations
@@ -35,6 +37,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.abstract.batched import BatchedElement
 from repro.nn.network import AffineOp, MaxPoolOp, Network, ReluOp
 from repro.utils.boxes import Box
 from repro.utils.timing import Deadline
@@ -48,6 +51,39 @@ class _LayerBounds:
     bl: np.ndarray
     au: np.ndarray
     bu: np.ndarray
+
+
+@dataclass(frozen=True)
+class _DenseBounds(_LayerBounds):
+    """A per-region dense relation with its sign-split operands
+    pre-stacked for the fused batched rewrite.
+
+    ``lower_rel = [al ; au]`` and ``upper_rel = [au ; al]`` along the
+    relation axis (biases likewise), built **once** when the layer is
+    created: every back-substitution rewrite through the layer then runs
+    as a single ``(B, rows, 2n)`` batched GEMM against the stacked
+    relation instead of two half-width GEMMs plus an add (the ROADMAP's
+    sign-split fusion — the two GEMMs' flops are identical, so the win
+    is the saved add pass and kernel launches, which is why the stacking
+    must be amortized here rather than paid per rewrite).
+    """
+
+    lower_rel: np.ndarray = None
+    lower_bias: np.ndarray = None
+    upper_rel: np.ndarray = None
+    upper_bias: np.ndarray = None
+
+    @staticmethod
+    def build(
+        al: np.ndarray, bl: np.ndarray, au: np.ndarray, bu: np.ndarray
+    ) -> "_DenseBounds":
+        return _DenseBounds(
+            al, bl, au, bu,
+            lower_rel=np.concatenate([al, au], axis=1),
+            lower_bias=np.concatenate([bl, bu], axis=1),
+            upper_rel=np.concatenate([au, al], axis=1),
+            upper_bias=np.concatenate([bu, bl], axis=1),
+        )
 
 
 @dataclass(frozen=True)
@@ -235,7 +271,7 @@ def _maxpool_relaxation(
     return al, au, bu
 
 
-class DeepPolyBatch:
+class DeepPolyBatch(BatchedElement):
     """DeepPoly analysis of ``B`` input regions in lockstep.
 
     Affine relations are shared across the batch; ReLU relaxations carry a
@@ -322,8 +358,10 @@ class DeepPolyBatch:
                     )
                 )
             elif layer.al.ndim == 3:
+                # Rebuild the dense stack from the sliced relations: the
+                # sub-batch keeps the fused rewrite.
                 layers.append(
-                    _LayerBounds(
+                    _DenseBounds.build(
                         layer.al[indices],
                         layer.bl[indices],
                         layer.au[indices],
@@ -370,7 +408,25 @@ class DeepPolyBatch:
                     a = pos * layer.dl[:, None, :] + neg * layer.du[:, None, :]
                 else:
                     a = pos * layer.du[:, None, :] + neg * layer.dl[:, None, :]
-            elif layer.al.ndim == 3:  # per-region dense relation (maxpool)
+            elif isinstance(layer, _DenseBounds):
+                # Per-region dense relation (maxpool): the fused
+                # sign-split rewrite — one (B, rows, 2n) batched GEMM
+                # against the relation stack built at layer construction
+                # (see _DenseBounds), instead of two half-width GEMMs
+                # plus an add.
+                a = _promote(a)
+                cat = np.concatenate(_split_signs(a), axis=-1)
+                if lower:
+                    b = b + _dot_rows(cat, layer.lower_bias)
+                    a = cat @ layer.lower_rel
+                else:
+                    b = b + _dot_rows(cat, layer.upper_bias)
+                    a = cat @ layer.upper_rel
+            # Dense relation without a stack: only reachable for layers
+            # handed directly to the constructor (the transformers and
+            # rows() always build _DenseBounds) — kept so externally
+            # constructed batches stay valid.
+            elif layer.al.ndim == 3:
                 a = _promote(a)
                 pos, neg = _split_signs(a)
                 if lower:
@@ -427,7 +483,7 @@ class DeepPolyBatch:
                 low[i], high[i], windows, self.size
             )
         return self._extended(
-            _LayerBounds(al, np.zeros((self.batch_size, out)), au, bu)
+            _DenseBounds.build(al, np.zeros((self.batch_size, out)), au, bu)
         )
 
     # ------------------------------------------------------------------

@@ -70,6 +70,34 @@ class DomainSpec:
             return element
         return PowersetElement([element], max_disjuncts=self.disjuncts)
 
+    def lift_batch(self, boxes: list[Box]):
+        """Embed a list of input boxes into this domain's batched kernel.
+
+        Returns a :class:`~repro.abstract.batched.BatchedElement` whose
+        row ``i`` tracks ``boxes[i]``, or ``None`` when no batched kernel
+        exists for this domain (symbolic intervals, interval powersets) —
+        the analyzer then falls back to a per-region loop with identical
+        results.
+        """
+        if self.base == "interval" and self.disjuncts == 1:
+            from repro.abstract.interval import IntervalBatch
+
+            return IntervalBatch.from_boxes(boxes)
+        if self.base == "deeppoly":
+            from repro.abstract.deeppoly import DeepPolyBatch
+
+            return DeepPolyBatch.from_boxes(boxes)
+        if self.base == "zonotope":
+            from repro.abstract.zonotope_batch import (
+                PowersetBatch,
+                ZonotopeBatch,
+            )
+
+            if self.disjuncts == 1:
+                return ZonotopeBatch.from_boxes(boxes)
+            return PowersetBatch.from_boxes(boxes, self.disjuncts)
+        return None
+
     @property
     def short_name(self) -> str:
         letter = _LETTERS[self.base]

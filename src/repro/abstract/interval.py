@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.abstract.batched import BatchedElement
 from repro.abstract.element import AbstractElement
 from repro.utils.boxes import Box
 
@@ -113,7 +114,7 @@ class IntervalElement(AbstractElement):
         return float(self.low[label] - self.high[other])
 
 
-class IntervalBatch:
+class IntervalBatch(BatchedElement):
     """Interval bounds for ``B`` regions at once: arrays of shape ``(B, n)``.
 
     Each transformer is the standard optimal interval transformer applied

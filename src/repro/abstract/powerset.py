@@ -87,7 +87,9 @@ class PowersetElement(AbstractElement):
         centers, gens, errs = stacked
         disjuncts, num_gens, n = gens.shape
         out = weight.shape[0]
-        new_centers = centers @ weight.T + bias
+        # einsum keeps the center rows bitwise equal to Zonotope.affine
+        # at every disjunct count (see that method's docstring).
+        new_centers = np.einsum("ij,dj->di", weight, centers) + bias
         rotated = (gens.reshape(disjuncts * num_gens, n) @ weight.T).reshape(
             disjuncts, num_gens, out
         )

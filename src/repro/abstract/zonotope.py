@@ -136,8 +136,16 @@ class Zonotope(AbstractElement):
         The promotion always happens (even for all-zero error vectors) so
         that sibling disjuncts in a powerset keep identical generator
         shapes and remain joinable.
+
+        The center product goes through ``einsum`` rather than ``@``:
+        BLAS routes matrix-vector products through a GEMV kernel whose
+        reduction order differs from the GEMM kernel's rows, while
+        einsum's dot loop is identical at every batch height.  Using it
+        here (and in the batched kernels) is what makes
+        :class:`~repro.abstract.zonotope_batch.ZonotopeBatch` rows bitwise
+        equal to this sequential transformer.
         """
-        center = weight @ self.center + bias
+        center = np.einsum("ij,j->i", weight, self.center) + bias
         promoted = self.err[:, None] * weight.T  # row i = err_i * W[:, i]
         gens = np.vstack([self.gens @ weight.T, promoted])
         return Zonotope._make(center, gens, np.zeros(center.size))

@@ -5,7 +5,10 @@ Commands:
 - ``verify``   — decide one robustness property of a saved network.
 - ``schedule`` — run a manifest of many (network, property) jobs through
   the multi-property scheduler (shared frontier, optional result cache).
-- ``radius``   — binary-search the certified L∞ radius around a point.
+- ``radius``   — binary-search the certified L∞ radius around a point, or
+  around every center of a manifest (``.json``), bracketing from cached
+  records first so already-decided radii spawn no probe jobs.
+- ``cache``    — result-cache housekeeping (``cache prune``).
 - ``attack``   — run PGD only (fast falsification attempt, no proof).
 - ``info``     — print a saved network's architecture summary.
 
@@ -19,13 +22,15 @@ Manifests are JSON files of the shape::
       "jobs": [
         {"network": "net.npz", "center": "point.npy", "epsilon": 0.1},
         {"network": "net.npz", "center": "0.5,0.5", "label": 1,
-         "name": "xor-center"}
+         "name": "xor-center", "domain": "zonotope", "disjuncts": 2}
       ]
     }
 
 Per-job keys override ``defaults``; ``label`` pins the target class
-(otherwise the network's own prediction at ``center`` is used); networks
-referenced by several jobs are loaded once.
+(otherwise the network's own prediction at ``center`` is used);
+``domain``/``disjuncts`` pin the abstract domain (otherwise the learned
+policy chooses per sub-region); networks referenced by several jobs are
+loaded once.
 """
 
 from __future__ import annotations
@@ -36,10 +41,12 @@ import sys
 
 import numpy as np
 
+from repro.abstract.domains import BASE_DOMAINS, DomainSpec
 from repro.attack.pgd import PGDConfig
 from repro.attack.search import find_counterexample
 from repro.core.config import VerifierConfig
 from repro.core.parallel import ParallelVerifier
+from repro.core.policy import BisectionPolicy
 from repro.core.property import RobustnessProperty, linf_property
 from repro.core.radius import certified_radius
 from repro.core.verifier import BatchedVerifier, Verifier
@@ -62,6 +69,28 @@ ENGINES = {
     "parallel": ParallelVerifier,
 }
 
+#: ``--domain`` menu: ``policy`` lets the learned policy pick per
+#: sub-region; any base domain pins a fixed :class:`DomainSpec` (combine
+#: with ``--disjuncts`` for bounded powersets).  Every base with a batched
+#: kernel — interval, deeppoly, zonotope, and zonotope powersets — runs
+#: GEMM-shaped under the batched engines.
+DOMAIN_CHOICES = ("policy",) + BASE_DOMAINS
+
+
+def _resolve_policy(domain: str, disjuncts: int):
+    """The verification policy a ``--domain`` selection implies."""
+    if domain == "policy":
+        if disjuncts != 1:
+            raise SystemExit(
+                "--disjuncts requires a fixed --domain (the learned policy "
+                "chooses its own disjunct budgets)"
+            )
+        return pretrained_policy()
+    try:
+        return BisectionPolicy(domain=DomainSpec(domain, disjuncts))
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
 
 def _load_point(spec: str, expected_size: int) -> np.ndarray:
     """A point from an ``.npy`` file or an inline comma-separated list."""
@@ -76,11 +105,14 @@ def _load_point(spec: str, expected_size: int) -> np.ndarray:
     return point
 
 
-def _add_common(parser: argparse.ArgumentParser) -> None:
+def _add_common(
+    parser: argparse.ArgumentParser, center_required: bool = True
+) -> None:
     parser.add_argument("network", help="path to a .npz network archive")
     parser.add_argument(
         "--center",
-        required=True,
+        required=center_required,
+        default=None,
         help="input point: a .npy file or comma-separated values",
     )
     parser.add_argument(
@@ -100,7 +132,10 @@ def cmd_verify(args: argparse.Namespace) -> int:
         timeout=args.timeout, delta=args.delta, batch_size=args.batch_size
     )
     verifier = ENGINES[args.engine](
-        network, pretrained_policy(), config, rng=args.seed
+        network,
+        _resolve_policy(args.domain, args.disjuncts),
+        config,
+        rng=args.seed,
     )
     outcome = verifier.verify(prop)
     print(f"result: {outcome.kind}")
@@ -118,32 +153,47 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0 if outcome.kind == "verified" else 2
 
 
-def _manifest_jobs(args: argparse.Namespace) -> list[VerificationJob]:
-    """Build :class:`VerificationJob`s from a JSON manifest file."""
+def _load_manifest(path: str) -> tuple[list[dict], dict[str, object]]:
+    """Parse a JSON manifest into merged per-job specs plus the network
+    pool (each referenced archive loaded exactly once)."""
     try:
-        with open(args.manifest) as handle:
+        with open(path) as handle:
             manifest = json.load(handle)
     except (OSError, ValueError) as exc:
-        raise SystemExit(f"cannot read manifest {args.manifest}: {exc}")
+        raise SystemExit(f"cannot read manifest {path}: {exc}")
     specs = manifest.get("jobs")
     if not specs:
         raise SystemExit("manifest has no jobs")
     defaults = manifest.get("defaults", {})
     networks: dict[str, object] = {}
-    policy = pretrained_policy()
-    jobs = []
+    merged_specs = []
     for i, spec in enumerate(specs):
         merged = {**defaults, **spec}
         for required in ("network", "center"):
             if required not in merged:
                 raise SystemExit(f"job {i} is missing {required!r}")
-        path = merged["network"]
-        if path not in networks:
-            networks[path] = load_network(path)
-        network = networks[path]
+        net_path = merged["network"]
+        if net_path not in networks:
+            networks[net_path] = load_network(net_path)
+        merged.setdefault("name", f"job-{i}")
+        merged_specs.append(merged)
+    return merged_specs, networks
+
+
+def _manifest_jobs(args: argparse.Namespace) -> list[VerificationJob]:
+    """Build :class:`VerificationJob`s from a JSON manifest file."""
+    specs, networks = _load_manifest(args.manifest)
+    jobs = []
+    for spec in specs:
+        merged = spec
+        network = networks[merged["network"]]
         center = _load_point(str(merged["center"]), network.input_size)
         epsilon = float(merged.get("epsilon", 0.05))
-        name = str(merged.get("name", f"job-{i}"))
+        name = str(merged["name"])
+        policy = _resolve_policy(
+            str(merged.get("domain", args.domain)),
+            int(merged.get("disjuncts", args.disjuncts)),
+        )
         # Radius-query metadata is only attached when the target label is
         # the network's own prediction at the center — the semantics a
         # certified-radius bracket assumes.  A pinned label asks a
@@ -155,7 +205,7 @@ def _manifest_jobs(args: argparse.Namespace) -> list[VerificationJob]:
             if not 0 <= label < network.output_size:
                 raise SystemExit(
                     f"job {name!r}: label {label} out of range for "
-                    f"{network.output_size}-class network {path}"
+                    f"{network.output_size}-class network {merged['network']}"
                 )
             prop = RobustnessProperty(
                 linf_property(network, center, epsilon).region,
@@ -189,7 +239,16 @@ def _manifest_jobs(args: argparse.Namespace) -> list[VerificationJob]:
 
 def cmd_schedule(args: argparse.Namespace) -> int:
     jobs = _manifest_jobs(args)
-    cache = ResultCache(args.cache) if args.cache else None
+    cache = None
+    if args.cache:
+        try:
+            cache = ResultCache(
+                args.cache,
+                max_entries=args.cache_max_entries,
+                max_bytes=args.cache_max_bytes,
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc))
     scheduler = Scheduler(
         jobs, frontier=args.frontier, cache=cache, engine=args.engine
     )
@@ -221,20 +280,150 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     return 2 if counts["timeout"] else 0
 
 
+def _safe_bracket(certified: float, falsified: float) -> tuple[float, float]:
+    """Sanitize a cached radius bracket before seeding a search.
+
+    Records cached under different δ/seed configurations can legitimately
+    disagree (a δ-falsified witness at a radius a stricter run verified);
+    an inverted bracket must degrade to a fresh search with a warning,
+    never crash the command.
+    """
+    if falsified <= certified:
+        print(
+            f"warning: cached records disagree (certified {certified:.5f} "
+            f">= falsified {falsified:.5f}; likely mixed δ/seed configs) — "
+            "ignoring the cached bracket",
+            file=sys.stderr,
+        )
+        return 0.0, float("inf")
+    return certified, falsified
+
+
 def cmd_radius(args: argparse.Namespace) -> int:
+    if args.network.endswith(".json"):
+        return _cmd_radius_manifest(args)
+    if args.center is None:
+        raise SystemExit("--center is required (or pass a .json manifest)")
     network = load_network(args.network)
     center = _load_point(args.center, network.input_size)
+    known_certified, known_falsified = 0.0, float("inf")
+    if args.cache:
+        known_certified, known_falsified = _safe_bracket(
+            *ResultCache(args.cache).radius_bounds(network, center)
+        )
     result = certified_radius(
         network,
         center,
         max_radius=args.epsilon,
+        policy=_resolve_policy(args.domain, args.disjuncts),
         config=VerifierConfig(timeout=args.timeout),
         rng=args.seed,
+        known_certified=known_certified,
+        known_falsified=known_falsified,
     )
+    if args.cache:
+        print(
+            f"cached bracket:   [{known_certified:.5f}, "
+            f"{_fmt_radius(known_falsified)}]"
+        )
     print(f"certified radius: {result.certified:.5f}")
-    falsified = "none found" if result.falsified == float("inf") else f"{result.falsified:.5f}"
-    print(f"falsified radius: {falsified}")
+    print(f"falsified radius: {_fmt_radius(result.falsified)}")
     print(f"verifier probes:  {result.probes}")
+    return 0
+
+
+def _fmt_radius(value: float) -> str:
+    return "none found" if value == float("inf") else f"{value:.5f}"
+
+
+def _cmd_radius_manifest(args: argparse.Namespace) -> int:
+    """Bracket the certified radius of every manifest center.
+
+    For each (network, center) the persistent cache (``--cache``) is
+    folded into a starting bracket via
+    :meth:`~repro.sched.ResultCache.radius_bounds` *before* any probe job
+    is spawned — centers whose cached records already pin the radius to
+    within the tolerance cost zero verifier calls.  Jobs with a pinned
+    ``label`` answer a different question than a radius query and are
+    skipped.
+    """
+    if args.center is not None:
+        raise SystemExit("--center conflicts with a manifest (.json) input")
+    specs, networks = _load_manifest(args.network)
+    cache = ResultCache(args.cache) if args.cache else None
+    # One cache scan per network serves every center (radius_table);
+    # dedup covers fully identical queries only — a different epsilon,
+    # timeout, seed, or domain is a different question and still runs.
+    tables: dict[str, dict] = {}
+    seen: set[tuple] = set()
+    total_probes = 0
+    width = max(len(str(spec["name"])) for spec in specs)
+    for spec in specs:
+        name = str(spec["name"])
+        if "label" in spec:
+            print(f"{name:<{width}}  skipped (pinned label)")
+            continue
+        network = networks[spec["network"]]
+        center = _load_point(str(spec["center"]), network.input_size)
+        center_digest = point_digest(center)
+        max_radius = float(spec.get("epsilon", args.epsilon))
+        timeout = float(spec.get("timeout", args.timeout))
+        seed = int(spec.get("seed", args.seed))
+        domain = str(spec.get("domain", args.domain))
+        disjuncts = int(spec.get("disjuncts", args.disjuncts))
+        dedup_key = (
+            spec["network"], center_digest, max_radius, timeout, seed,
+            domain, disjuncts,
+        )
+        if dedup_key in seen:
+            print(f"{name:<{width}}  skipped (duplicate query)")
+            continue
+        seen.add(dedup_key)
+        known_certified, known_falsified = 0.0, float("inf")
+        if cache is not None:
+            if spec["network"] not in tables:
+                tables[spec["network"]] = cache.radius_table(network)
+            known_certified, known_falsified = _safe_bracket(
+                *tables[spec["network"]].get(
+                    center_digest, (0.0, float("inf"))
+                )
+            )
+        result = certified_radius(
+            network,
+            center,
+            max_radius=max_radius,
+            policy=_resolve_policy(domain, disjuncts),
+            config=VerifierConfig(timeout=timeout),
+            rng=seed,
+            known_certified=known_certified,
+            known_falsified=known_falsified,
+        )
+        total_probes += result.probes
+        print(
+            f"{name:<{width}}  certified {result.certified:.5f}  "
+            f"falsified {_fmt_radius(result.falsified):<10}  "
+            f"probes {result.probes}"
+            + ("  [bracketed]" if known_certified > 0.0
+               or known_falsified != float("inf") else "")
+        )
+    print(f"total probes: {total_probes}")
+    return 0
+
+
+def cmd_cache_prune(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.max_entries is None and args.max_bytes is None:
+        raise SystemExit("cache prune needs --max-entries and/or --max-bytes")
+    try:
+        result = cache.prune(
+            max_entries=args.max_entries, max_bytes=args.max_bytes
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    print(
+        f"pruned {result.removed} records ({result.freed_bytes} bytes); "
+        f"{result.remaining} records ({result.remaining_bytes} bytes) remain"
+    )
     return 0
 
 
@@ -265,6 +454,25 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_domain_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--domain",
+        choices=DOMAIN_CHOICES,
+        default="policy",
+        help="abstract domain: 'policy' lets the learned policy choose "
+        "per sub-region; a base name pins it (all batched-kernel domains "
+        "run GEMM-shaped under the batched engines)",
+    )
+    parser.add_argument(
+        "--disjuncts",
+        type=int,
+        default=1,
+        help="disjunct budget of the bounded powerset (requires a fixed "
+        "--domain; e.g. --domain zonotope --disjuncts 2 is the paper's "
+        "(Z, 2))",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -289,6 +497,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=16,
         help="frontier sub-regions per batched sweep",
     )
+    _add_domain_flags(verify_parser)
     verify_parser.set_defaults(func=cmd_verify)
 
     schedule_parser = sub.add_parser(
@@ -317,6 +526,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory of the persistent result cache (created on demand)",
     )
     schedule_parser.add_argument(
+        "--cache-max-entries",
+        type=int,
+        default=None,
+        help="record-count budget: least-recently-used records are pruned "
+        "past it (recency = last served, via file mtime)",
+    )
+    schedule_parser.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        help="total-size budget for the cache directory, same LRU pruning",
+    )
+    schedule_parser.add_argument(
         "--timeout",
         type=float,
         default=10.0,
@@ -334,11 +556,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-job frontier chunk width inside fused sweeps",
     )
     schedule_parser.add_argument("--seed", type=int, default=0, help="random seed")
+    _add_domain_flags(schedule_parser)
     schedule_parser.set_defaults(func=cmd_schedule)
 
-    radius_parser = sub.add_parser("radius", help="certified-radius search")
-    _add_common(radius_parser)
+    radius_parser = sub.add_parser(
+        "radius",
+        help="certified-radius search (one network, or every center of a "
+        ".json manifest — bracketed from cached records first)",
+    )
+    _add_common(radius_parser, center_required=False)
+    radius_parser.add_argument(
+        "--cache",
+        default=None,
+        help="result-cache directory: cached verified/falsified records "
+        "seed each search's bracket before any probe job is spawned",
+    )
+    _add_domain_flags(radius_parser)
     radius_parser.set_defaults(func=cmd_radius)
+
+    cache_parser = sub.add_parser(
+        "cache", help="persistent result-cache housekeeping"
+    )
+    cache_sub = cache_parser.add_subparsers(dest="cache_command", required=True)
+    prune_parser = cache_sub.add_parser(
+        "prune",
+        help="evict least-recently-used records until the budgets hold",
+    )
+    prune_parser.add_argument("cache_dir", help="cache directory to prune")
+    prune_parser.add_argument(
+        "--max-entries", type=int, default=None, help="record-count budget"
+    )
+    prune_parser.add_argument(
+        "--max-bytes", type=int, default=None, help="total-size budget"
+    )
+    prune_parser.set_defaults(func=cmd_cache_prune)
 
     attack_parser = sub.add_parser("attack", help="PGD falsification only")
     _add_common(attack_parser)

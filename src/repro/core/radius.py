@@ -61,11 +61,19 @@ def certified_radius(
     config: VerifierConfig | None = None,
     rng: int | np.random.Generator | None = 0,
     max_probes: int = 30,
+    known_certified: float = 0.0,
+    known_falsified: float = float("inf"),
 ) -> RadiusResult:
     """Binary-search the robustness frontier around ``x``.
 
     Stops when the bracket is narrower than ``tolerance`` (relative to
     ``max_radius``) or ``max_probes`` verifier calls have been spent.
+
+    ``known_certified`` / ``known_falsified`` seed the bracket with
+    already-decided radii (e.g. from
+    :meth:`repro.sched.ResultCache.radius_bounds`): the search starts
+    inside the undecided band, so cached verification work shrinks — or
+    entirely eliminates — the probe budget this search spends.
     """
     if max_radius <= 0:
         raise ValueError("max_radius must be positive")
@@ -73,14 +81,22 @@ def certified_radius(
         raise ValueError("tolerance must be positive")
     if max_probes < 1:
         raise ValueError("max_probes must be >= 1")
+    if known_certified < 0.0:
+        raise ValueError("known_certified must be non-negative")
+    if known_falsified <= known_certified:
+        raise ValueError(
+            f"known bracket is inverted: certified {known_certified} >= "
+            f"falsified {known_falsified}"
+        )
     x = np.asarray(x, dtype=np.float64).reshape(-1)
     base_config = config or VerifierConfig(timeout=2.0)
     verifier = Verifier(network, policy, base_config, rng=rng)
 
-    certified = 0.0
-    falsified = float("inf")
+    certified = known_certified
+    falsified = known_falsified
     witness: np.ndarray | None = None
-    lo, hi = 0.0, max_radius
+    lo = min(known_certified, max_radius)
+    hi = min(max_radius, known_falsified)
     probes = 0
     while probes < max_probes and hi - lo > tolerance:
         eps = (lo + hi) / 2.0

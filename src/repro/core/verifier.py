@@ -29,6 +29,10 @@ and still reproduce the sequential engine's per-region results.
 stack into a frontier that pops up to ``config.batch_size`` items per
 sweep, runs one batched Minimize and one batched Analyze over all of them
 (§6's "independent sub-region analyses"), and pushes every resulting split.
+Every domain the policy menu commonly selects — intervals, DeepPoly,
+zonotopes, and bounded zonotope powersets — has a batched kernel behind
+:meth:`~repro.abstract.domains.DomainSpec.lift_batch`, so the Analyze step
+stays GEMM-shaped regardless of the domain policy's choices.
 Soundness, δ-completeness, budgets, and statistics semantics are identical
 to :class:`Verifier`; differences are traversal order and BLAS round-off.
 """

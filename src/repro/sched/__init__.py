@@ -23,6 +23,7 @@ numpy build); see DESIGN.md §6.
 
 from repro.sched.cache import (
     CacheRecord,
+    PruneResult,
     ResultCache,
     config_digest,
     job_key,
@@ -63,6 +64,7 @@ __all__ = [
     "make_frontier",
     "AdaptiveBatchController",
     "FixedBatchController",
+    "PruneResult",
     "ResultCache",
     "CacheRecord",
     "job_key",

@@ -19,6 +19,16 @@ Records live one-per-file under a two-level fan-out directory (like git's
 object store), written atomically (temp file + rename) so concurrent
 scheduler runs can share a cache directory.
 
+**Eviction.**  A cache may carry size budgets (``max_entries`` /
+``max_bytes``); :meth:`ResultCache.prune` removes records
+least-recently-used first until both budgets hold.  Recency is file
+mtime: every :meth:`ResultCache.get` hit touches its record, so entries
+that keep serving results stay resident while stale ones age out.
+Budgeted caches track an in-memory size estimate and prune once a budget
+is crossed (down to 7/8 of it, so eviction cost amortizes over many
+puts); unbudgeted caches never evict (``python -m repro cache prune``
+covers one-off housekeeping).
+
 Beyond exact-key lookups the cache answers **certified-radius queries**:
 jobs created from L∞ manifests record ``center_digest`` and ``epsilon``
 metadata, and :meth:`ResultCache.radius_bounds` folds every cached record
@@ -223,12 +233,46 @@ class CacheRecord:
         )
 
 
-class ResultCache:
-    """A directory of content-addressed :class:`CacheRecord` files."""
+@dataclass(frozen=True)
+class PruneResult:
+    """What one :meth:`ResultCache.prune` pass did."""
 
-    def __init__(self, root: str | Path) -> None:
+    removed: int
+    freed_bytes: int
+    remaining: int
+    remaining_bytes: int
+
+
+class ResultCache:
+    """A directory of content-addressed :class:`CacheRecord` files.
+
+    Args:
+        root: cache directory (created on demand).
+        max_entries: optional record-count budget enforced by
+            :meth:`prune` (and opportunistically after every :meth:`put`).
+        max_bytes: optional total-size budget, same discipline.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        # In-memory (entries, bytes) estimate so budgeted puts don't
+        # re-scan the directory; initialized lazily, refreshed by every
+        # prune, and only ever used to decide *whether* to prune (a
+        # stale estimate from a concurrent writer delays eviction, never
+        # corrupts it).
+        self._estimate: tuple[int, int] | None = None
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -236,16 +280,27 @@ class ResultCache:
     def get(self, key: str) -> CacheRecord | None:
         """The record stored under ``key``, or ``None`` (including on any
         unreadable/corrupt file — a broken entry is a miss, never an
-        error)."""
+        error).  A hit refreshes the record's mtime, which is what keeps
+        frequently-served entries out of LRU eviction's way."""
         path = self._path(key)
         try:
             payload = json.loads(path.read_text())
-            return CacheRecord(**payload)
+            record = CacheRecord(**payload)
         except (OSError, ValueError, TypeError):
             return None
+        try:
+            os.utime(path)
+        except OSError:
+            pass  # recency refresh is best-effort
+        return record
 
     def put(self, key: str, record: CacheRecord) -> None:
-        """Store ``record`` under ``key`` atomically (temp file + rename)."""
+        """Store ``record`` under ``key`` atomically (temp file + rename).
+
+        Budgeted caches track an in-memory size estimate and prune once
+        it crosses a budget — down to 7/8 of the budget, so a steady
+        stream of puts pays the directory scan once per batch of
+        evictions instead of once per record."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = json.dumps(record.__dict__, sort_keys=True)
@@ -260,6 +315,92 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        if self.max_entries is not None or self.max_bytes is not None:
+            self._note_put(len(payload))
+
+    # ------------------------------------------------------------------
+    # Eviction
+    # ------------------------------------------------------------------
+
+    def _entries(self) -> list[tuple[Path, float, int]]:
+        """``(path, mtime, size)`` for every record file still on disk."""
+        entries = []
+        for path in self.root.glob("*/*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # concurrently evicted by another run
+            entries.append((path, stat.st_mtime, stat.st_size))
+        return entries
+
+    def _note_put(self, payload_bytes: int) -> None:
+        """Update the size estimate after a put; prune when over budget."""
+        if self._estimate is None:
+            entries = self._entries()
+            self._estimate = (
+                len(entries), sum(size for _, _, size in entries)
+            )
+        else:
+            count, total = self._estimate
+            self._estimate = (count + 1, total + payload_bytes)
+        count, total = self._estimate
+        over_entries = self.max_entries is not None and count > self.max_entries
+        over_bytes = self.max_bytes is not None and total > self.max_bytes
+        if over_entries or over_bytes:
+            self.prune(_hysteresis=True)
+
+    def prune(
+        self,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+        _hysteresis: bool = False,
+    ) -> PruneResult:
+        """Evict least-recently-used records until the budgets hold.
+
+        Explicit arguments override the instance budgets for this pass
+        (the ``repro cache prune`` subcommand's one-off mode).  With no
+        budget from either source this is a no-op.  Put-triggered prunes
+        evict down to 7/8 of each budget so consecutive puts don't
+        re-scan the directory every time.  Unlink races are graceful: a
+        record another process already removed counts as gone, not as an
+        error.
+        """
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        max_entries = self.max_entries if max_entries is None else max_entries
+        max_bytes = self.max_bytes if max_bytes is None else max_bytes
+        if _hysteresis:
+            if max_entries is not None:
+                max_entries = max(1, max_entries * 7 // 8)
+            if max_bytes is not None:
+                max_bytes = max(1, max_bytes * 7 // 8)
+        entries = sorted(self._entries(), key=lambda entry: entry[1])
+        count = len(entries)
+        total = sum(size for _, _, size in entries)
+        removed = 0
+        freed = 0
+        for path, _, size in entries:
+            over_entries = max_entries is not None and count > max_entries
+            over_bytes = max_bytes is not None and total > max_bytes
+            if not (over_entries or over_bytes):
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            count -= 1
+            total -= size
+            removed += 1
+            freed += size
+        self._estimate = (count, total)
+        return PruneResult(
+            removed=removed,
+            freed_bytes=freed,
+            remaining=count,
+            remaining_bytes=total,
+        )
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*/*.json"))
@@ -276,35 +417,50 @@ class ResultCache:
     # Certified-radius queries
     # ------------------------------------------------------------------
 
+    def radius_table(
+        self, network: Network | str
+    ) -> dict[str, tuple[float, float]]:
+        """Every cached L∞ radius bracket of one network, in one scan.
+
+        Maps ``center_digest`` to ``(certified, falsified)`` — the
+        largest ε any cached *verified* record proves and the smallest ε
+        any cached *falsified* record refutes for that center.  One pass
+        over the cache serves arbitrarily many centers (the manifest
+        ``radius`` command's shape); :meth:`radius_bounds` is the
+        single-center convenience wrapper.
+        """
+        net_digest = (
+            network if isinstance(network, str) else network_digest(network)
+        )
+        table: dict[str, tuple[float, float]] = {}
+        for record in self.records():
+            if record.network_digest != net_digest:
+                continue
+            meta = record.metadata
+            target = meta.get("center_digest")
+            if target is None or "epsilon" not in meta:
+                continue
+            epsilon = float(meta["epsilon"])
+            certified, falsified = table.get(target, (0.0, float("inf")))
+            if record.kind == "verified":
+                certified = max(certified, epsilon)
+            elif record.kind == "falsified":
+                falsified = min(falsified, epsilon)
+            table[target] = (certified, falsified)
+        return table
+
     def radius_bounds(
         self, network: Network | str, center: np.ndarray
     ) -> tuple[float, float]:
         """The tightest cached L∞ radius bracket around ``center``.
 
-        Returns ``(certified, falsified)``: the largest ε any cached
-        *verified* record proves and the smallest ε any cached *falsified*
-        record refutes (``0.0`` / ``inf`` when nothing is known).  Only
-        records carrying ``center_digest``/``epsilon`` metadata
-        participate; callers must attach that metadata only to jobs whose
-        target label is the network's own prediction at the center (the
-        CLI's manifest loader enforces this), since a pinned-label job
-        answers a different question and would corrupt the bracket.
+        Returns ``(certified, falsified)`` (``0.0`` / ``inf`` when
+        nothing is known).  Only records carrying
+        ``center_digest``/``epsilon`` metadata participate; callers must
+        attach that metadata only to jobs whose target label is the
+        network's own prediction at the center (the CLI's manifest
+        loader enforces this), since a pinned-label job answers a
+        different question and would corrupt the bracket.
         """
-        net_digest = (
-            network if isinstance(network, str) else network_digest(network)
-        )
         target = point_digest(np.asarray(center, dtype=np.float64).reshape(-1))
-        certified = 0.0
-        falsified = float("inf")
-        for record in self.records():
-            if record.network_digest != net_digest:
-                continue
-            meta = record.metadata
-            if meta.get("center_digest") != target or "epsilon" not in meta:
-                continue
-            epsilon = float(meta["epsilon"])
-            if record.kind == "verified":
-                certified = max(certified, epsilon)
-            elif record.kind == "falsified":
-                falsified = min(falsified, epsilon)
-        return certified, falsified
+        return self.radius_table(network).get(target, (0.0, float("inf")))

@@ -4,8 +4,11 @@ Tolerances: the batched interval/DeepPoly paths run the same arithmetic as
 the sequential elements but through GEMMs whose BLAS reduction order depends
 on operand shapes, so "bitwise" equality across batch widths is physically
 unattainable; observed drift is a few ulps and the assertions below bound it
-at 1e-12 (interval) and 1e-9 (DeepPoly).  Domains that fall back to the
-per-region loop (zonotope, powerset, symbolic) must match exactly.
+at 1e-12 (interval) and 1e-9 (DeepPoly).  The zonotope-family kernels are
+batch-height-stable by construction and must match exactly — as must the
+domains that fall back to the per-region loop (symbolic, interval
+powersets).  ``tests/abstract/test_batched_zonotope.py`` covers the
+zonotope kernels in depth.
 """
 
 import numpy as np
@@ -111,7 +114,9 @@ class TestDeepPolyBatch:
                 assert np.all(y >= lo - 1e-9) and np.all(y <= hi + 1e-9)
 
 
-class TestFallbackDomains:
+class TestExactDomains:
+    """Batched zonotope kernels and per-region fallbacks: no tolerance."""
+
     @pytest.mark.parametrize(
         "domain", [ZONOTOPE, bounded_zonotopes(2), SYMBOLIC], ids=str
     )

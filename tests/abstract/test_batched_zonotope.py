@@ -1,0 +1,267 @@
+"""Batched zonotope/powerset kernels must match the sequential elements
+**bitwise**, row by row.
+
+Unlike the interval/DeepPoly batches (whose GEMM operand shapes include
+the batch height, leaving a few ulps of BLAS drift), the zonotope-family
+kernels are batch-height-stable by construction — every product and
+reduction runs the same float sequence per row at every batch size (see
+``repro.abstract.zonotope_batch``).  These tests therefore assert *exact*
+equality: margins, bounds, and every representation array, across
+disjunct budgets, crossing patterns, overflow joins, and batch heights.
+"""
+
+import numpy as np
+import pytest
+
+from repro.abstract.analyzer import analyze, analyze_batch, analyze_batch_multi
+from repro.abstract.batched import BatchedElement
+from repro.abstract.domains import ZONOTOPE, DomainSpec, bounded_zonotopes
+from repro.abstract.powerset import PowersetElement
+from repro.abstract.zonotope import Zonotope
+from repro.abstract.zonotope_batch import PowersetBatch, ZonotopeBatch
+from repro.nn.builders import lenet_conv, mlp, xor_network
+from repro.utils.boxes import Box
+
+
+def _regions(seed, count, n, lo=-0.6, hi=0.6, rmax=0.3):
+    rng = np.random.default_rng(seed)
+    return [
+        Box.from_center_radius(
+            rng.uniform(lo, hi, n), float(rng.uniform(0.01, rmax))
+        )
+        for _ in range(count)
+    ]
+
+
+def _random_batch(seed, batch, k, n):
+    """A ZonotopeBatch with nonzero error terms (exercises the err paths
+    the from-box pipeline only reaches after joins)."""
+    rng = np.random.default_rng(seed)
+    return ZonotopeBatch(
+        rng.standard_normal((batch, n)),
+        rng.standard_normal((batch, k, n)) / k,
+        rng.uniform(0.0, 0.2, (batch, n)),
+    )
+
+
+def _assert_rows_equal(element, batch_row):
+    assert type(batch_row) is Zonotope
+    np.testing.assert_array_equal(element.center, batch_row.center)
+    np.testing.assert_array_equal(element.gens, batch_row.gens)
+    np.testing.assert_array_equal(element.err, batch_row.err)
+
+
+class TestZonotopeBatchTransformers:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_relu_matches_sequential_bitwise(self, seed):
+        batch = _random_batch(seed, batch=7, k=9, n=6)
+        out = batch.relu()
+        for i in range(batch.batch_size):
+            _assert_rows_equal(batch.row(i).relu(), out.row(i))
+
+    def test_affine_matches_sequential_bitwise(self):
+        batch = _random_batch(11, batch=5, k=6, n=4)
+        rng = np.random.default_rng(0)
+        weight = rng.standard_normal((7, 4))
+        bias = rng.standard_normal(7)
+        out = batch.affine(weight, bias)
+        for i in range(batch.batch_size):
+            _assert_rows_equal(batch.row(i).affine(weight, bias), out.row(i))
+
+    def test_maxpool_matches_sequential_bitwise(self):
+        batch = _random_batch(13, batch=6, k=8, n=8)
+        windows = np.array([[0, 1, 2], [3, 4, 5], [5, 6, 7]])
+        out = batch.maxpool(windows)
+        for i in range(batch.batch_size):
+            _assert_rows_equal(batch.row(i).maxpool(windows), out.row(i))
+
+    def test_min_margin_matches_sequential_bitwise(self):
+        batch = _random_batch(17, batch=6, k=10, n=5)
+        margins = batch.min_margin(2)
+        for i in range(batch.batch_size):
+            assert margins[i] == batch.row(i).min_margin(2)
+
+    def test_rows_slicing(self):
+        batch = _random_batch(19, batch=6, k=4, n=3)
+        sub = batch.rows([4, 1])
+        _assert_rows_equal(batch.row(4), sub.row(0))
+        _assert_rows_equal(batch.row(1), sub.row(1))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZonotopeBatch.from_boxes([])
+        with pytest.raises(ValueError):
+            ZonotopeBatch(
+                np.zeros((2, 3)), np.zeros((2, 1, 3)), -np.ones((2, 3))
+            )
+        with pytest.raises(ValueError):
+            ZonotopeBatch(np.zeros((2, 3)), np.zeros((2, 1, 4)), np.zeros((2, 3)))
+
+
+class TestAnalyzeDispatch:
+    """End-to-end: analyze_batch routes zonotope domains through the
+    batched kernels and still matches per-region analyze exactly."""
+
+    @pytest.mark.parametrize(
+        "domain", [ZONOTOPE, bounded_zonotopes(2), bounded_zonotopes(4)],
+        ids=str,
+    )
+    def test_mlp_exact(self, domain):
+        net = mlp(5, [12, 10], 3, rng=4)
+        regions = _regions(8, 5, 5, rmax=0.5)
+        batch = analyze_batch(net, regions, 1, domain)
+        for i, region in enumerate(regions):
+            single = analyze(net, region, 1, domain)
+            assert batch[i].verified == single.verified
+            assert batch[i].margin_lower_bound == single.margin_lower_bound
+            lo_b, hi_b = batch[i].output.bounds()
+            lo_s, hi_s = single.output.bounds()
+            np.testing.assert_array_equal(lo_b, lo_s)
+            np.testing.assert_array_equal(hi_b, hi_s)
+
+    @pytest.mark.parametrize(
+        "domain", [ZONOTOPE, bounded_zonotopes(3)], ids=str
+    )
+    def test_conv_with_maxpool_exact(self, domain):
+        net = lenet_conv(input_shape=(1, 8, 8), num_classes=4, rng=0)
+        regions = _regions(2, 3, net.input_size, lo=0.2, hi=0.8, rmax=0.1)
+        batch = analyze_batch(net, regions, 1, domain)
+        for i, region in enumerate(regions):
+            single = analyze(net, region, 1, domain)
+            assert batch[i].margin_lower_bound == single.margin_lower_bound
+
+    def test_mixed_labels_exact(self):
+        net = mlp(4, [10, 8], 4, rng=2)
+        regions = _regions(3, 6, 4, rmax=0.4)
+        labels = [0, 1, 2, 3, 1, 0]
+        batch = analyze_batch_multi(
+            net, regions, labels, bounded_zonotopes(2)
+        )
+        for i, (region, label) in enumerate(zip(regions, labels)):
+            single = analyze(net, region, label, bounded_zonotopes(2))
+            assert batch[i].margin_lower_bound == single.margin_lower_bound
+
+    def test_batch_height_stability(self):
+        """A row's result is independent of who shares its kernel call —
+        the property the scheduler's fused sweeps rely on."""
+        net = mlp(6, [16, 12], 4, rng=7)
+        regions = _regions(11, 12, 6, rmax=0.5)
+        for domain in (ZONOTOPE, bounded_zonotopes(4)):
+            full = analyze_batch(net, regions, 2, domain)
+            for cut in (1, 3, 7):
+                part = analyze_batch(net, regions[:cut], 2, domain)
+                for i in range(cut):
+                    assert (
+                        part[i].margin_lower_bound
+                        == full[i].margin_lower_bound
+                    )
+
+    def test_outputs_are_sequential_element_types(self):
+        net = xor_network()
+        region = Box(np.array([0.3, 0.3]), np.array([0.7, 0.7]))
+        zono = analyze_batch(net, [region], 1, ZONOTOPE)[0].output
+        power = analyze_batch(net, [region], 1, bounded_zonotopes(2))[0].output
+        assert type(zono) is Zonotope
+        assert type(power) is PowersetElement
+
+    def test_batched_element_protocol(self):
+        boxes = [Box.unit(3), Box.unit(3)]
+        for spec, cls in (
+            (DomainSpec("zonotope", 1), ZonotopeBatch),
+            (DomainSpec("zonotope", 4), PowersetBatch),
+        ):
+            element = spec.lift_batch(boxes)
+            assert isinstance(element, cls)
+            assert isinstance(element, BatchedElement)
+            assert element.batch_size == 2
+        assert DomainSpec("symbolic", 1).lift_batch(boxes) is None
+        assert DomainSpec("interval", 4).lift_batch(boxes) is None
+
+
+class TestPowersetBatchRelu:
+    """The satellite contract: randomized batch-vs-single equivalence
+    across disjunct counts, crossing patterns, and overflow joins."""
+
+    @pytest.mark.parametrize("budget", [1, 2, 4, 8])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_randomized_exact_across_budgets(self, seed, budget):
+        net = mlp(5, [14, 10], 3, rng=seed + 20)
+        # Wide regions make many dims cross, so small budgets overflow
+        # (residual split+join joins inside the final pass) while large
+        # budgets keep splitting — both paths compared exactly.
+        regions = _regions(seed + 40, 5, 5, rmax=0.8)
+        domain = DomainSpec("zonotope", budget)
+        batch = analyze_batch(net, regions, 1, domain)
+        for i, region in enumerate(regions):
+            single = analyze(net, region, 1, domain)
+            assert batch[i].verified == single.verified
+            assert batch[i].margin_lower_bound == single.margin_lower_bound
+
+    def test_disjunct_structure_matches(self):
+        """Same disjunct count, same per-disjunct arrays as sequential."""
+        net = mlp(4, [12], 3, rng=9)
+        regions = _regions(5, 4, 4, rmax=0.7)
+        batch = analyze_batch(net, regions, 0, bounded_zonotopes(4))
+        for i, region in enumerate(regions):
+            single = analyze(net, region, 0, bounded_zonotopes(4))
+            got = batch[i].output
+            want = single.output
+            assert got.num_disjuncts == want.num_disjuncts
+            for d in range(want.num_disjuncts):
+                _assert_rows_equal(want.elements[d], got.elements[d])
+
+    def test_no_crossing_clamp_only(self):
+        """Regions whose activations never cross take the one-pass clamp
+        path; results must still be exact."""
+        net = mlp(3, [6], 2, rng=1)
+        regions = _regions(6, 4, 3, rmax=0.01)
+        batch = analyze_batch(net, regions, 0, bounded_zonotopes(2))
+        for i, region in enumerate(regions):
+            single = analyze(net, region, 0, bounded_zonotopes(2))
+            assert batch[i].margin_lower_bound == single.margin_lower_bound
+
+    def test_powerset_rows_and_bounds(self):
+        boxes = _regions(7, 3, 4, rmax=0.2)
+        batch = PowersetBatch.from_boxes(boxes, 3)
+        assert batch.total_disjuncts == 3
+        sub = batch.rows([2, 0])
+        assert sub.batch_size == 2
+        low, high = batch.bounds()
+        for i, box in enumerate(boxes):
+            # Bitwise-equal to the sequential lift (which reconstructs
+            # bounds from center ± radius, same as the batch).
+            want_low, want_high = Zonotope.from_box(box).bounds()
+            np.testing.assert_array_equal(low[i], want_low)
+            np.testing.assert_array_equal(high[i], want_high)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowersetBatch.from_boxes([], 2)
+        with pytest.raises(ValueError):
+            PowersetBatch.from_boxes([Box.unit(2)], 0)
+        with pytest.raises(ValueError):
+            PowersetBatch(
+                np.zeros((3, 2)),
+                np.zeros((3, 0, 2)),
+                np.zeros((3, 2)),
+                np.array([0, 1, 3]),  # second region has 2 > budget rows
+                1,
+            )
+
+
+class TestSoundness:
+    """Batched outputs must still contain every concrete execution."""
+
+    @pytest.mark.parametrize(
+        "domain", [ZONOTOPE, bounded_zonotopes(3)], ids=str
+    )
+    def test_contains_concrete_runs(self, domain):
+        net = mlp(4, [10, 8], 3, rng=6)
+        regions = _regions(9, 3, 4, rmax=0.5)
+        batch = analyze_batch(net, regions, 0, domain)
+        rng = np.random.default_rng(0)
+        for i, region in enumerate(regions):
+            low, high = batch[i].output.bounds()
+            for x in region.sample(rng, 40):
+                y = net.logits(x)
+                assert np.all(y >= low - 1e-9) and np.all(y <= high + 1e-9)

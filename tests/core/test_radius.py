@@ -89,3 +89,61 @@ class TestCertifiedAccuracy:
             certified_accuracy(net, np.zeros((1, 2)), np.zeros(1, int), -1.0)
         with pytest.raises(ValueError, match="mismatch"):
             certified_accuracy(net, np.zeros((2, 2)), np.zeros(3, int), 0.1)
+
+
+class TestKnownBracket:
+    """Cache-seeded brackets: the manifest-level radius command's core."""
+
+    def test_full_bracket_spawns_no_probes(self):
+        net = xor_network()
+        x = np.array([0.0, 1.0])
+        result = certified_radius(
+            net, x, max_radius=0.4, tolerance=0.02,
+            config=VerifierConfig(timeout=5), rng=0,
+            known_certified=0.39, known_falsified=0.41,
+        )
+        assert result.probes == 0
+        assert result.certified == 0.39
+        assert result.falsified == 0.41
+
+    def test_partial_bracket_narrows_the_search(self):
+        net = xor_network()
+        x = np.array([0.0, 1.0])
+        free = certified_radius(
+            net, x, max_radius=0.6, tolerance=0.01,
+            clip_low=None, clip_high=None,
+            config=VerifierConfig(timeout=5), rng=0,
+        )
+        seeded = certified_radius(
+            net, x, max_radius=0.6, tolerance=0.01,
+            clip_low=None, clip_high=None,
+            config=VerifierConfig(timeout=5), rng=0,
+            known_certified=free.certified,
+            known_falsified=free.falsified,
+        )
+        assert seeded.probes < free.probes
+        assert seeded.certified >= free.certified
+        assert seeded.falsified <= free.falsified
+        assert seeded.certified <= seeded.falsified
+
+    def test_certified_beyond_max_radius_short_circuits(self):
+        net = xor_network()
+        result = certified_radius(
+            net, np.array([0.0, 1.0]), max_radius=0.2, tolerance=0.01,
+            config=VerifierConfig(timeout=5), rng=0,
+            known_certified=0.5,
+        )
+        assert result.probes == 0
+        assert result.certified == 0.5
+
+    def test_inverted_bracket_rejected(self):
+        net = xor_network()
+        with pytest.raises(ValueError):
+            certified_radius(
+                net, np.array([0.0, 1.0]),
+                known_certified=0.3, known_falsified=0.2,
+            )
+        with pytest.raises(ValueError):
+            certified_radius(
+                net, np.array([0.0, 1.0]), known_certified=-0.1,
+            )

@@ -238,3 +238,117 @@ class TestRadiusQueries:
     def test_accepts_precomputed_digest(self, cache):
         certified, falsified = cache.radius_bounds("deadbeef", np.zeros(2))
         assert (certified, falsified) == (0.0, float("inf"))
+
+
+class TestEviction:
+    def _fill(self, cache, count):
+        """Store ``count`` records under distinct synthetic keys."""
+        record = CacheRecord(kind="verified", stats={"pgd_calls": 1})
+        keys = [f"{i:02x}" + "0" * 62 for i in range(count)]
+        for key in keys:
+            cache.put(key, record)
+        return keys
+
+    def test_prune_by_entries_removes_oldest_first(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path / "c")
+        keys = self._fill(cache, 5)
+        # Age the first three records; recency is mtime.
+        for i, key in enumerate(keys[:3]):
+            os.utime(cache._path(key), (1000.0 + i, 1000.0 + i))
+        result = cache.prune(max_entries=3)
+        assert result.removed == 2
+        assert result.remaining == 3
+        assert cache.get(keys[0]) is None
+        assert cache.get(keys[1]) is None
+        for key in keys[2:]:
+            assert cache.get(key) is not None
+
+    def test_prune_by_bytes(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        self._fill(cache, 4)
+        sizes = [size for _, _, size in cache._entries()]
+        budget = sum(sizes) - 1  # force exactly one eviction
+        result = cache.prune(max_bytes=budget)
+        assert result.removed == 1
+        assert result.remaining_bytes <= budget
+        assert len(cache) == 3
+
+    def test_get_refreshes_recency(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path / "c")
+        keys = self._fill(cache, 3)
+        for i, key in enumerate(keys):
+            os.utime(cache._path(key), (1000.0 + i, 1000.0 + i))
+        # Serving the oldest record must rescue it from the next prune.
+        assert cache.get(keys[0]) is not None
+        result = cache.prune(max_entries=1)
+        assert result.remaining == 1
+        assert cache.get(keys[0]) is not None
+
+    def test_budgeted_put_keeps_cache_within_limits(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path / "c", max_entries=3)
+        record = CacheRecord(kind="verified")
+        for i in range(6):
+            key = f"{i:02x}" + "f" * 62
+            cache.put(key, record)
+            # Distinct mtimes make the LRU order deterministic even on
+            # coarse filesystem timestamp granularity.
+            os.utime(cache._path(key), (2000.0 + i, 2000.0 + i))
+        # Put-triggered prunes evict to 7/8 of the budget (hysteresis),
+        # so the directory never exceeds the budget but may sit below it.
+        assert 1 <= len(cache) <= 3
+
+    def test_unbudgeted_prune_is_noop(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        self._fill(cache, 3)
+        result = cache.prune()
+        assert result.removed == 0
+        assert result.remaining == 3
+
+    def test_budget_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path / "c", max_entries=0)
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path / "c", max_bytes=0)
+
+    def test_prune_rejects_zero_budget(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        self._fill(cache, 2)
+        with pytest.raises(ValueError):
+            cache.prune(max_entries=0)
+        with pytest.raises(ValueError):
+            cache.prune(max_bytes=0)
+        assert len(cache) == 2  # nothing was wiped
+
+
+class TestRadiusTable:
+    def test_one_scan_serves_many_centers(self, cache):
+        net = xor_network()
+        digest = network_digest(net)
+        centers = [np.array([0.1, 0.2]), np.array([0.7, 0.8])]
+        for i, (center, eps, kind) in enumerate(
+            [(centers[0], 0.05, "verified"), (centers[0], 0.2, "falsified"),
+             (centers[1], 0.1, "verified")]
+        ):
+            record = CacheRecord(
+                kind=kind,
+                margin=-1.0 if kind == "falsified" else None,
+                counterexample=[0.0, 0.0] if kind == "falsified" else None,
+                network_digest=digest,
+                metadata={"center_digest": point_digest(center),
+                          "epsilon": eps},
+            )
+            cache.put(f"{i:02x}" + "a" * 62, record)
+        table = cache.radius_table(net)
+        assert table[point_digest(centers[0])] == (0.05, 0.2)
+        assert table[point_digest(centers[1])] == (0.1, float("inf"))
+        # The single-center wrapper agrees with the table.
+        assert cache.radius_bounds(net, centers[0]) == (0.05, 0.2)
+        assert cache.radius_bounds(net, np.array([0.5, 0.5])) == (
+            0.0, float("inf")
+        )

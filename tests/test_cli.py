@@ -172,3 +172,221 @@ class TestInfoCommand:
         assert code == 0
         assert "Network" in out
         assert "ReLU units" in out
+
+
+class TestDomainFlags:
+    def test_fixed_domain_verifies(self, xor_path, capsys):
+        code = main(
+            ["verify", xor_path, "--center", "0.5,0.5", "--epsilon", "0.05",
+             "--domain", "zonotope", "--disjuncts", "2"]
+        )
+        assert code == 0
+        assert "result: verified" in capsys.readouterr().out
+
+    def test_disjuncts_require_fixed_domain(self, xor_path):
+        with pytest.raises(SystemExit):
+            main(
+                ["verify", xor_path, "--center", "0.5,0.5",
+                 "--disjuncts", "2"]
+            )
+
+    def test_symbolic_rejects_disjuncts(self, xor_path):
+        with pytest.raises(SystemExit):
+            main(
+                ["verify", xor_path, "--center", "0.5,0.5",
+                 "--domain", "symbolic", "--disjuncts", "2"]
+            )
+
+    def test_manifest_domain_key(self, xor_path, tmp_path, capsys):
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps({
+            "defaults": {"network": xor_path, "timeout": 5.0},
+            "jobs": [
+                {"center": "0.5,0.5", "name": "zono",
+                 "domain": "zonotope", "disjuncts": 2},
+                {"center": "0.5,0.5", "name": "dp", "domain": "deeppoly"},
+            ],
+        }))
+        code = main(["schedule", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verified: 2" in out
+
+
+class TestRadiusManifest:
+    @pytest.fixture()
+    def manifest(self, xor_path, tmp_path):
+        path = tmp_path / "radius.json"
+        path.write_text(json.dumps({
+            "defaults": {"network": xor_path, "timeout": 5.0},
+            "jobs": [
+                {"center": "0.5,0.5", "epsilon": 0.2, "name": "searched"},
+                {"center": "0.2,0.2", "epsilon": 0.1, "name": "pinned",
+                 "label": 1},
+            ],
+        }))
+        return str(path)
+
+    def test_manifest_mode_reports_per_center(self, manifest, capsys):
+        code = main(["radius", manifest])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "searched" in out
+        assert "skipped (pinned label)" in out
+        assert "total probes" in out
+
+    def test_cached_records_bracket_before_probing(
+        self, xor_path, manifest, tmp_path, capsys
+    ):
+        # A schedule run against the same (network, center) populates the
+        # cache; the radius manifest must fold it into its bracket.
+        sched_manifest = tmp_path / "sched.json"
+        sched_manifest.write_text(json.dumps({
+            "defaults": {"network": xor_path, "timeout": 5.0},
+            "jobs": [{"center": "0.5,0.5", "epsilon": 0.2, "name": "seed"}],
+        }))
+        cache_dir = str(tmp_path / "cache")
+        main(["schedule", str(sched_manifest), "--cache", cache_dir])
+        capsys.readouterr()
+        code = main(["radius", manifest, "--cache", cache_dir])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[bracketed]" in out
+
+    def test_center_conflicts_with_manifest(self, manifest):
+        with pytest.raises(SystemExit):
+            main(["radius", manifest, "--center", "0.5,0.5"])
+
+    def test_single_mode_still_requires_center(self, xor_path):
+        with pytest.raises(SystemExit):
+            main(["radius", xor_path])
+
+
+class TestCachePruneCommand:
+    def test_prunes_to_budget(self, xor_path, tmp_path, capsys):
+        manifest = tmp_path / "m.json"
+        manifest.write_text(json.dumps({
+            "defaults": {"network": xor_path, "timeout": 5.0},
+            "jobs": [
+                {"center": "0.5,0.5", "name": "a"},
+                {"center": "0.4,0.6", "name": "b"},
+                {"center": "0.6,0.4", "name": "c"},
+            ],
+        }))
+        cache_dir = str(tmp_path / "cache")
+        main(["schedule", str(manifest), "--cache", cache_dir])
+        capsys.readouterr()
+        code = main(["cache", "prune", cache_dir, "--max-entries", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pruned 2 records" in out
+        assert "1 records" in out
+
+    def test_requires_a_budget(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cache", "prune", str(tmp_path / "cache")])
+
+    def test_schedule_cache_budget_flags(self, xor_path, tmp_path, capsys):
+        manifest = tmp_path / "m.json"
+        manifest.write_text(json.dumps({
+            "defaults": {"network": xor_path, "timeout": 5.0},
+            "jobs": [
+                {"center": "0.5,0.5", "name": "a"},
+                {"center": "0.4,0.6", "name": "b"},
+            ],
+        }))
+        cache_dir = tmp_path / "cache"
+        code = main(
+            ["schedule", str(manifest), "--cache", str(cache_dir),
+             "--cache-max-entries", "1"]
+        )
+        assert code == 0
+        assert sum(1 for _ in cache_dir.glob("*/*.json")) == 1
+
+
+class TestRadiusDuplicateQueries:
+    def test_same_center_different_epsilon_both_run(
+        self, xor_path, tmp_path, capsys
+    ):
+        path = tmp_path / "radius.json"
+        path.write_text(json.dumps({
+            "defaults": {"network": xor_path, "timeout": 5.0},
+            "jobs": [
+                {"center": "0.5,0.5", "epsilon": 0.1, "name": "narrow"},
+                {"center": "0.5,0.5", "epsilon": 0.1, "name": "dup"},
+                {"center": "0.5,0.5", "epsilon": 0.3, "name": "wide"},
+            ],
+        }))
+        code = main(["radius", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "narrow" in out
+        assert "dup" in out and "skipped (duplicate query)" in out
+        # A wider epsilon is a different question — it must still run.
+        assert "wide" in out and out.count("certified") >= 2
+
+    def test_zero_budget_flags_exit_cleanly(self, xor_path, tmp_path):
+        manifest = tmp_path / "m.json"
+        manifest.write_text(json.dumps({
+            "jobs": [{"network": xor_path, "center": "0.5,0.5"}],
+        }))
+        with pytest.raises(SystemExit):
+            main(["schedule", str(manifest), "--cache", str(tmp_path / "c"),
+                  "--cache-max-entries", "0"])
+        with pytest.raises(SystemExit):
+            main(["cache", "prune", str(tmp_path / "c"), "--max-entries", "0"])
+
+    def test_duplicate_center_with_longer_timeout_still_runs(
+        self, xor_path, tmp_path, capsys
+    ):
+        path = tmp_path / "radius.json"
+        path.write_text(json.dumps({
+            "defaults": {"network": xor_path, "center": "0.5,0.5",
+                         "epsilon": 0.1},
+            "jobs": [
+                {"timeout": 1.0, "name": "quick"},
+                {"timeout": 5.0, "name": "thorough"},
+            ],
+        }))
+        code = main(["radius", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "skipped (duplicate query)" not in out
+        assert out.count("certified") >= 2
+
+    def test_inverted_cached_bracket_degrades_with_warning(
+        self, xor_path, tmp_path, capsys
+    ):
+        # Hand-craft records that disagree (possible across δ/seed
+        # configs): verified at 0.2 but "falsified" at 0.1.
+        import numpy as np
+
+        from repro.nn.serialize import load_network, network_digest
+        from repro.sched import CacheRecord, ResultCache, point_digest
+
+        net = load_network(xor_path)
+        digest = network_digest(net)
+        center = np.array([0.5, 0.5])
+        cache = ResultCache(tmp_path / "cache")
+        for i, (kind, eps) in enumerate(
+            [("verified", 0.2), ("falsified", 0.1)]
+        ):
+            cache.put(
+                f"{i:02x}" + "b" * 62,
+                CacheRecord(
+                    kind=kind,
+                    margin=-0.1 if kind == "falsified" else None,
+                    counterexample=[0.0, 0.0] if kind == "falsified" else None,
+                    network_digest=digest,
+                    metadata={"center_digest": point_digest(center),
+                              "epsilon": eps},
+                ),
+            )
+        code = main(
+            ["radius", xor_path, "--center", "0.5,0.5", "--epsilon", "0.3",
+             "--timeout", "2.0", "--cache", str(tmp_path / "cache")]
+        )
+        captured = capsys.readouterr()
+        assert code == 0  # degraded to a fresh search, no crash
+        assert "cached records disagree" in captured.err
+        assert "certified radius" in captured.out
