@@ -105,13 +105,12 @@ def test_cache_hits_spawn_no_work(benchmark, tmp_path):
         r for r in first.results if r.outcome.kind in ("verified", "falsified")
     ]
     assert decided, "workload must decide something for the cache to serve"
-    assert second.cache_hits == len(decided)
-    # Served jobs spawn no PGD/Analyze work; only undecided (depth-capped)
-    # jobs re-run.
-    undecided = len(jobs) - len(decided)
-    if undecided == 0:
-        assert second.sweeps == 0
-        assert second.fresh_calls() == 0
+    # The workload is deterministic (no wall clock, depth-capped), so
+    # every outcome is cacheable — depth-cap timeouts included — and the
+    # second run must be served entirely from the cache.
+    assert second.cache_hits == len(jobs)
+    assert second.sweeps == 0
+    assert second.fresh_calls() == 0
     for a, b in zip(first.results, second.results):
         assert a.outcome.kind == b.outcome.kind
         if a.outcome.kind == "falsified":
@@ -125,3 +124,68 @@ def test_cache_hits_spawn_no_work(benchmark, tmp_path):
         f"cache: {second.cache_hits}/{len(jobs)} served, "
         f"{second.sweeps} fused sweeps on the second run"
     )
+
+
+def test_pooled_executor_contract(benchmark):
+    """Pooled fused-group execution: bitwise-equal always, faster when the
+    host has cores to use.
+
+    A multi-network manifest gives each scheduler round several
+    independent kernel groups (one fused PGD + one fused Analyze group
+    per network), which is the shape the pool parallelizes.  Equivalence
+    is asserted unconditionally.  The wall-clock floor is a *single*
+    measurement of thread scaling — a quantity that depends on granted
+    cores and co-tenant noise — so it gates only under
+    ``REPRO_BENCH_STRICT=1`` on hosts with >= 4 cores; the tracked
+    worker-scaling trajectory lives in BENCH_sched.json
+    (``scripts/sched_baseline.py``), which also records the core counts
+    that make the ratios comparable.
+    """
+    import os
+
+    config = VerifierConfig(timeout=None, max_depth=8, batch_size=16)
+    networks, problems = load_problems(
+        ("mnist_3x100", "mnist_6x100", "cifar_3x100"), count=8
+    )
+    policy = BisectionPolicy(domain=DEEPPOLY)
+    jobs = [
+        VerificationJob(
+            networks[p.network_name], p.prop, config=config,
+            policy=policy, seed=0, name=p.prop.name,
+        )
+        for p in problems
+    ]
+
+    # Warm lazy per-network op lowering outside the measured comparison.
+    Scheduler(jobs[:3], workers=2).run()
+
+    def run():
+        serial = Scheduler(jobs, workers=1).run()
+        pooled = Scheduler(jobs, workers=4).run()
+        return serial, pooled
+
+    serial, pooled = one_shot(benchmark, run)
+    assert serial.executor == "serial" and pooled.executor == "pooled"
+
+    for a, b in zip(serial.results, pooled.results):
+        assert a.outcome.kind == b.outcome.kind
+        if a.outcome.kind == "falsified":
+            np.testing.assert_array_equal(
+                a.outcome.counterexample, b.outcome.counterexample
+            )
+        assert a.outcome.stats.pgd_calls == b.outcome.stats.pgd_calls
+        assert a.outcome.stats.analyze_calls == b.outcome.stats.analyze_calls
+        assert a.outcome.stats.splits == b.outcome.stats.splits
+
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        cores = os.cpu_count() or 1
+    ratio = serial.wall_clock / max(pooled.wall_clock, 1e-9)
+    print()
+    print(
+        f"pooled x4 vs serial: {serial.wall_clock:.2f}s -> "
+        f"{pooled.wall_clock:.2f}s ({ratio:.2f}x) on {cores} cores"
+    )
+    if os.environ.get("REPRO_BENCH_STRICT", "") == "1" and cores >= 4:
+        assert ratio >= 1.3

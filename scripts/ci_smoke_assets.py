@@ -1,0 +1,62 @@
+"""Generate the tiny assets the CI smoke commands run against.
+
+Writes into the target directory:
+
+- ``net.npz``       — the XOR network (2 inputs, 2 classes).
+- ``manifest.json`` — four quickly-*verifiable* jobs (the ``schedule``
+  smoke gates on exit code 0, which means "everything proven").
+- ``suite.json``    — two training problems for the ``train`` smoke.
+
+Usage::
+
+    PYTHONPATH=src python scripts/ci_smoke_assets.py OUTDIR
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.nn.builders import xor_network
+from repro.nn.serialize import save_network
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print(__doc__)
+        return 2
+    out = Path(argv[0])
+    out.mkdir(parents=True, exist_ok=True)
+
+    net_path = out / "net.npz"
+    save_network(xor_network(), net_path)
+
+    # Centers well inside the XOR decision regions: every job verifies
+    # fast, so the schedule smoke's exit code 0 is a real assertion.
+    manifest = {
+        "defaults": {"network": "net.npz", "epsilon": 0.04, "timeout": 30.0},
+        "jobs": [
+            {"center": "0.5,0.88", "name": "hi-y"},
+            {"center": "0.88,0.5", "name": "hi-x"},
+            {"center": "0.12,0.5", "name": "lo-x"},
+            {"center": "0.5,0.12", "name": "lo-y"},
+        ],
+    }
+    (out / "manifest.json").write_text(json.dumps(manifest, indent=2) + "\n")
+
+    suite = {
+        "defaults": {"network": "net.npz", "epsilon": 0.08},
+        "jobs": [
+            {"center": "0.5,0.8", "name": "train-a"},
+            {"center": "0.8,0.5", "name": "train-b"},
+        ],
+    }
+    (out / "suite.json").write_text(json.dumps(suite, indent=2) + "\n")
+    print(f"smoke assets written to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -75,6 +76,24 @@ MLP_NETWORKS = (
     "cifar_6x100",
     "cifar_9x100",
 )
+
+
+def host_info() -> dict:
+    """Core counts for every BENCH row.
+
+    Worker-scaling ratios only mean anything relative to the cores the
+    run could actually use; ``affinity`` is what the container/cgroup
+    grants, which on CI is often less than ``cpu_count``.
+    """
+    try:
+        affinity = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # non-Linux
+        affinity = os.cpu_count()
+    return {
+        "cpu_count": os.cpu_count(),
+        "affinity": affinity,
+        "machine": platform.machine(),
+    }
 
 
 def run_engine_suite(problems, networks, policy, config, engine_cls):
@@ -222,6 +241,10 @@ def main(argv=None):
         "bench": "batched_engine_baseline",
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "host": host_info(),
+        # The engine comparison is single-threaded by design; recorded so
+        # rows stay interpretable next to sched_baseline's pooled rows.
+        "workers": 1,
         "suite": {
             "networks": list(names),
             "problems": len(problems),

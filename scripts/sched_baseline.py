@@ -13,8 +13,16 @@ depth cap instead.  Depth-cap timeouts are scheduling-independent, so the
 total work is *fixed* — the ratio is a pure wall-clock comparison and the
 trajectory stays comparable across machines and PRs.
 
-Also records the cache round-trip: a second scheduler run against a warm
-persistent cache must serve every decided job with zero fused sweeps.
+Also records the cache round-trip (a second scheduler run against a warm
+persistent cache must serve every cacheable job with zero fused sweeps)
+and the **worker-scaling suite**: the multi-network manifest through
+``PooledExecutor`` runs at workers ∈ {1, 2, 4} against the
+``SerialExecutor`` baseline.  Every row carries the host's core count —
+thread-pool speedups are physically bounded by available cores, so a
+ratio of ~1.0 on a 1-core container and ~2x on a 4-core runner are the
+*same* result; record the denominator or the trajectory is gibberish
+across machines.  Outcomes are asserted bitwise-identical to serial at
+every width.
 
 Like ``perf_baseline.py``, runs append to a trajectory list in the output
 file, accumulating the perf history across PRs.
@@ -27,6 +35,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import platform
 import sys
 import tempfile
@@ -34,11 +43,12 @@ from pathlib import Path
 
 import numpy as np
 
-from perf_baseline import append_trajectory
+from perf_baseline import append_trajectory, host_info
 from repro.abstract.domains import DEEPPOLY, bounded_zonotopes
 from repro.bench.suites import SuiteScale, build_network, build_problems
 from repro.core.config import VerifierConfig
 from repro.core.policy import BisectionPolicy
+from repro.exec import PooledExecutor
 from repro.learn.pretrained import pretrained_policy
 from repro.sched import ResultCache, Scheduler, VerificationJob
 
@@ -77,15 +87,23 @@ def summarize(report):
         "sweeps": report.sweeps,
         "swept_items": report.swept_items,
         "final_batch_target": report.final_batch_target,
+        "executor": report.executor,
+        "workers": report.workers,
     }
 
 
 def outcomes_agree(a, b) -> bool:
+    """Bitwise per-job agreement: outcome kind, witness, and counters."""
     for ra, rb in zip(a.results, b.results):
         if ra.outcome.kind != rb.outcome.kind:
             return False
         if ra.outcome.kind == "falsified" and not np.array_equal(
             ra.outcome.counterexample, rb.outcome.counterexample
+        ):
+            return False
+        sa, sb = ra.outcome.stats, rb.outcome.stats
+        if (sa.pgd_calls, sa.analyze_calls, sa.splits) != (
+            sb.pgd_calls, sb.analyze_calls, sb.splits
         ):
             return False
     return True
@@ -126,6 +144,7 @@ def main(argv=None):
         "bench": "sched_baseline",
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "host": host_info(),
         "suite": {
             "networks": list(names),
             "problems": len(problems),
@@ -177,24 +196,52 @@ def main(argv=None):
             )
         report["engines"][policy_name] = entry
 
-    # Cache round-trip: second run must do zero fresh work for decided jobs.
-    jobs = build_jobs(
-        problems, networks, policies["deeppoly_policy"][0], config
-    )
+    # Worker scaling: the multi-network deeppoly manifest (one fused PGD
+    # and one fused Analyze group per network each round — the shape with
+    # genuinely independent kernel groups) through the pooled executor.
+    # The workload is the deterministic depth-capped one, so pooled runs
+    # must agree with serial bitwise at every width.
+    jobs = build_jobs(problems, networks, policies["deeppoly_policy"][0], config)
+    print("[workers] serial baseline ...", flush=True)
+    serial = Scheduler(jobs, workers=1).run()
+    scaling = {
+        "manifest_networks": len(names),
+        "problems": len(jobs),
+        "serial": summarize(serial),
+        "pooled": {},
+    }
+    for workers in (1, 2, 4):
+        print(f"[workers] pooled x{workers} ...", flush=True)
+        # workers=1 through a real pool measures pure thread-hop overhead;
+        # build the executor explicitly since Scheduler(workers=1) would
+        # default to the serial executor.
+        with PooledExecutor(workers) as executor:
+            pooled = Scheduler(jobs, executor=executor).run()
+        summary = summarize(pooled)
+        summary["outcomes_agree"] = outcomes_agree(serial, pooled)
+        summary["wall_clock_ratio_vs_serial"] = round(
+            serial.wall_clock / max(pooled.wall_clock, 1e-9), 2
+        )
+        scaling["pooled"][f"workers_{workers}"] = summary
+        print(
+            f"  x{workers}: {summary['wall_clock_ratio_vs_serial']}x vs "
+            f"serial, agree={summary['outcomes_agree']}", flush=True,
+        )
+    report["worker_scaling"] = scaling
+
+    # Cache round-trip: the second run must spawn zero fresh work.  On
+    # this deterministic workload every job is cacheable (depth-cap
+    # timeouts included), so every job must be served.
     with tempfile.TemporaryDirectory() as tmp:
         cache = ResultCache(tmp)
         first = Scheduler(jobs, cache=cache).run()
         second = Scheduler(jobs, cache=cache).run()
-        decided = (
-            first.outcome_counts()["verified"]
-            + first.outcome_counts()["falsified"]
-        )
         report["cache"] = {
-            "decided_jobs": decided,
+            "jobs": len(first.results),
             "second_run_hits": second.cache_hits,
             "second_run_sweeps": second.sweeps,
             "second_run_wall_clock_s": round(second.wall_clock, 3),
-            "all_decided_served": second.cache_hits == decided,
+            "all_served": second.cache_hits == len(first.results),
         }
     print(f"cache: {report['cache']}", flush=True)
 
@@ -204,6 +251,10 @@ def main(argv=None):
     ]
     report["headline"] = {
         "cross_property_throughput_ratio_dfs": ratios,
+        "pooled_wall_clock_ratio_workers_4": scaling["pooled"]["workers_4"][
+            "wall_clock_ratio_vs_serial"
+        ],
+        "cpu_count": os.cpu_count(),
     }
 
     append_trajectory(Path(args.out), "sched_baseline", report)

@@ -5,6 +5,22 @@ unit cube internally; the GP uses an RBF kernel with a fixed normalized
 lengthscale (robust for the tens-of-dimensions regime the paper targets),
 and acquisition is maximized by dense random candidates plus local
 refinement of the best few with L-BFGS-B.
+
+The GP model is cached across iterations: :meth:`BayesianOptimizer.observe`
+grows the cached Cholesky factor incrementally
+(:meth:`~repro.bayesopt.gp.GaussianProcess.extend`, O(n²) per new point)
+instead of refitting from scratch (full O(n³) factorization) on every
+:meth:`~BayesianOptimizer.suggest`; ``incremental=False`` restores the
+refit-per-suggest path, which the test suite pins against the cached one.
+
+:meth:`BayesianOptimizer.suggest_batch` proposes ``q`` points for
+*concurrent* evaluation via the constant-liar heuristic (Ginsbourger et
+al.'s q-EI approximation): each accepted point is provisionally "observed"
+at the worst seen value (the pessimistic liar, which pushes later picks
+toward exploration) on a copy of the cached model, and expected
+improvement is re-maximized.  ``suggest_batch(1)`` is exactly
+``[suggest()]`` — same model, same random stream — which is what makes the
+batched trainer's q=1 trace identical to the sequential one.
 """
 
 from __future__ import annotations
@@ -59,6 +75,7 @@ class BayesianOptimizer:
         refine_top: int = 3,
         xi: float = 0.01,
         rng: int | np.random.Generator | None = None,
+        incremental: bool = True,
     ) -> None:
         if n_initial < 1:
             raise ValueError("n_initial must be >= 1")
@@ -73,8 +90,13 @@ class BayesianOptimizer:
         self.candidates = candidates
         self.refine_top = refine_top
         self.xi = xi
+        self.incremental = incremental
         self._rng = as_generator(rng)
         self.history = OptimizationHistory()
+        # Cached GP model: covers the first _gp_count observations; grown
+        # by observe(), invalidated only by a failed extension.
+        self._gp: GaussianProcess | None = None
+        self._gp_count = 0
 
     # ------------------------------------------------------------------
     # Normalization
@@ -90,17 +112,34 @@ class BayesianOptimizer:
     # Suggest / observe
     # ------------------------------------------------------------------
 
-    def suggest(self) -> np.ndarray:
-        """The next point to evaluate."""
-        n_obs = len(self.history.observations)
-        if n_obs < self.n_initial:
-            return self.bounds.sample(self._rng)
-        xs = np.stack([self._to_unit(o.x) for o in self.history.observations])
-        ys = np.array([o.y for o in self.history.observations])
-        gp = GaussianProcess(
-            RBF(lengthscale=self.lengthscale, variance=1.0), noise=self.noise
-        ).fit(xs, ys)
-        best = float(ys.max())
+    def _model(self) -> GaussianProcess:
+        """The GP over every recorded observation.
+
+        Incremental mode grows the cached Cholesky factor by whatever
+        observations arrived since the last call (O(n²) per point); refit
+        mode factors from scratch every time — the reference path the
+        incremental one is pinned against.
+        """
+        observations = self.history.observations
+        xs = np.stack([self._to_unit(o.x) for o in observations])
+        ys = np.array([o.y for o in observations])
+        if not self.incremental:
+            return GaussianProcess(
+                RBF(lengthscale=self.lengthscale, variance=1.0),
+                noise=self.noise,
+            ).fit(xs, ys)
+        if self._gp is None:
+            self._gp = GaussianProcess(
+                RBF(lengthscale=self.lengthscale, variance=1.0),
+                noise=self.noise,
+            ).fit(xs, ys)
+        elif self._gp_count < len(observations):
+            self._gp.extend(xs[self._gp_count :], ys)
+        self._gp_count = len(observations)
+        return self._gp
+
+    def _acquire(self, gp: GaussianProcess, best: float) -> np.ndarray:
+        """Maximize expected improvement under ``gp``; unit-cube point."""
 
         def neg_acquisition(u: np.ndarray) -> float:
             mean, var = gp.posterior(u.reshape(1, -1))
@@ -126,7 +165,50 @@ class BayesianOptimizer:
             if -result.fun > best_score:
                 best_score = -result.fun
                 best_u = np.clip(result.x, 0.0, 1.0)
-        return self._from_unit(best_u)
+        return best_u
+
+    def suggest(self) -> np.ndarray:
+        """The next point to evaluate."""
+        n_obs = len(self.history.observations)
+        if n_obs < self.n_initial:
+            return self.bounds.sample(self._rng)
+        gp = self._model()
+        best = float(max(o.y for o in self.history.observations))
+        return self._from_unit(self._acquire(gp, best))
+
+    def suggest_batch(self, q: int) -> list[np.ndarray]:
+        """``q`` points to evaluate *concurrently* (constant-liar q-EI).
+
+        The first point is exactly :meth:`suggest`.  Each further point
+        re-maximizes expected improvement on a copy of the model extended
+        with the already-picked points "observed" at the worst seen value
+        — the pessimistic lie, which marks the picked spots as known-bad
+        so the acquisition spreads the batch instead of stacking it.
+        Lies never enter the history or the cached model.
+        """
+        if q < 1:
+            raise ValueError(f"q must be >= 1, got {q}")
+        points = [self.suggest()]
+        if q == 1:
+            return points
+        observations = self.history.observations
+        if len(observations) < self.n_initial:
+            # Still in the random-initialization phase: the model has
+            # nothing to say yet, so the batch is q independent samples.
+            points.extend(self.bounds.sample(self._rng) for _ in range(q - 1))
+            return points
+        ys = [o.y for o in observations]
+        lie = float(min(ys))
+        best = float(max(ys))
+        liar = self._model().copy()
+        lied_y = list(ys)
+        for _ in range(q - 1):
+            lied_y.append(lie)
+            liar.extend(
+                self._to_unit(points[-1]).reshape(1, -1), np.array(lied_y)
+            )
+            points.append(self._from_unit(self._acquire(liar, best)))
+        return points
 
     def observe(self, x: np.ndarray, y: float) -> None:
         """Record an evaluation of the objective."""

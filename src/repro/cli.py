@@ -4,7 +4,11 @@ Commands:
 
 - ``verify``   — decide one robustness property of a saved network.
 - ``schedule`` — run a manifest of many (network, property) jobs through
-  the multi-property scheduler (shared frontier, optional result cache).
+  the multi-property scheduler (shared frontier, optional result cache,
+  ``--workers`` cores for independent fused kernel groups).
+- ``train``    — learn a verification policy θ on a suite manifest
+  (scheduled candidate evaluation, batched BO suggestions); writes a θ
+  artifact that ``--policy-file`` deploys anywhere a policy is accepted.
 - ``radius``   — binary-search the certified L∞ radius around a point, or
   around every center of a manifest (``.json``), bracketing from cached
   records first so already-decided radii spawn no probe jobs.
@@ -50,7 +54,13 @@ from repro.core.policy import BisectionPolicy
 from repro.core.property import RobustnessProperty, linf_property
 from repro.core.radius import certified_radius
 from repro.core.verifier import BatchedVerifier, Verifier
-from repro.learn.pretrained import pretrained_policy
+from repro.learn import (
+    COST_MODELS,
+    PolicyTrainer,
+    TrainingProblem,
+    load_policy,
+    pretrained_policy,
+)
 from repro.nn.serialize import load_network
 from repro.sched import (
     FRONTIER_POLICIES,
@@ -77,15 +87,30 @@ ENGINES = {
 DOMAIN_CHOICES = ("policy",) + BASE_DOMAINS
 
 
-def _resolve_policy(domain: str, disjuncts: int):
-    """The verification policy a ``--domain`` selection implies."""
+def _resolve_policy(domain: str, disjuncts: int, policy_file: str | None = None):
+    """The verification policy a ``--domain`` selection implies.
+
+    ``--policy-file`` points "the learned policy" at a ``repro train``
+    artifact instead of the shipped one; it only composes with
+    ``--domain policy`` (a pinned domain would ignore the file).
+    """
     if domain == "policy":
         if disjuncts != 1:
             raise SystemExit(
                 "--disjuncts requires a fixed --domain (the learned policy "
                 "chooses its own disjunct budgets)"
             )
+        if policy_file is not None:
+            try:
+                return load_policy(policy_file)
+            except ValueError as exc:
+                raise SystemExit(str(exc))
         return pretrained_policy()
+    if policy_file is not None:
+        raise SystemExit(
+            "--policy-file conflicts with a pinned --domain "
+            "(the artifact's policy chooses its own domains)"
+        )
     try:
         return BisectionPolicy(domain=DomainSpec(domain, disjuncts))
     except ValueError as exc:
@@ -131,12 +156,13 @@ def cmd_verify(args: argparse.Namespace) -> int:
     config = VerifierConfig(
         timeout=args.timeout, delta=args.delta, batch_size=args.batch_size
     )
-    verifier = ENGINES[args.engine](
-        network,
-        _resolve_policy(args.domain, args.disjuncts),
-        config,
-        rng=args.seed,
-    )
+    policy = _resolve_policy(args.domain, args.disjuncts, args.policy_file)
+    if args.engine == "parallel":
+        verifier = ParallelVerifier(
+            network, policy, config, workers=args.workers, rng=args.seed
+        )
+    else:
+        verifier = ENGINES[args.engine](network, policy, config, rng=args.seed)
     outcome = verifier.verify(prop)
     print(f"result: {outcome.kind}")
     print(f"label under test: {prop.label}")
@@ -190,9 +216,13 @@ def _manifest_jobs(args: argparse.Namespace) -> list[VerificationJob]:
         center = _load_point(str(merged["center"]), network.input_size)
         epsilon = float(merged.get("epsilon", 0.05))
         name = str(merged["name"])
+        job_domain = str(merged.get("domain", args.domain))
+        # A job that pins its own domain opts out of the policy artifact;
+        # every "policy" job deploys it.
         policy = _resolve_policy(
-            str(merged.get("domain", args.domain)),
+            job_domain,
             int(merged.get("disjuncts", args.disjuncts)),
+            getattr(args, "policy_file", None) if job_domain == "policy" else None,
         )
         # Radius-query metadata is only attached when the target label is
         # the network's own prediction at the center — the semantics a
@@ -250,7 +280,11 @@ def cmd_schedule(args: argparse.Namespace) -> int:
         except ValueError as exc:
             raise SystemExit(str(exc))
     scheduler = Scheduler(
-        jobs, frontier=args.frontier, cache=cache, engine=args.engine
+        jobs,
+        frontier=args.frontier,
+        cache=cache,
+        engine=args.engine,
+        workers=args.workers,
     )
     report = scheduler.run()
     width = max(len(job.name) for job in jobs)
@@ -266,7 +300,8 @@ def cmd_schedule(args: argparse.Namespace) -> int:
         f"falsified: {counts['falsified']}  timeout: {counts['timeout']}"
     )
     print(
-        f"engine: {report.engine} ({report.frontier} frontier), "
+        f"engine: {report.engine} ({report.frontier} frontier, "
+        f"{report.executor} executor x{report.workers}), "
         f"{report.sweeps} fused sweeps, {report.swept_items} work items, "
         f"{report.wall_clock:.2f}s wall clock"
     )
@@ -278,6 +313,77 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     if counts["falsified"]:
         return 1
     return 2 if counts["timeout"] else 0
+
+
+def _suite_problems(path: str) -> list[TrainingProblem]:
+    """Training problems from a manifest file (same shape as ``schedule``).
+
+    Per-job ``domain``/``disjuncts``/``timeout`` keys are ignored: the
+    policy is the thing being learned, and the per-problem budget comes
+    from the trainer's cost model.
+    """
+    specs, networks = _load_manifest(path)
+    problems = []
+    for spec in specs:
+        network = networks[spec["network"]]
+        center = _load_point(str(spec["center"]), network.input_size)
+        epsilon = float(spec.get("epsilon", 0.05))
+        name = str(spec["name"])
+        if "label" in spec:
+            prop = RobustnessProperty(
+                linf_property(network, center, epsilon).region,
+                int(spec["label"]),
+                name=name,
+            )
+        else:
+            prop = linf_property(network, center, epsilon, name=name)
+        problems.append(TrainingProblem(network, prop))
+    return problems
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    problems = _suite_problems(args.suite)
+    cache = None
+    if args.cache:
+        try:
+            cache = ResultCache(args.cache)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+    try:
+        trainer = PolicyTrainer(
+            problems,
+            time_limit=args.time_limit,
+            penalty=args.penalty,
+            n_initial=args.n_initial,
+            base_config=VerifierConfig(max_depth=args.max_depth),
+            rng=args.seed,
+            candidates=args.candidates,
+            workers=args.workers,
+            cost_model=args.cost_model,
+            cache=cache,
+            rng_seed=args.seed,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    print(
+        f"training on {len(problems)} problems "
+        f"({args.iterations} BO evaluations, q={args.candidates}, "
+        f"{args.workers} workers, {args.cost_model} cost) ..."
+    )
+    trained = trainer.train(args.iterations, verbose=True)
+    objective = trainer.objective
+    default_score = trained.history.observations[0].y
+    print(f"default policy score: {default_score:.3f}")
+    print(f"best policy score:    {trained.best_score:.3f}")
+    print(
+        f"evaluations: {objective.evaluations} "
+        f"({objective.fresh_calls} fresh kernel calls, "
+        f"{objective.cache_hits} cached jobs)"
+    )
+    out = trained.save(args.out)
+    print(f"policy artifact written to {out}")
+    print(f"deploy it with: repro verify ... --policy-file {out}")
+    return 0
 
 
 def _safe_bracket(certified: float, falsified: float) -> tuple[float, float]:
@@ -315,7 +421,7 @@ def cmd_radius(args: argparse.Namespace) -> int:
         network,
         center,
         max_radius=args.epsilon,
-        policy=_resolve_policy(args.domain, args.disjuncts),
+        policy=_resolve_policy(args.domain, args.disjuncts, args.policy_file),
         config=VerifierConfig(timeout=args.timeout),
         rng=args.seed,
         known_certified=known_certified,
@@ -392,7 +498,11 @@ def _cmd_radius_manifest(args: argparse.Namespace) -> int:
             network,
             center,
             max_radius=max_radius,
-            policy=_resolve_policy(domain, disjuncts),
+            policy=_resolve_policy(
+                domain,
+                disjuncts,
+                args.policy_file if domain == "policy" else None,
+            ),
             config=VerifierConfig(timeout=timeout),
             rng=seed,
             known_certified=known_certified,
@@ -471,6 +581,12 @@ def _add_domain_flags(parser: argparse.ArgumentParser) -> None:
         "--domain; e.g. --domain zonotope --disjuncts 2 is the paper's "
         "(Z, 2))",
     )
+    parser.add_argument(
+        "--policy-file",
+        default=None,
+        help="θ artifact from 'repro train': deploy that learned policy "
+        "instead of the shipped one (requires --domain policy)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -496,6 +612,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=16,
         help="frontier sub-regions per batched sweep",
+    )
+    verify_parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="worker threads of the parallel engine (ignored by the others)",
     )
     _add_domain_flags(verify_parser)
     verify_parser.set_defaults(func=cmd_verify)
@@ -556,8 +678,88 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-job frontier chunk width inside fused sweeps",
     )
     schedule_parser.add_argument("--seed", type=int, default=0, help="random seed")
+    schedule_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="cores for independent fused kernel groups (batched engine) "
+        "or whole jobs (sequential engine); 1 = serial executor",
+    )
     _add_domain_flags(schedule_parser)
     schedule_parser.set_defaults(func=cmd_schedule)
+
+    train_parser = sub.add_parser(
+        "train",
+        help="learn a verification policy on a suite manifest "
+        "(scheduled candidate evaluation; writes a --policy-file artifact)",
+    )
+    train_parser.add_argument(
+        "suite", help="path to a JSON suite manifest (same shape as schedule)"
+    )
+    train_parser.add_argument(
+        "--iterations",
+        type=int,
+        default=20,
+        help="Bayesian-optimization evaluations after the default-θ seed",
+    )
+    train_parser.add_argument(
+        "--candidates",
+        type=int,
+        default=1,
+        help="BO batch width q: candidates proposed (constant-liar q-EI) "
+        "and evaluated per scheduler run",
+    )
+    train_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="cores for each evaluation's scheduler run",
+    )
+    train_parser.add_argument(
+        "--cost-model",
+        choices=COST_MODELS,
+        default="work",
+        help="'work' = deterministic kernel-call cost under the depth-cap "
+        "budget (reproducible, cacheable); 'time' = the paper's wall-clock "
+        "cost under --time-limit",
+    )
+    train_parser.add_argument(
+        "--time-limit",
+        type=float,
+        default=2.0,
+        help="per-problem budget in seconds (time cost model)",
+    )
+    train_parser.add_argument(
+        "--max-depth",
+        type=int,
+        default=8,
+        help="per-problem refinement depth budget (work cost model)",
+    )
+    train_parser.add_argument(
+        "--penalty",
+        type=float,
+        default=2.0,
+        help="unsolved-problem cost multiplier p",
+    )
+    train_parser.add_argument(
+        "--n-initial",
+        type=int,
+        default=5,
+        help="random BO samples before the GP model takes over",
+    )
+    train_parser.add_argument(
+        "--cache",
+        default=None,
+        help="persistent result-cache directory: re-evaluated candidates "
+        "(and re-runs of this command) spawn no kernel work",
+    )
+    train_parser.add_argument(
+        "--out",
+        default="trained_policy.json",
+        help="where to write the θ artifact",
+    )
+    train_parser.add_argument("--seed", type=int, default=0, help="random seed")
+    train_parser.set_defaults(func=cmd_train)
 
     radius_parser = sub.add_parser(
         "radius",

@@ -5,11 +5,20 @@ The recursion of Algorithm 1 is embarrassingly parallel across sub-regions:
 each work item is independent, the property is verified when *all* items
 verify, and any single δ-counterexample settles the whole query.  The
 original Charon exploits this with ELINA calls on parallel threads; this
-module does the same with a thread pool (numpy releases the GIL inside the
-dense kernels where the analyzer spends its time), and each worker task
-processes a *chunk* of up to ``config.batch_size`` frontier items through
-the batched Minimize/Analyze kernels — batching within a worker, workers
-across the frontier.
+module does the same one level up the stack: the verifier is a thin
+frontier loop over a :class:`~repro.exec.KernelExecutor`, and each
+submitted task processes a *chunk* of up to ``config.batch_size`` frontier
+items through the batched Minimize/Analyze kernels — batching within a
+task, the executor's workers across the frontier (numpy releases the GIL
+inside the dense kernels where the analyzer spends its time).
+
+The pool/failure plumbing lives in :mod:`repro.exec`, shared with the
+multi-property scheduler: terminal outcomes race through
+:class:`~repro.exec.FirstOutcome` (first writer wins), and once one lands
+the backlog of not-yet-started chunks is *cancelled* via
+:meth:`~repro.exec.KernelExecutor.cancel_pending` rather than letting
+every pending chunk run to completion — falsification latency is one
+in-flight round, not the whole queue.
 
 Randomness is path-keyed per work item (see
 :class:`~repro.core.verifier.WorkItem`), so a sub-region's PGD stream never
@@ -28,7 +37,6 @@ from __future__ import annotations
 
 import math
 import threading
-from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 
 import numpy as np
 
@@ -43,13 +51,19 @@ from repro.core.verifier import (
     minimize_pgd_config,
     root_item,
 )
+from repro.exec import (
+    FirstOutcome,
+    KernelExecutor,
+    PooledExecutor,
+    future_result,
+)
 from repro.nn.network import Network
 from repro.utils.rng import as_generator
 from repro.utils.timing import Deadline, Stopwatch
 
 
 class ParallelVerifier:
-    """Algorithm 1 with a worker pool over frontier chunks."""
+    """Algorithm 1 as a frontier loop over a pooled kernel executor."""
 
     def __init__(
         self,
@@ -58,6 +72,7 @@ class ParallelVerifier:
         config: VerifierConfig | None = None,
         workers: int = 4,
         rng: int | np.random.Generator | None = None,
+        executor: KernelExecutor | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -65,6 +80,7 @@ class ParallelVerifier:
         self.policy = policy or default_policy()
         self.config = config or VerifierConfig()
         self.workers = workers
+        self.executor = executor
         self._rng = as_generator(rng)
 
     def _chunk(self, items: list[WorkItem]) -> list[list[WorkItem]]:
@@ -89,23 +105,14 @@ class ParallelVerifier:
         watch = Stopwatch().start()
         objective = MarginObjective(self.network, prop.label)
         pgd_config = minimize_pgd_config(config)
-
-        failure: dict = {}
-        failure_lock = threading.Lock()
-        stop_event = threading.Event()
-
-        def _record_failure(outcome) -> None:
-            with failure_lock:
-                if "outcome" not in failure:
-                    failure["outcome"] = outcome
-            stop_event.set()
+        first = FirstOutcome()
 
         def process(chunk: list[WorkItem]) -> list[WorkItem]:
             """One batched Algorithm-1 sweep; returns child work items."""
-            if stop_event.is_set():
+            if first.is_set():
                 return []
             if deadline.expired():
-                _record_failure(Timeout("wall clock", stats))
+                first.record(Timeout("wall clock", stats))
                 return []
             try:
                 terminal, pairs, sweep = batched_sweep(
@@ -113,34 +120,47 @@ class ParallelVerifier:
                     pgd_config, prop, chunk, deadline,
                 )
             except TimeoutError:
-                _record_failure(Timeout("wall clock", stats))
+                first.record(Timeout("wall clock", stats))
                 return []
             with stats_lock:
                 stats.merge(sweep)
             if terminal is not None:
                 if terminal[0] == "falsified":
-                    _record_failure(Falsified(terminal[1], terminal[2], stats))
+                    first.record(Falsified(terminal[1], terminal[2], stats))
                 else:
-                    _record_failure(Timeout(terminal[1], stats))
+                    first.record(Timeout(terminal[1], stats))
                 return []
             return [child for pair in pairs for child in pair]
 
-        with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            pending = {pool.submit(process, [root_item(prop.region, self._rng)])}
+        executor = self.executor
+        owned = executor is None
+        if owned:
+            executor = PooledExecutor(self.workers)
+        try:
+            pending = {
+                executor.submit(process, [root_item(prop.region, self._rng)])
+            }
             while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                done, pending = executor.wait_any(pending)
                 children: list[WorkItem] = []
                 for future in done:
-                    children.extend(future.result())
-                if not stop_event.is_set():
-                    for chunk in self._chunk(children):
-                        pending.add(pool.submit(process, chunk))
-                if stop_event.is_set() and not pending:
-                    break
+                    # Cancelled chunks never ran; they contribute nothing.
+                    children.extend(future_result(future, default=[]))
+                if first.is_set():
+                    # Terminal outcome landed: drop every chunk that has
+                    # not started and only drain the ones already running.
+                    pending = executor.cancel_pending(pending)
+                    continue
+                for chunk in self._chunk(children):
+                    pending.add(executor.submit(process, chunk))
+        finally:
+            if owned:
+                executor.shutdown(cancel_pending=True)
 
         stats.time_seconds = watch.stop()
-        if "outcome" in failure:
-            return failure["outcome"]
+        outcome = first.get()
+        if outcome is not None:
+            return outcome
         return Verified(stats)
 
 

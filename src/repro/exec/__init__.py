@@ -1,0 +1,21 @@
+"""Kernel execution layer: serial and thread-pooled execution of
+independent kernel calls (§6's "different threads"), shared by the
+scheduler, the parallel verifier, and scheduled policy training."""
+
+from repro.exec.executor import (
+    FirstOutcome,
+    KernelExecutor,
+    PooledExecutor,
+    SerialExecutor,
+    future_result,
+    make_executor,
+)
+
+__all__ = [
+    "KernelExecutor",
+    "SerialExecutor",
+    "PooledExecutor",
+    "FirstOutcome",
+    "make_executor",
+    "future_result",
+]

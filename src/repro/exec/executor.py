@@ -1,0 +1,247 @@
+"""The kernel execution layer: where batched kernel calls actually run.
+
+The paper's §6 observes that "different calls to the abstract interpreter
+can be run on different threads".  Every engine in this codebase reduces
+its work to *independent kernel calls* — a fused PGD sweep here, a batched
+Analyze group there — that share no arrays and may therefore run on any
+core.  This module is the one place that decides *where* such calls run:
+
+- :class:`SerialExecutor` runs each call inline at submission, on the
+  caller's thread.  Submission order is execution order, making it the
+  reference for every executor-equivalence test.
+- :class:`PooledExecutor` hands calls to a ``ThreadPoolExecutor``.  numpy
+  releases the GIL inside the dense kernels where verification time is
+  spent, so independent GEMM-shaped calls genuinely overlap on multi-core
+  hosts.
+
+**Reproducibility contract.**  An executor never changes *what* a call
+computes — only which core computes it.  Callers keep every semantic
+decision on their own thread: they build the call's operands (including
+all randomness) before submitting, and they consume results in
+deterministic (submission) order.  Under that discipline a pooled run is
+bitwise identical to a serial run; the scheduler's executor-equivalence
+matrix pins this.
+
+**Failure plumbing.**  Engines that race many calls against a single
+terminal outcome (a counterexample settles the whole query) coordinate
+through :class:`FirstOutcome` — first writer wins, everyone else observes
+the stop flag — and retire the backlog with
+:meth:`KernelExecutor.cancel_pending`, which drops not-yet-started calls
+instead of letting every pending chunk run to completion.
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError,
+    Future,
+    ThreadPoolExecutor,
+    wait,
+)
+from typing import Callable, Iterable
+
+
+class KernelExecutor(ABC):
+    """Where kernel calls run.  See the module docstring for the contract.
+
+    Futures returned by :meth:`submit` follow the
+    :class:`concurrent.futures.Future` surface used here: ``result()``,
+    ``cancel()``, ``cancelled()``, ``done()``.
+    """
+
+    #: Report / bench identifier (``"serial"`` or ``"pooled"``).
+    name: str = ""
+    #: Worker count the executor was built with (1 for serial).
+    workers: int = 1
+
+    @abstractmethod
+    def submit(self, fn: Callable, /, *args, **kwargs):
+        """Schedule ``fn(*args, **kwargs)``; returns a future."""
+
+    @abstractmethod
+    def wait_any(self, futures: set) -> tuple[set, set]:
+        """Block until at least one future completes.
+
+        Returns ``(done, pending)``.  Cancelled futures count as done
+        (their ``result()`` raises ``CancelledError``; use
+        :func:`future_result` to treat them as empty).
+        """
+
+    def run_all(self, calls: Iterable[tuple]) -> list:
+        """Submit every ``(fn, *args)`` call, then gather results in
+        submission order.
+
+        The deterministic fan-out/fan-in primitive the scheduler's fused
+        sweeps are built on: all calls are in flight before the first
+        result is awaited, and the caller observes results in exactly the
+        order it would have produced them serially.  The first exception
+        (in submission order) propagates after every call has finished,
+        so no kernel is left running against freed state.
+        """
+        futures = [self.submit(fn, *args) for fn, *args in calls]
+        results, first_error = [], None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = exc
+                results.append(None)
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def cancel_pending(self, futures: set) -> set:
+        """Cancel every future that has not started; return the rest.
+
+        The falsification-latency path: once a terminal outcome is known,
+        queued-but-unstarted calls are dropped immediately instead of each
+        being scheduled just to notice the stop flag.  Futures already
+        running (or inline-completed) cannot be cancelled and are returned
+        for the caller to drain.
+        """
+        remaining = set()
+        for future in futures:
+            if not future.cancel():
+                remaining.add(future)
+        return remaining
+
+    def shutdown(self, cancel_pending: bool = False) -> None:
+        """Release the executor's resources (idempotent)."""
+
+    def __enter__(self) -> "KernelExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+class SerialExecutor(KernelExecutor):
+    """Runs every call inline at submission, on the caller's thread."""
+
+    name = "serial"
+    workers = 1
+
+    def submit(self, fn: Callable, /, *args, **kwargs):
+        future: Future = Future()
+        # Mirror Future semantics exactly (result() re-raises) so callers
+        # cannot tell serial and pooled futures apart.
+        future.set_running_or_notify_cancel()
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except BaseException as exc:  # noqa: BLE001 - stored, not swallowed
+            future.set_exception(exc)
+        return future
+
+    def wait_any(self, futures: set) -> tuple[set, set]:
+        return set(futures), set()
+
+
+class PooledExecutor(KernelExecutor):
+    """Runs calls on a thread pool (the §6 "different threads").
+
+    The pool is created lazily on first submit and torn down by
+    :meth:`shutdown` (or the context manager).  ``workers=1`` is a valid
+    degenerate pool: same thread-hop overheads as a wide pool, no
+    concurrency — the honest baseline for worker-scaling measurements.
+    """
+
+    name = "pooled"
+
+    def __init__(self, workers: int = 4) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._pool: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+
+    def submit(self, fn: Callable, /, *args, **kwargs):
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-kernel",
+                )
+            pool = self._pool
+        return pool.submit(fn, *args, **kwargs)
+
+    def wait_any(self, futures: set) -> tuple[set, set]:
+        done, pending = wait(futures, return_when=FIRST_COMPLETED)
+        return set(done), set(pending)
+
+    def shutdown(self, cancel_pending: bool = False) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=cancel_pending)
+
+
+def make_executor(
+    executor: KernelExecutor | None = None, workers: int = 1
+) -> tuple[KernelExecutor, bool]:
+    """Normalize an (executor, workers) pair into ``(executor, owned)``.
+
+    Engines accept either a ready executor (caller owns its lifecycle) or
+    a plain ``workers`` count; in the latter case the engine builds one —
+    serial for ``workers=1``, pooled otherwise — and must shut it down
+    after the run (``owned=True``).
+    """
+    if executor is not None:
+        return executor, False
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if workers == 1:
+        return SerialExecutor(), True
+    return PooledExecutor(workers), True
+
+
+def future_result(future, default=None):
+    """``future.result()``, with cancelled futures yielding ``default``.
+
+    Engines that cancel their backlog on a terminal outcome drain the
+    remaining futures through this helper so a cancelled chunk reads as
+    "no work produced" rather than an error.
+    """
+    try:
+        return future.result()
+    except CancelledError:
+        return default
+
+
+class FirstOutcome:
+    """First-writer-wins outcome slot with a stop flag.
+
+    The shared failure plumbing of every engine that races independent
+    work against a single terminal answer (ParallelVerifier's frontier
+    chunks; any one δ-counterexample settles the query): the first
+    recorded outcome sticks, every later record is ignored, and the
+    ``stop`` event tells in-flight work to bail early.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._outcome = None
+        self.stop = threading.Event()
+
+    def record(self, outcome) -> bool:
+        """Record ``outcome`` if none is set; always raises the stop flag.
+
+        Returns True when this call's outcome won.
+        """
+        with self._lock:
+            won = self._outcome is None
+            if won:
+                self._outcome = outcome
+        self.stop.set()
+        return won
+
+    def is_set(self) -> bool:
+        return self.stop.is_set()
+
+    def get(self):
+        """The winning outcome, or ``None`` when nothing terminal happened."""
+        with self._lock:
+            return self._outcome

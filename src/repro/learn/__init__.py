@@ -1,15 +1,27 @@
-"""Policy learning: Bayesian optimization of the verification policy (§4.2)."""
+"""Policy learning: Bayesian optimization of the verification policy (§4.2),
+rebuilt on the multi-property scheduler — candidate θs evaluate as job
+manifests through fused, cache-aware, worker-pooled scheduler runs."""
 
-from repro.learn.objective import PolicyCostObjective, TrainingProblem
+from repro.learn.objective import (
+    COST_MODELS,
+    PolicyCostObjective,
+    TrainingProblem,
+)
 from repro.learn.trainer import PolicyTrainer, TrainedPolicy, train_policy
-from repro.learn.pretrained import PRETRAINED_THETA, pretrained_policy
+from repro.learn.pretrained import (
+    PRETRAINED_THETA,
+    load_policy,
+    pretrained_policy,
+)
 
 __all__ = [
+    "COST_MODELS",
     "PolicyCostObjective",
     "TrainingProblem",
     "PolicyTrainer",
     "TrainedPolicy",
     "train_policy",
     "PRETRAINED_THETA",
+    "load_policy",
     "pretrained_policy",
 ]

@@ -16,6 +16,9 @@ with the learned policy", exactly as in the paper's evaluation.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import numpy as np
 
 from repro.core.policy import LinearPolicy
@@ -36,6 +39,31 @@ PRETRAINED_THETA = [
 ]
 
 
-def pretrained_policy() -> LinearPolicy:
-    """The policy learned on the ACAS training suite."""
+def load_policy(path: str | Path) -> LinearPolicy:
+    """A policy from a θ artifact written by
+    :meth:`~repro.learn.trainer.TrainedPolicy.save` (``repro train``'s
+    output).
+
+    Accepts any JSON object carrying a ``"theta"`` vector, so artifacts
+    stay hand-editable; a malformed file raises ``ValueError`` with the
+    offending path.
+    """
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+        theta = np.asarray(payload["theta"], dtype=np.float64)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        raise ValueError(f"cannot load policy artifact {path}: {exc}") from exc
+    return LinearPolicy.from_vector(theta)
+
+
+def pretrained_policy(path: str | Path | None = None) -> LinearPolicy:
+    """The deployment-phase policy.
+
+    With no argument, the shipped :data:`PRETRAINED_THETA`; with a path,
+    the θ artifact a ``repro train`` run produced — so "the learned
+    policy" can mean *your* learned policy everywhere one is accepted.
+    """
+    if path is not None:
+        return load_policy(path)
     return LinearPolicy.from_vector(np.array(PRETRAINED_THETA))

@@ -25,6 +25,7 @@ from repro.sched.cache import (
     CacheRecord,
     PruneResult,
     ResultCache,
+    cacheable,
     config_digest,
     job_key,
     point_digest,
@@ -67,6 +68,7 @@ __all__ = [
     "PruneResult",
     "ResultCache",
     "CacheRecord",
+    "cacheable",
     "job_key",
     "property_digest",
     "policy_digest",

@@ -12,8 +12,14 @@ Every decided job (verified or falsified) is recorded under a sha256 key of
   split fraction, PGD budget, and ``batch_size`` (chunk width changes which
   witness a falsified run reports) — but deliberately *not* the wall-clock
   timeout: a cached Verified/Falsified record is a proof or a concrete
-  witness, both valid under any budget.  Timeouts are never cached for the
-  same reason in reverse — they are budget artifacts, not results.
+  witness, both valid under any budget.  Wall-clock timeouts are never
+  cached for the same reason in reverse — they are budget artifacts, not
+  results.  *Deterministic* timeouts (``"split depth"``, ``"degenerate
+  region"``) are a different animal: they are pure functions of the keyed
+  configuration (the depth cap is in the digest), reproduce bit-for-bit
+  under any wall-clock budget, and so cache soundly — which is what lets
+  depth-budgeted workloads (the ``work`` training cost model) re-run with
+  zero fresh kernel work.
 
 Records live one-per-file under a two-level fan-out directory (like git's
 object store), written atomically (temp file + rename) so concurrent
@@ -59,6 +65,22 @@ from repro.core.results import (
 )
 from repro.nn.network import Network
 from repro.nn.serialize import network_digest
+
+
+#: Timeout reasons that are pure functions of the cache key (the depth cap
+#: and split-width floor live in the config digest), as opposed to
+#: ``"wall clock"``, which depends on the machine and the budget.
+DETERMINISTIC_TIMEOUT_REASONS = ("split depth", "degenerate region")
+
+
+def cacheable(outcome) -> bool:
+    """Whether an outcome is a result (cacheable) or a budget artifact."""
+    if outcome.kind in ("verified", "falsified"):
+        return True
+    return (
+        outcome.kind == "timeout"
+        and outcome.reason in DETERMINISTIC_TIMEOUT_REASONS
+    )
 
 
 def _sha256(*parts: bytes) -> str:
@@ -169,6 +191,7 @@ class CacheRecord:
     label: int = 0
     metadata: dict = field(default_factory=dict)
     created_unix: float = 0.0
+    reason: str = ""
 
     def to_outcome(self):
         """Reconstruct a verification outcome from the record.
@@ -192,6 +215,8 @@ class CacheRecord:
                 float(self.margin),
                 stats,
             )
+        if self.kind == "timeout" and self.reason:
+            return Timeout(self.reason, stats)
         raise ValueError(f"cannot reconstruct outcome of kind {self.kind!r}")
 
     @staticmethod
@@ -200,13 +225,11 @@ class CacheRecord:
     ) -> "CacheRecord":
         """Build a record from a decided outcome.
 
-        Raises ``ValueError`` for timeouts — budget artifacts are not
-        cacheable results.
+        Raises ``ValueError`` for wall-clock timeouts — budget artifacts
+        are not cacheable results (deterministic depth-cap timeouts are,
+        see :func:`cacheable`).
         """
-        if isinstance(outcome, Timeout) or outcome.kind not in (
-            "verified",
-            "falsified",
-        ):
+        if not cacheable(outcome):
             raise ValueError(f"cannot cache outcome of kind {outcome.kind!r}")
         stats = {
             "pgd_calls": outcome.stats.pgd_calls,
@@ -230,6 +253,7 @@ class CacheRecord:
             label=label,
             metadata=dict(metadata or {}),
             created_unix=time.time(),
+            reason=getattr(outcome, "reason", ""),
         )
 
 

@@ -27,6 +27,20 @@ up to the §4 BLAS round-off caveat (fused batches have different operand
 shapes) — pinned exact on the stock numpy build by
 ``tests/sched/test_scheduler.py``.
 
+**Execution layer.**  Every kernel call a round produces — one fused PGD
+call per (network, PGD-config) group, one fused Analyze call per
+(network, domain) group — is independent of its sibling groups: different
+groups share no arrays (operands are built on the scheduler thread before
+submission, results are consumed in deterministic group order after).
+The scheduler therefore submits each round's groups through a
+:class:`~repro.exec.KernelExecutor`; with a
+:class:`~repro.exec.PooledExecutor` they run on different cores, and the
+reproducibility contract survives untouched because group composition and
+within-group row order never change — only *which core* runs a group.
+The ``sequential`` engine pools at the job level instead: each solo
+``BatchedVerifier`` run is self-contained, so whole jobs ride the same
+executor.
+
 Decided jobs are recorded in an optional persistent
 :class:`~repro.sched.cache.ResultCache`; a later run with the same key
 serves the recorded outcome without spawning any PGD or Analyze work.
@@ -56,8 +70,9 @@ from repro.core.verifier import (
     refine_unverified,
     root_item,
 )
+from repro.exec import KernelExecutor, make_executor
 from repro.nn.serialize import network_digest
-from repro.sched.cache import CacheRecord, ResultCache, job_key
+from repro.sched.cache import CacheRecord, ResultCache, cacheable, job_key
 from repro.sched.frontier import (
     AdaptiveBatchController,
     FrontierPolicy,
@@ -158,6 +173,8 @@ class ScheduleReport:
     cache_errors: int = 0
     frontier: str = ""
     engine: str = ""
+    executor: str = ""
+    workers: int = 1
     final_batch_target: int = 0
 
     def outcome_counts(self) -> dict[str, int]:
@@ -197,6 +214,12 @@ class Scheduler:
             upward from the largest job ``batch_size``.
         engine: ``"batched"`` (fused cross-property sweeps) or
             ``"sequential"`` (solo ``BatchedVerifier`` per job).
+        workers: cores for independent kernel groups (batched engine) or
+            whole jobs (sequential engine); ``1`` runs everything inline
+            on a :class:`~repro.exec.SerialExecutor`.
+        executor: a ready :class:`~repro.exec.KernelExecutor` to use
+            instead of building one from ``workers`` (the caller keeps
+            ownership of its lifecycle).
     """
 
     def __init__(
@@ -206,11 +229,15 @@ class Scheduler:
         cache: ResultCache | None = None,
         controller: AdaptiveBatchController | None = None,
         engine: str = "batched",
+        workers: int = 1,
+        executor: KernelExecutor | None = None,
     ) -> None:
         if engine not in SCHED_ENGINES:
             raise ValueError(
                 f"unknown engine {engine!r}; choose from {SCHED_ENGINES}"
             )
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         if isinstance(jobs, JobQueue):
             self.queue = jobs
         else:
@@ -219,6 +246,8 @@ class Scheduler:
         self.cache = cache
         self.controller = controller
         self.engine = engine
+        self.workers = workers
+        self.executor = executor
         self._digests: dict[int, str] = {}
 
     def submit(self, job: VerificationJob) -> int:
@@ -247,7 +276,7 @@ class Scheduler:
     def _record(
         self, report: ScheduleReport, job: VerificationJob, outcome
     ) -> None:
-        if self.cache is None or outcome.kind not in ("verified", "falsified"):
+        if self.cache is None or not cacheable(outcome):
             return
         record = CacheRecord.from_outcome(
             outcome,
@@ -272,10 +301,13 @@ class Scheduler:
         if not jobs:
             raise ValueError("no jobs submitted")
         watch = Stopwatch().start()
+        executor, owned = make_executor(self.executor, self.workers)
         report = ScheduleReport(
             results=[None] * len(jobs),
             frontier=self.policy.name,
             engine=self.engine,
+            executor=executor.name,
+            workers=executor.workers,
         )
 
         pending: list[tuple[int, VerificationJob]] = []
@@ -289,25 +321,42 @@ class Scheduler:
             else:
                 pending.append((index, job))
 
-        if self.engine == "sequential":
-            self._run_sequential(report, pending)
-        else:
-            self._run_batched(report, pending)
+        try:
+            if self.engine == "sequential":
+                self._run_sequential(report, pending, executor)
+            else:
+                self._run_batched(report, pending, executor)
+        finally:
+            if owned:
+                executor.shutdown(cancel_pending=True)
 
         report.wall_clock = watch.stop()
         return report
 
     def _run_sequential(
-        self, report: ScheduleReport, pending: list[tuple[int, VerificationJob]]
+        self,
+        report: ScheduleReport,
+        pending: list[tuple[int, VerificationJob]],
+        executor: KernelExecutor,
     ) -> None:
-        for index, job in pending:
+        # A solo BatchedVerifier run is entirely self-contained (path-keyed
+        # randomness, private frontier, private stats), so whole jobs are
+        # the executor's unit here: submit all, gather in submission order.
+        def solo(job: VerificationJob):
             watch = Stopwatch().start()
             outcome = BatchedVerifier(
                 job.network, job.policy, job.config, rng=job.seed
             ).verify(job.prop)
+            return outcome, watch.stop()
+
+        futures = [
+            (index, job, executor.submit(solo, job)) for index, job in pending
+        ]
+        for index, job, future in futures:
+            outcome, elapsed = future.result()
             self._record(report, job, outcome)
             report.results[index] = JobResult(
-                index, job, outcome, cached=False, elapsed=watch.stop()
+                index, job, outcome, cached=False, elapsed=elapsed
             )
             # Same unit as the batched engine's accounting: one swept item
             # per frontier item minimized (every popped item gets exactly
@@ -319,7 +368,10 @@ class Scheduler:
     # ------------------------------------------------------------------
 
     def _run_batched(
-        self, report: ScheduleReport, pending: list[tuple[int, VerificationJob]]
+        self,
+        report: ScheduleReport,
+        pending: list[tuple[int, VerificationJob]],
+        executor: KernelExecutor,
     ) -> None:
         states = [_JobState(index, job) for index, job in pending]
         controller = self.controller
@@ -356,7 +408,7 @@ class Scheduler:
             round_no += 1
 
             started = time.perf_counter()
-            self._fused_sweep(plan)
+            self._fused_sweep(plan, executor)
             controller.record(total, time.perf_counter() - started)
             report.sweeps += 1
             report.swept_items += total
@@ -391,12 +443,19 @@ class Scheduler:
         return max(deadlines, key=lambda deadline: deadline.remaining)
 
     def _fused_sweep(
-        self, plan: list[tuple[_JobState, list[WorkItem]]]
+        self,
+        plan: list[tuple[_JobState, list[WorkItem]]],
+        executor: KernelExecutor,
     ) -> None:
         """One scheduler round: fused Minimize, fused Analyze, refine.
 
         Mirrors :func:`~repro.core.verifier.batched_sweep` chunk by chunk;
-        only the kernel-call grouping spans jobs.
+        only the kernel-call grouping spans jobs.  Each stage's groups are
+        pairwise independent — their operands (regions, labels, rngs) are
+        built here on the scheduler thread before submission, and their
+        results are consumed in submission order after — so the executor
+        may run them on any cores without touching the reproducibility
+        contract (only per-job deadline checks see the wall clock move).
         """
         # --- 1. Fused Minimize per (network, PGD-config) group -----------
         pgd_groups: dict[tuple, list[tuple[_JobState, list[WorkItem]]]] = {}
@@ -404,8 +463,7 @@ class Scheduler:
             key = (id(state.job.network), state.pgd_config)
             pgd_groups.setdefault(key, []).append((state, chunk))
 
-        # Chunks that survive Minimize: (state, chunk, seeds, x*, f*).
-        survivors: list[tuple] = []
+        pgd_submissions: list[tuple] = []
         for group in pgd_groups.values():
             network = group[0][0].job.network
             items = [item for _, chunk in group for item in chunk]
@@ -413,13 +471,20 @@ class Scheduler:
                 state.job.prop.label for state, chunk in group for _ in chunk
             ]
             seeds = [item.derive_seeds() for item in items]
-            x_stars, f_stars = pgd_minimize_batch(
+            future = executor.submit(
+                pgd_minimize_batch,
                 MultiLabelMarginObjective(network, labels),
                 [item.region for item in items],
                 group[0][0].pgd_config,
                 [pgd_rng for pgd_rng, _, _ in seeds],
                 self._group_deadline([state for state, _ in group]),
             )
+            pgd_submissions.append((group, seeds, future))
+
+        # Chunks that survive Minimize: (state, chunk, seeds, x*, f*).
+        survivors: list[tuple] = []
+        for group, seeds, future in pgd_submissions:
+            x_stars, f_stars = future.result()
             offset = 0
             for state, chunk in group:
                 span = slice(offset, offset + len(chunk))
@@ -452,19 +517,25 @@ class Scheduler:
                 key = (id(state.job.network), domain)
                 analyze_groups.setdefault(key, []).append((state, pos, item))
 
+        analyze_submissions: list[tuple] = []
         for (_, domain), entries in analyze_groups.items():
             network = entries[0][0].job.network
             group_states = list(
                 {id(state): state for state, _, _ in entries}.values()
             )
+            future = executor.submit(
+                analyze_batch_multi,
+                network,
+                [item.region for _, _, item in entries],
+                [state.job.prop.label for state, _, _ in entries],
+                domain,
+                self._group_deadline(group_states),
+            )
+            analyze_submissions.append((entries, group_states, future))
+
+        for entries, group_states, future in analyze_submissions:
             try:
-                analyses = analyze_batch_multi(
-                    network,
-                    [item.region for _, _, item in entries],
-                    [state.job.prop.label for state, _, _ in entries],
-                    domain,
-                    self._group_deadline(group_states),
-                )
+                analyses = future.result()
             except TimeoutError:
                 # The group deadline is the latest of its members, so every
                 # member is over budget.  They must retire *now*: their

@@ -76,3 +76,65 @@ class TestLikelihood:
         good = GaussianProcess(RBF(lengthscale=0.25), noise=1e-4).fit(x, y)
         bad = GaussianProcess(RBF(lengthscale=100.0), noise=1e-4).fit(x, y)
         assert good.log_marginal_likelihood() > bad.log_marginal_likelihood()
+
+
+class TestIncrementalExtension:
+    def _data(self, n=14, d=4, seed=3):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(0.0, 1.0, (n, d))
+        y = np.sin(x.sum(axis=1)) + 0.1 * rng.normal(size=n)
+        return x, y
+
+    def test_extend_matches_full_fit(self):
+        x, y = self._data()
+        full = GaussianProcess(RBF(0.3), noise=1e-4).fit(x, y)
+        grown = GaussianProcess(RBF(0.3), noise=1e-4).fit(x[:9], y[:9])
+        grown.extend(x[9:], y)
+        query = np.random.default_rng(1).uniform(0.0, 1.0, (25, x.shape[1]))
+        for got, want in zip(grown.posterior(query), full.posterior(query)):
+            np.testing.assert_allclose(got, want, atol=1e-10)
+        np.testing.assert_allclose(
+            grown.log_marginal_likelihood(),
+            full.log_marginal_likelihood(),
+            atol=1e-10,
+        )
+
+    def test_extend_one_point_at_a_time(self):
+        x, y = self._data(n=8)
+        gp = GaussianProcess(RBF(0.3), noise=1e-4).fit(x[:3], y[:3])
+        for i in range(3, 8):
+            gp.extend(x[i : i + 1], y[: i + 1])
+        full = GaussianProcess(RBF(0.3), noise=1e-4).fit(x, y)
+        query = x + 0.05
+        for got, want in zip(gp.posterior(query), full.posterior(query)):
+            np.testing.assert_allclose(got, want, atol=1e-10)
+
+    def test_extend_on_unfit_gp_is_fit(self):
+        x, y = self._data(n=5)
+        gp = GaussianProcess(RBF(0.3), noise=1e-4).extend(x, y)
+        assert gp.is_fit
+
+    def test_extend_validates_target_count(self):
+        x, y = self._data(n=6)
+        gp = GaussianProcess(RBF(0.3)).fit(x[:4], y[:4])
+        with pytest.raises(ValueError, match="targets"):
+            gp.extend(x[4:], y[:5])
+
+    def test_extend_with_duplicate_inputs_falls_back_gracefully(self):
+        # A repeated input makes the Schur complement nearly singular; the
+        # extension must still produce a usable (refit) model.
+        x, y = self._data(n=6)
+        gp = GaussianProcess(RBF(0.3), noise=1e-6).fit(x, y)
+        gp.extend(np.vstack([x[0], x[0], x[0]]), np.concatenate([y, y[:3]]))
+        mean, var = gp.posterior(x)
+        assert np.all(np.isfinite(mean)) and np.all(var >= 0.0)
+
+    def test_copy_is_independent(self):
+        x, y = self._data(n=7)
+        gp = GaussianProcess(RBF(0.3), noise=1e-4).fit(x[:5], y[:5])
+        clone = gp.copy()
+        clone.extend(x[5:], y)
+        query = x[:3] + 0.02
+        fresh = GaussianProcess(RBF(0.3), noise=1e-4).fit(x[:5], y[:5])
+        for got, want in zip(gp.posterior(query), fresh.posterior(query)):
+            np.testing.assert_allclose(got, want)

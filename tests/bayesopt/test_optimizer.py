@@ -90,3 +90,90 @@ class TestMaximize:
         opt = BayesianOptimizer(bounds1d(), rng=0)
         with pytest.raises(ValueError):
             opt.maximize(lambda x: 0.0, n_iter=0)
+
+
+def _drive(opt, func, n):
+    for _ in range(n):
+        x = opt.suggest()
+        opt.observe(x, func(x))
+
+
+class TestIncrementalModel:
+    """Satellite contract: the cached-Cholesky model path must suggest
+    exactly what the refit-from-scratch path suggests."""
+
+    def test_suggestions_pin_against_refit_path(self):
+        func = lambda x: float(-(x[0] ** 2))  # noqa: E731
+        incremental = BayesianOptimizer(
+            bounds1d(), n_initial=2, candidates=64, rng=0, incremental=True
+        )
+        refit = BayesianOptimizer(
+            bounds1d(), n_initial=2, candidates=64, rng=0, incremental=False
+        )
+        for _ in range(8):
+            a, b = incremental.suggest(), refit.suggest()
+            # Posteriors agree to ~1e-15 (pinned in test_gp); L-BFGS-B
+            # refinement of the acquisition amplifies that slightly.
+            np.testing.assert_allclose(a, b, atol=1e-5)
+            incremental.observe(a, func(a))
+            refit.observe(a, func(a))  # identical histories by construction
+
+    def test_incremental_is_default(self):
+        assert BayesianOptimizer(bounds1d(), rng=0).incremental
+
+    def test_cache_survives_interleaved_observe(self):
+        opt = BayesianOptimizer(bounds1d(), n_initial=2, candidates=32, rng=3)
+        _drive(opt, lambda x: float(np.sin(x[0])), 3)
+        # Two observations between suggests: the cache grows by two rows.
+        opt.observe(np.array([0.5]), 0.25)
+        opt.observe(np.array([-0.5]), -0.25)
+        x = opt.suggest()
+        assert bounds1d().contains(x)
+        assert opt._gp_count == len(opt.history.observations)
+
+
+class TestSuggestBatch:
+    def test_rejects_bad_q(self):
+        with pytest.raises(ValueError, match="q"):
+            BayesianOptimizer(bounds1d(), rng=0).suggest_batch(0)
+
+    def test_q1_equals_suggest_exactly(self):
+        func = lambda x: float(-(x[0] - 0.5) ** 2)  # noqa: E731
+        batched = BayesianOptimizer(
+            bounds1d(), n_initial=2, candidates=64, rng=5
+        )
+        sequential = BayesianOptimizer(
+            bounds1d(), n_initial=2, candidates=64, rng=5
+        )
+        for _ in range(6):
+            (a,), b = batched.suggest_batch(1), sequential.suggest()
+            np.testing.assert_array_equal(a, b)
+            batched.observe(a, func(a))
+            sequential.observe(b, func(b))
+
+    def test_batch_in_random_phase_samples_independently(self):
+        opt = BayesianOptimizer(bounds1d(), n_initial=5, rng=0)
+        batch = opt.suggest_batch(3)
+        assert len(batch) == 3
+        assert all(bounds1d().contains(x) for x in batch)
+        assert not np.allclose(batch[0], batch[1])
+
+    def test_model_phase_batch_spreads_and_stays_in_bounds(self):
+        opt = BayesianOptimizer(bounds1d(), n_initial=2, candidates=64, rng=1)
+        _drive(opt, lambda x: float(-(x[0] ** 2)), 4)
+        batch = opt.suggest_batch(3)
+        assert len(batch) == 3
+        assert all(bounds1d().contains(x) for x in batch)
+        # The constant liar marks picked points as known-bad, so the batch
+        # must not collapse onto one spot.
+        spread = max(abs(float(a[0] - b[0]))
+                     for a in batch for b in batch) 
+        assert spread > 1e-4
+
+    def test_lies_never_enter_history_or_cache(self):
+        opt = BayesianOptimizer(bounds1d(), n_initial=2, candidates=64, rng=2)
+        _drive(opt, lambda x: float(-(x[0] ** 2)), 3)
+        before = len(opt.history.observations)
+        opt.suggest_batch(4)
+        assert len(opt.history.observations) == before
+        assert opt._gp_count == before

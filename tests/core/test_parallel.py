@@ -83,3 +83,59 @@ class TestParallelVerifier:
             net, prop, config=VerifierConfig(timeout=10), workers=1, rng=0
         )
         assert outcome.kind == "verified"
+
+    def test_accepts_shared_executor(self):
+        from repro.exec import PooledExecutor, SerialExecutor
+
+        net = xor_network()
+        prop = RobustnessProperty(
+            Box(np.array([0.3, 0.3]), np.array([0.7, 0.7])), 1
+        )
+        for executor in (SerialExecutor(), PooledExecutor(2)):
+            with executor:
+                outcome = ParallelVerifier(
+                    net, config=VerifierConfig(timeout=20),
+                    rng=0, executor=executor,
+                ).verify(prop)
+            assert outcome.kind == "verified"
+
+
+class TestFalsificationLatency:
+    def test_terminal_outcome_cancels_the_backlog(self):
+        """Once a terminal outcome lands, every not-yet-started chunk must
+        be cancelled instead of being scheduled just to bail out.  The
+        cancel mechanics themselves are pinned deterministically in
+        tests/exec; here we pin that the verifier *routes* the backlog
+        through cancel_pending and still reports the right answer."""
+        from repro.exec import PooledExecutor
+
+        class CountingExecutor(PooledExecutor):
+            def __init__(self):
+                super().__init__(workers=2)
+                self.cancel_calls = 0
+                self.cancelled = 0
+
+            def cancel_pending(self, futures):
+                self.cancel_calls += 1
+                remaining = super().cancel_pending(futures)
+                self.cancelled += len(futures) - len(remaining)
+                return remaining
+
+        # A wide falsifiable region with a tiny batch size keeps the
+        # frontier fanning out while workers drain it, so a backlog is
+        # likely (not guaranteed — timing) when the counterexample lands.
+        net = example_2_2_network()
+        prop = RobustnessProperty(Box(np.array([-1.0]), np.array([2.0])), 1)
+        executor = CountingExecutor()
+        with executor:
+            outcome = ParallelVerifier(
+                net,
+                config=VerifierConfig(timeout=30, batch_size=1),
+                workers=2,
+                rng=0,
+                executor=executor,
+            ).verify(prop)
+        assert outcome.kind == "falsified"
+        assert prop.region.contains(outcome.counterexample)
+        # The terminal outcome must have routed through the cancel path.
+        assert executor.cancel_calls >= 1

@@ -1,0 +1,136 @@
+"""Executor-equivalence matrix: pooled execution is a pure placement knob.
+
+The tentpole contract of the execution layer (DESIGN.md §8): submitting a
+scheduler round's independent fused groups to a thread pool changes *which
+core* runs a group, never what it computes — group composition, within-
+group row order, and result-consumption order are all fixed on the
+scheduler thread.  These tests pin bitwise-identical per-job outcomes,
+witnesses, and statistics for whole manifests under ``SerialExecutor`` vs
+``PooledExecutor`` with workers ∈ {1, 2, 4}, across every frontier policy
+and both scheduler engines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import VerifierConfig
+from repro.core.property import RobustnessProperty, linf_property
+from repro.exec import PooledExecutor, SerialExecutor
+from repro.nn.builders import mlp, xor_network
+from repro.sched import Scheduler, VerificationJob
+from repro.utils.boxes import Box
+
+POLICIES = ("fifo", "dfs", "priority")
+WORKER_COUNTS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def manifest():
+    """A multi-network manifest: three MLPs plus XOR, mixed outcomes.
+
+    Multiple networks matter here — fused kernel groups are per network,
+    so this is the shape where the pool actually receives several
+    independent groups per round.
+    """
+    config = VerifierConfig(timeout=30.0, batch_size=8)
+    rng = np.random.default_rng(7)
+    jobs = []
+    for net_seed in range(3):
+        net = mlp(4, [10], 3, rng=net_seed)
+        for i in range(2):
+            center = rng.uniform(0.25, 0.75, 4)
+            prop = linf_property(net, center, 0.2, name=f"n{net_seed}-p{i}")
+            jobs.append(
+                VerificationJob(
+                    net, prop, config=config, seed=i, name=prop.name
+                )
+            )
+    xor = xor_network()
+    jobs.append(
+        VerificationJob(
+            xor,
+            RobustnessProperty(
+                Box(np.array([0.3, 0.3]), np.array([0.7, 0.7])), 1
+            ),
+            config=config,
+            seed=0,
+            name="xor-verified",
+        )
+    )
+    jobs.append(
+        VerificationJob(
+            xor,
+            RobustnessProperty(Box(np.zeros(2), np.ones(2)), 0),
+            config=config,
+            seed=0,
+            name="xor-falsified",
+        )
+    )
+    return jobs
+
+
+@pytest.fixture(scope="module")
+def serial_reports(manifest):
+    """Reference runs on the SerialExecutor, one per frontier policy."""
+    return {
+        policy: Scheduler(
+            manifest, frontier=policy, executor=SerialExecutor()
+        ).run()
+        for policy in POLICIES
+    }
+
+
+def assert_reports_bitwise_equal(reference, candidate):
+    assert len(reference.results) == len(candidate.results)
+    for ref, cand in zip(reference.results, candidate.results):
+        assert cand.outcome.kind == ref.outcome.kind, ref.job.name
+        if ref.outcome.kind == "falsified":
+            np.testing.assert_array_equal(
+                cand.outcome.counterexample, ref.outcome.counterexample
+            )
+            assert cand.outcome.margin == ref.outcome.margin
+        ref_stats, cand_stats = ref.outcome.stats, cand.outcome.stats
+        assert cand_stats.pgd_calls == ref_stats.pgd_calls, ref.job.name
+        assert cand_stats.analyze_calls == ref_stats.analyze_calls
+        assert cand_stats.splits == ref_stats.splits
+        assert cand_stats.max_depth_reached == ref_stats.max_depth_reached
+        assert cand_stats.domains_used == ref_stats.domains_used
+
+
+class TestBatchedEngineMatrix:
+    @pytest.mark.parametrize("frontier", POLICIES)
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_pooled_matches_serial(
+        self, frontier, workers, manifest, serial_reports
+    ):
+        with PooledExecutor(workers) as executor:
+            pooled = Scheduler(
+                manifest, frontier=frontier, executor=executor
+            ).run()
+        assert pooled.executor == "pooled"
+        assert pooled.workers == workers
+        assert_reports_bitwise_equal(serial_reports[frontier], pooled)
+
+    def test_workers_argument_builds_the_pool(self, manifest, serial_reports):
+        report = Scheduler(manifest, workers=2).run()
+        assert report.executor == "pooled" and report.workers == 2
+        assert_reports_bitwise_equal(serial_reports["dfs"], report)
+
+
+class TestSequentialEngineMatrix:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_pooled_jobs_match_serial(self, workers, manifest):
+        serial = Scheduler(
+            manifest, engine="sequential", executor=SerialExecutor()
+        ).run()
+        with PooledExecutor(workers) as executor:
+            pooled = Scheduler(
+                manifest, engine="sequential", executor=executor
+            ).run()
+        assert_reports_bitwise_equal(serial, pooled)
+
+
+class TestValidation:
+    def test_rejects_bad_worker_count(self, manifest):
+        with pytest.raises(ValueError, match="workers"):
+            Scheduler(manifest, workers=0)

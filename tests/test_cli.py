@@ -390,3 +390,113 @@ class TestRadiusDuplicateQueries:
         assert code == 0  # degraded to a fresh search, no crash
         assert "cached records disagree" in captured.err
         assert "certified radius" in captured.out
+
+
+class TestTrainCommand:
+    @pytest.fixture()
+    def suite(self, xor_path, tmp_path):
+        path = tmp_path / "suite.json"
+        path.write_text(json.dumps({
+            "defaults": {"network": xor_path, "epsilon": 0.08},
+            "jobs": [
+                {"center": "0.5,0.8", "name": "a"},
+                {"center": "0.8,0.5", "name": "b"},
+            ],
+        }))
+        return str(path)
+
+    def test_trains_and_writes_artifact(self, suite, tmp_path, capsys):
+        out = tmp_path / "theta.json"
+        code = main([
+            "train", suite, "--iterations", "2", "--candidates", "2",
+            "--workers", "2", "--max-depth", "4", "--n-initial", "2",
+            "--out", str(out),
+        ])
+        stdout = capsys.readouterr().out
+        assert code == 0
+        assert "policy artifact written" in stdout
+        payload = json.loads(out.read_text())
+        assert len(payload["theta"]) == 25
+        # Default-θ seed + 2 evaluations.
+        assert len(payload["observations"]) == 3
+
+    def test_cached_rerun_spawns_no_work(self, suite, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        argv = [
+            "train", suite, "--iterations", "2", "--max-depth", "4",
+            "--n-initial", "2", "--cache", str(cache),
+            "--out", str(tmp_path / "theta.json"),
+        ]
+        main(argv)
+        capsys.readouterr()
+        code = main(argv)
+        stdout = capsys.readouterr().out
+        assert code == 0
+        assert "(0 fresh kernel calls" in stdout
+
+    def test_artifact_deploys_via_policy_file(
+        self, suite, xor_path, tmp_path, capsys
+    ):
+        out = tmp_path / "theta.json"
+        main([
+            "train", suite, "--iterations", "1", "--max-depth", "4",
+            "--n-initial", "1", "--out", str(out),
+        ])
+        capsys.readouterr()
+        code = main([
+            "verify", xor_path, "--center", "0.5,0.8", "--epsilon", "0.02",
+            "--policy-file", str(out),
+        ])
+        assert code == 0
+        assert "verified" in capsys.readouterr().out
+
+    def test_policy_file_conflicts_with_pinned_domain(
+        self, xor_path, tmp_path
+    ):
+        artifact = tmp_path / "theta.json"
+        artifact.write_text(json.dumps({"theta": [0.0] * 25}))
+        with pytest.raises(SystemExit, match="policy-file"):
+            main([
+                "verify", xor_path, "--center", "0.5,0.5",
+                "--domain", "interval", "--policy-file", str(artifact),
+            ])
+
+    def test_policy_file_still_rejects_disjuncts(self, xor_path, tmp_path):
+        # --disjuncts is meaningless under a learned policy whether the θ
+        # comes from the shipped artifact or a file; it must not be
+        # silently dropped.
+        artifact = tmp_path / "theta.json"
+        artifact.write_text(json.dumps({"theta": [0.0] * 25}))
+        with pytest.raises(SystemExit, match="disjuncts"):
+            main([
+                "verify", xor_path, "--center", "0.5,0.5",
+                "--disjuncts", "4", "--policy-file", str(artifact),
+            ])
+
+    def test_time_cost_model_refuses_cache(self, suite, tmp_path):
+        with pytest.raises(SystemExit, match="work"):
+            main([
+                "train", suite, "--iterations", "1", "--cost-model", "time",
+                "--cache", str(tmp_path / "cache"),
+                "--out", str(tmp_path / "theta.json"),
+            ])
+
+
+class TestScheduleWorkers:
+    def test_pooled_schedule_matches_serial(self, xor_path, tmp_path, capsys):
+        manifest = tmp_path / "manifest.json"
+        manifest.write_text(json.dumps({
+            "defaults": {"network": xor_path, "epsilon": 0.04,
+                         "timeout": 30.0},
+            "jobs": [
+                {"center": "0.5,0.88", "name": "hi-y"},
+                {"center": "0.88,0.5", "name": "hi-x"},
+            ],
+        }))
+        code = main(["schedule", str(manifest), "--workers", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pooled executor x2" in out
+        code = main(["schedule", str(manifest)])
+        assert "serial executor x1" in capsys.readouterr().out
+        assert code == 0
