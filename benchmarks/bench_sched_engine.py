@@ -21,12 +21,15 @@ kernel groups are per network, so a mixed-network manifest fuses less —
 each network's slice of it behaves like this bench).
 """
 
+import os
+
 import numpy as np
 from conftest import load_problems, one_shot
 
-from repro.abstract.domains import DEEPPOLY
+from repro.abstract.domains import DEEPPOLY, bounded_zonotopes
 from repro.core.config import VerifierConfig
 from repro.core.policy import BisectionPolicy
+from repro.exec import ProcessExecutor
 from repro.sched import ResultCache, Scheduler, VerificationJob
 
 NETWORKS = ("mnist_3x100",)
@@ -141,8 +144,6 @@ def test_pooled_executor_contract(benchmark):
     (``scripts/sched_baseline.py``), which also records the core counts
     that make the ratios comparable.
     """
-    import os
-
     config = VerifierConfig(timeout=None, max_depth=8, batch_size=16)
     networks, problems = load_problems(
         ("mnist_3x100", "mnist_6x100", "cifar_3x100"), count=8
@@ -166,8 +167,30 @@ def test_pooled_executor_contract(benchmark):
 
     serial, pooled = one_shot(benchmark, run)
     assert serial.executor == "serial" and pooled.executor == "pooled"
+    _assert_outcomes_bitwise_equal(serial, pooled)
 
-    for a, b in zip(serial.results, pooled.results):
+    cores = _granted_cores()
+    ratio = serial.wall_clock / max(pooled.wall_clock, 1e-9)
+    print()
+    print(
+        f"pooled x4 vs serial: {serial.wall_clock:.2f}s -> "
+        f"{pooled.wall_clock:.2f}s ({ratio:.2f}x) on {cores} cores "
+        f"[executors: {serial.executor} -> {pooled.executor}]"
+    )
+    if os.environ.get("REPRO_BENCH_STRICT", "") == "1" and cores >= 4:
+        assert ratio >= 1.3
+
+
+def _granted_cores() -> int:
+    """Cores actually granted to this run (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def _assert_outcomes_bitwise_equal(serial, candidate):
+    for a, b in zip(serial.results, candidate.results):
         assert a.outcome.kind == b.outcome.kind
         if a.outcome.kind == "falsified":
             np.testing.assert_array_equal(
@@ -177,15 +200,72 @@ def test_pooled_executor_contract(benchmark):
         assert a.outcome.stats.analyze_calls == b.outcome.stats.analyze_calls
         assert a.outcome.stats.splits == b.outcome.stats.splits
 
-    try:
-        cores = len(os.sched_getaffinity(0))
-    except (AttributeError, OSError):
-        cores = os.cpu_count() or 1
-    ratio = serial.wall_clock / max(pooled.wall_clock, 1e-9)
+
+def test_process_executor_contract(benchmark):
+    """Process-pool fused-group execution on the powerset-heavy suite:
+    bitwise-equal always, >= 1.3x over serial at 4 workers when the host
+    grants >= 4 cores.
+
+    This is the workload the process pool exists for.  The zonotope
+    powerset split+join contraction is Python-loop-heavy, so thread
+    pools measured ~1.0x here (the GIL serializes the loop) while
+    GEMM-shaped DeepPoly sweeps scaled fine.  Spawn-based workers
+    sidestep the GIL; the floor asserts they actually do whenever the
+    physics allows (>= 4 granted cores), not only under
+    ``REPRO_BENCH_STRICT`` — a regression that serializes the process
+    path would otherwise hide behind the thread measurements.  Startup
+    costs stay out of the measurement: the pool is spawned and warmed
+    before the clock starts, matching how the scheduler amortizes one
+    pool across a long manifest.
+    """
+    config = VerifierConfig(timeout=None, max_depth=6, batch_size=16)
+    networks, problems = load_problems(
+        ("mnist_3x100", "mnist_6x100", "cifar_3x100", "cifar_6x100"),
+        count=4,
+    )
+    policy = BisectionPolicy(domain=bounded_zonotopes(2))
+    jobs = [
+        VerificationJob(
+            networks[p.network_name], p.prop, config=config,
+            policy=policy, seed=0, name=p.prop.name,
+        )
+        for p in problems
+    ]
+
+    # One warm-up job per network: jobs are grouped per network, so a
+    # head slice would warm only the first network's deserialization and
+    # op lowering, leaving the rest inside the measured region.
+    warm_jobs = []
+    seen_networks: set[int] = set()
+    for job in jobs:
+        if id(job.network) not in seen_networks:
+            seen_networks.add(id(job.network))
+            warm_jobs.append(job)
+    assert len(warm_jobs) == 4
+
+    with ProcessExecutor(4) as executor:
+        # Warm the pool (spawn + numpy import + per-worker network
+        # deserialization) and the lazy per-network op lowering.
+        Scheduler(warm_jobs, executor=executor).run()
+        Scheduler(warm_jobs, workers=1).run()
+
+        def run():
+            serial = Scheduler(jobs, workers=1).run()
+            process = Scheduler(jobs, executor=executor).run()
+            return serial, process
+
+        serial, process = one_shot(benchmark, run)
+
+    assert serial.executor == "serial" and process.executor == "process"
+    _assert_outcomes_bitwise_equal(serial, process)
+
+    cores = _granted_cores()
+    ratio = serial.wall_clock / max(process.wall_clock, 1e-9)
     print()
     print(
-        f"pooled x4 vs serial: {serial.wall_clock:.2f}s -> "
-        f"{pooled.wall_clock:.2f}s ({ratio:.2f}x) on {cores} cores"
+        f"process x4 vs serial (powerset suite): {serial.wall_clock:.2f}s "
+        f"-> {process.wall_clock:.2f}s ({ratio:.2f}x) on {cores} cores "
+        f"[executors: {serial.executor} -> {process.executor}]"
     )
-    if os.environ.get("REPRO_BENCH_STRICT", "") == "1" and cores >= 4:
+    if cores >= 4:
         assert ratio >= 1.3

@@ -15,14 +15,17 @@ trajectory stays comparable across machines and PRs.
 
 Also records the cache round-trip (a second scheduler run against a warm
 persistent cache must serve every cacheable job with zero fused sweeps)
-and the **worker-scaling suite**: the multi-network manifest through
-``PooledExecutor`` runs at workers ∈ {1, 2, 4} against the
-``SerialExecutor`` baseline.  Every row carries the host's core count —
-thread-pool speedups are physically bounded by available cores, so a
-ratio of ~1.0 on a 1-core container and ~2x on a 4-core runner are the
-*same* result; record the denominator or the trajectory is gibberish
-across machines.  Outcomes are asserted bitwise-identical to serial at
-every width.
+and the **worker-scaling suites**: the multi-network manifest through
+``PooledExecutor`` *and* ``ProcessExecutor`` runs at workers ∈ {1, 2, 4}
+against the ``SerialExecutor`` baseline, plus the powerset-heavy (Z, 2)
+suite — whose Python-loop split+join contraction the GIL serializes
+under threads (~1.0x) and the spawn-based process pool exists for.
+Every row carries its executor kind and the host's core count —
+pool speedups are physically bounded by available cores, so a ratio of
+~1.0 on a 1-core container and ~2x on a 4-core runner are the *same*
+result; record the denominators or the trajectory is gibberish across
+machines.  Outcomes are asserted bitwise-identical to serial at every
+width for both pool kinds.
 
 Like ``perf_baseline.py``, runs append to a trajectory list in the output
 file, accumulating the perf history across PRs.
@@ -48,9 +51,11 @@ from repro.abstract.domains import DEEPPOLY, bounded_zonotopes
 from repro.bench.suites import SuiteScale, build_network, build_problems
 from repro.core.config import VerifierConfig
 from repro.core.policy import BisectionPolicy
-from repro.exec import PooledExecutor
+from repro.exec import PooledExecutor, ProcessExecutor
 from repro.learn.pretrained import pretrained_policy
 from repro.sched import ResultCache, Scheduler, VerificationJob
+
+EXECUTOR_POOLS = {"pooled": PooledExecutor, "process": ProcessExecutor}
 
 MLP_NETWORKS = (
     "mnist_3x100",
@@ -90,6 +95,36 @@ def summarize(report):
         "executor": report.executor,
         "workers": report.workers,
     }
+
+
+def run_pool_scaling(jobs, serial, widths, label):
+    """One suite through both pool kinds at the given worker widths.
+
+    Returns ``{kind: {workers_N: summary}}``; every summary row carries
+    the executor kind, the bitwise-agreement flag against ``serial``,
+    and the wall-clock ratio.  A small warm-up run per executor keeps
+    one-time pool costs (process spawn, per-worker numpy import and
+    network deserialization) out of the measured ratio — the scheduler
+    amortizes one pool across a long manifest.
+    """
+    scaling = {kind: {} for kind in EXECUTOR_POOLS}
+    for kind, pool_cls in EXECUTOR_POOLS.items():
+        for workers in widths:
+            print(f"[{label}] {kind} x{workers} ...", flush=True)
+            with pool_cls(workers) as executor:
+                Scheduler(jobs[:2], executor=executor).run()
+                run = Scheduler(jobs, executor=executor).run()
+            summary = summarize(run)
+            summary["outcomes_agree"] = outcomes_agree(serial, run)
+            summary["wall_clock_ratio_vs_serial"] = round(
+                serial.wall_clock / max(run.wall_clock, 1e-9), 2
+            )
+            scaling[kind][f"workers_{workers}"] = summary
+            print(
+                f"  x{workers}: {summary['wall_clock_ratio_vs_serial']}x vs "
+                f"serial, agree={summary['outcomes_agree']}", flush=True,
+            )
+    return scaling
 
 
 def outcomes_agree(a, b) -> bool:
@@ -198,36 +233,60 @@ def main(argv=None):
 
     # Worker scaling: the multi-network deeppoly manifest (one fused PGD
     # and one fused Analyze group per network each round — the shape with
-    # genuinely independent kernel groups) through the pooled executor.
-    # The workload is the deterministic depth-capped one, so pooled runs
-    # must agree with serial bitwise at every width.
+    # genuinely independent kernel groups) through both pool kinds.
+    # The workload is the deterministic depth-capped one, so pooled and
+    # process runs must agree with serial bitwise at every width.  Every
+    # row records its executor kind; together with the host core count
+    # that is what makes ratios comparable across machines.
     jobs = build_jobs(problems, networks, policies["deeppoly_policy"][0], config)
     print("[workers] serial baseline ...", flush=True)
     serial = Scheduler(jobs, workers=1).run()
+    # workers=1 through a real pool measures pure hop overhead (thread
+    # hand-off, or pickling + IPC for processes); run_pool_scaling builds
+    # the executor explicitly since Scheduler(workers=1) would default to
+    # the serial executor.
     scaling = {
         "manifest_networks": len(names),
         "problems": len(jobs),
         "serial": summarize(serial),
-        "pooled": {},
+        **run_pool_scaling(jobs, serial, (1, 2, 4), "workers"),
     }
-    for workers in (1, 2, 4):
-        print(f"[workers] pooled x{workers} ...", flush=True)
-        # workers=1 through a real pool measures pure thread-hop overhead;
-        # build the executor explicitly since Scheduler(workers=1) would
-        # default to the serial executor.
-        with PooledExecutor(workers) as executor:
-            pooled = Scheduler(jobs, executor=executor).run()
-        summary = summarize(pooled)
-        summary["outcomes_agree"] = outcomes_agree(serial, pooled)
-        summary["wall_clock_ratio_vs_serial"] = round(
-            serial.wall_clock / max(pooled.wall_clock, 1e-9), 2
-        )
-        scaling["pooled"][f"workers_{workers}"] = summary
-        print(
-            f"  x{workers}: {summary['wall_clock_ratio_vs_serial']}x vs "
-            f"serial, agree={summary['outcomes_agree']}", flush=True,
-        )
     report["worker_scaling"] = scaling
+
+    # The powerset-heavy worker-scaling suite: the (Z, 2) split+join
+    # contraction is Python-loop-heavy, so threads measured ~1.0x here at
+    # any width — this is the suite the process pool exists for, and the
+    # one bench_sched_engine.py::test_process_executor_contract floors at
+    # >= 1.3x @ 4 workers on >= 4-core hosts.
+    # NOTE: a distinct variable — the cache round-trip below must keep
+    # measuring the deeppoly manifest (`jobs`) for trajectory continuity.
+    # Problems are grouped per network, so slice 4 *per network* (a head
+    # slice of the concatenation would cover only the first networks).
+    powerset_names = names[: min(4, len(names))]
+    by_network: dict[str, list] = {}
+    for problem in problems:
+        by_network.setdefault(problem.network_name, []).append(problem)
+    powerset_problems = [
+        problem
+        for name in powerset_names
+        for problem in by_network[name][:4]
+    ]
+    powerset_jobs = build_jobs(
+        powerset_problems,
+        networks,
+        BisectionPolicy(domain=bounded_zonotopes(2)),
+        learned_config,
+    )
+    print("[powerset workers] serial baseline ...", flush=True)
+    serial = Scheduler(powerset_jobs, workers=1).run()
+    powerset_scaling = {
+        "manifest_networks": len(powerset_names),
+        "problems": len(powerset_jobs),
+        "max_depth": learned_config.max_depth,
+        "serial": summarize(serial),
+        **run_pool_scaling(powerset_jobs, serial, (2, 4), "powerset workers"),
+    }
+    report["powerset_worker_scaling"] = powerset_scaling
 
     # Cache round-trip: the second run must spawn zero fresh work.  On
     # this deterministic workload every job is cacheable (depth-cap
@@ -254,6 +313,12 @@ def main(argv=None):
         "pooled_wall_clock_ratio_workers_4": scaling["pooled"]["workers_4"][
             "wall_clock_ratio_vs_serial"
         ],
+        "process_wall_clock_ratio_workers_4": scaling["process"][
+            "workers_4"
+        ]["wall_clock_ratio_vs_serial"],
+        "powerset_process_wall_clock_ratio_workers_4": powerset_scaling[
+            "process"
+        ]["workers_4"]["wall_clock_ratio_vs_serial"],
         "cpu_count": os.cpu_count(),
     }
 

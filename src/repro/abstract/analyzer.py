@@ -38,11 +38,13 @@ class AnalysisResult:
             ``min_{j≠K} (y_K - y_j)`` over the region; positive iff verified.
         output: the abstract element at the network output (for debugging
             and for tests that check containment of concrete runs).
+            ``None`` for results that crossed a process boundary — see
+            :func:`analyze_multi_entry`.
     """
 
     verified: bool
     margin_lower_bound: float
-    output: AbstractElement
+    output: AbstractElement | None
 
 
 def propagate(
@@ -117,6 +119,68 @@ def analyze_batch(
     )
 
 
+def batch_margins(element, labels: Sequence[int]) -> np.ndarray:
+    """Per-row margin lower bounds of a batched element, by label group.
+
+    Margin back-substitution scales with rows × batch, so each label
+    group is bounded only on its own row subset instead of paying the
+    full batch once per distinct label.  Shared by the batched analyzer
+    and the zonotope process-pool entry point so their arithmetic can
+    never drift.
+    """
+    label_arr = np.asarray(labels, dtype=np.int64)
+    distinct = sorted(set(int(lab) for lab in label_arr))
+    if len(distinct) == 1:
+        return np.asarray(element.min_margin(distinct[0]))
+    margins = np.empty(label_arr.size)
+    for lab in distinct:
+        rows = np.flatnonzero(label_arr == lab)
+        margins[rows] = element.rows(rows).min_margin(lab)
+    return margins
+
+
+def analyze_multi_entry(payload: dict) -> list[AnalysisResult]:
+    """Process-worker entry point for a marshalled fused Analyze call.
+
+    Rebuilds the regions and domain from plain payload operands, runs the
+    same batched propagation as :func:`analyze_batch_multi`, and returns
+    per-row results with ``output=None`` — no engine consumes the output
+    elements, and pickling a powerset's ``(T, k, n)`` stack back to the
+    parent would dwarf the kernel itself.  Zonotope-based domains route
+    through the dedicated
+    :func:`repro.abstract.zonotope_batch.zonotope_margins_call` kernel
+    (same lift/propagate/margin code, no per-row output views at all).
+    """
+    from repro.abstract.zonotope_batch import zonotope_margins_call
+    from repro.exec.calls import resolve_network
+
+    network = resolve_network(payload["network"])
+    base, disjuncts = payload["domain"]
+    domain = DomainSpec(base, disjuncts)
+    regions = [
+        Box(low, high) for low, high in zip(payload["lows"], payload["highs"])
+    ]
+    labels = [int(lab) for lab in payload["labels"]]
+    deadline = payload["deadline"]
+    if domain.base == "zonotope":
+        margins = zonotope_margins_call(
+            network, regions, labels, domain.disjuncts, deadline
+        )
+        return [
+            AnalysisResult(
+                verified=bool(margin > 0.0),
+                margin_lower_bound=float(margin),
+                output=None,
+            )
+            for margin in margins
+        ]
+    results = analyze_batch_multi(network, regions, labels, domain, deadline)
+    return [
+        AnalysisResult(result.verified, result.margin_lower_bound, None)
+        for result in results
+    ]
+
+
 def analyze_batch_multi(
     network: Network,
     regions: Sequence[Box],
@@ -159,18 +223,7 @@ def analyze_batch_multi(
             for region, lab in zip(regions, labels)
         ]
     element = propagate(ops, element, deadline)
-    label_arr = np.asarray(labels, dtype=np.int64)
-    distinct = sorted(set(labels))
-    if len(distinct) == 1:
-        margins = element.min_margin(int(distinct[0]))
-    else:
-        # Margin back-substitution scales with rows × batch, so bound each
-        # label group only on its own row subset instead of paying the
-        # full batch once per distinct label.
-        margins = np.empty(len(regions))
-        for lab in distinct:
-            rows = np.flatnonzero(label_arr == lab)
-            margins[rows] = element.rows(rows).min_margin(int(lab))
+    margins = batch_margins(element, labels)
     return [
         AnalysisResult(
             verified=bool(margins[i] > 0.0),

@@ -54,6 +54,7 @@ from repro.core.policy import BisectionPolicy
 from repro.core.property import RobustnessProperty, linf_property
 from repro.core.radius import certified_radius
 from repro.core.verifier import BatchedVerifier, Verifier
+from repro.exec import EXECUTOR_KINDS
 from repro.learn import (
     COST_MODELS,
     PolicyTrainer,
@@ -279,13 +280,17 @@ def cmd_schedule(args: argparse.Namespace) -> int:
             )
         except ValueError as exc:
             raise SystemExit(str(exc))
-    scheduler = Scheduler(
-        jobs,
-        frontier=args.frontier,
-        cache=cache,
-        engine=args.engine,
-        workers=args.workers,
-    )
+    try:
+        scheduler = Scheduler(
+            jobs,
+            frontier=args.frontier,
+            cache=cache,
+            engine=args.engine,
+            workers=args.workers,
+            executor_kind=args.executor,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
     report = scheduler.run()
     width = max(len(job.name) for job in jobs)
     for result in report.results:
@@ -361,6 +366,7 @@ def cmd_train(args: argparse.Namespace) -> int:
             workers=args.workers,
             cost_model=args.cost_model,
             cache=cache,
+            executor_kind=args.executor,
             rng_seed=args.seed,
         )
     except ValueError as exc:
@@ -370,7 +376,10 @@ def cmd_train(args: argparse.Namespace) -> int:
         f"({args.iterations} BO evaluations, q={args.candidates}, "
         f"{args.workers} workers, {args.cost_model} cost) ..."
     )
-    trained = trainer.train(args.iterations, verbose=True)
+    try:
+        trained = trainer.train(args.iterations, verbose=True)
+    finally:
+        trainer.close()
     objective = trainer.objective
     default_score = trained.history.observations[0].y
     print(f"default policy score: {default_score:.3f}")
@@ -564,6 +573,19 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_executor_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--executor",
+        choices=EXECUTOR_KINDS,
+        default=None,
+        help="where independent kernel calls run: 'serial' (inline), "
+        "'pooled' (threads; GEMM-shaped sweeps), 'process' (spawn-based "
+        "process pool; pays off on the Python-heavy zonotope/powerset "
+        "paths the GIL serializes).  Default: serial when --workers 1, "
+        "pooled otherwise",
+    )
+
+
 def _add_domain_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--domain",
@@ -685,6 +707,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="cores for independent fused kernel groups (batched engine) "
         "or whole jobs (sequential engine); 1 = serial executor",
     )
+    _add_executor_flag(schedule_parser)
     _add_domain_flags(schedule_parser)
     schedule_parser.set_defaults(func=cmd_schedule)
 
@@ -715,6 +738,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="cores for each evaluation's scheduler run",
     )
+    _add_executor_flag(train_parser)
     train_parser.add_argument(
         "--cost-model",
         choices=COST_MODELS,

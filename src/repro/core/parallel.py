@@ -10,7 +10,13 @@ frontier loop over a :class:`~repro.exec.KernelExecutor`, and each
 submitted task processes a *chunk* of up to ``config.batch_size`` frontier
 items through the batched Minimize/Analyze kernels — batching within a
 task, the executor's workers across the frontier (numpy releases the GIL
-inside the dense kernels where the analyzer spends its time).
+inside the dense kernels where the analyzer spends its time).  Chunks are
+*pure functions* (:func:`sweep_chunk`): operands in, ``(terminal, pairs,
+stats)`` out, every side effect applied by the coordinating thread — so
+the same loop runs unchanged over a thread pool or a
+:class:`~repro.exec.ProcessExecutor` (whose workers receive chunks as
+picklable descriptors and dodge the GIL on the Python-heavy
+zonotope/powerset paths).
 
 The pool/failure plumbing lives in :mod:`repro.exec`, shared with the
 multi-property scheduler: terminal outcomes race through
@@ -36,7 +42,7 @@ sequential run — both are valid by Theorem 5.4.
 from __future__ import annotations
 
 import math
-import threading
+from concurrent.futures import CancelledError
 
 import numpy as np
 
@@ -55,11 +61,65 @@ from repro.exec import (
     FirstOutcome,
     KernelExecutor,
     PooledExecutor,
-    future_result,
 )
 from repro.nn.network import Network
 from repro.utils.rng import as_generator
 from repro.utils.timing import Deadline, Stopwatch
+
+
+def sweep_chunk(
+    network: Network,
+    policy: VerificationPolicy,
+    config: VerifierConfig,
+    prop: RobustnessProperty,
+    chunk: list[WorkItem],
+    deadline: Deadline | None,
+    stop=None,
+):
+    """One batched Algorithm-1 sweep over a frontier chunk (pure function).
+
+    Returns ``(terminal, child_pairs, sweep_stats)`` exactly as
+    :func:`~repro.core.verifier.batched_sweep` does; raises
+    :class:`TimeoutError` when the wall-clock deadline has passed.  All
+    side effects (stats merging, outcome racing) stay with the caller:
+    the function shares no state, which is what lets the verifier submit
+    chunks to thread *and process* executors alike — a process submission
+    crosses as a picklable descriptor (:mod:`repro.exec.calls`) that
+    ships the network once per worker.
+
+    ``stop`` is an *advisory* early-exit flag (anything with
+    ``is_set()``): a chunk that a pool thread dequeues in the window
+    between a terminal outcome landing and the coordinator's
+    ``cancel_pending`` call returns empty instead of burning a full
+    sweep.  Pure latency optimization, never semantics — a skipped chunk
+    reads exactly like a cancelled one.  It holds thread-shared state,
+    so the process-boundary marshaller does not transport it (a worker
+    that cannot see the flag just runs the sweep, which was always
+    possible anyway).
+    """
+    if stop is not None and stop.is_set():
+        return None, [], VerificationStats()
+    if deadline is not None:
+        deadline.check()
+    objective = MarginObjective(network, prop.label)
+    pgd_config = minimize_pgd_config(config)
+    return batched_sweep(
+        network, policy, config, objective, pgd_config, prop, chunk, deadline
+    )
+
+
+def sweep_chunk_entry(payload: dict):
+    """Process-worker entry point for a marshalled sweep chunk."""
+    from repro.exec.calls import resolve_network
+
+    return sweep_chunk(
+        resolve_network(payload["network"]),
+        payload["policy"],
+        payload["config"],
+        payload["prop"],
+        payload["chunk"],
+        payload["deadline"],
+    )
 
 
 class ParallelVerifier:
@@ -100,30 +160,26 @@ class ParallelVerifier:
     def verify(self, prop: RobustnessProperty):
         config = self.config
         stats = VerificationStats()
-        stats_lock = threading.Lock()
         deadline = Deadline(config.timeout)
         watch = Stopwatch().start()
-        objective = MarginObjective(self.network, prop.label)
-        pgd_config = minimize_pgd_config(config)
         first = FirstOutcome()
 
-        def process(chunk: list[WorkItem]) -> list[WorkItem]:
-            """One batched Algorithm-1 sweep; returns child work items."""
-            if first.is_set():
-                return []
-            if deadline.expired():
-                first.record(Timeout("wall clock", stats))
-                return []
+        def consume(future) -> list[WorkItem]:
+            """Fold one finished chunk into stats/outcome; returns children.
+
+            Chunks are pure functions (:func:`sweep_chunk`), so every
+            side effect happens here on the coordinating thread — the
+            same code path whether the chunk ran inline, on a pool
+            thread, or in another process.
+            """
             try:
-                terminal, pairs, sweep = batched_sweep(
-                    self.network, self.policy, config, objective,
-                    pgd_config, prop, chunk, deadline,
-                )
+                terminal, pairs, sweep = future.result()
+            except CancelledError:
+                return []  # never ran; contributes nothing
             except TimeoutError:
                 first.record(Timeout("wall clock", stats))
                 return []
-            with stats_lock:
-                stats.merge(sweep)
+            stats.merge(sweep)
             if terminal is not None:
                 if terminal[0] == "falsified":
                     first.record(Falsified(terminal[1], terminal[2], stats))
@@ -138,21 +194,28 @@ class ParallelVerifier:
             executor = PooledExecutor(self.workers)
         try:
             pending = {
-                executor.submit(process, [root_item(prop.region, self._rng)])
+                executor.submit(
+                    sweep_chunk, self.network, self.policy, config, prop,
+                    [root_item(prop.region, self._rng)], deadline, first,
+                )
             }
             while pending:
                 done, pending = executor.wait_any(pending)
                 children: list[WorkItem] = []
                 for future in done:
-                    # Cancelled chunks never ran; they contribute nothing.
-                    children.extend(future_result(future, default=[]))
+                    children.extend(consume(future))
                 if first.is_set():
                     # Terminal outcome landed: drop every chunk that has
                     # not started and only drain the ones already running.
                     pending = executor.cancel_pending(pending)
                     continue
                 for chunk in self._chunk(children):
-                    pending.add(executor.submit(process, chunk))
+                    pending.add(
+                        executor.submit(
+                            sweep_chunk, self.network, self.policy, config,
+                            prop, chunk, deadline, first,
+                        )
+                    )
         finally:
             if owned:
                 executor.shutdown(cancel_pending=True)

@@ -1,21 +1,29 @@
-"""Kernel execution layer: serial and thread-pooled execution of
-independent kernel calls (§6's "different threads"), shared by the
-scheduler, the parallel verifier, and scheduled policy training."""
+"""Kernel execution layer: serial, thread-pooled, and process-pooled
+execution of independent kernel calls (§6's "different threads"), shared
+by the scheduler, the parallel verifier, and scheduled policy training.
+Process submissions cross as picklable descriptors (:mod:`repro.exec.calls`)
+that ship each network once per worker."""
 
 from repro.exec.executor import (
+    EXECUTOR_KINDS,
     FirstOutcome,
     KernelExecutor,
     PooledExecutor,
+    ProcessExecutor,
     SerialExecutor,
     future_result,
     make_executor,
+    validate_executor_spec,
 )
 
 __all__ = [
     "KernelExecutor",
     "SerialExecutor",
     "PooledExecutor",
+    "ProcessExecutor",
+    "EXECUTOR_KINDS",
     "FirstOutcome",
     "make_executor",
+    "validate_executor_spec",
     "future_result",
 ]

@@ -1,0 +1,255 @@
+"""Picklable kernel-call descriptors: how kernel calls cross processes.
+
+A :class:`~repro.exec.executor.ProcessExecutor` cannot ship closures, and
+naively pickling a kernel call would serialize the whole network — hundreds
+of kilobytes of weights — into every submission.  This module is the
+boundary layer that makes process execution cheap and faithful:
+
+- **Descriptors.**  :func:`marshal_call` recognizes the kernel calls the
+  engines actually submit (fused PGD, fused multi-label Analyze, solo
+  verification jobs, parallel-verifier sweep chunks) and rewrites each
+  into a :class:`KernelCall`: the name of a module-level entry point plus
+  a payload of plain arrays, config dicts, and small picklable objects.
+  Unknown calls return ``None`` and the executor falls back to plain
+  pickling, so any module-level function with picklable arguments still
+  works.
+
+- **Ship the network once per worker.**  The parent-side
+  :class:`NetworkStore` writes each distinct network to a spill file at
+  most once (named by its :func:`~repro.nn.serialize.network_digest`
+  content address) and descriptors carry only the tiny
+  :class:`NetworkHandle`.  Worker-side, :func:`resolve_network` keeps a
+  per-process deserialization cache keyed on the digest, so each worker
+  pays one ``load_network`` per distinct network per lifetime — not one
+  per call.
+
+- **Entry points return caller-visible values.**  A descriptor's entry
+  point produces exactly what the original function would have returned
+  (bitwise — ``.npz`` round-trips and pickle both preserve float64 bit
+  patterns), with one deliberate exception: analyze entries drop the
+  per-row abstract output elements (``AnalysisResult.output is None``),
+  because no engine consumes them and a powerset output is a ``(T, k, n)``
+  stack whose pickling would dwarf the kernel it rode in on.
+"""
+
+from __future__ import annotations
+
+import importlib
+import shutil
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.serialize import load_network, network_digest, save_network
+
+
+@dataclass(frozen=True)
+class NetworkHandle:
+    """A network's content address plus where a worker can load it."""
+
+    digest: str
+    path: str
+
+
+class NetworkStore:
+    """Parent-side spill directory: each distinct network written once.
+
+    Owned by the :class:`~repro.exec.executor.ProcessExecutor`; closed
+    (and its directory removed) on executor shutdown.  Entries keep a
+    strong reference to the network object so an ``id()`` is never
+    recycled onto a different network while the store lives.
+    """
+
+    def __init__(self) -> None:
+        self._dir = Path(tempfile.mkdtemp(prefix="repro-exec-nets-"))
+        self._handles: dict[int, tuple[object, NetworkHandle]] = {}
+
+    def handle(self, network) -> NetworkHandle:
+        key = id(network)
+        entry = self._handles.get(key)
+        if entry is None:
+            digest = network_digest(network)
+            path = self._dir / f"{digest}.npz"
+            if not path.exists():
+                save_network(network, path)
+            entry = (network, NetworkHandle(digest, str(path)))
+            self._handles[key] = entry
+        return entry[1]
+
+    def close(self) -> None:
+        self._handles.clear()
+        shutil.rmtree(self._dir, ignore_errors=True)
+
+
+#: Worker-side cache: one deserialized network per digest per process.
+_NETWORK_CACHE: dict[str, object] = {}
+
+
+def resolve_network(handle: NetworkHandle):
+    """The handle's network, loaded at most once per worker process."""
+    network = _NETWORK_CACHE.get(handle.digest)
+    if network is None:
+        network = load_network(handle.path)
+        _NETWORK_CACHE[handle.digest] = network
+    return network
+
+
+@dataclass(frozen=True)
+class KernelCall:
+    """One marshalled kernel call: entry-point name plus plain payload."""
+
+    entry: str  # "module.path:function"
+    payload: dict
+
+
+_ENTRY_CACHE: dict[str, Callable] = {}
+
+
+def run_kernel_call(call: KernelCall):
+    """Worker-side dispatcher: resolve the entry point and run it."""
+    fn = _ENTRY_CACHE.get(call.entry)
+    if fn is None:
+        module_name, _, attr = call.entry.partition(":")
+        fn = getattr(importlib.import_module(module_name), attr)
+        _ENTRY_CACHE[call.entry] = fn
+    return fn(call.payload)
+
+
+# ----------------------------------------------------------------------
+# Parent-side marshalling
+# ----------------------------------------------------------------------
+
+
+def _stack_boxes(regions) -> tuple[np.ndarray, np.ndarray]:
+    """Region boxes as two dense ``(R, n)`` arrays (the plain-array form)."""
+    return (
+        np.stack([region.low for region in regions]),
+        np.stack([region.high for region in regions]),
+    )
+
+
+def _marshal_pgd(args, kwargs, store: NetworkStore) -> KernelCall | None:
+    """``pgd_minimize_batch(objective, regions, config, rngs, deadline)``."""
+    from repro.attack.objective import (
+        MarginObjective,
+        MultiLabelMarginObjective,
+    )
+
+    if kwargs or len(args) != 5:
+        return None
+    objective, regions, config, rngs, deadline = args
+    if isinstance(objective, MultiLabelMarginObjective):
+        labels, multi = np.asarray(objective.labels), True
+    elif isinstance(objective, MarginObjective):
+        labels, multi = int(objective.label), False
+    else:
+        return None
+    if not isinstance(rngs, (list, tuple)):
+        return None  # shared-generator spawning must happen caller-side
+    lows, highs = _stack_boxes(regions)
+    return KernelCall(
+        "repro.attack.pgd:pgd_minimize_entry",
+        {
+            "network": store.handle(objective.network),
+            "labels": labels,
+            "multi": multi,
+            "lows": lows,
+            "highs": highs,
+            # The whole frozen dataclass, not a field-by-field copy: a
+            # future PGDConfig knob must never silently reset to its
+            # default on the process path only.
+            "config": config,
+            "rngs": list(rngs),
+            "deadline": deadline,
+        },
+    )
+
+
+def _marshal_analyze_multi(args, kwargs, store: NetworkStore) -> KernelCall | None:
+    """``analyze_batch_multi(network, regions, labels, domain, deadline)``."""
+    if kwargs or len(args) not in (4, 5):
+        return None
+    network, regions, labels, domain = args[:4]
+    deadline = args[4] if len(args) == 5 else None
+    lows, highs = _stack_boxes(regions)
+    return KernelCall(
+        "repro.abstract.analyzer:analyze_multi_entry",
+        {
+            "network": store.handle(network),
+            "lows": lows,
+            "highs": highs,
+            "labels": np.asarray(labels, dtype=np.int64),
+            "domain": (domain.base, domain.disjuncts),
+            "deadline": deadline,
+        },
+    )
+
+
+def _marshal_sweep_chunk(args, kwargs, store: NetworkStore) -> KernelCall | None:
+    """``sweep_chunk(network, policy, config, prop, chunk, deadline[, stop])``.
+
+    The trailing ``stop`` flag is advisory thread-shared state (see
+    :func:`repro.core.parallel.sweep_chunk`); it cannot pickle and is
+    deliberately not transported — a worker without it just runs the
+    sweep, which the coordinator already tolerates.
+    """
+    if kwargs or len(args) not in (6, 7):
+        return None
+    network, policy, config, prop, chunk, deadline = args[:6]
+    return KernelCall(
+        "repro.core.parallel:sweep_chunk_entry",
+        {
+            "network": store.handle(network),
+            "policy": policy,
+            "config": config,
+            "prop": prop,
+            "chunk": chunk,
+            "deadline": deadline,
+        },
+    )
+
+
+def _marshal_solo_verify(args, kwargs, store: NetworkStore) -> KernelCall | None:
+    """``solo_verify(job)`` — the sequential engine's whole-job unit."""
+    if kwargs or len(args) != 1:
+        return None
+    job = args[0]
+    return KernelCall(
+        "repro.sched.scheduler:solo_verify_entry",
+        {
+            "network": store.handle(job.network),
+            "prop": job.prop,
+            "config": job.config,
+            "policy": job.policy,
+            "seed": job.seed,
+        },
+    )
+
+
+#: Known kernel calls, keyed by (module, qualname) so registration never
+#: imports the heavy engine modules (workers import only what they run).
+_MARSHALLERS: dict[tuple[str, str], Callable] = {
+    ("repro.attack.pgd", "pgd_minimize_batch"): _marshal_pgd,
+    ("repro.abstract.analyzer", "analyze_batch_multi"): _marshal_analyze_multi,
+    ("repro.core.parallel", "sweep_chunk"): _marshal_sweep_chunk,
+    ("repro.sched.scheduler", "solo_verify"): _marshal_solo_verify,
+}
+
+
+def marshal_call(
+    fn: Callable, args: tuple, kwargs: dict, store: NetworkStore
+) -> KernelCall | None:
+    """Rewrite a known kernel call into a :class:`KernelCall` descriptor.
+
+    Returns ``None`` for calls this layer does not recognize (including
+    known functions invoked with an unexpected shape); the executor then
+    falls back to plain pickling.
+    """
+    key = (getattr(fn, "__module__", ""), getattr(fn, "__qualname__", ""))
+    marshaller = _MARSHALLERS.get(key)
+    if marshaller is None:
+        return None
+    return marshaller(args, kwargs, store)

@@ -13,6 +13,15 @@ core.  This module is the one place that decides *where* such calls run:
   releases the GIL inside the dense kernels where verification time is
   spent, so independent GEMM-shaped calls genuinely overlap on multi-core
   hosts.
+- :class:`ProcessExecutor` hands calls to a spawn-based process pool.
+  The zonotope/powerset split+join contraction — the hottest path on
+  learned-policy workloads — is Python-loop-heavy and serializes under
+  threads; processes sidestep the GIL entirely.  Known kernel calls cross
+  the boundary as picklable descriptors (:mod:`repro.exec.calls`): the
+  network ships once per worker via its content digest, operands travel
+  as plain arrays and config dicts, and each worker pins its BLAS pools
+  to one thread so pooled runs neither oversubscribe the host nor perturb
+  GEMM rounding.
 
 **Reproducibility contract.**  An executor never changes *what* a call
 computes — only which core computes it.  Callers keep every semantic
@@ -32,16 +41,81 @@ instead of letting every pending chunk run to completion.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import threading
 from abc import ABC, abstractmethod
 from concurrent.futures import (
     FIRST_COMPLETED,
     CancelledError,
     Future,
+    ProcessPoolExecutor,
     ThreadPoolExecutor,
     wait,
 )
 from typing import Callable, Iterable
+
+#: ``--executor`` menu shared by the CLI and :func:`make_executor`.
+EXECUTOR_KINDS = ("serial", "pooled", "process")
+
+#: Environment knobs that size the BLAS/OpenMP thread pools.  Process
+#: workers pin all of them to one thread: ``workers`` single-threaded
+#: processes use exactly the cores they are given (no oversubscription),
+#: and every GEMM a worker runs has the same reduction order a serial
+#: single-threaded run would use (no rounding perturbation).
+_BLAS_THREAD_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "BLIS_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+)
+
+
+def _pin_worker_blas() -> None:
+    """Child-process initializer: force single-threaded BLAS pools.
+
+    Runs in the worker before any kernel call.  The authoritative pinning
+    actually happens through environment *inheritance* — the parent sets
+    the variables before the child is spawned, so numpy's BLAS reads them
+    at load — but re-asserting them here keeps workers correct even if a
+    library re-reads the environment lazily.
+    """
+    for var in _BLAS_THREAD_VARS:
+        os.environ[var] = "1"
+
+
+# Parent-side BLAS pinning is refcounted across executors: process pools
+# spawn workers lazily on demand, so the variables must stay exported as
+# long as *any* ProcessExecutor lives, and the pre-existing values are
+# restored only when the last one shuts down.
+_PIN_LOCK = threading.Lock()
+_PIN_DEPTH = 0
+_PIN_SAVED: dict[str, str | None] = {}
+
+
+def _push_blas_pins() -> None:
+    global _PIN_DEPTH
+    with _PIN_LOCK:
+        if _PIN_DEPTH == 0:
+            for var in _BLAS_THREAD_VARS:
+                _PIN_SAVED[var] = os.environ.get(var)
+                os.environ[var] = "1"
+        _PIN_DEPTH += 1
+
+
+def _pop_blas_pins() -> None:
+    global _PIN_DEPTH
+    with _PIN_LOCK:
+        _PIN_DEPTH -= 1
+        if _PIN_DEPTH == 0:
+            for var, value in _PIN_SAVED.items():
+                if value is None:
+                    os.environ.pop(var, None)
+                else:
+                    os.environ[var] = value
+            _PIN_SAVED.clear()
 
 
 class KernelExecutor(ABC):
@@ -156,10 +230,18 @@ class PooledExecutor(KernelExecutor):
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self._pool: ThreadPoolExecutor | None = None
+        self._closed = False
         self._lock = threading.Lock()
 
     def submit(self, fn: Callable, /, *args, **kwargs):
         with self._lock:
+            # A shut-down executor must stay dead: silently re-creating
+            # the pool here would leak one thread pool per stray submit
+            # in long-lived runs, with nobody left owning its shutdown.
+            if self._closed:
+                raise RuntimeError(
+                    "cannot submit to a PooledExecutor after shutdown()"
+                )
             if self._pool is None:
                 self._pool = ThreadPoolExecutor(
                     max_workers=self.workers,
@@ -175,27 +257,159 @@ class PooledExecutor(KernelExecutor):
     def shutdown(self, cancel_pending: bool = False) -> None:
         with self._lock:
             pool, self._pool = self._pool, None
+            self._closed = True
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=cancel_pending)
 
 
+class ProcessExecutor(KernelExecutor):
+    """Runs calls on a spawn-based process pool (GIL-free parallelism).
+
+    Thread pools overlap only the GIL-dropping dense kernels; the
+    zonotope/powerset split+join contraction spends its time in Python
+    loops and serializes under threads.  Process workers run those calls
+    truly concurrently.  Two mechanisms make the boundary cheap and
+    faithful:
+
+    - **Descriptor marshalling** (:mod:`repro.exec.calls`): known kernel
+      calls are rewritten into picklable descriptors — the network is
+      replaced by its content digest and shipped to each worker at most
+      once (a per-worker deserialization cache rebuilds it), operands
+      travel as plain arrays and config dicts.  Unknown calls fall back
+      to plain pickling, so any module-level function with picklable
+      arguments still works.
+    - **BLAS pinning**: the parent exports ``OMP_NUM_THREADS=1`` (and
+      friends) around worker spawn, so every worker's BLAS is
+      single-threaded — ``workers`` processes use ``workers`` cores, and
+      GEMM reduction order matches a serial run bitwise.
+
+    The pool is created lazily on first submit and torn down by
+    :meth:`shutdown`; like :class:`PooledExecutor`, submits after
+    shutdown raise.  A worker that dies mid-call (OOM-killed, crashed
+    extension) surfaces as ``BrokenProcessPool`` on its futures rather
+    than hanging the run.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int = 4) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._pool: ProcessPoolExecutor | None = None
+        self._store = None  # parent-side network spill (repro.exec.calls)
+        self._closed = False
+        self._pinned = False
+        self._lock = threading.Lock()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """Create the pool (and the network store) under the lock.
+
+        BLAS pinning must be in the environment *before* a worker spawns
+        (spawned children read it when numpy loads), and workers may
+        spawn lazily on any later submit — so the variables stay exported
+        (refcounted across executors) until :meth:`shutdown`.
+        """
+        if self._pool is None:
+            from repro.exec.calls import NetworkStore
+
+            _push_blas_pins()
+            self._pinned = True
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("spawn"),
+                initializer=_pin_worker_blas,
+            )
+            self._store = NetworkStore()
+        return self._pool
+
+    def submit(self, fn: Callable, /, *args, **kwargs):
+        from repro.exec.calls import marshal_call, run_kernel_call
+
+        with self._lock:
+            if self._closed:
+                raise RuntimeError(
+                    "cannot submit to a ProcessExecutor after shutdown()"
+                )
+            pool = self._ensure_pool()
+            call = marshal_call(fn, args, kwargs, self._store)
+        if call is not None:
+            return pool.submit(run_kernel_call, call)
+        return pool.submit(fn, *args, **kwargs)
+
+    def wait_any(self, futures: set) -> tuple[set, set]:
+        done, pending = wait(futures, return_when=FIRST_COMPLETED)
+        return set(done), set(pending)
+
+    def shutdown(self, cancel_pending: bool = False) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+            store, self._store = self._store, None
+            pinned, self._pinned = self._pinned, False
+            self._closed = True
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=cancel_pending)
+        if store is not None:
+            store.close()
+        if pinned:
+            _pop_blas_pins()
+
+
 def make_executor(
-    executor: KernelExecutor | None = None, workers: int = 1
+    executor: KernelExecutor | None = None,
+    workers: int = 1,
+    kind: str | None = None,
 ) -> tuple[KernelExecutor, bool]:
-    """Normalize an (executor, workers) pair into ``(executor, owned)``.
+    """Normalize an (executor, workers, kind) triple into ``(executor, owned)``.
 
     Engines accept either a ready executor (caller owns its lifecycle) or
-    a plain ``workers`` count; in the latter case the engine builds one —
-    serial for ``workers=1``, pooled otherwise — and must shut it down
-    after the run (``owned=True``).
+    a plain ``workers`` count plus an optional ``kind`` from
+    :data:`EXECUTOR_KINDS`; in the latter case the engine builds one and
+    must shut it down after the run (``owned=True``).  With no ``kind``
+    the historical default applies: serial for ``workers=1``, pooled
+    otherwise.
     """
     if executor is not None:
+        if kind is not None:
+            raise ValueError(
+                "pass either a ready executor or an executor kind, not both"
+            )
         return executor, False
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
-    if workers == 1:
+    if kind is None:
+        kind = "serial" if workers == 1 else "pooled"
+    if kind == "serial":
+        if workers != 1:
+            raise ValueError(
+                f"the serial executor runs on one worker, got workers={workers}"
+            )
         return SerialExecutor(), True
-    return PooledExecutor(workers), True
+    if kind == "pooled":
+        return PooledExecutor(workers), True
+    if kind == "process":
+        return ProcessExecutor(workers), True
+    raise ValueError(
+        f"unknown executor kind {kind!r}; choose from {EXECUTOR_KINDS}"
+    )
+
+
+def validate_executor_spec(
+    executor: KernelExecutor | None = None,
+    workers: int = 1,
+    kind: str | None = None,
+) -> None:
+    """Raise the error :func:`make_executor` would, keeping nothing.
+
+    Lets engines fail fast at construction on a bad (executor, workers,
+    kind) combination — a bad CLI flag should not surface rounds into a
+    run.  Safe because every executor constructor is side-effect-free
+    until first submit (pools and spill dirs are lazy), so the probe
+    costs nothing to build and discard.
+    """
+    built, owned = make_executor(executor, workers, kind=kind)
+    if owned:
+        built.shutdown()
 
 
 def future_result(future, default=None):

@@ -42,7 +42,7 @@ import numpy as np
 from repro.core.config import VerifierConfig
 from repro.core.policy import LinearPolicy
 from repro.core.property import RobustnessProperty
-from repro.exec import KernelExecutor
+from repro.exec import KernelExecutor, validate_executor_spec
 from repro.nn.network import Network
 from repro.sched import ResultCache, Scheduler, VerificationJob
 
@@ -76,6 +76,13 @@ class PolicyCostObjective:
         cache: optional persistent result cache; ``"work"`` model only.
         executor: ready :class:`~repro.exec.KernelExecutor` to reuse
             across evaluations instead of building one per run.
+        executor_kind: ``"serial"`` / ``"pooled"`` / ``"process"`` —
+            the objective builds ONE executor of this kind and reuses it
+            across every evaluation round (a per-round process pool
+            would pay worker spawn, numpy import, and network shipping
+            on every round); release it with :meth:`close`.  Processes
+            pay off on powerset-heavy policies whose split loops the GIL
+            serializes under threads.
     """
 
     def __init__(
@@ -89,6 +96,7 @@ class PolicyCostObjective:
         workers: int = 1,
         cache: ResultCache | None = None,
         executor: KernelExecutor | None = None,
+        executor_kind: str | None = None,
     ) -> None:
         if not problems:
             raise ValueError("the training suite must be non-empty")
@@ -124,6 +132,12 @@ class PolicyCostObjective:
         self.workers = workers
         self.cache = cache
         self.executor = executor
+        self.executor_kind = executor_kind
+        self._pool: KernelExecutor | None = None  # built from executor_kind
+        if executor_kind is not None:
+            # Fail on a bad (executor, workers, kind) combination now,
+            # not rounds into training.
+            validate_executor_spec(executor, workers, kind=executor_kind)
         base = base_config or VerifierConfig()
         # Per-problem budget comes from the objective, not the base config:
         # the wall clock for the time model, the depth cap (deterministic)
@@ -145,6 +159,38 @@ class PolicyCostObjective:
     def config(self) -> VerifierConfig:
         """The verifier config every evaluation job runs under."""
         return self._config
+
+    def _run_executor(self) -> KernelExecutor | None:
+        """The executor evaluations run on.
+
+        A caller-provided executor wins; otherwise ``executor_kind``
+        builds one pool lazily and keeps it for every later round —
+        training is exactly the workload where per-round pool setup
+        (process spawn, per-worker numpy import, network shipping) would
+        dominate, so the pool's lifetime is the objective's.
+        """
+        if self.executor is not None:
+            return self.executor
+        if self.executor_kind is None:
+            return None
+        if self._pool is None:
+            from repro.exec import make_executor
+
+            self._pool, _ = make_executor(
+                None, self.workers, kind=self.executor_kind
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the executor this objective built (if any).
+
+        Idempotent; a later evaluation builds a fresh pool.  Only pools
+        created from ``executor_kind`` are owned here — a caller-provided
+        ``executor`` keeps its caller's lifecycle.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(cancel_pending=True)
 
     def _jobs(self, theta_vecs: list[np.ndarray]) -> list[VerificationJob]:
         jobs = []
@@ -192,7 +238,7 @@ class PolicyCostObjective:
             cache=self.cache,
             engine=engine,
             workers=self.workers,
-            executor=self.executor,
+            executor=self._run_executor(),
         ).run()
         self.evaluations += len(theta_vecs)
         self.fresh_calls += report.fresh_calls()

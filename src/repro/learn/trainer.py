@@ -97,6 +97,8 @@ class PolicyTrainer:
         cache: optional persistent result cache (``"work"`` model only):
             a re-run of the same training command spawns no kernel work.
         executor: ready executor to reuse across evaluation rounds.
+        executor_kind: ``"serial"`` / ``"pooled"`` / ``"process"`` for
+            each evaluation's scheduler run (``--executor`` on the CLI).
         rng_seed: the seed every verification job runs under.
     """
 
@@ -114,6 +116,7 @@ class PolicyTrainer:
         cost_model: str = "time",
         cache: ResultCache | None = None,
         executor: KernelExecutor | None = None,
+        executor_kind: str | None = None,
         rng_seed: int = 0,
     ) -> None:
         if candidates < 1:
@@ -128,11 +131,21 @@ class PolicyTrainer:
             workers=workers,
             cache=cache,
             executor=executor,
+            executor_kind=executor_kind,
         )
         self.bounds = LinearPolicy.parameter_box(theta_scale)
         self._rng = as_generator(rng)
         self.n_initial = n_initial
         self.candidates = candidates
+
+    def close(self) -> None:
+        """Release the evaluation executor built from ``executor_kind``.
+
+        Idempotent, and a later :meth:`train` call builds a fresh pool;
+        call it when a process-pool training session is done (the CLI
+        does) so worker processes do not linger until interpreter exit.
+        """
+        self.objective.close()
 
     def train(self, iterations: int = 20, verbose: bool = False) -> TrainedPolicy:
         """Run Bayesian optimization for ``iterations`` evaluations.
@@ -147,27 +160,35 @@ class PolicyTrainer:
         optimizer = BayesianOptimizer(
             self.bounds, n_initial=self.n_initial, rng=self._rng
         )
-        # Seed with the hand-initialized default so the learned policy is
-        # never worse than the prior.
-        default_vec = LinearPolicy.default().to_vector()
-        optimizer.observe(
-            default_vec, self.objective.evaluate_many([default_vec])[0]
-        )
-
-        done = 0
-        while done < iterations:
-            batch = optimizer.suggest_batch(
-                min(self.candidates, iterations - done)
+        try:
+            # Seed with the hand-initialized default so the learned policy
+            # is never worse than the prior.
+            default_vec = LinearPolicy.default().to_vector()
+            optimizer.observe(
+                default_vec, self.objective.evaluate_many([default_vec])[0]
             )
-            scores = self.objective.evaluate_many(batch)
-            for x, y in zip(batch, scores):
-                optimizer.observe(x, y)
-                done += 1
-                if verbose:
-                    print(
-                        f"  BO iter {done}/{iterations}: score={y:.3f} "
-                        f"(best={optimizer.best().y:.3f})"
-                    )
+
+            done = 0
+            while done < iterations:
+                batch = optimizer.suggest_batch(
+                    min(self.candidates, iterations - done)
+                )
+                scores = self.objective.evaluate_many(batch)
+                for x, y in zip(batch, scores):
+                    optimizer.observe(x, y)
+                    done += 1
+                    if verbose:
+                        print(
+                            f"  BO iter {done}/{iterations}: score={y:.3f} "
+                            f"(best={optimizer.best().y:.3f})"
+                        )
+        finally:
+            # An executor_kind-built pool is reused across every round
+            # above, but must not outlive the training run: leaked worker
+            # processes and the exported BLAS pins would follow the
+            # parent around.  (Caller-provided executors are untouched,
+            # and a later train() call builds a fresh pool.)
+            self.objective.close()
         best = optimizer.best()
         return TrainedPolicy(
             policy=LinearPolicy.from_vector(best.x),

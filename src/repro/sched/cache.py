@@ -28,12 +28,20 @@ scheduler runs can share a cache directory.
 **Eviction.**  A cache may carry size budgets (``max_entries`` /
 ``max_bytes``); :meth:`ResultCache.prune` removes records
 least-recently-used first until both budgets hold.  Recency is file
-mtime: every :meth:`ResultCache.get` hit touches its record, so entries
-that keep serving results stay resident while stale ones age out.
-Budgeted caches track an in-memory size estimate and prune once a budget
-is crossed (down to 7/8 of it, so eviction cost amortizes over many
-puts); unbudgeted caches never evict (``python -m repro cache prune``
-covers one-off housekeeping).
+mtime at nanosecond resolution (``st_mtime_ns``; second-granularity
+``st_mtime`` would let records written within the same second evict in
+arbitrary order), with the record path as a stable tiebreak so eviction
+order is deterministic even for same-instant writes.  Every
+:meth:`ResultCache.get` hit touches its record, so entries that keep
+serving results stay resident while stale ones age out.  Budgeted caches
+track an in-memory size estimate and prune once a budget is crossed
+(down to 7/8 of it, so eviction cost amortizes over many puts); because
+several processes may share one cache directory — each only observing
+its *own* puts — the estimate is re-scanned from disk every
+``estimate_refresh`` puts (and by every prune), bounding how far a
+concurrent writer can push the directory past budget.  Unbudgeted caches
+never evict (``python -m repro cache prune`` covers one-off
+housekeeping).
 
 Beyond exact-key lookups the cache answers **certified-radius queries**:
 jobs created from L∞ manifests record ``center_digest`` and ``epsilon``
@@ -275,6 +283,12 @@ class ResultCache:
         max_entries: optional record-count budget enforced by
             :meth:`prune` (and opportunistically after every :meth:`put`).
         max_bytes: optional total-size budget, same discipline.
+        estimate_refresh: re-scan the directory after this many
+            estimate-only puts.  The in-memory size estimate counts only
+            *this instance's* puts, so when several processes share a
+            cache directory each one's estimate drifts below the true
+            size; the periodic scan picks up the other writers' records
+            and bounds the overshoot.
     """
 
     def __init__(
@@ -282,21 +296,28 @@ class ResultCache:
         root: str | Path,
         max_entries: int | None = None,
         max_bytes: int | None = None,
+        estimate_refresh: int = 64,
     ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         if max_bytes is not None and max_bytes < 1:
             raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        if estimate_refresh < 1:
+            raise ValueError(
+                f"estimate_refresh must be >= 1, got {estimate_refresh}"
+            )
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.max_entries = max_entries
         self.max_bytes = max_bytes
+        self.estimate_refresh = estimate_refresh
         # In-memory (entries, bytes) estimate so budgeted puts don't
         # re-scan the directory; initialized lazily, refreshed by every
-        # prune, and only ever used to decide *whether* to prune (a
-        # stale estimate from a concurrent writer delays eviction, never
-        # corrupts it).
+        # prune and every `estimate_refresh` puts, and only ever used to
+        # decide *whether* to prune (a stale estimate from a concurrent
+        # writer delays eviction, never corrupts it).
         self._estimate: tuple[int, int] | None = None
+        self._puts_since_scan = 0
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -346,27 +367,46 @@ class ResultCache:
     # Eviction
     # ------------------------------------------------------------------
 
-    def _entries(self) -> list[tuple[Path, float, int]]:
-        """``(path, mtime, size)`` for every record file still on disk."""
+    def _entries(self) -> list[tuple[Path, int, int]]:
+        """``(path, mtime_ns, size)`` for every record file still on disk.
+
+        Nanosecond mtimes keep LRU recency honest on filesystems whose
+        ``st_mtime`` floats truncate to whole seconds; sorting callers
+        tiebreak on the path so same-instant records evict
+        deterministically.
+        """
         entries = []
         for path in self.root.glob("*/*.json"):
             try:
                 stat = path.stat()
             except OSError:
                 continue  # concurrently evicted by another run
-            entries.append((path, stat.st_mtime, stat.st_size))
+            entries.append((path, stat.st_mtime_ns, stat.st_size))
         return entries
 
+    def _scan_estimate(self) -> None:
+        """Refresh the size estimate from disk (sees other writers' puts)."""
+        entries = self._entries()
+        self._estimate = (len(entries), sum(size for _, _, size in entries))
+        self._puts_since_scan = 0
+
     def _note_put(self, payload_bytes: int) -> None:
-        """Update the size estimate after a put; prune when over budget."""
-        if self._estimate is None:
-            entries = self._entries()
-            self._estimate = (
-                len(entries), sum(size for _, _, size in entries)
-            )
+        """Update the size estimate after a put; prune when over budget.
+
+        Every ``estimate_refresh`` puts the estimate is re-scanned from
+        disk instead of incremented: an instance only observes its own
+        puts, so on a shared cache directory the increment-only estimate
+        drifts below the true size and would delay eviction indefinitely.
+        """
+        if (
+            self._estimate is None
+            or self._puts_since_scan >= self.estimate_refresh
+        ):
+            self._scan_estimate()
         else:
             count, total = self._estimate
             self._estimate = (count + 1, total + payload_bytes)
+            self._puts_since_scan += 1
         count, total = self._estimate
         over_entries = self.max_entries is not None and count > self.max_entries
         over_bytes = self.max_bytes is not None and total > self.max_bytes
@@ -385,9 +425,14 @@ class ResultCache:
         (the ``repro cache prune`` subcommand's one-off mode).  With no
         budget from either source this is a no-op.  Put-triggered prunes
         evict down to 7/8 of each budget so consecutive puts don't
-        re-scan the directory every time.  Unlink races are graceful: a
-        record another process already removed counts as gone, not as an
-        error.
+        re-scan the directory every time.  Eviction order is
+        least-recently-used by nanosecond mtime with a stable path
+        tiebreak, so same-instant records evict deterministically.
+        Unlink races are graceful: a record another process already
+        removed counts as gone, not as an error.  The pass's full scan
+        also resets the in-memory size estimate, so any drift a
+        concurrent writer caused is corrected here regardless of the
+        periodic re-scan cadence.
         """
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
@@ -400,7 +445,9 @@ class ResultCache:
                 max_entries = max(1, max_entries * 7 // 8)
             if max_bytes is not None:
                 max_bytes = max(1, max_bytes * 7 // 8)
-        entries = sorted(self._entries(), key=lambda entry: entry[1])
+        entries = sorted(
+            self._entries(), key=lambda entry: (entry[1], str(entry[0]))
+        )
         count = len(entries)
         total = sum(size for _, _, size in entries)
         removed = 0
@@ -419,6 +466,7 @@ class ResultCache:
             removed += 1
             freed += size
         self._estimate = (count, total)
+        self._puts_since_scan = 0
         return PruneResult(
             removed=removed,
             freed_bytes=freed,

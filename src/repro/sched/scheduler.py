@@ -34,9 +34,14 @@ groups share no arrays (operands are built on the scheduler thread before
 submission, results are consumed in deterministic group order after).
 The scheduler therefore submits each round's groups through a
 :class:`~repro.exec.KernelExecutor`; with a
-:class:`~repro.exec.PooledExecutor` they run on different cores, and the
+:class:`~repro.exec.PooledExecutor` they run on different cores, with a
+:class:`~repro.exec.ProcessExecutor` they cross into spawn-based worker
+processes as picklable descriptors (:mod:`repro.exec.calls` — the GIL-free
+path for Python-loop-heavy zonotope/powerset sweeps), and the
 reproducibility contract survives untouched because group composition and
-within-group row order never change — only *which core* runs a group.
+within-group row order never change — only *which core* runs a group
+(process workers pin BLAS to one thread so even GEMM rounding matches;
+DESIGN.md §9).
 The ``sequential`` engine pools at the job level instead: each solo
 ``BatchedVerifier`` run is self-contained, so whole jobs ride the same
 executor.
@@ -70,7 +75,7 @@ from repro.core.verifier import (
     refine_unverified,
     root_item,
 )
-from repro.exec import KernelExecutor, make_executor
+from repro.exec import KernelExecutor, make_executor, validate_executor_spec
 from repro.nn.serialize import network_digest
 from repro.sched.cache import CacheRecord, ResultCache, cacheable, job_key
 from repro.sched.frontier import (
@@ -87,6 +92,36 @@ from repro.utils.timing import Deadline, Stopwatch
 #: :class:`BatchedVerifier` in submission order (the baseline the fused
 #: engine is benchmarked against — both are cache-aware).
 SCHED_ENGINES = ("batched", "sequential")
+
+
+def solo_verify(job: VerificationJob):
+    """One whole job through a solo :class:`BatchedVerifier`.
+
+    The sequential engine's executor unit: module-level (and pure, given
+    the job) so it can ride any executor — including a
+    :class:`~repro.exec.ProcessExecutor`, which marshals it through
+    :func:`solo_verify_entry`.  Returns ``(outcome, elapsed_seconds)``.
+    """
+    watch = Stopwatch().start()
+    outcome = BatchedVerifier(
+        job.network, job.policy, job.config, rng=job.seed
+    ).verify(job.prop)
+    return outcome, watch.stop()
+
+
+def solo_verify_entry(payload: dict):
+    """Process-worker entry point for a marshalled solo job."""
+    from repro.exec.calls import resolve_network
+
+    return solo_verify(
+        VerificationJob(
+            resolve_network(payload["network"]),
+            payload["prop"],
+            config=payload["config"],
+            policy=payload["policy"],
+            seed=payload["seed"],
+        )
+    )
 
 
 class _JobState:
@@ -220,6 +255,11 @@ class Scheduler:
         executor: a ready :class:`~repro.exec.KernelExecutor` to use
             instead of building one from ``workers`` (the caller keeps
             ownership of its lifecycle).
+        executor_kind: build the run's executor as ``"serial"`` /
+            ``"pooled"`` / ``"process"`` instead of the workers-based
+            default (threads for GEMM-shaped sweeps, processes for the
+            Python-heavy zonotope/powerset paths the GIL serializes).
+            Mutually exclusive with ``executor``.
     """
 
     def __init__(
@@ -231,6 +271,7 @@ class Scheduler:
         engine: str = "batched",
         workers: int = 1,
         executor: KernelExecutor | None = None,
+        executor_kind: str | None = None,
     ) -> None:
         if engine not in SCHED_ENGINES:
             raise ValueError(
@@ -248,6 +289,10 @@ class Scheduler:
         self.engine = engine
         self.workers = workers
         self.executor = executor
+        self.executor_kind = executor_kind
+        # Fail on a bad (executor, workers, kind) combination here, not
+        # mid-manifest.
+        validate_executor_spec(executor, workers, kind=executor_kind)
         self._digests: dict[int, str] = {}
 
     def submit(self, job: VerificationJob) -> int:
@@ -301,7 +346,9 @@ class Scheduler:
         if not jobs:
             raise ValueError("no jobs submitted")
         watch = Stopwatch().start()
-        executor, owned = make_executor(self.executor, self.workers)
+        executor, owned = make_executor(
+            self.executor, self.workers, kind=self.executor_kind
+        )
         report = ScheduleReport(
             results=[None] * len(jobs),
             frontier=self.policy.name,
@@ -342,15 +389,9 @@ class Scheduler:
         # A solo BatchedVerifier run is entirely self-contained (path-keyed
         # randomness, private frontier, private stats), so whole jobs are
         # the executor's unit here: submit all, gather in submission order.
-        def solo(job: VerificationJob):
-            watch = Stopwatch().start()
-            outcome = BatchedVerifier(
-                job.network, job.policy, job.config, rng=job.seed
-            ).verify(job.prop)
-            return outcome, watch.stop()
-
         futures = [
-            (index, job, executor.submit(solo, job)) for index, job in pending
+            (index, job, executor.submit(solo_verify, job))
+            for index, job in pending
         ]
         for index, job, future in futures:
             outcome, elapsed = future.result()

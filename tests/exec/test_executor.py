@@ -8,6 +8,7 @@ import pytest
 from repro.exec import (
     FirstOutcome,
     PooledExecutor,
+    ProcessExecutor,
     SerialExecutor,
     future_result,
     make_executor,
@@ -147,9 +148,22 @@ class TestPooledExecutor:
         executor.submit(lambda: 1).result()
         executor.shutdown()
         executor.shutdown()
-        # A fresh pool is created lazily on next submit.
-        assert executor.submit(lambda: 2).result() == 2
+
+    def test_submit_after_shutdown_raises(self):
+        # Silently resurrecting the pool here used to leak one thread
+        # pool per stray submit in long-lived runs (nobody owned the new
+        # pool's shutdown); a dead executor must stay dead.
+        executor = PooledExecutor(2)
+        executor.submit(lambda: 1).result()
         executor.shutdown()
+        with pytest.raises(RuntimeError, match="shutdown"):
+            executor.submit(lambda: 2)
+
+    def test_submit_after_shutdown_raises_even_if_never_used(self):
+        executor = PooledExecutor(2)
+        executor.shutdown()
+        with pytest.raises(RuntimeError, match="shutdown"):
+            executor.submit(lambda: 1)
 
 
 class TestMakeExecutor:
@@ -171,6 +185,31 @@ class TestMakeExecutor:
     def test_validates_workers(self):
         with pytest.raises(ValueError, match="workers"):
             make_executor(workers=0)
+
+    def test_explicit_kinds(self):
+        executor, owned = make_executor(workers=1, kind="serial")
+        assert isinstance(executor, SerialExecutor) and owned
+        executor, owned = make_executor(workers=1, kind="pooled")
+        assert isinstance(executor, PooledExecutor) and owned
+        assert executor.workers == 1
+        executor.shutdown()
+        executor, owned = make_executor(workers=2, kind="process")
+        assert isinstance(executor, ProcessExecutor) and owned
+        assert executor.workers == 2 and executor.name == "process"
+        executor.shutdown()
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="executor kind"):
+            make_executor(workers=2, kind="gpu")
+
+    def test_rejects_serial_with_many_workers(self):
+        with pytest.raises(ValueError, match="serial"):
+            make_executor(workers=4, kind="serial")
+
+    def test_rejects_kind_alongside_ready_executor(self):
+        mine = SerialExecutor()
+        with pytest.raises(ValueError, match="not both"):
+            make_executor(mine, kind="pooled")
 
 
 class TestFirstOutcome:

@@ -1,0 +1,309 @@
+"""Tests for spawn-based process-pool kernel execution.
+
+Covers the :class:`~repro.exec.ProcessExecutor` contract the engines rely
+on — ``run_all`` exception ordering, ``cancel_pending`` +
+``future_result`` handling of cancelled futures, a clear error (not a
+hang) when a worker is killed mid-call — plus the descriptor layer
+(:mod:`repro.exec.calls`): known kernel calls must come back bitwise
+identical to their in-process results, with the network shipped once per
+worker, and workers must run with pinned single-threaded BLAS.
+
+Helpers are module-level on purpose: spawn workers import this module to
+unpickle them.
+"""
+
+import os
+import time
+from concurrent.futures import CancelledError
+from concurrent.futures.process import BrokenProcessPool
+
+import numpy as np
+import pytest
+
+from repro.abstract.analyzer import analyze_batch_multi
+from repro.abstract.domains import DomainSpec
+from repro.attack.objective import MultiLabelMarginObjective
+from repro.attack.pgd import PGDConfig, pgd_minimize_batch
+from repro.exec import ProcessExecutor, future_result
+from repro.exec.calls import NetworkStore, marshal_call, run_kernel_call
+from repro.nn.builders import mlp
+from repro.utils.boxes import Box
+
+
+@pytest.fixture(scope="module")
+def executor():
+    """One two-worker pool for the whole module (spawn startup is slow)."""
+    with ProcessExecutor(2) as ex:
+        yield ex
+
+
+def _ok(value):
+    return value
+
+
+def _boom(tag):
+    raise RuntimeError(f"kernel failed: {tag}")
+
+
+def _sleep_then(seconds, value):
+    time.sleep(seconds)
+    return value
+
+
+def _crash(code):
+    os._exit(code)
+
+
+def _network_cache_digests(_):
+    from repro.exec.calls import _NETWORK_CACHE
+
+    return sorted(_NETWORK_CACHE)
+
+
+class TestProcessExecutorBasics:
+    def test_validates_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            ProcessExecutor(0)
+
+    def test_runs_submissions(self, executor):
+        futures = [executor.submit(pow, 3, i) for i in range(5)]
+        assert [f.result() for f in futures] == [3**i for i in range(5)]
+
+    def test_workers_pin_blas_threads(self, executor):
+        # The serial-equivalence contract depends on worker GEMMs seeing
+        # single-threaded BLAS (and pooled runs must not oversubscribe).
+        assert executor.submit(os.getenv, "OMP_NUM_THREADS").result() == "1"
+        assert (
+            executor.submit(os.getenv, "OPENBLAS_NUM_THREADS").result() == "1"
+        )
+
+    def test_parent_env_pins_are_refcounted(self, executor):
+        # The pins stay exported while ANY process executor lives (pools
+        # spawn workers lazily, and spawned children read the env at
+        # numpy load), then the pre-existing values are restored.
+        before = os.environ.get("OMP_NUM_THREADS")
+        executor.submit(_ok, 0).result()  # fixture pool exists -> pinned
+        inner = ProcessExecutor(1)
+        inner.submit(_ok, 1).result()  # pool exists -> pins exported
+        assert os.environ["OMP_NUM_THREADS"] == "1"
+        inner.shutdown()
+        # The module fixture's executor is still alive: pins must hold.
+        assert os.environ["OMP_NUM_THREADS"] == "1"
+        assert before in (None, "1")
+
+    def test_run_all_gathers_in_submission_order(self, executor):
+        calls = [(_sleep_then, 0.01 * (4 - i), i) for i in range(5)]
+        assert executor.run_all(calls) == list(range(5))
+
+    def test_run_all_propagates_first_exception_in_submission_order(
+        self, executor
+    ):
+        # Both failing calls run to completion; the *submission-order*
+        # first one is what surfaces, deterministically.
+        with pytest.raises(RuntimeError, match="kernel failed: first"):
+            executor.run_all(
+                [(_ok, 0), (_boom, "first"), (_ok, 2), (_boom, "second")]
+            )
+
+    def test_submit_after_shutdown_raises(self):
+        executor = ProcessExecutor(1)
+        executor.shutdown()
+        with pytest.raises(RuntimeError, match="shutdown"):
+            executor.submit(_ok, 1)
+
+
+class TestCancelPending:
+    def test_cancel_pending_drops_unstarted_work(self):
+        # A private 1-worker pool: one long call occupies the worker, so
+        # queued submissions beyond the pool's small prefetch buffer have
+        # not started and must cancel.
+        with ProcessExecutor(1) as executor:
+            blocker = executor.submit(_sleep_then, 1.5, "blocker")
+            queued = {executor.submit(_ok, i) for i in range(6)}
+            remaining = executor.cancel_pending(queued)
+            cancelled = queued - remaining
+            # ProcessPoolExecutor prefetches ~1 call beyond the running
+            # one; everything else must have been dropped.
+            assert len(cancelled) >= len(queued) - 2
+            assert blocker.result(timeout=30) == "blocker"
+            for future in cancelled:
+                assert future.cancelled()
+                with pytest.raises(CancelledError):
+                    future.result()
+                assert future_result(future, default="skipped") == "skipped"
+            # The uncancellable stragglers still run to completion.
+            for future in remaining:
+                assert future.result(timeout=30) in range(6)
+
+    def test_cancelled_futures_count_as_done_in_wait_any(self):
+        with ProcessExecutor(1) as executor:
+            blocker = executor.submit(_sleep_then, 1.0, "blocker")
+            queued = {executor.submit(_ok, i) for i in range(6)}
+            remaining = executor.cancel_pending(queued)
+            cancelled = queued - remaining
+            assert cancelled, "expected at least one cancelled future"
+            done, pending = executor.wait_any(set(cancelled))
+            assert done == cancelled and pending == set()
+            assert blocker.result(timeout=30) == "blocker"
+
+
+class TestWorkerCrash:
+    def test_killed_worker_surfaces_broken_pool_not_a_hang(self):
+        # A worker that dies mid-call (OOM killer, crashing extension)
+        # must fail its futures promptly with a clear error.
+        executor = ProcessExecutor(1)
+        try:
+            future = executor.submit(_crash, 11)
+            with pytest.raises(BrokenProcessPool):
+                future.result(timeout=60)
+            # The pool is broken: later submissions fail loudly too.
+            with pytest.raises(BrokenProcessPool):
+                executor.submit(_ok, 1)
+        finally:
+            executor.shutdown()
+
+    def test_run_all_surfaces_the_crash(self):
+        executor = ProcessExecutor(1)
+        try:
+            with pytest.raises(BrokenProcessPool):
+                executor.run_all([(_ok, 0), (_crash, 9), (_ok, 2)])
+        finally:
+            executor.shutdown()
+
+
+@pytest.fixture(scope="module")
+def kernel_case():
+    """A small network plus regions/labels shared by the kernel tests."""
+    network = mlp(4, [12], 3, rng=5)
+    rng = np.random.default_rng(11)
+    regions = [
+        Box.from_center_radius(rng.uniform(0.3, 0.7, 4), 0.08)
+        for _ in range(4)
+    ]
+    labels = [int(network.classify(region.center)) for region in regions]
+    return network, regions, labels
+
+
+class TestKernelDescriptors:
+    def test_pgd_call_is_bitwise_identical(self, executor, kernel_case):
+        network, regions, labels = kernel_case
+        objective = MultiLabelMarginObjective(network, labels)
+        config = PGDConfig(steps=12, restarts=2)
+
+        def rngs():
+            return [np.random.default_rng(100 + i) for i in range(len(regions))]
+
+        ref_x, ref_f = pgd_minimize_batch(
+            objective, regions, config, rngs(), None
+        )
+        got_x, got_f = executor.submit(
+            pgd_minimize_batch, objective, regions, config, rngs(), None
+        ).result()
+        np.testing.assert_array_equal(got_x, ref_x)
+        np.testing.assert_array_equal(got_f, ref_f)
+
+    @pytest.mark.parametrize(
+        "domain",
+        [
+            DomainSpec("interval", 1),
+            DomainSpec("deeppoly", 1),
+            DomainSpec("zonotope", 1),
+            DomainSpec("zonotope", 2),
+        ],
+        ids=str,
+    )
+    def test_analyze_call_matches_inline_margins(
+        self, executor, kernel_case, domain
+    ):
+        network, regions, labels = kernel_case
+        reference = analyze_batch_multi(network, regions, labels, domain, None)
+        results = executor.submit(
+            analyze_batch_multi, network, regions, labels, domain, None
+        ).result()
+        assert len(results) == len(reference)
+        for got, ref in zip(results, reference):
+            assert got.verified == ref.verified
+            assert got.margin_lower_bound == ref.margin_lower_bound
+            # The process boundary deliberately strips output elements.
+            assert got.output is None
+
+    def test_network_ships_once_per_worker(self, kernel_case):
+        network, regions, labels = kernel_case
+        domain = DomainSpec("interval", 1)
+        with ProcessExecutor(1) as solo:
+            for _ in range(3):
+                solo.submit(
+                    analyze_batch_multi, network, regions, labels, domain, None
+                ).result()
+            digests = solo.submit(_network_cache_digests, None).result()
+        # Three calls, one cached deserialization.
+        assert len(digests) == 1
+
+    def test_marshaller_recognizes_known_kernels(self, kernel_case):
+        network, regions, labels = kernel_case
+        store = NetworkStore()
+        try:
+            objective = MultiLabelMarginObjective(network, labels)
+            rngs = [np.random.default_rng(i) for i in range(len(regions))]
+            call = marshal_call(
+                pgd_minimize_batch,
+                (objective, regions, PGDConfig(steps=3), rngs, None),
+                {},
+                store,
+            )
+            assert call is not None and "pgd_minimize_entry" in call.entry
+            # Descriptors round-trip through the worker-side dispatcher
+            # even in-process (entry points are plain functions).
+            x_stars, f_stars = run_kernel_call(call)
+            assert x_stars.shape == (len(regions), 4)
+            assert f_stars.shape == (len(regions),)
+            # Unknown calls fall back to plain pickling.
+            assert marshal_call(pow, (2, 3), {}, store) is None
+        finally:
+            store.close()
+
+    def test_parallel_verifier_runs_over_the_process_pool(
+        self, executor, kernel_case
+    ):
+        # The frontier loop drives thread and process pools through the
+        # same pure sweep_chunk unit; sweep chunks cross as descriptors
+        # (the advisory stop flag is dropped by the marshaller — it
+        # would not pickle).  Outcome *kinds* must match the sequential
+        # engine (witness choice may differ by completion order, which
+        # is the parallel engine's documented contract).
+        from repro.core.config import VerifierConfig
+        from repro.core.parallel import ParallelVerifier
+        from repro.core.property import linf_property
+        from repro.core.verifier import verify_batched
+
+        network, _, _ = kernel_case
+        config = VerifierConfig(timeout=30.0, batch_size=4)
+        rng = np.random.default_rng(3)
+        for epsilon in (0.05, 0.6):  # one verified, one falsified case
+            prop = linf_property(network, rng.uniform(0.3, 0.7, 4), epsilon)
+            reference = verify_batched(network, prop, config=config, rng=0)
+            outcome = ParallelVerifier(
+                network, config=config, executor=executor, rng=0
+            ).verify(prop)
+            assert outcome.kind == reference.kind
+            if outcome.kind == "falsified":
+                # δ-completeness: any returned witness must be real.
+                from repro.attack.objective import MarginObjective
+
+                margin = MarginObjective(network, prop.label)(
+                    outcome.counterexample
+                )
+                assert margin <= config.delta
+
+    def test_network_store_writes_each_digest_once(self, kernel_case):
+        network, _, _ = kernel_case
+        store = NetworkStore()
+        try:
+            first = store.handle(network)
+            second = store.handle(network)
+            assert first == second
+            spill = os.listdir(os.path.dirname(first.path))
+            assert spill == [f"{first.digest}.npz"]
+        finally:
+            store.close()
+        assert not os.path.exists(first.path)

@@ -137,6 +137,20 @@ class TestTraceEquivalence:
         pooled = work_trainer(candidates=2, workers=2).train(iterations=4)
         assert trace_of(serial) == trace_of(pooled)
 
+    def test_process_executor_never_changes_the_trace(self):
+        # The `--executor process` training path: candidate evaluation
+        # crosses the process boundary, the trace must not notice.  The
+        # objective builds ONE pool and reuses it across rounds.
+        serial = work_trainer(candidates=2, workers=1).train(iterations=3)
+        trainer = work_trainer(
+            candidates=2, workers=2, executor_kind="process"
+        )
+        process = trainer.train(iterations=3)
+        # train() closes the pool it built on the way out — no leaked
+        # worker processes, no lingering BLAS env pins.
+        assert trainer.objective._pool is None
+        assert trace_of(serial) == trace_of(process)
+
     def test_iteration_budget_counts_evaluations_not_rounds(self):
         trained = work_trainer(candidates=3, workers=1).train(iterations=5)
         # Default-θ seed observation + exactly 5 evaluations.

@@ -325,6 +325,80 @@ class TestEviction:
             cache.prune(max_bytes=0)
         assert len(cache) == 2  # nothing was wiped
 
+    def test_same_timestamp_eviction_is_deterministic(self, tmp_path):
+        """Records written within one timestamp evict in path order.
+
+        ``st_mtime`` is seconds-granularity on some filesystems, so a
+        burst of puts can share a timestamp; recency must fall back to a
+        stable tiebreak, not directory-iteration order.
+        """
+        import os
+
+        def survivors(root):
+            cache = ResultCache(root)
+            keys = self._fill(cache, 6)
+            # Forge identical nanosecond mtimes for every record: the
+            # worst case a coarse-timestamp filesystem can produce.
+            for key in keys:
+                os.utime(cache._path(key), ns=(10**12, 10**12))
+            result = cache.prune(max_entries=3)
+            assert result.removed == 3
+            return keys, {key for key in keys if cache.get(key) is not None}
+
+        keys_a, first = survivors(tmp_path / "a")
+        keys_b, second = survivors(tmp_path / "b")
+        assert first == second  # deterministic, not iteration-order luck
+        # The stable tiebreak is the record path, so the lexicographically
+        # largest keys survive a same-timestamp prune.
+        assert first == set(sorted(keys_a)[3:])
+
+    def test_nanosecond_recency_orders_same_second_writes(self, tmp_path):
+        """Sub-second mtime differences must drive LRU order."""
+        import os
+
+        cache = ResultCache(tmp_path / "c")
+        keys = self._fill(cache, 3)
+        base = 5 * 10**11
+        # All three records share the same whole second; only the
+        # nanosecond part differs — newest first in key order.
+        for i, key in enumerate(keys):
+            os.utime(cache._path(key), ns=(base - i, base - i))
+        result = cache.prune(max_entries=1)
+        assert result.remaining == 1
+        assert cache.get(keys[0]) is not None  # largest mtime_ns survives
+        assert cache.get(keys[1]) is None
+        assert cache.get(keys[2]) is None
+
+    def test_shared_directory_estimate_rescan(self, tmp_path):
+        """A budgeted instance must notice records another process wrote.
+
+        The in-memory size estimate counts only this instance's own
+        puts; before the periodic re-scan, a second writer sharing the
+        directory could grow it far past budget without the budgeted
+        instance ever noticing (its own counter never crosses).
+        """
+        record = CacheRecord(kind="verified", stats={"pgd_calls": 1})
+        shared = tmp_path / "c"
+        budgeted = ResultCache(shared, max_entries=6, estimate_refresh=2)
+        other = ResultCache(shared)  # e.g. another scheduler process
+        # Initialize the budgeted instance's estimate with two puts...
+        for i in range(2):
+            budgeted.put(f"{i:02x}" + "a" * 62, record)
+        # ...then let the other process flood the directory.
+        for i in range(20):
+            other.put(f"{i:02x}" + "b" * 62, record)
+        assert len(budgeted._entries()) == 22
+        # Four more own puts: the budgeted instance's own counter (6)
+        # never crosses the budget, but the every-2-puts re-scan sees the
+        # other writer's 20 records and prunes the shared directory.
+        for i in range(2, 6):
+            budgeted.put(f"{i:02x}" + "a" * 62, record)
+        assert len(budgeted._entries()) <= 6
+
+    def test_estimate_refresh_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="estimate_refresh"):
+            ResultCache(tmp_path / "c", estimate_refresh=0)
+
 
 class TestRadiusTable:
     def test_one_scan_serves_many_centers(self, cache):

@@ -1,13 +1,16 @@
-"""Executor-equivalence matrix: pooled execution is a pure placement knob.
+"""Executor-equivalence matrix: execution placement is a pure knob.
 
-The tentpole contract of the execution layer (DESIGN.md §8): submitting a
-scheduler round's independent fused groups to a thread pool changes *which
-core* runs a group, never what it computes — group composition, within-
-group row order, and result-consumption order are all fixed on the
-scheduler thread.  These tests pin bitwise-identical per-job outcomes,
-witnesses, and statistics for whole manifests under ``SerialExecutor`` vs
-``PooledExecutor`` with workers ∈ {1, 2, 4}, across every frontier policy
-and both scheduler engines.
+The tentpole contract of the execution layer (DESIGN.md §8–§9):
+submitting a scheduler round's independent fused groups to a thread pool
+— or marshalling them across a process boundary — changes *which core*
+runs a group, never what it computes: group composition, within-group row
+order, and result-consumption order are all fixed on the scheduler
+thread, and process workers pin their BLAS pools to one thread so GEMM
+rounding matches the serial run.  These tests pin bitwise-identical
+per-job outcomes, witnesses, and statistics for whole manifests under
+``SerialExecutor`` vs ``PooledExecutor`` vs ``ProcessExecutor`` with
+workers ∈ {1, 2, 4}, across every frontier policy and both scheduler
+engines.
 """
 
 import numpy as np
@@ -15,7 +18,7 @@ import pytest
 
 from repro.core.config import VerifierConfig
 from repro.core.property import RobustnessProperty, linf_property
-from repro.exec import PooledExecutor, SerialExecutor
+from repro.exec import PooledExecutor, ProcessExecutor, SerialExecutor
 from repro.nn.builders import mlp, xor_network
 from repro.sched import Scheduler, VerificationJob
 from repro.utils.boxes import Box
@@ -80,6 +83,24 @@ def serial_reports(manifest):
     }
 
 
+@pytest.fixture(scope="module")
+def process_executors():
+    """One ProcessExecutor per worker width, shared across the matrix.
+
+    Spawned workers each import numpy + repro once; reusing the pools
+    keeps the process rows' cost at one spawn per width instead of one
+    per (policy, width, engine) cell.
+    """
+    executors = {}
+    try:
+        yield lambda workers: executors.setdefault(
+            workers, ProcessExecutor(workers)
+        )
+    finally:
+        for executor in executors.values():
+            executor.shutdown()
+
+
 def assert_reports_bitwise_equal(reference, candidate):
     assert len(reference.results) == len(candidate.results)
     for ref, cand in zip(reference.results, candidate.results):
@@ -116,21 +137,68 @@ class TestBatchedEngineMatrix:
         assert report.executor == "pooled" and report.workers == 2
         assert_reports_bitwise_equal(serial_reports["dfs"], report)
 
+    @pytest.mark.parametrize("frontier", POLICIES)
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_process_matches_serial(
+        self, frontier, workers, manifest, serial_reports, process_executors
+    ):
+        # The hard row of the matrix: every fused group crosses a process
+        # boundary as a picklable descriptor, runs under pinned BLAS, and
+        # must still reproduce the serial run bit for bit.
+        report = Scheduler(
+            manifest, frontier=frontier, executor=process_executors(workers)
+        ).run()
+        assert report.executor == "process"
+        assert report.workers == workers
+        assert_reports_bitwise_equal(serial_reports[frontier], report)
+
+    def test_executor_kind_argument_builds_the_process_pool(
+        self, manifest, serial_reports
+    ):
+        report = Scheduler(
+            manifest, workers=2, executor_kind="process"
+        ).run()
+        assert report.executor == "process" and report.workers == 2
+        assert_reports_bitwise_equal(serial_reports["dfs"], report)
+
 
 class TestSequentialEngineMatrix:
-    @pytest.mark.parametrize("workers", WORKER_COUNTS)
-    def test_pooled_jobs_match_serial(self, workers, manifest):
-        serial = Scheduler(
+    @pytest.fixture(scope="class")
+    def serial_report(self, manifest):
+        return Scheduler(
             manifest, engine="sequential", executor=SerialExecutor()
         ).run()
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_pooled_jobs_match_serial(self, workers, manifest, serial_report):
         with PooledExecutor(workers) as executor:
             pooled = Scheduler(
                 manifest, engine="sequential", executor=executor
             ).run()
-        assert_reports_bitwise_equal(serial, pooled)
+        assert_reports_bitwise_equal(serial_report, pooled)
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_process_jobs_match_serial(
+        self, workers, manifest, serial_report, process_executors
+    ):
+        report = Scheduler(
+            manifest, engine="sequential", executor=process_executors(workers)
+        ).run()
+        assert report.executor == "process"
+        assert_reports_bitwise_equal(serial_report, report)
 
 
 class TestValidation:
     def test_rejects_bad_worker_count(self, manifest):
         with pytest.raises(ValueError, match="workers"):
             Scheduler(manifest, workers=0)
+
+    def test_rejects_unknown_executor_kind(self, manifest):
+        with pytest.raises(ValueError, match="executor kind"):
+            Scheduler(manifest, workers=2, executor_kind="gpu")
+
+    def test_rejects_kind_alongside_ready_executor(self, manifest):
+        with pytest.raises(ValueError, match="not both"):
+            Scheduler(
+                manifest, executor=SerialExecutor(), executor_kind="pooled"
+            )

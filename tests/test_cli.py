@@ -420,6 +420,14 @@ class TestTrainCommand:
         # Default-θ seed + 2 evaluations.
         assert len(payload["observations"]) == 3
 
+    def test_bad_executor_combination_exits_cleanly(self, suite, tmp_path):
+        # Validated at trainer construction, not rounds into training.
+        with pytest.raises(SystemExit, match="serial"):
+            main([
+                "train", suite, "--iterations", "1", "--workers", "2",
+                "--executor", "serial", "--out", str(tmp_path / "t.json"),
+            ])
+
     def test_cached_rerun_spawns_no_work(self, suite, tmp_path, capsys):
         cache = tmp_path / "cache"
         argv = [
@@ -500,3 +508,31 @@ class TestScheduleWorkers:
         code = main(["schedule", str(manifest)])
         assert "serial executor x1" in capsys.readouterr().out
         assert code == 0
+
+    def test_executor_flag_selects_the_kind(self, xor_path, tmp_path, capsys):
+        manifest = tmp_path / "manifest.json"
+        manifest.write_text(json.dumps({
+            "defaults": {"network": xor_path, "epsilon": 0.04,
+                         "timeout": 30.0},
+            "jobs": [
+                {"center": "0.5,0.88", "name": "hi-y"},
+                {"center": "0.88,0.5", "name": "hi-x"},
+            ],
+        }))
+        code = main([
+            "schedule", str(manifest), "--executor", "process",
+            "--workers", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "process executor x2" in out
+        # Pooled can be forced even at one worker.
+        code = main(["schedule", str(manifest), "--executor", "pooled"])
+        assert "pooled executor x1" in capsys.readouterr().out
+        assert code == 0
+        # Serial with several workers is a contradiction, caught eagerly.
+        with pytest.raises(SystemExit, match="serial"):
+            main([
+                "schedule", str(manifest), "--executor", "serial",
+                "--workers", "4",
+            ])
