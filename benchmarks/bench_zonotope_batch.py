@@ -16,17 +16,25 @@ here:
 - the fused sign-split dense rewrite in `DeepPolyBatch` (one
   (B, rows, 2n) GEMM against a relation stack built at layer
   construction) never loses to the unfused two-GEMM rewrite it replaced
-  on a wider-input maxpool workload.
+  on a wider-input maxpool workload;
+- the fused split+join contraction (``repro.abstract.fused``) beats the
+  pre-fusion kernel structure by >= 1.4x on a powerset-frontier-shaped
+  workload at bitwise-equal results, and its steady state neither
+  allocates scratch nor re-introduces per-branch ``(S, k, n)``
+  temporaries (the structural pass-counting guard).
 """
 
 import time
+import tracemalloc
 
 import numpy as np
 from conftest import TIMEOUT, load_problems, one_shot
 
+from repro.abstract import fused
 from repro.abstract.analyzer import analyze, analyze_batch
 from repro.abstract.deeppoly import DeepPolyBatch, _DiagBounds, _split_signs
 from repro.abstract.domains import DEEPPOLY, ZONOTOPE, bounded_zonotopes
+from repro.bench.fusedref import prefused_stacked_relu, promotion_stack
 from repro.core.config import VerifierConfig
 from repro.core.verifier import BatchedVerifier, Verifier
 from repro.learn.pretrained import pretrained_policy
@@ -221,3 +229,105 @@ def test_fused_dense_backsub_wider_inputs(benchmark):
     # structural regression (e.g. re-stacking relations per rewrite,
     # which measured ~2x slower), not to flake on noisy shared runners.
     assert fused_s <= unfused_s * 1.35
+
+
+# One powerset-frontier-sized stacked-ReLU workload shared by the fused
+# throughput floor and the structural guard: 48 disjunct rows, 160 noise
+# symbols of which ~45% are promotion-dead (see promotion_stack), 96
+# dims.  Measured locally: the pre-fusion kernel runs ~1.16x slower on a
+# fully dense stack (pure fusion win) and ~2x slower here, where
+# compaction also skips the dead rows every round.
+_FUSED_WORKLOAD = dict(seed=11, rows=48, k=160, n=96, dead_rows=0.45)
+
+
+def test_fused_relu_kernel_throughput(benchmark):
+    """The tentpole contract: the fused split+join contraction is
+    >= 1.4x the pre-fusion kernel at **bitwise-equal** results on the
+    powerset-heavy workload."""
+    args = promotion_stack(**_FUSED_WORKLOAD)
+
+    # Bitwise pin first: identical (center, gens, err) triples.  The
+    # reference runs without compaction (it has none); equality across
+    # that divide is exactly the compaction invariant.
+    fused.reset_counters()
+    got = fused.stacked_relu(*args)
+    want = prefused_stacked_relu(*args)
+    for g, w in zip(got, want):
+        np.testing.assert_array_equal(g, w)
+    assert fused.FUSED_COUNTERS["compacted_rows"] > 0, (
+        "workload must engage compaction for the measured ratio to "
+        "reflect the shipped configuration"
+    )
+
+    def best_of(fn, rounds=3):
+        fn(*args)  # warm (arena allocation, first-touch paging)
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            fn(*args)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    def run():
+        return best_of(prefused_stacked_relu), best_of(fused.stacked_relu)
+
+    prefused_s, fused_s = one_shot(benchmark, run)
+    ratio = prefused_s / fused_s
+    print()
+    print(
+        f"fused split+join contraction: pre-fusion {prefused_s * 1e3:.0f}ms, "
+        f"fused {fused_s * 1e3:.0f}ms ({ratio:.2f}x)"
+    )
+    assert ratio >= 1.4
+
+
+def test_fused_kernel_structural_guard(benchmark):
+    """Pass-counting guard: a future edit that re-introduces per-branch
+    temporaries (or per-round scratch allocation) fails structurally,
+    not just slowly.
+
+    Two instruments: the arena counters must show zero allocations in
+    the steady state (every scratch request served by reuse), and
+    tracemalloc must see less than one ``(S, k, n)`` tensor of fresh
+    allocation inside a steady-state fused round — a single rematerialized
+    branch tensor (let alone the pre-fusion dozen) trips the bound.
+    """
+    centers, gens, errs, skips = promotion_stack(**_FUSED_WORKLOAD)
+    rows = np.arange(centers.shape[0])
+    # One representative contraction round: every row splits on its
+    # widest crossing dim (promotion_stack centers straddle zero).
+    radius = np.abs(gens).sum(axis=1) + errs
+    dims = np.argmax(
+        np.where((centers - radius < 0) & (centers + radius > 0), radius, -1),
+        axis=1,
+    )
+
+    def steady_state_round():
+        return fused.fused_split_join(centers, gens, errs, rows, dims)
+
+    def run():
+        steady_state_round()  # warm the thread's arena
+        fused.reset_counters()
+        steady_state_round()
+        counters = dict(fused.FUSED_COUNTERS)
+        tracemalloc.start()
+        steady_state_round()
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return counters, peak
+
+    counters, peak = one_shot(benchmark, run)
+    print()
+    print(f"steady-state fused round: {counters}, tracemalloc peak {peak}B")
+    assert counters["calls"] == 1
+    assert counters["arena_allocs"] == 0, (
+        "steady-state fused rounds must serve every scratch request from "
+        "the arena; an allocation here means a buffer was dropped"
+    )
+    assert counters["arena_reuses"] > 0
+    branch_tensor_bytes = rows.size * gens.shape[1] * gens.shape[2] * 8
+    assert peak < branch_tensor_bytes, (
+        f"a steady-state fused round allocated {peak}B (>= one "
+        f"{rows.size}x{gens.shape[1]}x{gens.shape[2]} branch tensor of "
+        f"{branch_tensor_bytes}B): per-branch temporaries are back"
+    )

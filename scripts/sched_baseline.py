@@ -30,9 +30,17 @@ width for both pool kinds.
 Like ``perf_baseline.py``, runs append to a trajectory list in the output
 file, accumulating the perf history across PRs.
 
+``--fused-bench`` is a separate fast mode -> ``BENCH_fused.json``: it
+measures the fused split+join contraction (``repro.abstract.fused``)
+against the pre-fusion kernel structure kept verbatim in
+``repro.bench.fusedref`` — bitwise-asserted, on the powerset-frontier
+workload — and records the throughput ratio alongside the executor kind
+and host core counts, like every other BENCH row.
+
 Usage::
 
     PYTHONPATH=src python scripts/sched_baseline.py [--quick] [--out PATH]
+    PYTHONPATH=src python scripts/sched_baseline.py --fused-bench
 """
 
 from __future__ import annotations
@@ -144,6 +152,64 @@ def outcomes_agree(a, b) -> bool:
     return True
 
 
+def run_fused_bench(out_path: Path) -> int:
+    """The ``--fused-bench`` fast mode -> one ``BENCH_fused.json`` row."""
+    import time
+
+    from repro.abstract import fused
+    from repro.bench.fusedref import prefused_stacked_relu, promotion_stack
+
+    workload = dict(seed=11, rows=48, k=160, n=96, dead_rows=0.45)
+    operands = promotion_stack(**workload)
+
+    fused.reset_counters()
+    got = fused.stacked_relu(*operands)
+    want = prefused_stacked_relu(*operands)
+    bitwise_equal = all(np.array_equal(g, w) for g, w in zip(got, want))
+    counters = dict(fused.FUSED_COUNTERS)
+
+    def best_of(fn, rounds=3):
+        fn(*operands)  # warm (arena allocation, first-touch paging)
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            fn(*operands)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    prefused_s = best_of(prefused_stacked_relu)
+    fused_s = best_of(fused.stacked_relu)
+    ratio = prefused_s / max(fused_s, 1e-9)
+    report = {
+        "bench": "fused_kernel",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "host": host_info(),
+        "workload": workload,
+        "kernel": {
+            # The kernel runs in-process on the caller's thread; the row
+            # still carries the executor kind and core counts so it stays
+            # schema-comparable with the worker-scaling rows.
+            "executor": "serial",
+            "cpu_count": os.cpu_count(),
+            "prefused_ms": round(prefused_s * 1e3, 1),
+            "fused_ms": round(fused_s * 1e3, 1),
+            "throughput_ratio": round(ratio, 2),
+            "bitwise_equal": bitwise_equal,
+            "compacted_rows": counters["compacted_rows"],
+        },
+    }
+    print(
+        f"fused kernel: pre-fusion {report['kernel']['prefused_ms']}ms, "
+        f"fused {report['kernel']['fused_ms']}ms -> {ratio:.2f}x, "
+        f"bitwise_equal={bitwise_equal}", flush=True,
+    )
+    assert bitwise_equal, "fused kernel diverged from the reference path"
+    append_trajectory(out_path, "fused_kernel", report)
+    print(f"wrote {out_path}")
+    return 0
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -151,9 +217,17 @@ def main(argv=None):
         help="one network, fewer problems (smoke run; not the baseline)",
     )
     parser.add_argument(
-        "--out", default="BENCH_sched.json", help="output JSON path"
+        "--fused-bench", action="store_true",
+        help="fast mode: fused vs pre-fused kernel throughput row only "
+        "(defaults --out to BENCH_fused.json)",
+    )
+    parser.add_argument(
+        "--out", default=None, help="output JSON path"
     )
     args = parser.parse_args(argv)
+    if args.fused_bench:
+        return run_fused_bench(Path(args.out or "BENCH_fused.json"))
+    args.out = args.out or "BENCH_sched.json"
 
     scale = SuiteScale()
     names = MLP_NETWORKS[:1] if args.quick else MLP_NETWORKS

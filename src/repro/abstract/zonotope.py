@@ -27,9 +27,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.abstract.element import AbstractElement
+from repro.abstract.fused import _COEF_TOL, gen_sum, stacked_relu
 from repro.utils.boxes import Box
-
-_COEF_TOL = 1e-12
 
 
 class Zonotope(AbstractElement):
@@ -151,19 +150,19 @@ class Zonotope(AbstractElement):
         return Zonotope._make(center, gens, np.zeros(center.size))
 
     def relu(self, skip_dims: frozenset[int] = frozenset()) -> "Zonotope":
-        element = self._clamp_nonpositive(skip_dims)
-        # Joins performed while processing earlier dims can shrink later
-        # dims' ranges, so re-check the crossing condition per dimension.
-        for dim in element.crossing_dims():
-            dim = int(dim)
-            if dim in skip_dims:
-                continue
-            lo, hi = element.dim_bounds(dim)
-            if hi <= 0.0:
-                element = element._project_dim(dim)
-            elif lo < 0.0:
-                element = element.relu_dim(dim)
-        return element
+        """Case-split ReLU via the fused contraction kernel.
+
+        This is the ``R == 1`` instantiation of
+        :func:`repro.abstract.fused.stacked_relu` — the fused kernel's
+        products and reductions are batch-height-stable, so delegating
+        keeps this transformer bitwise equal to batched rows (and buys
+        the sequential path the same scratch-arena reuse and generator
+        compaction as the batch).
+        """
+        center, gens, err = stacked_relu(
+            self.center[None, :], self.gens[None], self.err[None], [skip_dims]
+        )
+        return Zonotope._make(center[0], gens[0], err[0])
 
     def _clamp_nonpositive(self, skip_dims: frozenset[int] = frozenset()) -> "Zonotope":
         """Project every definitely-non-positive dimension to exactly 0."""
@@ -277,7 +276,10 @@ class Zonotope(AbstractElement):
             raise ValueError(f"dimension {dim} does not cross zero: [{lo}, {hi}]")
         coeffs = self.gens[:, dim]
         abs_coeffs = np.abs(coeffs)
-        total = abs_coeffs.sum() + self.err[dim]
+        # gen_sum, not a pairwise 1-D sum: the contraction totals must be
+        # invariant to zero generator rows so compaction stays exact, and
+        # must match the batched split kernel at every height.
+        total = gen_sum(abs_coeffs[None, :])[0] + self.err[dim]
         touched = abs_coeffs > _COEF_TOL
         rest = total - abs_coeffs
         c = self.center[dim]
@@ -300,7 +302,10 @@ class Zonotope(AbstractElement):
         lo_sym = np.minimum(lo_sym, hi_sym)  # guard against numeric inversion
         mid = (lo_sym + hi_sym) / 2.0
         half = (hi_sym - lo_sym) / 2.0
-        centers = self.center + (mid @ self.gens)
+        # einsum, not BLAS: the (2, k) @ (k, n) GEMM's reduction order is
+        # not zero-row-invariant, while einsum's accumulation loop over k
+        # is sequential (and identical at every stacked height).
+        centers = self.center + np.einsum("jk,kn->jn", mid, self.gens)
         # Positive branch: on {x_dim >= 0} the ReLU is the identity, and the
         # contracted zonotope over-approximates that meet, so it directly
         # over-approximates the branch image (any residual negative tail left

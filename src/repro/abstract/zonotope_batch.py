@@ -37,9 +37,12 @@ row's float sequence —
   OpenBLAS routes through different kernels — which is why the *center*
   products here and in the sequential ``Zonotope.affine`` both go through
   ``einsum``, whose per-element dot loop is height-independent);
-- the split/join contraction's ``(R, 2, k) @ (R, k, n)`` stacked matmul
-  runs one fixed-shape ``(2, k) @ (k, n)`` GEMM per row-slice, exactly
-  the sequential transformer's product;
+- the split/join contraction (now the fused in-place kernel in
+  :mod:`repro.abstract.fused`, DESIGN.md §10) computes its branch-center
+  products through the same ``einsum`` per-element dot loop, which is
+  both height-stable and zero-row-neutral — the property generator
+  compaction relies on to drop all-zero rows between rounds without
+  changing a single output value;
 - every sum (radii, join pads, margin masses) reduces over per-row axes
   whose pairwise-summation order is independent of the batch height, and
   matches the sequential element's cached-vs-fresh radius formulas
@@ -54,8 +57,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.abstract.batched import BatchedElement
+from repro.abstract.fused import _COEF_TOL, gen_sum
+from repro.abstract.fused import stacked_relu as _fused_stacked_relu
 from repro.abstract.powerset import PowersetElement
-from repro.abstract.zonotope import _COEF_TOL, Zonotope
+from repro.abstract.zonotope import Zonotope
 from repro.utils.boxes import Box
 
 # ----------------------------------------------------------------------
@@ -172,7 +177,10 @@ def _stacked_relu_split(
     sub_gens = gens[rows]  # (R, k, n) gather, reused by both branches
     coeffs = gens[rows, :, dims]  # (R, k) contiguous gather
     abs_coeffs = np.abs(coeffs)
-    total = abs_coeffs.sum(axis=1) + errs[rows, dims]
+    # gen_sum, not a pairwise axis-1 sum: contraction totals must be
+    # invariant to zero generator rows (compaction) and identical to the
+    # sequential ``Zonotope.relu_split`` at every height.
+    total = gen_sum(abs_coeffs) + errs[rows, dims]
     touched = abs_coeffs > _COEF_TOL
     rest = total[:, None] - abs_coeffs
     c = centers[rows, dims][:, None]
@@ -191,7 +199,12 @@ def _stacked_relu_split(
     lo_sym = np.minimum(lo_sym, hi_sym)  # guard against numeric inversion
     mid = (lo_sym + hi_sym) / 2.0
     half = (hi_sym - lo_sym) / 2.0
-    branch_centers = centers[rows][:, None, :] + mid @ sub_gens  # (R, 2, n)
+    # einsum, not the (R, 2, k) @ (R, k, n) stacked matmul: BLAS GEMM
+    # reduction order is not zero-row-invariant, while einsum's
+    # accumulation loop over k is sequential and height-stable.
+    branch_centers = centers[rows][:, None, :] + np.einsum(
+        "rjk,rkn->rjn", mid, sub_gens
+    )  # (R, 2, n)
     pos_c = branch_centers[:, 0]
     neg_c = branch_centers[:, 1].copy()
     pos_g = sub_gens * half[:, 0][:, :, None]
@@ -247,81 +260,14 @@ def _stacked_relu(
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """``Zonotope.relu(skip_dims)`` for every row, batched.
 
-    The no-crossing clamp runs in one elementwise pass; the residual
-    data-dependent case-split loop runs in *rounds*: round ``t``
-    processes the ``t``-th entry of every row's private widest-first
-    crossing order, so the split+join contraction vectorizes across rows
-    while each row still sees its dims in exactly the sequential order.
-
-    ``radius`` optionally passes the caller's already-computed pre-clamp
-    radii (the batched analogue of the sequential radius cache).
+    Delegates to :func:`repro.abstract.fused.stacked_relu` — the fused
+    split+project+join contraction over scratch-arena buffers, with
+    generator compaction inside the round loop.  The unfused composition
+    ``_stacked_join(*_stacked_relu_split(...))`` remains available here
+    as the reference path (the fused kernel is pinned bitwise against it
+    in ``benchmarks/bench_zonotope_batch.py``).
     """
-    rows = centers.shape[0]
-    # --- one-pass no-crossing clamp ----------------------------------
-    if radius is None:
-        radius = _stacked_radius(gens, errs)
-    dead = centers + radius <= 0.0
-    for r, skip in enumerate(skips):
-        if skip:
-            dead[r, list(skip)] = False
-    centers = np.where(dead, 0.0, centers)
-    gens = np.where(dead[:, None, :], 0.0, gens)
-    errs = np.where(dead, 0.0, errs)
-    # Sequential elements re-derive their radius cache on the clamped
-    # arrays (zeroed columns sum to exactly 0, untouched columns are
-    # unchanged, so this equals patching the cache) — only clamped rows
-    # can have changed.
-    clamped = dead.any(axis=1)
-    if clamped.any():
-        radius = radius.copy()
-        radius[clamped] = _stacked_radius(gens[clamped], errs[clamped])
-    low = centers - radius
-    high = centers + radius
-    orders = [_crossing_order(low[r], high[r]) for r in range(rows)]
-    # ``fresh`` mirrors the sequential radius cache: a row keeps using its
-    # post-clamp radii until its first projection or split invalidates
-    # them, after which per-dim bounds come from fresh column sums.
-    fresh = np.ones(rows, dtype=bool)
-    for position in range(max((len(o) for o in orders), default=0)):
-        todo = [
-            (r, int(orders[r][position]))
-            for r in range(rows)
-            if position < len(orders[r])
-            and int(orders[r][position]) not in skips[r]
-        ]
-        if not todo:
-            continue
-        t_rows = np.array([r for r, _ in todo])
-        t_dims = np.array([d for _, d in todo])
-        rad = np.empty(len(todo))
-        cached = fresh[t_rows]
-        if cached.any():
-            rad[cached] = radius[t_rows[cached], t_dims[cached]]
-        stale = ~cached
-        if stale.any():
-            cols = gens[t_rows[stale], :, t_dims[stale]]  # (S, k)
-            rad[stale] = (
-                np.abs(cols).sum(axis=1) + errs[t_rows[stale], t_dims[stale]]
-            )
-        c = centers[t_rows, t_dims]
-        project = c + rad <= 0.0
-        split = ~project & (c - rad < 0.0)
-        p_rows, p_dims = t_rows[project], t_dims[project]
-        if p_rows.size:
-            centers[p_rows, p_dims] = 0.0
-            gens[p_rows, :, p_dims] = 0.0
-            errs[p_rows, p_dims] = 0.0
-            fresh[p_rows] = False
-        s_rows, s_dims = t_rows[split], t_dims[split]
-        if s_rows.size:
-            joined = _stacked_join(
-                *_stacked_relu_split(centers, gens, errs, s_rows, s_dims)
-            )
-            centers[s_rows] = joined[0]
-            gens[s_rows] = joined[1]
-            errs[s_rows] = joined[2]
-            fresh[s_rows] = False
-    return centers, gens, errs
+    return _fused_stacked_relu(centers, gens, errs, skips, radius=radius)
 
 
 # ----------------------------------------------------------------------

@@ -269,6 +269,7 @@ def _manifest_jobs(args: argparse.Namespace) -> list[VerificationJob]:
 
 
 def cmd_schedule(args: argparse.Namespace) -> int:
+    _apply_kernel_flags(args)
     jobs = _manifest_jobs(args)
     cache = None
     if args.cache:
@@ -288,6 +289,7 @@ def cmd_schedule(args: argparse.Namespace) -> int:
             engine=args.engine,
             workers=args.workers,
             executor_kind=args.executor,
+            shm_threshold=args.shm_threshold,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -347,6 +349,7 @@ def _suite_problems(path: str) -> list[TrainingProblem]:
 
 
 def cmd_train(args: argparse.Namespace) -> int:
+    _apply_kernel_flags(args)
     problems = _suite_problems(args.suite)
     cache = None
     if args.cache:
@@ -584,6 +587,42 @@ def _add_executor_flag(parser: argparse.ArgumentParser) -> None:
         "paths the GIL serializes).  Default: serial when --workers 1, "
         "pooled otherwise",
     )
+    parser.add_argument(
+        "--shm-threshold",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="process-executor operand size at which kernel-call arrays "
+        "cross the worker boundary via shared memory instead of pickle "
+        "(0 shares every array, negative disables the transport; "
+        "default from REPRO_SHM_THRESHOLD or 1 MiB)",
+    )
+    parser.add_argument(
+        "--no-compaction",
+        action="store_true",
+        help="disable generator compaction in the fused zonotope ReLU "
+        "kernels (the reference path; results stay ==-comparable to the "
+        "compacted default).  Exported to spawn workers via "
+        "REPRO_NO_COMPACTION",
+    )
+
+
+def _apply_kernel_flags(args: argparse.Namespace) -> None:
+    """Export the fused-kernel knobs before any executor can spawn.
+
+    Both knobs must be in the environment before a process pool's first
+    worker spawns, so workers inherit the same settings and stay
+    comparable with the parent.
+    """
+    import os
+
+    from repro.abstract.fused import set_compaction
+
+    if getattr(args, "no_compaction", False):
+        os.environ["REPRO_NO_COMPACTION"] = "1"
+        set_compaction(False)
+    if getattr(args, "shm_threshold", None) is not None:
+        os.environ["REPRO_SHM_THRESHOLD"] = str(args.shm_threshold)
 
 
 def _add_domain_flags(parser: argparse.ArgumentParser) -> None:

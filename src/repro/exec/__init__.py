@@ -2,7 +2,8 @@
 execution of independent kernel calls (§6's "different threads"), shared
 by the scheduler, the parallel verifier, and scheduled policy training.
 Process submissions cross as picklable descriptors (:mod:`repro.exec.calls`)
-that ship each network once per worker."""
+that ship each network once per worker; large operands ride
+``multiprocessing.shared_memory`` segments (:mod:`repro.exec.shm`)."""
 
 from repro.exec.executor import (
     EXECUTOR_KINDS,
@@ -15,6 +16,7 @@ from repro.exec.executor import (
     make_executor,
     validate_executor_spec,
 )
+from repro.exec.shm import ShmArena, ShmHandle
 
 __all__ = [
     "KernelExecutor",
@@ -23,6 +25,8 @@ __all__ = [
     "ProcessExecutor",
     "EXECUTOR_KINDS",
     "FirstOutcome",
+    "ShmArena",
+    "ShmHandle",
     "make_executor",
     "validate_executor_spec",
     "future_result",

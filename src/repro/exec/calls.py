@@ -23,6 +23,12 @@ boundary layer that makes process execution cheap and faithful:
   pays one ``load_network`` per distinct network per lifetime — not one
   per call.
 
+- **Large operands ride shared memory.**  The executor's
+  :class:`~repro.exec.shm.ShmArena` swaps big ndarray payload values for
+  :class:`~repro.exec.shm.ShmHandle` descriptors after marshalling;
+  :func:`run_kernel_call` materializes them before dispatch, so entry
+  points only ever see plain arrays.
+
 - **Entry points return caller-visible values.**  A descriptor's entry
   point produces exactly what the original function would have returned
   (bitwise — ``.npz`` round-trips and pickle both preserve float64 bit
@@ -34,6 +40,7 @@ boundary layer that makes process execution cheap and faithful:
 
 from __future__ import annotations
 
+import atexit
 import importlib
 import shutil
 import tempfile
@@ -43,6 +50,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.exec.shm import ShmHandle, resolve_payload
 from repro.nn.serialize import load_network, network_digest, save_network
 
 
@@ -66,6 +74,10 @@ class NetworkStore:
     def __init__(self) -> None:
         self._dir = Path(tempfile.mkdtemp(prefix="repro-exec-nets-"))
         self._handles: dict[int, tuple[object, NetworkHandle]] = {}
+        # Backstop for parents that never shut their executor down: a
+        # long-running training loop churning pools must not accumulate
+        # one spill directory per pool on disk past process exit.
+        atexit.register(self.close)
 
     def handle(self, network) -> NetworkHandle:
         key = id(network)
@@ -82,6 +94,7 @@ class NetworkStore:
     def close(self) -> None:
         self._handles.clear()
         shutil.rmtree(self._dir, ignore_errors=True)
+        atexit.unregister(self.close)
 
 
 #: Worker-side cache: one deserialized network per digest per process.
@@ -109,13 +122,21 @@ _ENTRY_CACHE: dict[str, Callable] = {}
 
 
 def run_kernel_call(call: KernelCall):
-    """Worker-side dispatcher: resolve the entry point and run it."""
+    """Worker-side dispatcher: resolve the entry point and run it.
+
+    Shared-memory operands (:class:`~repro.exec.shm.ShmHandle` payload
+    values) are materialized here, before the entry point runs, so entry
+    points only ever see plain arrays.
+    """
     fn = _ENTRY_CACHE.get(call.entry)
     if fn is None:
         module_name, _, attr = call.entry.partition(":")
         fn = getattr(importlib.import_module(module_name), attr)
         _ENTRY_CACHE[call.entry] = fn
-    return fn(call.payload)
+    payload = call.payload
+    if any(isinstance(value, ShmHandle) for value in payload.values()):
+        payload = resolve_payload(payload)
+    return fn(payload)
 
 
 # ----------------------------------------------------------------------

@@ -283,6 +283,15 @@ class ProcessExecutor(KernelExecutor):
       single-threaded — ``workers`` processes use ``workers`` cores, and
       GEMM reduction order matches a serial run bitwise.
 
+    Descriptor operands above ``shm_threshold`` bytes additionally cross
+    the boundary as ``multiprocessing.shared_memory`` handles instead of
+    pickle bytes (:mod:`repro.exec.shm`): the parent-owned
+    :class:`~repro.exec.shm.ShmArena` writes each array into a segment
+    once, releases it when the call's future completes, and unlinks
+    every live segment on :meth:`shutdown` — including segments whose
+    worker died mid-call, whose futures still complete with
+    ``BrokenProcessPool``.
+
     The pool is created lazily on first submit and torn down by
     :meth:`shutdown`; like :class:`PooledExecutor`, submits after
     shutdown raise.  A worker that dies mid-call (OOM-killed, crashed
@@ -292,12 +301,16 @@ class ProcessExecutor(KernelExecutor):
 
     name = "process"
 
-    def __init__(self, workers: int = 4) -> None:
+    def __init__(
+        self, workers: int = 4, shm_threshold: int | None = None
+    ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.workers = workers
+        self.shm_threshold = shm_threshold
         self._pool: ProcessPoolExecutor | None = None
         self._store = None  # parent-side network spill (repro.exec.calls)
+        self._shm = None  # parent-side segment registry (repro.exec.shm)
         self._closed = False
         self._pinned = False
         self._lock = threading.Lock()
@@ -312,6 +325,7 @@ class ProcessExecutor(KernelExecutor):
         """
         if self._pool is None:
             from repro.exec.calls import NetworkStore
+            from repro.exec.shm import ShmArena
 
             _push_blas_pins()
             self._pinned = True
@@ -321,10 +335,11 @@ class ProcessExecutor(KernelExecutor):
                 initializer=_pin_worker_blas,
             )
             self._store = NetworkStore()
+            self._shm = ShmArena(self.shm_threshold)
         return self._pool
 
     def submit(self, fn: Callable, /, *args, **kwargs):
-        from repro.exec.calls import marshal_call, run_kernel_call
+        from repro.exec.calls import KernelCall, marshal_call, run_kernel_call
 
         with self._lock:
             if self._closed:
@@ -333,8 +348,20 @@ class ProcessExecutor(KernelExecutor):
                 )
             pool = self._ensure_pool()
             call = marshal_call(fn, args, kwargs, self._store)
+            shm = self._shm
         if call is not None:
-            return pool.submit(run_kernel_call, call)
+            payload, segments = shm.wrap_payload(call.payload)
+            if segments:
+                call = KernelCall(call.entry, payload)
+            future = pool.submit(run_kernel_call, call)
+            if segments:
+                # Release the call's segments when its future completes —
+                # also on cancellation and on worker death, both of which
+                # complete the future.  The callback must never raise.
+                future.add_done_callback(
+                    lambda _f, names=segments: shm.release(names)
+                )
+            return future
         return pool.submit(fn, *args, **kwargs)
 
     def wait_any(self, futures: set) -> tuple[set, set]:
@@ -345,12 +372,15 @@ class ProcessExecutor(KernelExecutor):
         with self._lock:
             pool, self._pool = self._pool, None
             store, self._store = self._store, None
+            shm, self._shm = self._shm, None
             pinned, self._pinned = self._pinned, False
             self._closed = True
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=cancel_pending)
         if store is not None:
             store.close()
+        if shm is not None:
+            shm.close()
         if pinned:
             _pop_blas_pins()
 
@@ -359,6 +389,7 @@ def make_executor(
     executor: KernelExecutor | None = None,
     workers: int = 1,
     kind: str | None = None,
+    shm_threshold: int | None = None,
 ) -> tuple[KernelExecutor, bool]:
     """Normalize an (executor, workers, kind) triple into ``(executor, owned)``.
 
@@ -367,7 +398,9 @@ def make_executor(
     :data:`EXECUTOR_KINDS`; in the latter case the engine builds one and
     must shut it down after the run (``owned=True``).  With no ``kind``
     the historical default applies: serial for ``workers=1``, pooled
-    otherwise.
+    otherwise.  ``shm_threshold`` configures the process executor's
+    shared-memory operand transport (see :mod:`repro.exec.shm`); it only
+    applies to executors built here with ``kind="process"``.
     """
     if executor is not None:
         if kind is not None:
@@ -388,7 +421,7 @@ def make_executor(
     if kind == "pooled":
         return PooledExecutor(workers), True
     if kind == "process":
-        return ProcessExecutor(workers), True
+        return ProcessExecutor(workers, shm_threshold=shm_threshold), True
     raise ValueError(
         f"unknown executor kind {kind!r}; choose from {EXECUTOR_KINDS}"
     )
@@ -398,6 +431,7 @@ def validate_executor_spec(
     executor: KernelExecutor | None = None,
     workers: int = 1,
     kind: str | None = None,
+    shm_threshold: int | None = None,
 ) -> None:
     """Raise the error :func:`make_executor` would, keeping nothing.
 
@@ -407,7 +441,9 @@ def validate_executor_spec(
     until first submit (pools and spill dirs are lazy), so the probe
     costs nothing to build and discard.
     """
-    built, owned = make_executor(executor, workers, kind=kind)
+    built, owned = make_executor(
+        executor, workers, kind=kind, shm_threshold=shm_threshold
+    )
     if owned:
         built.shutdown()
 

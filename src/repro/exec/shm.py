@@ -1,0 +1,202 @@
+"""Shared-memory operand transport for process-executor kernel calls.
+
+Pickling a marshalled kernel call copies its operand arrays twice: once
+into the pickle byte stream, once out of it in the worker.  For the wide
+``(R, n)`` region stacks the fused sweeps ship every round, that double
+copy plus the pipe write is the dominant boundary cost — exactly the
+memory tax the fused kernels (:mod:`repro.abstract.fused`) strip from
+the compute side.  This module moves large operands through
+``multiprocessing.shared_memory`` instead:
+
+- **Parent side**, :class:`ShmArena` owns every segment it creates.
+  :meth:`ShmArena.wrap_payload` replaces each large-enough ndarray in a
+  descriptor payload with a tiny :class:`ShmHandle` (segment name +
+  shape + dtype); the array bytes are written into the segment once.
+  Segments are refcounted against the call that shipped them: the
+  executor releases them when the call's future completes (including
+  worker-crash futures — ``BrokenProcessPool`` still completes the
+  future), and :meth:`ShmArena.close` unlinks anything still live on
+  executor shutdown, with an ``atexit`` backstop for parents that never
+  shut their executor down.
+
+- **Worker side**, :func:`resolve_payload` attaches each handle's
+  segment, copies the array out (bitwise — the bytes are the bytes),
+  closes its mapping, and unregisters the attachment from the
+  ``resource_tracker`` (Python < 3.13 auto-registers attached segments
+  and would unlink the parent's live segments when the worker exits).
+
+- **Threshold.**  Small arrays still pickle: a shared-memory segment
+  costs a file descriptor, a mmap, and an unlink syscall, which loses
+  to pickling a few kilobytes.  The cutover is
+  ``REPRO_SHM_THRESHOLD`` bytes (CLI ``--shm-threshold``), default
+  :data:`DEFAULT_THRESHOLD`; ``0`` shares every array (the setting the
+  transport tests and the CI smoke force so tiny workloads exercise the
+  shm path), negative disables the transport entirely.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+#: Below this many bytes, pickle wins over a segment round-trip.
+DEFAULT_THRESHOLD = 1 << 20
+
+
+def threshold_from_env() -> int:
+    """The transport threshold, from ``REPRO_SHM_THRESHOLD`` if set."""
+    raw = os.environ.get("REPRO_SHM_THRESHOLD", "")
+    try:
+        return int(raw)
+    except ValueError:
+        return DEFAULT_THRESHOLD
+
+
+@dataclass(frozen=True)
+class ShmHandle:
+    """A shared-memory resident array: segment name, shape, dtype."""
+
+    name: str
+    shape: tuple
+    dtype: str
+
+
+class ShmArena:
+    """Parent-side registry of the shared-memory segments in flight.
+
+    Owned by a :class:`~repro.exec.executor.ProcessExecutor`.  Every
+    segment created here is also unlinked here — workers only ever
+    attach — so a crashed worker can never leak a segment: its future
+    still completes, the executor still releases, and :meth:`close`
+    sweeps whatever remains.
+    """
+
+    def __init__(self, threshold: int | None = None) -> None:
+        self.threshold = (
+            threshold_from_env() if threshold is None else int(threshold)
+        )
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._lock = threading.Lock()
+        atexit.register(self.close)
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold >= 0
+
+    def live_segments(self) -> int:
+        """Segments created but not yet released (leak-check hook)."""
+        with self._lock:
+            return len(self._segments)
+
+    def share(self, array: np.ndarray) -> ShmHandle:
+        """Copy ``array`` into a fresh segment; the arena owns it."""
+        array = np.ascontiguousarray(array)
+        segment = shared_memory.SharedMemory(
+            create=True, size=max(array.nbytes, 1)
+        )
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+        view[...] = array
+        with self._lock:
+            self._segments[segment.name] = segment
+        return ShmHandle(segment.name, tuple(array.shape), array.dtype.str)
+
+    def wrap_payload(self, payload: dict) -> tuple[dict, tuple[str, ...]]:
+        """Replace large ndarrays in a descriptor payload with handles.
+
+        Returns the (possibly new) payload plus the names of the
+        segments it references, which the caller passes back to
+        :meth:`release` once the call's future completes.  Only
+        top-level ndarray values are considered — that is where the
+        marshallers put their operand stacks.
+        """
+        if not self.enabled:
+            return payload, ()
+        names: list[str] = []
+        wrapped = None
+        for key, value in payload.items():
+            if (
+                isinstance(value, np.ndarray)
+                and value.nbytes >= self.threshold
+            ):
+                if wrapped is None:
+                    wrapped = dict(payload)
+                handle = self.share(value)
+                wrapped[key] = handle
+                names.append(handle.name)
+        return (payload if wrapped is None else wrapped), tuple(names)
+
+    def release(self, names) -> None:
+        """Unlink the named segments (idempotent per name)."""
+        with self._lock:
+            segments = [
+                self._segments.pop(name)
+                for name in names
+                if name in self._segments
+            ]
+        for segment in segments:
+            segment.close()
+            segment.unlink()
+
+    def close(self) -> None:
+        """Unlink every live segment (idempotent; atexit backstop)."""
+        with self._lock:
+            segments, self._segments = list(self._segments.values()), {}
+        for segment in segments:
+            segment.close()
+            segment.unlink()
+        atexit.unregister(self.close)
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to a parent-owned segment without registering ownership.
+
+    Before Python 3.13 (no ``track=False``), attaching a segment
+    registers it with the resource tracker as if this process created
+    it.  The parent is the owner: with a per-process tracker the bogus
+    registration would unlink live segments when the worker exits, and
+    with the tracker spawn workers share with their parent, any attempt
+    to undo it afterwards (``unregister``) would strip the *parent's*
+    registration instead.  Suppressing the registration at attach time
+    is the one behavior correct for both.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+
+        def register(rname, rtype):
+            if rtype != "shared_memory":
+                original(rname, rtype)
+
+        resource_tracker.register = register
+    except Exception:  # noqa: BLE001 - best-effort on non-POSIX trackers
+        original = None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        if original is not None:
+            resource_tracker.register = original
+
+
+def resolve_payload(payload: dict) -> dict:
+    """Worker-side: materialize every :class:`ShmHandle` in a payload."""
+    resolved = None
+    for key, value in payload.items():
+        if isinstance(value, ShmHandle):
+            if resolved is None:
+                resolved = dict(payload)
+            segment = _attach(value.name)
+            try:
+                view = np.ndarray(
+                    value.shape, dtype=np.dtype(value.dtype),
+                    buffer=segment.buf,
+                )
+                resolved[key] = view.copy()
+            finally:
+                segment.close()
+    return payload if resolved is None else resolved

@@ -260,6 +260,12 @@ class Scheduler:
             default (threads for GEMM-shaped sweeps, processes for the
             Python-heavy zonotope/powerset paths the GIL serializes).
             Mutually exclusive with ``executor``.
+        shm_threshold: operand byte size at which process-executor
+            kernel calls switch from pickle to shared-memory transport
+            (see :mod:`repro.exec.shm`); ``0`` shares every array,
+            negative disables the transport, ``None`` defers to
+            ``REPRO_SHM_THRESHOLD``/default.  Only meaningful when this
+            scheduler builds its own process executor.
     """
 
     def __init__(
@@ -272,6 +278,7 @@ class Scheduler:
         workers: int = 1,
         executor: KernelExecutor | None = None,
         executor_kind: str | None = None,
+        shm_threshold: int | None = None,
     ) -> None:
         if engine not in SCHED_ENGINES:
             raise ValueError(
@@ -290,6 +297,7 @@ class Scheduler:
         self.workers = workers
         self.executor = executor
         self.executor_kind = executor_kind
+        self.shm_threshold = shm_threshold
         # Fail on a bad (executor, workers, kind) combination here, not
         # mid-manifest.
         validate_executor_spec(executor, workers, kind=executor_kind)
@@ -347,7 +355,10 @@ class Scheduler:
             raise ValueError("no jobs submitted")
         watch = Stopwatch().start()
         executor, owned = make_executor(
-            self.executor, self.workers, kind=self.executor_kind
+            self.executor,
+            self.workers,
+            kind=self.executor_kind,
+            shm_threshold=self.shm_threshold,
         )
         report = ScheduleReport(
             results=[None] * len(jobs),

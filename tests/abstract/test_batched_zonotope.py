@@ -13,6 +13,7 @@ disjunct budgets, crossing patterns, overflow joins, and batch heights.
 import numpy as np
 import pytest
 
+from repro.abstract import fused
 from repro.abstract.analyzer import analyze, analyze_batch, analyze_batch_multi
 from repro.abstract.batched import BatchedElement
 from repro.abstract.domains import ZONOTOPE, DomainSpec, bounded_zonotopes
@@ -247,6 +248,94 @@ class TestPowersetBatchRelu:
                 np.array([0, 1, 3]),  # second region has 2 > budget rows
                 1,
             )
+
+
+@pytest.fixture
+def no_compaction():
+    """Run a test with generator compaction disabled, restoring after."""
+    previous = fused.set_compaction(False)
+    yield
+    fused.set_compaction(previous)
+
+
+class TestGeneratorCompaction:
+    """The fused-kernel compaction invariant: dropping provably-zero
+    generator rows changes nothing observable — not against the
+    ``--no-compaction`` reference path, and not against the sequential
+    single-region elements, across overflow-join and budget cases."""
+
+    @staticmethod
+    def _promoted_batch(seed, batch, k, n, dead):
+        """A batch with exact-zero generator rows (the err-promotion
+        shape compaction exists for)."""
+        zb = _random_batch(seed, batch, k, n)
+        rng = np.random.default_rng(seed + 1)
+        zb.gens[:, rng.choice(k, dead, replace=False), :] = 0.0
+        return zb
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_compaction_matches_reference_fuzz(self, seed):
+        zb = self._promoted_batch(seed, batch=6, k=12, n=7, dead=5)
+        previous = fused.set_compaction(False)
+        try:
+            want = zb.relu()
+        finally:
+            fused.set_compaction(previous)
+        fused.reset_counters()
+        got = zb.relu()
+        assert fused.FUSED_COUNTERS["compacted_rows"] > 0
+        # Identical values and identical shapes: compaction is internal,
+        # the dropped rows come back as zeros in their original slots.
+        np.testing.assert_array_equal(got.centers, want.centers)
+        np.testing.assert_array_equal(got.gens, want.gens)
+        np.testing.assert_array_equal(got.errs, want.errs)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_batch_vs_single_with_compaction_fuzz(self, seed):
+        """Batched rows equal sequential elements bitwise whether or not
+        compaction runs (both paths apply it identically)."""
+        zb = self._promoted_batch(seed + 7, batch=5, k=10, n=6, dead=4)
+        for enabled in (True, False):
+            previous = fused.set_compaction(enabled)
+            try:
+                out = zb.relu()
+                for i in range(zb.batch_size):
+                    _assert_rows_equal(zb.row(i).relu(), out.row(i))
+            finally:
+                fused.set_compaction(previous)
+
+    @pytest.mark.parametrize("budget", [1, 2, 4])
+    def test_powerset_budget_cases_match_reference(self, budget):
+        """Overflow-join/budget pipelines end to end: margins and every
+        disjunct array agree between compaction and the reference path,
+        and with the sequential analyzer."""
+        net = mlp(5, [14, 10], 3, rng=31)
+        regions = _regions(51, 4, 5, rmax=0.8)
+        domain = DomainSpec("zonotope", budget)
+        with_compaction = analyze_batch(net, regions, 1, domain)
+        previous = fused.set_compaction(False)
+        try:
+            reference = analyze_batch(net, regions, 1, domain)
+            sequential = [analyze(net, r, 1, domain) for r in regions]
+        finally:
+            fused.set_compaction(previous)
+        for got, want, solo in zip(with_compaction, reference, sequential):
+            assert got.margin_lower_bound == want.margin_lower_bound
+            assert got.margin_lower_bound == solo.margin_lower_bound
+            if budget == 1:  # plain zonotope outputs, no disjunct structure
+                _assert_rows_equal(want.output, got.output)
+            else:
+                assert got.output.num_disjuncts == want.output.num_disjuncts
+                for d in range(want.output.num_disjuncts):
+                    _assert_rows_equal(
+                        want.output.elements[d], got.output.elements[d]
+                    )
+
+    def test_no_compaction_fixture_disables_counters(self, no_compaction):
+        zb = self._promoted_batch(3, batch=4, k=8, n=5, dead=3)
+        fused.reset_counters()
+        zb.relu()
+        assert fused.FUSED_COUNTERS["compacted_rows"] == 0
 
 
 class TestSoundness:
