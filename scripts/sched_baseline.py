@@ -90,6 +90,29 @@ def build_jobs(problems, networks, policy, config, seed=0):
     ]
 
 
+#: Phase-timer counters the obs layer accumulates per run, mapped to the
+#: BENCH row keys of ``phase_shares``.
+PHASES = ("pgd", "analyze", "split_join", "cache")
+
+
+def phase_shares(report):
+    """Per-phase wall-clock shares of one run, from its metrics delta.
+
+    The scheduler times its three sweep stages plus cache traffic into
+    ``phase.*_s`` counters (:mod:`repro.obs.metrics`); normalizing by the
+    run's wall clock turns them into a where-does-the-time-go breakdown
+    each BENCH row carries.  Shares need not sum to 1.0: submission-side
+    work and report assembly fall outside the timed phases, and pooled
+    stages overlap the wall clock.  Sequential-engine rows report zeros —
+    the phases decompose the fused sweep, which solo runs do not execute.
+    """
+    wall = max(report.wall_clock, 1e-9)
+    return {
+        phase: round(report.metrics.get(f"phase.{phase}_s", 0.0) / wall, 3)
+        for phase in PHASES
+    }
+
+
 def summarize(report):
     counts = report.outcome_counts()
     return {
@@ -102,6 +125,7 @@ def summarize(report):
         "final_batch_target": report.final_batch_target,
         "executor": report.executor,
         "workers": report.workers,
+        "phase_shares": phase_shares(report),
     }
 
 

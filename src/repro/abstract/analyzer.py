@@ -24,8 +24,19 @@ import numpy as np
 from repro.abstract.domains import DomainSpec
 from repro.abstract.element import AbstractElement
 from repro.nn.network import AffineOp, MaxPoolOp, Network, ReluOp
+from repro.obs.metrics import registry as _metrics_registry
 from repro.utils.boxes import Box
 from repro.utils.timing import Deadline
+
+#: Shared with :mod:`repro.attack.pgd` (same registry group): batched
+#: Analyze invocations and the rows they carried.  Incremented once per
+#: fused call on both the in-process path (:func:`analyze_batch_multi`)
+#: and the process-worker zonotope fast path (:func:`analyze_multi_entry`
+#: bypasses :func:`analyze_batch_multi`), so Serial and Process runs
+#: count the same work exactly once.
+_KERNEL_COUNTERS = _metrics_registry().group(
+    "kernel", ("pgd_batches", "pgd_rows", "analyze_batches", "analyze_rows")
+)
 
 
 @dataclass(frozen=True)
@@ -163,6 +174,8 @@ def analyze_multi_entry(payload: dict) -> list[AnalysisResult]:
     labels = [int(lab) for lab in payload["labels"]]
     deadline = payload["deadline"]
     if domain.base == "zonotope":
+        _KERNEL_COUNTERS["analyze_batches"] += 1
+        _KERNEL_COUNTERS["analyze_rows"] += len(regions)
         margins = zonotope_margins_call(
             network, regions, labels, domain.disjuncts, deadline
         )
@@ -215,6 +228,8 @@ def analyze_batch_multi(
             raise ValueError(
                 f"label {lab} out of range for {network.output_size} outputs"
             )
+    _KERNEL_COUNTERS["analyze_batches"] += 1
+    _KERNEL_COUNTERS["analyze_rows"] += len(regions)
     ops = network.ops()
     element = domain.lift_batch(list(regions))
     if element is None:

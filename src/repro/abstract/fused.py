@@ -60,6 +60,8 @@ import threading
 
 import numpy as np
 
+from repro.obs.metrics import registry as _metrics_registry
+
 #: Coefficients at or below this magnitude are treated as untouched by
 #: symbol contraction and sign-agreement tests (canonical home; re-used
 #: by :mod:`repro.abstract.zonotope` and the batched kernels).
@@ -74,12 +76,14 @@ _compaction_on = os.environ.get("REPRO_NO_COMPACTION", "").lower() not in _TRUTH
 #: block (re)allocations and must stay flat once shapes stabilize;
 #: ``arena_reuses`` counts requests served without allocating;
 #: ``compacted_rows`` accumulates generator rows dropped by compaction.
-FUSED_COUNTERS = {
-    "calls": 0,
-    "arena_allocs": 0,
-    "arena_reuses": 0,
-    "compacted_rows": 0,
-}
+#:
+#: The dict lives in the :mod:`repro.obs.metrics` registry as the
+#: ``fused`` counter group; this module-level alias is the same object
+#: (snapshots see ``fused.calls`` etc., worker deltas merge back into
+#: it), and the hot-path increment idiom is unchanged.
+FUSED_COUNTERS = _metrics_registry().group(
+    "fused", ("calls", "arena_allocs", "arena_reuses", "compacted_rows")
+)
 
 
 def compaction_enabled() -> bool:

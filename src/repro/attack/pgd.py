@@ -22,9 +22,20 @@ from typing import Sequence
 import numpy as np
 
 from repro.attack.objective import MarginObjective, MultiLabelMarginObjective
+from repro.obs.metrics import registry as _metrics_registry
 from repro.utils.boxes import Box
 from repro.utils.rng import as_generator, spawn
 from repro.utils.timing import Deadline
+
+#: Semantic kernel-work counters, shared with the Analyze side
+#: (:mod:`repro.abstract.analyzer` registers the same ``kernel`` group).
+#: ``*_batches`` counts kernel invocations, ``*_rows`` the regions they
+#: carried — executor-invariant quantities: a Process run's merged
+#: totals must equal a Serial run's (pinned by the scheduler's metrics
+#: equality test).
+_KERNEL_COUNTERS = _metrics_registry().group(
+    "kernel", ("pgd_batches", "pgd_rows", "analyze_batches", "analyze_rows")
+)
 
 
 @dataclass(frozen=True)
@@ -96,6 +107,8 @@ def pgd_minimize_batch(
     """
     if not regions:
         raise ValueError("need at least one region")
+    _KERNEL_COUNTERS["pgd_batches"] += 1
+    _KERNEL_COUNTERS["pgd_rows"] += len(regions)
     config = config or PGDConfig()
     gens = _normalize_rngs(rngs, len(regions))
     n = regions[0].ndim

@@ -15,6 +15,13 @@ Commands:
 - ``cache``    — result-cache housekeeping (``cache prune``).
 - ``attack``   — run PGD only (fast falsification attempt, no proof).
 - ``info``     — print a saved network's architecture summary.
+- ``stats``    — summarize one ``--trace`` dump, or diff two.
+
+``verify``, ``schedule``, and ``train`` accept ``--trace out.json``:
+the run's hierarchical spans (scheduler round → fused group → kernel
+call → cache probe) and final metric counters are written as a Chrome
+trace-event file, loadable in ``chrome://tracing`` / Perfetto and
+summarized by ``repro stats``.
 
 Networks are ``.npz`` archives produced by :func:`repro.nn.save_network`;
 points are ``.npy`` arrays or comma-separated values.
@@ -63,6 +70,14 @@ from repro.learn import (
     pretrained_policy,
 )
 from repro.nn.serialize import load_network
+from repro.obs.metrics import registry as metrics_registry
+from repro.obs.stats import (
+    diff_dumps,
+    load_dump,
+    summarize_dump,
+    validate_trace,
+)
+from repro.obs.trace import tracer
 from repro.sched import (
     FRONTIER_POLICIES,
     ResultCache,
@@ -576,6 +591,44 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Summarize one ``--trace`` dump, or diff two (baseline vs candidate)."""
+    if len(args.dumps) > 2:
+        raise SystemExit("stats takes one dump (summary) or two (diff)")
+    payloads = []
+    for path in args.dumps:
+        try:
+            payload = load_dump(path)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot read trace dump {path}: {exc}")
+        for problem in validate_trace(payload):
+            print(f"warning: {path}: {problem}", file=sys.stderr)
+        payloads.append(payload)
+    if len(payloads) == 1:
+        print(summarize_dump(payloads[0], top=args.top))
+    else:
+        print(diff_dumps(payloads[0], payloads[1], top=args.top))
+    return 0
+
+
+def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write the run's spans and metric counters as a Chrome "
+        "trace-event JSON file (view in chrome://tracing or Perfetto, "
+        "summarize with 'repro stats')",
+    )
+
+
+def _finish_trace(path: str) -> None:
+    """Flush the enabled tracer plus a full metrics snapshot to ``path``."""
+    tracer().write(path, metrics=metrics_registry().snapshot())
+    tracer().disable()
+    print(f"trace written to {path}")
+
+
 def _add_executor_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--executor",
@@ -681,6 +734,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker threads of the parallel engine (ignored by the others)",
     )
     _add_domain_flags(verify_parser)
+    _add_trace_flag(verify_parser)
     verify_parser.set_defaults(func=cmd_verify)
 
     schedule_parser = sub.add_parser(
@@ -748,6 +802,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_executor_flag(schedule_parser)
     _add_domain_flags(schedule_parser)
+    _add_trace_flag(schedule_parser)
     schedule_parser.set_defaults(func=cmd_schedule)
 
     train_parser = sub.add_parser(
@@ -822,6 +877,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="where to write the θ artifact",
     )
     train_parser.add_argument("--seed", type=int, default=0, help="random seed")
+    _add_trace_flag(train_parser)
     train_parser.set_defaults(func=cmd_train)
 
     radius_parser = sub.add_parser(
@@ -865,12 +921,41 @@ def build_parser() -> argparse.ArgumentParser:
     info_parser = sub.add_parser("info", help="print network architecture")
     info_parser.add_argument("network", help="path to a .npz network archive")
     info_parser.set_defaults(func=cmd_info)
+
+    stats_parser = sub.add_parser(
+        "stats",
+        help="summarize a --trace dump, or diff two (baseline candidate)",
+    )
+    stats_parser.add_argument(
+        "dumps",
+        nargs="+",
+        help="one trace JSON file to summarize, or two to diff "
+        "(baseline first)",
+    )
+    stats_parser.add_argument(
+        "--top",
+        type=int,
+        default=20,
+        help="rows per section in the summary/diff tables",
+    )
+    stats_parser.set_defaults(func=cmd_stats)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    # Tracing brackets the whole command (the tracer must be live before
+    # any executor spawns or kernel runs), and the dump is written even
+    # when the command exits nonzero — a falsified/timeout run is exactly
+    # the one worth inspecting.
+    trace_path = getattr(args, "trace", None)
+    if trace_path is None:
+        return args.func(args)
+    tracer().enable()
+    try:
+        return args.func(args)
+    finally:
+        _finish_trace(trace_path)
 
 
 if __name__ == "__main__":

@@ -44,6 +44,7 @@ import atexit
 import importlib
 import shutil
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
@@ -52,6 +53,7 @@ import numpy as np
 
 from repro.exec.shm import ShmHandle, resolve_payload
 from repro.nn.serialize import load_network, network_digest, save_network
+from repro.obs.metrics import registry
 
 
 @dataclass(frozen=True)
@@ -112,31 +114,65 @@ def resolve_network(handle: NetworkHandle):
 
 @dataclass(frozen=True)
 class KernelCall:
-    """One marshalled kernel call: entry-point name plus plain payload."""
+    """One marshalled kernel call: entry-point name plus plain payload.
+
+    ``submitted_unix`` is the parent's wall-clock submit time
+    (``time.time()`` — comparable across processes on one host, unlike
+    ``perf_counter``); the worker reports the call's queue wait from it.
+    """
 
     entry: str  # "module.path:function"
     payload: dict
+    submitted_unix: float | None = None
+
+
+@dataclass(frozen=True)
+class ObsEnvelope:
+    """A descriptor call's result plus its worker-side observability.
+
+    ``counters`` is the worker registry's counter delta across the entry
+    point (kernel batches, fused-kernel work, shm attaches — everything
+    a worker accumulates); the parent's
+    :class:`~repro.exec.executor._EnvelopeFuture` merges it on
+    completion, which is what makes a Process run's merged totals equal
+    a Serial run's.  ``wait_s`` is the submit→start queue wait measured
+    against :attr:`KernelCall.submitted_unix`.
+    """
+
+    value: object
+    counters: dict
+    wait_s: float | None = None
 
 
 _ENTRY_CACHE: dict[str, Callable] = {}
 
 
-def run_kernel_call(call: KernelCall):
+def run_kernel_call(call: KernelCall) -> ObsEnvelope:
     """Worker-side dispatcher: resolve the entry point and run it.
 
     Shared-memory operands (:class:`~repro.exec.shm.ShmHandle` payload
     values) are materialized here, before the entry point runs, so entry
-    points only ever see plain arrays.
+    points only ever see plain arrays.  The result rides back inside an
+    :class:`ObsEnvelope` carrying the worker's counter delta across the
+    call (snapshot taken before operand resolution, so shm-transport
+    counters ride too); the executor unwraps it before callers see the
+    future's value.
     """
     fn = _ENTRY_CACHE.get(call.entry)
     if fn is None:
         module_name, _, attr = call.entry.partition(":")
         fn = getattr(importlib.import_module(module_name), attr)
         _ENTRY_CACHE[call.entry] = fn
+    wait_s = None
+    if call.submitted_unix is not None:
+        wait_s = max(0.0, time.time() - call.submitted_unix)
+    obs = registry()
+    before = obs.counters_snapshot()
     payload = call.payload
     if any(isinstance(value, ShmHandle) for value in payload.values()):
         payload = resolve_payload(payload)
-    return fn(payload)
+    value = fn(payload)
+    return ObsEnvelope(value, obs.counters_since(before), wait_s)
 
 
 # ----------------------------------------------------------------------

@@ -44,6 +44,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import threading
+import time
 from abc import ABC, abstractmethod
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -54,6 +55,9 @@ from concurrent.futures import (
     wait,
 )
 from typing import Callable, Iterable
+
+from repro.obs.metrics import registry
+from repro.obs.trace import tracer
 
 #: ``--executor`` menu shared by the CLI and :func:`make_executor`.
 EXECUTOR_KINDS = ("serial", "pooled", "process")
@@ -135,6 +139,44 @@ class KernelExecutor(ABC):
     def submit(self, fn: Callable, /, *args, **kwargs):
         """Schedule ``fn(*args, **kwargs)``; returns a future."""
 
+    def _observe_submit(self, future, label: str):
+        """Meter one submission: queue depth, submit→done latency, spans.
+
+        Every executor kind routes its futures through here.  The gauge
+        ``exec.{name}.queue_depth`` tracks submitted-but-unfinished
+        calls, the ``exec.{name}.latency_s`` histogram records each
+        call's submit→done extent, and — when tracing is on — the done
+        callback emits an ``exec.{name}.call`` complete event stamped
+        with the submit time and the *submitting* thread id, so pool
+        calls render on the lane that issued them.  Metric bookkeeping
+        runs on whatever thread completes the future; counters and
+        gauges are lock-guarded, and nothing here feeds control flow.
+        """
+        obs = registry()
+        obs.inc(f"exec.{self.name}.submitted")
+        obs.adjust_gauge(f"exec.{self.name}.queue_depth", 1)
+        submitted_at = time.perf_counter()
+        submit_tid = threading.get_ident()
+
+        def _done(_future):
+            duration = time.perf_counter() - submitted_at
+            obs.adjust_gauge(f"exec.{self.name}.queue_depth", -1)
+            obs.inc(f"exec.{self.name}.completed")
+            obs.observe(f"exec.{self.name}.latency_s", duration)
+            active = tracer()
+            if active.enabled:
+                active.add_complete(
+                    f"exec.{self.name}.call",
+                    "exec",
+                    submitted_at,
+                    duration,
+                    tid=submit_tid,
+                    args={"fn": label},
+                )
+
+        future.add_done_callback(_done)
+        return future
+
     @abstractmethod
     def wait_any(self, futures: set) -> tuple[set, set]:
         """Block until at least one future completes.
@@ -193,6 +235,15 @@ class KernelExecutor(ABC):
         self.shutdown()
 
 
+def _call_label(fn: Callable) -> str:
+    """A short human-readable name for a submitted callable."""
+    return (
+        getattr(fn, "__qualname__", "")
+        or getattr(fn, "__name__", "")
+        or repr(fn)
+    )
+
+
 class SerialExecutor(KernelExecutor):
     """Runs every call inline at submission, on the caller's thread."""
 
@@ -201,6 +252,13 @@ class SerialExecutor(KernelExecutor):
 
     def submit(self, fn: Callable, /, *args, **kwargs):
         future: Future = Future()
+        # Observe before running: inline execution completes the future
+        # inside submit, and the done callback must already be attached
+        # for the latency histogram to see the call's true extent.
+        self._observe_submit(future, _call_label(fn))
+        # Inline calls never queue; the zero keeps the wait histogram's
+        # schema uniform across executor kinds.
+        registry().observe(f"exec.{self.name}.wait_s", 0.0)
         # Mirror Future semantics exactly (result() re-raises) so callers
         # cannot tell serial and pooled futures apart.
         future.set_running_or_notify_cancel()
@@ -212,6 +270,18 @@ class SerialExecutor(KernelExecutor):
 
     def wait_any(self, futures: set) -> tuple[set, set]:
         return set(futures), set()
+
+
+def _run_after_wait(fn, name, submitted_at, args, kwargs):
+    """Thread-pool work item: record queue wait, then run the call.
+
+    Runs on the pool thread of the same process, so perf_counter readings
+    are comparable with the submit-side stamp and the registry is shared.
+    """
+    registry().observe(
+        f"exec.{name}.wait_s", time.perf_counter() - submitted_at
+    )
+    return fn(*args, **kwargs)
 
 
 class PooledExecutor(KernelExecutor):
@@ -248,7 +318,10 @@ class PooledExecutor(KernelExecutor):
                     thread_name_prefix="repro-kernel",
                 )
             pool = self._pool
-        return pool.submit(fn, *args, **kwargs)
+        future = pool.submit(
+            _run_after_wait, fn, self.name, time.perf_counter(), args, kwargs
+        )
+        return self._observe_submit(future, _call_label(fn))
 
     def wait_any(self, futures: set) -> tuple[set, set]:
         done, pending = wait(futures, return_when=FIRST_COMPLETED)
@@ -260,6 +333,59 @@ class PooledExecutor(KernelExecutor):
             self._closed = True
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=cancel_pending)
+
+
+class _EnvelopeFuture(Future):
+    """A real Future chained onto a process-pool future, unwrapping
+    :class:`~repro.exec.calls.ObsEnvelope` results.
+
+    Descriptor calls return an envelope — the entry point's value plus
+    the worker-side counter delta — and the parent must (a) merge the
+    delta into its registry and (b) hand callers the bare value.  A plain
+    proxy object cannot do this: ``concurrent.futures.wait`` (the
+    executor's ``wait_any``) inspects Future internals, so the unwrapper
+    must *be* a Future.  Chaining via ``add_done_callback`` keeps every
+    transition synchronous with the inner future's own completion: the
+    merge happens before any ``result()`` on this future returns, which
+    is what makes a run's metrics delta complete by the time its report
+    is assembled.  ``cancel()`` forwards to the inner future, so
+    ``cancel_pending`` semantics are unchanged.
+    """
+
+    def __init__(self, inner: Future, executor_name: str) -> None:
+        super().__init__()
+        self._inner = inner
+        self._executor_name = executor_name
+        inner.add_done_callback(self._chain)
+
+    def cancel(self) -> bool:
+        return self._inner.cancel()
+
+    def _chain(self, inner: Future) -> None:
+        if inner.cancelled():
+            # Mirror the cancellation onto this future so waiters wake
+            # and result() raises CancelledError, exactly as the inner
+            # future would have.
+            super().cancel()
+            self.set_running_or_notify_cancel()
+            return
+        exc = inner.exception()
+        if exc is not None:
+            self.set_exception(exc)
+            return
+        value = inner.result()
+        from repro.exec.calls import ObsEnvelope
+
+        if isinstance(value, ObsEnvelope):
+            obs = registry()
+            if value.counters:
+                obs.merge_counters(value.counters)
+            if value.wait_s is not None:
+                obs.observe(
+                    f"exec.{self._executor_name}.wait_s", value.wait_s
+                )
+            value = value.value
+        self.set_result(value)
 
 
 class ProcessExecutor(KernelExecutor):
@@ -351,18 +477,28 @@ class ProcessExecutor(KernelExecutor):
             shm = self._shm
         if call is not None:
             payload, segments = shm.wrap_payload(call.payload)
-            if segments:
-                call = KernelCall(call.entry, payload)
-            future = pool.submit(run_kernel_call, call)
+            # Stamp the submission wall-clock time into the descriptor:
+            # perf_counter is not comparable across processes, but
+            # time.time() is (same host), so the worker can report how
+            # long the call waited before starting.
+            call = KernelCall(call.entry, payload, submitted_unix=time.time())
+            inner = pool.submit(run_kernel_call, call)
             if segments:
                 # Release the call's segments when its future completes —
                 # also on cancellation and on worker death, both of which
                 # complete the future.  The callback must never raise.
-                future.add_done_callback(
+                inner.add_done_callback(
                     lambda _f, names=segments: shm.release(names)
                 )
-            return future
-        return pool.submit(fn, *args, **kwargs)
+            # Callers get the unwrapping future: the worker's counter
+            # delta merges into the parent registry on completion, and
+            # result() yields the entry point's bare value.
+            return self._observe_submit(
+                _EnvelopeFuture(inner, self.name), call.entry
+            )
+        return self._observe_submit(
+            pool.submit(fn, *args, **kwargs), _call_label(fn)
+        )
 
     def wait_any(self, futures: set) -> tuple[set, set]:
         done, pending = wait(futures, return_when=FIRST_COMPLETED)

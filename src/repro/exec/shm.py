@@ -44,8 +44,25 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro.obs.metrics import registry
+
 #: Below this many bytes, pickle wins over a segment round-trip.
 DEFAULT_THRESHOLD = 1 << 20
+
+#: Transport counters (``shm.*`` in snapshots).  The ``segments_*`` /
+#: ``shared_bytes`` side increments in the parent (the arena owns every
+#: segment); ``worker_attaches`` / ``worker_copied_bytes`` increment in
+#: workers and ride back through the descriptor envelopes.
+_SHM_COUNTERS = registry().group(
+    "shm",
+    (
+        "segments_created",
+        "segments_released",
+        "shared_bytes",
+        "worker_attaches",
+        "worker_copied_bytes",
+    ),
+)
 
 
 def threshold_from_env() -> int:
@@ -103,6 +120,8 @@ class ShmArena:
         view[...] = array
         with self._lock:
             self._segments[segment.name] = segment
+        _SHM_COUNTERS["segments_created"] += 1
+        _SHM_COUNTERS["shared_bytes"] += array.nbytes
         return ShmHandle(segment.name, tuple(array.shape), array.dtype.str)
 
     def wrap_payload(self, payload: dict) -> tuple[dict, tuple[str, ...]]:
@@ -141,6 +160,7 @@ class ShmArena:
         for segment in segments:
             segment.close()
             segment.unlink()
+        _SHM_COUNTERS["segments_released"] += len(segments)
 
     def close(self) -> None:
         """Unlink every live segment (idempotent; atexit backstop)."""
@@ -149,6 +169,7 @@ class ShmArena:
         for segment in segments:
             segment.close()
             segment.unlink()
+        _SHM_COUNTERS["segments_released"] += len(segments)
         atexit.unregister(self.close)
 
 
@@ -197,6 +218,8 @@ def resolve_payload(payload: dict) -> dict:
                     buffer=segment.buf,
                 )
                 resolved[key] = view.copy()
+                _SHM_COUNTERS["worker_attaches"] += 1
+                _SHM_COUNTERS["worker_copied_bytes"] += resolved[key].nbytes
             finally:
                 segment.close()
     return payload if resolved is None else resolved

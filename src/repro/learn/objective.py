@@ -242,7 +242,12 @@ class PolicyCostObjective:
         ).run()
         self.evaluations += len(theta_vecs)
         self.fresh_calls += report.fresh_calls()
-        self.cache_hits += report.cache_hits
+        # The registry delta rather than the scheduler's own tally: the
+        # merged ``cache.hits`` counter also covers probes made outside
+        # the run loop (and is the quantity the obs layer pins equal
+        # across executors), so the trainer's summary can never drift
+        # from a trace dump of the same run.
+        self.cache_hits += int(report.metrics.get("cache.hits", 0))
         count = len(self.problems)
         scores = []
         for cand in range(len(theta_vecs)):

@@ -73,6 +73,27 @@ from repro.core.results import (
 )
 from repro.nn.network import Network
 from repro.nn.serialize import network_digest
+from repro.obs.metrics import registry as _metrics_registry
+from repro.obs.trace import span as _span
+
+#: Cache observability (``cache.*`` in snapshots).  ``hits``/``misses``
+#: count :meth:`ResultCache.get` outcomes (any unreadable record is a
+#: miss), ``evictions`` counts pruned records, ``rescans`` counts
+#: directory re-scans of the size estimate, and the byte counters track
+#: record payloads served and written.
+_CACHE_COUNTERS = _metrics_registry().group(
+    "cache",
+    (
+        "hits",
+        "misses",
+        "puts",
+        "evictions",
+        "rescans",
+        "read_bytes",
+        "write_bytes",
+        "evicted_bytes",
+    ),
+)
 
 
 #: Timeout reasons that are pure functions of the cache key (the depth cap
@@ -328,15 +349,19 @@ class ResultCache:
         error).  A hit refreshes the record's mtime, which is what keeps
         frequently-served entries out of LRU eviction's way."""
         path = self._path(key)
-        try:
-            payload = json.loads(path.read_text())
-            record = CacheRecord(**payload)
-        except (OSError, ValueError, TypeError):
-            return None
-        try:
-            os.utime(path)
-        except OSError:
-            pass  # recency refresh is best-effort
+        with _span("cache.probe", cat="cache"):
+            try:
+                text = path.read_text()
+                record = CacheRecord(**json.loads(text))
+            except (OSError, ValueError, TypeError):
+                _CACHE_COUNTERS["misses"] += 1
+                return None
+            try:
+                os.utime(path)
+            except OSError:
+                pass  # recency refresh is best-effort
+            _CACHE_COUNTERS["hits"] += 1
+            _CACHE_COUNTERS["read_bytes"] += len(text)
         return record
 
     def put(self, key: str, record: CacheRecord) -> None:
@@ -347,21 +372,24 @@ class ResultCache:
         stream of puts pays the directory scan once per batch of
         evictions instead of once per record."""
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload = json.dumps(record.__dict__, sort_keys=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(payload)
-            os.replace(tmp, path)
-        except OSError:
+        with _span("cache.put", cat="cache"):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            payload = json.dumps(record.__dict__, sort_keys=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:
-                os.unlink(tmp)
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(payload)
+                os.replace(tmp, path)
             except OSError:
-                pass
-            raise
-        if self.max_entries is not None or self.max_bytes is not None:
-            self._note_put(len(payload))
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            _CACHE_COUNTERS["puts"] += 1
+            _CACHE_COUNTERS["write_bytes"] += len(payload)
+            if self.max_entries is not None or self.max_bytes is not None:
+                self._note_put(len(payload))
 
     # ------------------------------------------------------------------
     # Eviction
@@ -389,6 +417,7 @@ class ResultCache:
         entries = self._entries()
         self._estimate = (len(entries), sum(size for _, _, size in entries))
         self._puts_since_scan = 0
+        _CACHE_COUNTERS["rescans"] += 1
 
     def _note_put(self, payload_bytes: int) -> None:
         """Update the size estimate after a put; prune when over budget.
@@ -467,6 +496,8 @@ class ResultCache:
             freed += size
         self._estimate = (count, total)
         self._puts_since_scan = 0
+        _CACHE_COUNTERS["evictions"] += removed
+        _CACHE_COUNTERS["evicted_bytes"] += freed
         return PruneResult(
             removed=removed,
             freed_bytes=freed,

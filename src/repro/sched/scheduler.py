@@ -54,7 +54,7 @@ serves the recorded outcome without spawning any PGD or Analyze work.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.abstract.analyzer import analyze_batch_multi
 from repro.attack.objective import MultiLabelMarginObjective
@@ -77,6 +77,8 @@ from repro.core.verifier import (
 )
 from repro.exec import KernelExecutor, make_executor, validate_executor_spec
 from repro.nn.serialize import network_digest
+from repro.obs.metrics import registry as metrics_registry
+from repro.obs.trace import span
 from repro.sched.cache import CacheRecord, ResultCache, cacheable, job_key
 from repro.sched.frontier import (
     AdaptiveBatchController,
@@ -198,7 +200,15 @@ class JobResult:
 
 @dataclass
 class ScheduleReport:
-    """Everything a scheduler run did, per job and in aggregate."""
+    """Everything a scheduler run did, per job and in aggregate.
+
+    ``metrics`` is the run's counter delta from the process-local
+    :mod:`repro.obs.metrics` registry (dotted names — ``kernel.pgd_rows``,
+    ``cache.hits``, ``fused.calls``, ``phase.pgd_s``...).  Worker-process
+    counters are merged in by the executor layer before each future's
+    result is consumed, so the delta is complete by the time the report
+    exists and a Process run's totals equal a Serial run's.
+    """
 
     results: list[JobResult]
     wall_clock: float = 0.0
@@ -211,6 +221,7 @@ class ScheduleReport:
     executor: str = ""
     workers: int = 1
     final_batch_target: int = 0
+    metrics: dict = field(default_factory=dict)
 
     def outcome_counts(self) -> dict[str, int]:
         """``{"verified": ..., "falsified": ..., "timeout": ...}``."""
@@ -337,12 +348,17 @@ class Scheduler:
             job.prop.label,
             job.metadata,
         )
+        put_started = time.perf_counter()
         try:
             self.cache.put(self._job_key(job), record)
         except OSError:
             # The cache is an optimization; a full disk must not turn a
             # decided job into a failure.
             report.cache_errors += 1
+        finally:
+            metrics_registry().add(
+                "phase.cache_s", time.perf_counter() - put_started
+            )
 
     # ------------------------------------------------------------------
     # Run
@@ -354,6 +370,8 @@ class Scheduler:
         if not jobs:
             raise ValueError("no jobs submitted")
         watch = Stopwatch().start()
+        obs = metrics_registry()
+        counters_before = obs.counters_snapshot()
         executor, owned = make_executor(
             self.executor,
             self.workers,
@@ -369,6 +387,7 @@ class Scheduler:
         )
 
         pending: list[tuple[int, VerificationJob]] = []
+        probe_started = time.perf_counter()
         for index, job in enumerate(jobs):
             record = self.cache.get(self._job_key(job)) if self.cache else None
             if record is not None:
@@ -378,6 +397,8 @@ class Scheduler:
                 )
             else:
                 pending.append((index, job))
+        if self.cache is not None:
+            obs.add("phase.cache_s", time.perf_counter() - probe_started)
 
         try:
             if self.engine == "sequential":
@@ -389,6 +410,9 @@ class Scheduler:
                 executor.shutdown(cancel_pending=True)
 
         report.wall_clock = watch.stop()
+        # Everything the run accumulated — worker deltas included, since
+        # the executor merges them before result consumption.
+        report.metrics = obs.counters_since(counters_before)
         return report
 
     def _run_sequential(
@@ -405,7 +429,8 @@ class Scheduler:
             for index, job in pending
         ]
         for index, job, future in futures:
-            outcome, elapsed = future.result()
+            with span("sched.job", cat="sched", index=index):
+                outcome, elapsed = future.result()
             self._record(report, job, outcome)
             report.results[index] = JobResult(
                 index, job, outcome, cached=False, elapsed=elapsed
@@ -459,8 +484,13 @@ class Scheduler:
                 total += len(chunk)
             round_no += 1
 
+            metrics_registry().inc("sched.rounds")
             started = time.perf_counter()
-            self._fused_sweep(plan, executor)
+            with span(
+                "sched.round", cat="sched",
+                round=round_no - 1, jobs=len(plan), items=total,
+            ):
+                self._fused_sweep(plan, executor)
             controller.record(total, time.perf_counter() - started)
             report.sweeps += 1
             report.swept_items += total
@@ -509,7 +539,10 @@ class Scheduler:
         may run them on any cores without touching the reproducibility
         contract (only per-job deadline checks see the wall clock move).
         """
+        obs = metrics_registry()
+
         # --- 1. Fused Minimize per (network, PGD-config) group -----------
+        stage_started = time.perf_counter()
         pgd_groups: dict[tuple, list[tuple[_JobState, list[WorkItem]]]] = {}
         for state, chunk in plan:
             key = (id(state.job.network), state.pgd_config)
@@ -536,27 +569,33 @@ class Scheduler:
         # Chunks that survive Minimize: (state, chunk, seeds, x*, f*).
         survivors: list[tuple] = []
         for group, seeds, future in pgd_submissions:
-            x_stars, f_stars = future.result()
-            offset = 0
-            for state, chunk in group:
-                span = slice(offset, offset + len(chunk))
-                offset += len(chunk)
-                xs, fs = x_stars[span], f_stars[span]
-                state.stats.pgd_calls += len(chunk)
-                state.stats.max_depth_reached = max(
-                    state.stats.max_depth_reached,
-                    max(item.depth for item in chunk),
-                )
-                state.last_margin = float(fs.min())
-                idx = first_falsified(fs, state.config.delta)
-                if idx is not None:
-                    state.finish(
-                        Falsified(xs[idx], float(fs[idx]), state.stats)
+            with span(
+                "sched.pgd_group", cat="sched",
+                jobs=len(group), rows=len(seeds),
+            ):
+                x_stars, f_stars = future.result()
+                offset = 0
+                for state, chunk in group:
+                    rows = slice(offset, offset + len(chunk))
+                    offset += len(chunk)
+                    xs, fs = x_stars[rows], f_stars[rows]
+                    state.stats.pgd_calls += len(chunk)
+                    state.stats.max_depth_reached = max(
+                        state.stats.max_depth_reached,
+                        max(item.depth for item in chunk),
                     )
-                    continue
-                survivors.append((state, chunk, seeds[span], xs, fs))
+                    state.last_margin = float(fs.min())
+                    idx = first_falsified(fs, state.config.delta)
+                    if idx is not None:
+                        state.finish(
+                            Falsified(xs[idx], float(fs[idx]), state.stats)
+                        )
+                        continue
+                    survivors.append((state, chunk, seeds[rows], xs, fs))
+        obs.add("phase.pgd_s", time.perf_counter() - stage_started)
 
         # --- 2. Fused Analyze per (network, domain) group ----------------
+        stage_started = time.perf_counter()
         analyze_groups: dict[tuple, list[tuple[_JobState, int, WorkItem]]] = {}
         results_by_state: dict[int, list] = {}
         for state, chunk, seeds, xs, fs in survivors:
@@ -586,22 +625,28 @@ class Scheduler:
             analyze_submissions.append((entries, group_states, future))
 
         for entries, group_states, future in analyze_submissions:
-            try:
-                analyses = future.result()
-            except TimeoutError:
-                # The group deadline is the latest of its members, so every
-                # member is over budget.  They must retire *now*: their
-                # chunks never completed analysis, so an empty frontier
-                # here means "aborted", not "verified" (the solo engine
-                # maps this TimeoutError the same way).
-                for state in group_states:
-                    if state.outcome is None:
-                        state.finish(Timeout("wall clock", state.stats))
-                continue
-            for (state, pos, _), analysis in zip(entries, analyses):
-                results_by_state[state.index][pos] = analysis
+            with span(
+                "sched.analyze_group", cat="sched",
+                jobs=len(group_states), rows=len(entries),
+            ):
+                try:
+                    analyses = future.result()
+                except TimeoutError:
+                    # The group deadline is the latest of its members, so
+                    # every member is over budget.  They must retire *now*:
+                    # their chunks never completed analysis, so an empty
+                    # frontier here means "aborted", not "verified" (the
+                    # solo engine maps this TimeoutError the same way).
+                    for state in group_states:
+                        if state.outcome is None:
+                            state.finish(Timeout("wall clock", state.stats))
+                    continue
+                for (state, pos, _), analysis in zip(entries, analyses):
+                    results_by_state[state.index][pos] = analysis
+        obs.add("phase.analyze_s", time.perf_counter() - stage_started)
 
         # --- 3. Refine per chunk (identical to the solo engine) ----------
+        stage_started = time.perf_counter()
         for state, chunk, seeds, xs, fs in survivors:
             if state.outcome is not None:
                 continue
@@ -614,3 +659,4 @@ class Scheduler:
                 state.finish(Timeout(terminal[1], state.stats))
                 continue
             state.push_children(pairs)
+        obs.add("phase.split_join_s", time.perf_counter() - stage_started)

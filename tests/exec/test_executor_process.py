@@ -253,8 +253,12 @@ class TestKernelDescriptors:
             )
             assert call is not None and "pgd_minimize_entry" in call.entry
             # Descriptors round-trip through the worker-side dispatcher
-            # even in-process (entry points are plain functions).
-            x_stars, f_stars = run_kernel_call(call)
+            # even in-process (entry points are plain functions).  The
+            # dispatcher wraps the value in an ObsEnvelope carrying the
+            # run's counter delta; the executor unwraps it for callers.
+            envelope = run_kernel_call(call)
+            x_stars, f_stars = envelope.value
+            assert envelope.counters.get("kernel.pgd_rows", 0) == len(regions)
             assert x_stars.shape == (len(regions), 4)
             assert f_stars.shape == (len(regions),)
             # Unknown calls fall back to plain pickling.

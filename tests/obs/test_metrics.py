@@ -1,0 +1,142 @@
+"""Tests for the process-local metrics registry."""
+
+import threading
+
+from repro.obs.metrics import Histogram, MetricsRegistry, registry
+
+
+class TestCounters:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.inc("a", 4)
+        assert reg.counter_value("a") == 5
+
+    def test_unknown_counter_is_zero(self):
+        assert MetricsRegistry().counter_value("nope") == 0
+
+    def test_add_alias(self):
+        reg = MetricsRegistry()
+        reg.add("phase.x_s", 0.25)
+        reg.add("phase.x_s", 0.25)
+        assert reg.counter_value("phase.x_s") == 0.5
+
+    def test_snapshot_flattens_groups(self):
+        reg = MetricsRegistry()
+        group = reg.group("cache", ("hits", "misses"))
+        group["hits"] += 3
+        reg.inc("sched.rounds", 2)
+        snap = reg.counters_snapshot()
+        assert snap["cache.hits"] == 3
+        assert snap["cache.misses"] == 0
+        assert snap["sched.rounds"] == 2
+
+    def test_counters_since_reports_only_deltas(self):
+        reg = MetricsRegistry()
+        group = reg.group("cache", ("hits", "misses"))
+        group["hits"] += 1
+        before = reg.counters_snapshot()
+        group["hits"] += 2
+        reg.inc("sched.rounds")
+        delta = reg.counters_since(before)
+        assert delta == {"cache.hits": 2, "sched.rounds": 1}
+
+
+class TestGroups:
+    def test_group_returns_same_dict_every_call(self):
+        reg = MetricsRegistry()
+        first = reg.group("fused", ("calls",))
+        second = reg.group("fused", ("calls",))
+        assert first is second
+
+    def test_group_value_readable_by_dotted_name(self):
+        reg = MetricsRegistry()
+        group = reg.group("fused", ("calls",))
+        group["calls"] += 7
+        assert reg.counter_value("fused.calls") == 7
+
+    def test_reset_zeroes_groups_in_place(self):
+        reg = MetricsRegistry()
+        group = reg.group("fused", ("calls",))
+        group["calls"] += 7
+        reg.inc("scalar", 3)
+        reg.reset()
+        # The module-level alias pattern depends on dict identity surviving.
+        assert group["calls"] == 0
+        assert reg.group("fused", ("calls",)) is group
+        assert reg.counter_value("scalar") == 0
+
+
+class TestMerge:
+    def test_merge_into_registered_group(self):
+        reg = MetricsRegistry()
+        group = reg.group("kernel", ("pgd_rows",))
+        group["pgd_rows"] += 1
+        reg.merge_counters({"kernel.pgd_rows": 5})
+        # The worker delta lands in the group dict itself, so module-level
+        # aliases observe merged totals too.
+        assert group["pgd_rows"] == 6
+
+    def test_merge_scalar_and_unknown_keys(self):
+        reg = MetricsRegistry()
+        reg.inc("sched.rounds")
+        reg.merge_counters({"sched.rounds": 2, "brand.new": 4})
+        assert reg.counter_value("sched.rounds") == 3
+        assert reg.counter_value("brand.new") == 4
+
+    def test_merge_is_commutative_sum(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("k", 2)
+        b.inc("k", 2)
+        a.merge_counters({"k": 3})
+        b.merge_counters({"k": 1})
+        b.merge_counters({"k": 2})
+        assert a.counter_value("k") == 5
+        assert b.counter_value("k") == 5
+
+
+class TestGaugesAndHistograms:
+    def test_gauge_set_and_adjust(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("depth", 3)
+        assert reg.adjust_gauge("depth", 2) == 5
+        assert reg.adjust_gauge("depth", -5) == 0
+        assert reg.snapshot()["gauges"]["depth"] == 0
+
+    def test_histogram_summary(self):
+        hist = Histogram()
+        for value in (1.0, 2.0, 3.0):
+            hist.record(value)
+        summary = hist.summary()
+        assert summary["count"] == 3
+        assert summary["mean"] == 2.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+
+    def test_observe_feeds_named_histogram(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 0.5)
+        reg.observe("lat", 1.5)
+        snap = reg.snapshot()["histograms"]["lat"]
+        assert snap["count"] == 2
+        assert snap["mean"] == 1.0
+
+
+class TestConcurrency:
+    def test_concurrent_incs_do_not_lose_updates(self):
+        reg = MetricsRegistry()
+
+        def worker():
+            for _ in range(1000):
+                reg.inc("hits")
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert reg.counter_value("hits") == 4000
+
+
+def test_module_registry_is_singleton():
+    assert registry() is registry()

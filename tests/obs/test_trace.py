@@ -1,0 +1,96 @@
+"""Tests for the tracing layer (spans, Chrome trace payloads)."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import Tracer, _NULL_SPAN, span, tracer, tracing_enabled
+
+
+@pytest.fixture()
+def fresh_tracer():
+    owner = Tracer()
+    owner.enable()
+    return owner
+
+
+class TestDisabledPath:
+    def test_module_span_is_shared_noop_singleton(self):
+        assert not tracing_enabled()
+        assert span("a") is _NULL_SPAN
+        assert span("a") is span("b", cat="x", rows=3)
+
+    def test_noop_span_is_reentrant(self):
+        with span("outer"):
+            with span("inner"):
+                pass
+
+    def test_disabled_tracer_records_nothing(self):
+        owner = Tracer()
+        with owner.span("x"):
+            pass
+        owner.add_complete("y", "", 0.0, 1.0)
+        owner.instant("z")
+        assert owner.events() == []
+
+
+class TestEnabledPath:
+    def test_span_emits_complete_event(self, fresh_tracer):
+        with fresh_tracer.span("work", cat="sched", rows=4):
+            pass
+        (event,) = fresh_tracer.events()
+        assert event["name"] == "work"
+        assert event["ph"] == "X"
+        assert event["cat"] == "sched"
+        assert event["args"] == {"rows": 4}
+        assert isinstance(event["ts"], int) and event["ts"] >= 0
+        assert isinstance(event["dur"], int) and event["dur"] >= 0
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int)
+
+    def test_instant_event(self, fresh_tracer):
+        fresh_tracer.instant("marker", cat="exec")
+        (event,) = fresh_tracer.events()
+        assert event["ph"] == "i"
+        assert event["s"] == "t"
+
+    def test_enable_clears_previous_events(self, fresh_tracer):
+        with fresh_tracer.span("old"):
+            pass
+        fresh_tracer.enable()
+        assert fresh_tracer.events() == []
+
+    def test_pre_enable_start_clamps_to_origin(self, fresh_tracer):
+        fresh_tracer.add_complete("early", "", -100.0, 0.5)
+        (event,) = fresh_tracer.events()
+        assert event["ts"] == 0
+
+    def test_module_span_records_into_global_tracer(self):
+        owner = tracer()
+        owner.enable()
+        try:
+            with span("global-span"):
+                pass
+            names = [event["name"] for event in owner.events()]
+            assert "global-span" in names
+        finally:
+            owner.disable()
+
+
+class TestPayload:
+    def test_payload_shape_and_metrics(self, fresh_tracer):
+        with fresh_tracer.span("work"):
+            pass
+        payload = fresh_tracer.to_payload(metrics={"counters": {"a": 1}})
+        assert payload["displayTimeUnit"] == "ms"
+        assert payload["otherData"]["tool"] == "repro.obs"
+        assert payload["otherData"]["metrics"] == {"counters": {"a": 1}}
+        assert len(payload["traceEvents"]) == 1
+
+    def test_write_round_trips_as_json(self, fresh_tracer, tmp_path):
+        with fresh_tracer.span("work"):
+            pass
+        path = tmp_path / "trace.json"
+        fresh_tracer.write(str(path), metrics={"counters": {}})
+        payload = json.loads(path.read_text())
+        assert payload["traceEvents"][0]["name"] == "work"

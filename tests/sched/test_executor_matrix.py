@@ -16,15 +16,52 @@ engines.
 import numpy as np
 import pytest
 
+from repro.abstract.domains import DomainSpec
 from repro.core.config import VerifierConfig
+from repro.core.policy import BisectionPolicy
 from repro.core.property import RobustnessProperty, linf_property
 from repro.exec import PooledExecutor, ProcessExecutor, SerialExecutor
 from repro.nn.builders import mlp, xor_network
+from repro.obs.trace import tracer
 from repro.sched import Scheduler, VerificationJob
 from repro.utils.boxes import Box
 
 POLICIES = ("fifo", "dfs", "priority")
 WORKER_COUNTS = (1, 2, 4)
+
+#: Counters that must be executor-invariant: semantic work quantities a
+#: run performs, independent of where kernels execute.  Excludes the
+#: arena counters (thread-local arenas make alloc/reuse splits placement
+#: dependent), phase timers, and exec.* bookkeeping (named per executor).
+SEMANTIC_COUNTERS = (
+    "kernel.pgd_batches",
+    "kernel.pgd_rows",
+    "kernel.analyze_batches",
+    "kernel.analyze_rows",
+    "fused.calls",
+    "fused.compacted_rows",
+    "cache.hits",
+    "sched.rounds",
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def force_tracing():
+    """The whole matrix runs with tracing ON.
+
+    Tracing must never perturb outcomes; running the bitwise-equality
+    matrix under an enabled tracer is the strongest form of that claim.
+    """
+    tracer().enable()
+    yield
+    tracer().disable()
+
+
+def semantic_metrics(report) -> dict:
+    return {
+        key: report.metrics.get(key, 0)
+        for key in SEMANTIC_COUNTERS
+    }
 
 
 @pytest.fixture(scope="module")
@@ -116,6 +153,10 @@ def assert_reports_bitwise_equal(reference, candidate):
         assert cand_stats.splits == ref_stats.splits
         assert cand_stats.max_depth_reached == ref_stats.max_depth_reached
         assert cand_stats.domains_used == ref_stats.domains_used
+    # The obs contract rides along: worker counter deltas merged back
+    # through the envelopes must make every executor report the same
+    # semantic work totals.
+    assert semantic_metrics(candidate) == semantic_metrics(reference)
 
 
 class TestBatchedEngineMatrix:
@@ -205,6 +246,64 @@ class TestSequentialEngineMatrix:
         ).run()
         assert report.executor == "process"
         assert_reports_bitwise_equal(serial_report, report)
+
+
+class TestMetricsAggregation:
+    """A Process run's merged registry delta equals the Serial run's."""
+
+    @pytest.fixture(scope="class")
+    def zono_jobs(self):
+        # Pinned zonotope powerset: Analyze crosses the process boundary
+        # through the dedicated zonotope fast path (the one that bypasses
+        # analyze_batch_multi), so this pins exactly-once counting on
+        # both worker entry points.
+        config = VerifierConfig(timeout=30.0, batch_size=4)
+        policy = BisectionPolicy(domain=DomainSpec("zonotope", 2))
+        rng = np.random.default_rng(3)
+        net = mlp(3, [8], 3, rng=5)
+        jobs = []
+        for i in range(3):
+            center = rng.uniform(0.3, 0.7, 3)
+            # ε chosen so the mix survives the first Minimize: verified
+            # and falsified jobs, several refinement rounds, and fused
+            # zonotope kernel work — every counter family is non-zero.
+            prop = linf_property(net, center, 0.05, name=f"z{i}")
+            jobs.append(
+                VerificationJob(
+                    net, prop, config=config, policy=policy, seed=i,
+                    name=prop.name,
+                )
+            )
+        return jobs
+
+    def test_process_merged_metrics_equal_serial(
+        self, zono_jobs, process_executors
+    ):
+        serial = Scheduler(zono_jobs, executor=SerialExecutor()).run()
+        process = Scheduler(
+            zono_jobs, executor=process_executors(2)
+        ).run()
+        assert_reports_bitwise_equal(serial, process)
+        # Guard against vacuous equality: the run must have done real
+        # kernel work, and the process side can only know about it
+        # through the envelope merge.
+        assert serial.metrics.get("kernel.pgd_batches", 0) > 0
+        assert serial.metrics.get("kernel.analyze_batches", 0) > 0
+        assert serial.metrics.get("fused.calls", 0) > 0
+        assert (
+            process.metrics["kernel.pgd_rows"]
+            == serial.metrics["kernel.pgd_rows"]
+        )
+
+    def test_worker_wait_time_is_observed(self, zono_jobs, process_executors):
+        report = Scheduler(zono_jobs, executor=process_executors(2)).run()
+        # Latency/wait histograms stay process-local but the parent
+        # observes each call's queue wait on unwrap.
+        from repro.obs.metrics import registry
+
+        waits = registry().snapshot()["histograms"].get("exec.process.wait_s")
+        assert waits is not None and waits["count"] > 0
+        assert report.metrics.get("exec.process.submitted", 0) > 0
 
 
 class TestValidation:

@@ -490,6 +490,90 @@ class TestTrainCommand:
             ])
 
 
+class TestTraceAndStats:
+    @pytest.fixture()
+    def manifest(self, xor_path, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps({
+            "defaults": {"epsilon": 0.05, "timeout": 5.0},
+            "jobs": [
+                {"network": xor_path, "center": "0.5,0.5", "name": "safe"},
+                {"network": xor_path, "center": "0.5,0.9", "epsilon": 0.5,
+                 "name": "unsafe"},
+            ],
+        }))
+        return str(path)
+
+    def test_schedule_trace_writes_valid_dump(
+        self, manifest, tmp_path, capsys
+    ):
+        from repro.obs.stats import load_dump, validate_trace
+        from repro.obs.trace import tracing_enabled
+
+        trace = tmp_path / "trace.json"
+        code = main(["schedule", manifest, "--trace", str(trace)])
+        out = capsys.readouterr().out
+        assert code == 1  # the falsified job; tracing must not change it
+        assert f"trace written to {trace}" in out
+        assert not tracing_enabled()  # tracer turned back off afterwards
+        dump = load_dump(str(trace))
+        assert validate_trace(dump) == []
+        names = {event["name"] for event in dump["traceEvents"]}
+        assert "sched.round" in names
+        assert "sched.pgd_group" in names
+        counters = dump["otherData"]["metrics"]["counters"]
+        assert counters["kernel.pgd_rows"] > 0
+
+    def test_verify_trace(self, xor_path, tmp_path, capsys):
+        from repro.obs.stats import load_dump, validate_trace
+
+        trace = tmp_path / "trace.json"
+        code = main([
+            "verify", xor_path, "--center", "0.5,0.5", "--epsilon", "0.05",
+            "--trace", str(trace),
+        ])
+        assert code == 0
+        assert validate_trace(load_dump(str(trace))) == []
+
+    def test_stats_summarizes_a_dump(self, manifest, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        main(["schedule", manifest, "--trace", str(trace)])
+        capsys.readouterr()
+        code = main(["stats", str(trace)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "spans (by total time):" in out
+        assert "counters:" in out
+        assert "kernel.pgd_rows" in out
+
+    def test_stats_diffs_two_dumps(self, manifest, tmp_path, capsys):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        main(["schedule", manifest, "--trace", str(first)])
+        main(["schedule", manifest, "--trace", str(second)])
+        capsys.readouterr()
+        code = main(["stats", str(first), str(second)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "->" in out
+
+    def test_stats_warns_on_schema_problems(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"traceEvents": [{"ph": "Q"}]}))
+        code = main(["stats", str(bad)])
+        captured = capsys.readouterr()
+        assert code == 0  # warnings, not failure — the summary still runs
+        assert "warning:" in captured.err
+
+    def test_stats_rejects_unreadable_and_extra_dumps(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["stats", str(tmp_path / "missing.json")])
+        dump = tmp_path / "d.json"
+        dump.write_text("{}")
+        with pytest.raises(SystemExit, match="one dump"):
+            main(["stats", str(dump), str(dump), str(dump)])
+
+
 class TestScheduleWorkers:
     def test_pooled_schedule_matches_serial(self, xor_path, tmp_path, capsys):
         manifest = tmp_path / "manifest.json"

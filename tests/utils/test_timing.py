@@ -33,6 +33,27 @@ class TestStopwatch:
             time.sleep(0.005)
         assert watch.elapsed >= 0.005
 
+    def test_reentrant_start_keeps_original_origin(self):
+        # A second start() on a running watch must be a no-op, not a
+        # restart — otherwise nested instrumentation would lose time.
+        watch = Stopwatch().start()
+        time.sleep(0.01)
+        watch.start()
+        assert watch.stop() >= 0.01
+
+    def test_stop_start_stop_cycles_accumulate(self):
+        watch = Stopwatch()
+        assert watch.stop() == 0.0  # stopping a never-started watch
+        watch.start()
+        time.sleep(0.005)
+        first = watch.stop()
+        watch.start()
+        watch.start()  # re-entrant mid-cycle
+        time.sleep(0.005)
+        total = watch.stop()
+        assert total >= first + 0.005
+        assert watch.elapsed == total  # settled once stopped
+
 
 class TestDeadline:
     def test_unlimited_never_expires(self):
@@ -54,5 +75,30 @@ class TestDeadline:
         time.sleep(0.005)
         assert deadline.remaining < first
 
+    def test_zero_limit_expires_immediately(self):
+        deadline = Deadline(limit=0)
+        assert deadline.expired()
+        assert deadline.remaining <= 0.0
+        with pytest.raises(TimeoutError):
+            deadline.check()
+
+    def test_negative_limit_expires_immediately(self):
+        deadline = Deadline(limit=-1.0)
+        assert deadline.expired()
+        with pytest.raises(TimeoutError):
+            deadline.check()
+
+    def test_infinite_limit_never_expires(self):
+        deadline = Deadline(limit=float("inf"))
+        assert not deadline.expired()
+        assert deadline.remaining == float("inf")
+        deadline.check()  # must not raise
+
     def test_never_helper(self):
         assert not never().expired()
+
+    def test_never_remaining_stays_infinite(self):
+        deadline = never()
+        time.sleep(0.005)
+        assert deadline.remaining == float("inf")
+        assert deadline.elapsed > 0.0
