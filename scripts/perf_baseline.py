@@ -60,6 +60,7 @@ from repro.abstract.domains import (
     ZONOTOPE,
     bounded_zonotopes,
 )
+from repro.backend import BACKEND_CHOICES, active as active_backend, set_active
 from repro.attack.objective import MarginObjective
 from repro.attack.pgd import PGDConfig, pgd_minimize, pgd_minimize_batch
 from repro.bench.suites import SuiteScale, build_network, build_problems
@@ -76,6 +77,28 @@ MLP_NETWORKS = (
     "cifar_6x100",
     "cifar_9x100",
 )
+
+
+def backend_info() -> dict:
+    """Backend and dtype for every BENCH row.
+
+    Kernel-time ratios are meaningless across precision changes unless
+    the row says which backend produced it; both baseline scripts stamp
+    every report with this.
+    """
+    backend = active_backend()
+    return {"backend": backend.name, "dtype": backend.dtype.name}
+
+
+def apply_backend_flag(args) -> None:
+    """Honor ``--backend`` before any kernel work starts.
+
+    Also exports ``REPRO_BACKEND`` so spawned executor workers inherit
+    the selection (mirrors the CLI's ``_apply_kernel_flags``).
+    """
+    if getattr(args, "backend", None):
+        set_active(args.backend)
+        os.environ["REPRO_BACKEND"] = args.backend
 
 
 def host_info() -> dict:
@@ -210,6 +233,108 @@ def bench_analyze_kernel(workload, domain, batch_size):
     }
 
 
+def run_backend_bench(out_path: Path) -> int:
+    """The ``--backend-bench`` fast mode -> one ``BENCH_backend.json`` row.
+
+    Mirrors ``benchmarks/bench_backend.py``: the batched zonotope
+    propagation and the DeepPoly back-substitution chain, numpy32 vs the
+    numpy64 reference, at identical per-region decisions; plus a
+    two-phase precision-escalation scheduler run whose job-level
+    outcomes must match the straight numpy64 run.
+    """
+    from repro.backend import use_backend
+    from repro.core.property import linf_property
+    from repro.nn.builders import mlp
+    from repro.sched import Scheduler, VerificationJob
+    from repro.utils.boxes import Box
+
+    def leg(n_in, hidden, batch, radius, domain, rounds):
+        net = mlp(n_in, hidden, 10, rng=3)
+        rng = np.random.default_rng(7)
+        regions = [
+            Box.from_center_radius(rng.uniform(0.3, 0.7, n_in), radius)
+            for _ in range(batch)
+        ]
+        measured = {}
+        for name in ("numpy64", "numpy32"):
+            with use_backend(name):
+                results = analyze_batch(net, regions, 1, domain)
+                best = float("inf")
+                for _ in range(rounds):
+                    start = time.perf_counter()
+                    analyze_batch(net, regions, 1, domain)
+                    best = min(best, time.perf_counter() - start)
+            measured[name] = (results, best)
+        (ref, t64), (scr, t32) = measured["numpy64"], measured["numpy32"]
+        return {
+            "regions": batch,
+            "numpy64_ms": round(t64 * 1e3, 1),
+            "numpy32_ms": round(t32 * 1e3, 1),
+            "speedup": round(t64 / max(t32, 1e-9), 2),
+            "decisions_equal": (
+                [r.verified for r in scr] == [r.verified for r in ref]
+            ),
+        }
+
+    print("zonotope batch leg ...", flush=True)
+    zonotope = leg(128, [256, 256], 48, 0.005, ZONOTOPE, rounds=1)
+    print(f"  {zonotope['speedup']}x", flush=True)
+    print("deeppoly backsub leg ...", flush=True)
+    deeppoly = leg(128, [256] * 4, 48, 0.01, DEEPPOLY, rounds=2)
+    print(f"  {deeppoly['speedup']}x", flush=True)
+
+    # Escalation smoke: job-level outcomes must match the reference run.
+    net = mlp(4, [10, 10], 3, rng=5)
+    rng = np.random.default_rng(9)
+    config = VerifierConfig(timeout=10.0, batch_size=8, max_depth=6)
+    jobs = [
+        VerificationJob(
+            net,
+            linf_property(
+                net, rng.uniform(0.2, 0.8, 4), 0.05 + 0.1 * i, name=f"p{i}"
+            ),
+            config=config,
+            seed=i,
+        )
+        for i in range(6)
+    ]
+    reference = Scheduler(jobs).run()
+    escalated = Scheduler(jobs, precision_escalation=True).run()
+    escalation = {
+        "jobs": len(jobs),
+        "escalated": escalated.escalated,
+        "outcomes_equal": (
+            [r.outcome.kind for r in escalated.results]
+            == [r.outcome.kind for r in reference.results]
+        ),
+    }
+    print(f"escalation: {escalation}", flush=True)
+
+    report = {
+        "bench": "backend_mixed_precision",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "host": host_info(),
+        "reference_backend": "numpy64",
+        "screen_backend": "numpy32",
+        "kernels": {"zonotope_batch": zonotope, "deeppoly_backsub": deeppoly},
+        "escalation": escalation,
+        "headline": {
+            "zonotope_batch_speedup": zonotope["speedup"],
+            "deeppoly_backsub_speedup": deeppoly["speedup"],
+        },
+    }
+    assert zonotope["decisions_equal"] and deeppoly["decisions_equal"], (
+        "numpy32 screen flipped a per-region decision"
+    )
+    assert escalation["outcomes_equal"], (
+        "precision escalation diverged from the reference outcomes"
+    )
+    append_trajectory(out_path, "backend_mixed_precision", report)
+    print(f"wrote {out_path}")
+    return 0
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -217,9 +342,22 @@ def main(argv=None):
         help="one network, fewer problems (smoke run; not the baseline)",
     )
     parser.add_argument(
-        "--out", default="BENCH_batched.json", help="output JSON path"
+        "--out", default=None, help="output JSON path"
+    )
+    parser.add_argument(
+        "--backend", choices=BACKEND_CHOICES, default=None,
+        help="array backend for every kernel in the run (default: active)",
+    )
+    parser.add_argument(
+        "--backend-bench", action="store_true",
+        help="fast mode: numpy32 vs numpy64 kernel ratios and an "
+        "escalation smoke only (defaults --out to BENCH_backend.json)",
     )
     args = parser.parse_args(argv)
+    apply_backend_flag(args)
+    if args.backend_bench:
+        return run_backend_bench(Path(args.out or "BENCH_backend.json"))
+    args.out = args.out or "BENCH_batched.json"
 
     scale = SuiteScale()
     names = MLP_NETWORKS[:1] if args.quick else MLP_NETWORKS
@@ -242,6 +380,7 @@ def main(argv=None):
         "python": platform.python_version(),
         "numpy": np.__version__,
         "host": host_info(),
+        **backend_info(),
         # The engine comparison is single-threaded by design; recorded so
         # rows stay interpretable next to sched_baseline's pooled rows.
         "workers": 1,

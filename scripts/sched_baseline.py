@@ -54,8 +54,14 @@ from pathlib import Path
 
 import numpy as np
 
-from perf_baseline import append_trajectory, host_info
+from perf_baseline import (
+    append_trajectory,
+    apply_backend_flag,
+    backend_info,
+    host_info,
+)
 from repro.abstract.domains import DEEPPOLY, bounded_zonotopes
+from repro.backend import BACKEND_CHOICES
 from repro.bench.suites import SuiteScale, build_network, build_problems
 from repro.core.config import VerifierConfig
 from repro.core.policy import BisectionPolicy
@@ -116,6 +122,8 @@ def phase_shares(report):
 def summarize(report):
     counts = report.outcome_counts()
     return {
+        "backend": report.backend,
+        "escalated": report.escalated if report.escalation else None,
         "wall_clock_s": round(report.wall_clock, 3),
         "outcomes": counts,
         "fresh_calls": report.fresh_calls(),
@@ -209,6 +217,7 @@ def run_fused_bench(out_path: Path) -> int:
         "python": platform.python_version(),
         "numpy": np.__version__,
         "host": host_info(),
+        **backend_info(),
         "workload": workload,
         "kernel": {
             # The kernel runs in-process on the caller's thread; the row
@@ -248,7 +257,12 @@ def main(argv=None):
     parser.add_argument(
         "--out", default=None, help="output JSON path"
     )
+    parser.add_argument(
+        "--backend", choices=BACKEND_CHOICES, default=None,
+        help="array backend for every kernel in the run (default: active)",
+    )
     args = parser.parse_args(argv)
+    apply_backend_flag(args)
     if args.fused_bench:
         return run_fused_bench(Path(args.out or "BENCH_fused.json"))
     args.out = args.out or "BENCH_sched.json"
@@ -278,6 +292,7 @@ def main(argv=None):
         "python": platform.python_version(),
         "numpy": np.__version__,
         "host": host_info(),
+        **backend_info(),
         "suite": {
             "networks": list(names),
             "problems": len(problems),

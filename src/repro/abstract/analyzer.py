@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.abstract.domains import DomainSpec
 from repro.abstract.element import AbstractElement
+from repro.backend import active as _active_backend
 from repro.nn.network import AffineOp, MaxPoolOp, Network, ReluOp
 from repro.obs.metrics import registry as _metrics_registry
 from repro.utils.boxes import Box
@@ -37,6 +38,19 @@ from repro.utils.timing import Deadline
 _KERNEL_COUNTERS = _metrics_registry().group(
     "kernel", ("pgd_batches", "pgd_rows", "analyze_batches", "analyze_rows")
 )
+
+
+def _count_backend_work(batches: int, rows: int) -> None:
+    """Per-backend kernel-work counters, ``kernel.by_backend.<name>.*``.
+
+    Scalar (non-group) counters so new backend names need no
+    registration; worker-side deltas still merge into the parent through
+    :meth:`~repro.obs.metrics.MetricsRegistry.merge_counters`.
+    """
+    name = _active_backend().name
+    reg = _metrics_registry()
+    reg.inc(f"kernel.by_backend.{name}.analyze_batches", batches)
+    reg.inc(f"kernel.by_backend.{name}.analyze_rows", rows)
 
 
 @dataclass(frozen=True)
@@ -100,7 +114,9 @@ def analyze(
             f"label {label} out of range for {network.output_size} outputs"
         )
     element = domain.lift(region)
-    output = propagate(network.ops(), element, deadline)
+    output = propagate(
+        network.ops_for(_active_backend().dtype), element, deadline
+    )
     margin = output.min_margin(label)
     return AnalysisResult(
         verified=margin > 0.0, margin_lower_bound=margin, output=output
@@ -176,6 +192,7 @@ def analyze_multi_entry(payload: dict) -> list[AnalysisResult]:
     if domain.base == "zonotope":
         _KERNEL_COUNTERS["analyze_batches"] += 1
         _KERNEL_COUNTERS["analyze_rows"] += len(regions)
+        _count_backend_work(1, len(regions))
         margins = zonotope_margins_call(
             network, regions, labels, domain.disjuncts, deadline
         )
@@ -230,7 +247,8 @@ def analyze_batch_multi(
             )
     _KERNEL_COUNTERS["analyze_batches"] += 1
     _KERNEL_COUNTERS["analyze_rows"] += len(regions)
-    ops = network.ops()
+    _count_backend_work(1, len(regions))
+    ops = network.ops_for(_active_backend().dtype)
     element = domain.lift_batch(list(regions))
     if element is None:
         return [

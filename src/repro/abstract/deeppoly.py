@@ -38,6 +38,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.abstract.batched import BatchedElement
+from repro.backend import active as _active_backend
+from repro.backend import outward_cast as _outward_cast
+from repro.backend import slack_for as _slack_for
 from repro.nn.network import AffineOp, MaxPoolOp, Network, ReluOp
 from repro.utils.boxes import Box
 from repro.utils.timing import Deadline
@@ -114,13 +117,18 @@ def _relu_relaxation(
     ``u(z - l)/(u - l)`` with the adaptive 0-or-identity lower bound
     (identity when the positive side dominates, minimizing relaxation area).
     """
+    # Typed scalars keep the coefficients in the input dtype: a bare
+    # ``np.where(cond, 1.0, 0.0)`` is float64 and would silently promote
+    # every later rewrite back to DGEMM on the float32 path.
+    one = low.dtype.type(1.0)
+    zero = low.dtype.type(0.0)
     stable = low >= 0.0
     crossing = (~stable) & (high > 0.0)
     with np.errstate(divide="ignore", invalid="ignore"):
-        slope = np.where(crossing, high / (high - low), 0.0)
-    du = np.where(stable, 1.0, slope)
-    bu = np.where(crossing, -slope * low, 0.0)
-    dl = np.where(stable | (crossing & (high > -low)), 1.0, 0.0)
+        slope = np.where(crossing, high / (high - low), zero)
+    du = np.where(stable, one, slope)
+    bu = np.where(crossing, -slope * low, zero)
+    dl = np.where(stable | (crossing & (high > -low)), one, zero)
     return dl, du, bu
 
 
@@ -156,11 +164,21 @@ class DeepPolyState:
     # Back-substitution
     # ------------------------------------------------------------------
 
+    @property
+    def _dtype(self) -> np.dtype:
+        """The dtype the relations carry (the backend's choice at analysis
+        time); float64 for an empty state."""
+        for layer in self.layers:
+            if isinstance(layer, _DiagBounds):
+                return layer.dl.dtype
+            return layer.al.dtype
+        return np.dtype(np.float64)
+
     def _bound_expr(self, a: np.ndarray, b: np.ndarray, lower: bool) -> np.ndarray:
         """Concrete lower (or upper) bounds of ``a·v + b`` over the region,
         where ``v`` is the current output vector.  ``a``: ``(rows, size)``."""
         a = np.atleast_2d(a)
-        b = np.atleast_1d(b).astype(np.float64)
+        b = np.atleast_1d(b).astype(a.dtype)
         for layer in reversed(self.layers):
             if isinstance(layer, _DiagBounds):
                 pos, neg = _split_signs(a)
@@ -184,14 +202,30 @@ class DeepPolyState:
                 b = pos @ layer.bu + neg @ layer.bl + b
                 a = pos @ layer.au + neg @ layer.al
         pos, neg = _split_signs(a)
+        # The box stays at reference precision; cast (no-op on the float64
+        # path) so a float32 back-substitution never silently re-promotes.
+        box_low = self.box.low.astype(a.dtype, copy=False)
+        box_high = self.box.high.astype(a.dtype, copy=False)
         if lower:
-            return pos @ self.box.low + neg @ self.box.high + b
-        return pos @ self.box.high + neg @ self.box.low + b
+            result = pos @ box_low + neg @ box_high + b
+        else:
+            result = pos @ box_high + neg @ box_low + b
+        scale = _slack_for(
+            a.dtype, (len(self.layers) + 1) * max(self.box.ndim, a.shape[-1])
+        )
+        if scale:
+            # Outward rounding (float32 path): the rewrite chain's round-off
+            # is bounded by the accumulated magnitude of the final expression.
+            mag = np.maximum(np.abs(box_low), np.abs(box_high))
+            slack = scale * (np.abs(a) @ mag + np.abs(b))
+            result = result - slack if lower else result + slack
+        return result
 
     def bounds(self) -> tuple[np.ndarray, np.ndarray]:
         """Concrete per-unit bounds of the current output vector."""
-        eye = np.eye(self.size)
-        zero = np.zeros(self.size)
+        dtype = self._dtype
+        eye = np.eye(self.size, dtype=dtype)
+        zero = np.zeros(self.size, dtype=dtype)
         return (
             self._bound_expr(eye, zero, lower=True),
             self._bound_expr(eye, zero, lower=False),
@@ -214,7 +248,9 @@ class DeepPolyState:
     def maxpool(self, windows: np.ndarray) -> "DeepPolyState":
         low, high = self.bounds()
         al, au, bu = _maxpool_relaxation(low, high, windows, self.size)
-        return self._extended(_LayerBounds(al, np.zeros(windows.shape[0]), au, bu))
+        return self._extended(
+            _LayerBounds(al, np.zeros(windows.shape[0], dtype=al.dtype), au, bu)
+        )
 
     # ------------------------------------------------------------------
     # Margin checks
@@ -222,25 +258,28 @@ class DeepPolyState:
 
     def lower_margin(self, label: int, other: int) -> float:
         """Relational bound on ``y_label - y_other`` via back-substitution."""
-        a = np.zeros((1, self.size))
+        dtype = self._dtype
+        a = np.zeros((1, self.size), dtype=dtype)
         a[0, label] = 1.0
         a[0, other] = -1.0
-        return float(self._bound_expr(a, np.zeros(1), lower=True)[0])
+        return float(self._bound_expr(a, np.zeros(1, dtype=dtype), lower=True)[0])
 
     def min_margin(self, label: int) -> float:
         if not 0 <= label < self.size:
             raise ValueError(f"label {label} out of range for size {self.size}")
-        a = _margin_rows(label, self.size)
-        margins = self._bound_expr(a, np.zeros(a.shape[0]), lower=True)
+        a = _margin_rows(label, self.size, self._dtype)
+        margins = self._bound_expr(
+            a, np.zeros(a.shape[0], dtype=a.dtype), lower=True
+        )
         return float(margins.min())
 
 
-def _margin_rows(label: int, size: int) -> np.ndarray:
+def _margin_rows(label: int, size: int, dtype=np.float64) -> np.ndarray:
     """The ``size - 1`` expressions ``y_label - y_j`` as one coefficient
     matrix, so all margins back-substitute in a single pass."""
     if size < 2:
         raise ValueError("margin undefined for single-output networks")
-    a = -np.eye(size)
+    a = -np.eye(size, dtype=dtype)
     a[:, label] += 1.0
     return np.delete(a, label, axis=0)
 
@@ -260,12 +299,12 @@ def _maxpool_relaxation(
     highs = high[windows]
     winners = lows.argmax(axis=1)
     winner_src = windows[rows, winners]
-    al = np.zeros((out, size))
+    al = np.zeros((out, size), dtype=low.dtype)
     al[rows, winner_src] = 1.0
     rivals = highs.copy()
     rivals[rows, winners] = -np.inf
     dominant = lows[rows, winners] >= rivals.max(axis=1)
-    au = np.zeros((out, size))
+    au = np.zeros((out, size), dtype=low.dtype)
     au[rows[dominant], winner_src[dominant]] = 1.0
     bu = np.where(dominant, 0.0, highs.max(axis=1))
     return al, au, bu
@@ -289,8 +328,11 @@ class DeepPolyBatch(BatchedElement):
         high: np.ndarray,
         layers: list[_LayerBounds | _DiagBounds] | None = None,
     ) -> None:
-        low = np.asarray(low, dtype=np.float64)
-        high = np.asarray(high, dtype=np.float64)
+        low = np.asarray(low)
+        high = np.asarray(high)
+        if low.dtype.char not in "efd":
+            low = low.astype(np.float64)
+        high = high.astype(low.dtype, copy=False)
         if low.ndim != 2 or low.shape != high.shape:
             raise ValueError(
                 f"batch bounds must be matching (B, n) arrays, got "
@@ -306,9 +348,12 @@ class DeepPolyBatch(BatchedElement):
     def from_boxes(boxes: list[Box]) -> "DeepPolyBatch":
         if not boxes:
             raise ValueError("need at least one box")
-        return DeepPolyBatch(
-            np.stack([b.low for b in boxes]), np.stack([b.high for b in boxes])
+        low, high = _outward_cast(
+            np.stack([b.low for b in boxes]),
+            np.stack([b.high for b in boxes]),
+            _active_backend().dtype,
         )
+        return DeepPolyBatch(low, high)
 
     @property
     def batch_size(self) -> int:
@@ -414,14 +459,15 @@ class DeepPolyBatch(BatchedElement):
                 # against the relation stack built at layer construction
                 # (see _DenseBounds), instead of two half-width GEMMs
                 # plus an add.
+                mm = _active_backend().matmul
                 a = _promote(a)
                 cat = np.concatenate(_split_signs(a), axis=-1)
                 if lower:
                     b = b + _dot_rows(cat, layer.lower_bias)
-                    a = cat @ layer.lower_rel
+                    a = mm(cat, layer.lower_rel)
                 else:
                     b = b + _dot_rows(cat, layer.upper_bias)
-                    a = cat @ layer.upper_rel
+                    a = mm(cat, layer.upper_rel)
             # Dense relation without a stack: only reachable for layers
             # handed directly to the constructor (the transformers and
             # rows() always build _DenseBounds) — kept so externally
@@ -436,23 +482,44 @@ class DeepPolyBatch(BatchedElement):
                     b = b + _dot_rows(pos, layer.bu) + _dot_rows(neg, layer.bl)
                     a = pos @ layer.au + neg @ layer.al
             else:  # shared exact affine relation: no sign split needed
-                b = b + a @ layer.bl
+                mm = _active_backend().matmul
+                b = b + mm(a, layer.bl) if a.ndim == 3 else b + a @ layer.bl
                 if a.ndim == 3:
                     rows = a.shape[1]
-                    a = (
-                        a.reshape(batch * rows, -1) @ layer.al
+                    a = mm(
+                        a.reshape(batch * rows, -1), layer.al
                     ).reshape(batch, rows, -1)
                 else:
-                    a = a @ layer.al
+                    a = mm(a, layer.al)
         a = _promote(a)
         pos, neg = _split_signs(a)
         if lower:
-            return _dot_rows(pos, self.box_low) + _dot_rows(neg, self.box_high) + b
-        return _dot_rows(pos, self.box_high) + _dot_rows(neg, self.box_low) + b
+            result = _dot_rows(pos, self.box_low) + _dot_rows(neg, self.box_high) + b
+        else:
+            result = _dot_rows(pos, self.box_high) + _dot_rows(neg, self.box_low) + b
+        scale = _slack_for(
+            a.dtype,
+            (len(self.layers) + 1)
+            * max(self.box_low.shape[1], a.shape[-1]),
+        )
+        if scale:
+            # Outward rounding (float32 path), mirroring DeepPolyState.
+            mag = np.maximum(np.abs(self.box_low), np.abs(self.box_high))
+            slack = scale * (_dot_rows(np.abs(a), mag) + np.abs(b))
+            result = result - slack if lower else result + slack
+        return result
+
+    @property
+    def _dtype(self) -> np.dtype:
+        for layer in self.layers:
+            if isinstance(layer, _DiagBounds):
+                return layer.dl.dtype
+            return layer.al.dtype
+        return self.box_low.dtype
 
     def bounds(self) -> tuple[np.ndarray, np.ndarray]:
         """Concrete per-unit bounds of the current output: ``(B, n)`` each."""
-        eye = np.eye(self.size)
+        eye = np.eye(self.size, dtype=self._dtype)
         return (
             self._bound_expr(eye, lower=True),
             self._bound_expr(eye, lower=False),
@@ -475,15 +542,18 @@ class DeepPolyBatch(BatchedElement):
     def maxpool(self, windows: np.ndarray) -> "DeepPolyBatch":
         low, high = self.bounds()
         out = windows.shape[0]
-        al = np.empty((self.batch_size, out, self.size))
-        au = np.empty((self.batch_size, out, self.size))
-        bu = np.empty((self.batch_size, out))
+        dtype = low.dtype
+        al = np.empty((self.batch_size, out, self.size), dtype=dtype)
+        au = np.empty((self.batch_size, out, self.size), dtype=dtype)
+        bu = np.empty((self.batch_size, out), dtype=dtype)
         for i in range(self.batch_size):
             al[i], au[i], bu[i] = _maxpool_relaxation(
                 low[i], high[i], windows, self.size
             )
         return self._extended(
-            _DenseBounds.build(al, np.zeros((self.batch_size, out)), au, bu)
+            _DenseBounds.build(
+                al, np.zeros((self.batch_size, out), dtype=dtype), au, bu
+            )
         )
 
     # ------------------------------------------------------------------
@@ -494,7 +564,9 @@ class DeepPolyBatch(BatchedElement):
         """Per-region relational bound on ``min_{j≠K} (y_K - y_j)``."""
         if not 0 <= label < self.size:
             raise ValueError(f"label {label} out of range for size {self.size}")
-        margins = self._bound_expr(_margin_rows(label, self.size), lower=True)
+        margins = self._bound_expr(
+            _margin_rows(label, self.size, self._dtype), lower=True
+        )
         return margins.min(axis=1)
 
 
@@ -510,7 +582,7 @@ def deeppoly_analyze(
     max-pooling ops (i.e. all architectures in the benchmark suite).
     """
     state = DeepPolyState.identity(region)
-    for op in network.ops():
+    for op in network.ops_for(_active_backend().dtype):
         if deadline is not None:
             deadline.check()
         if isinstance(op, AffineOp):

@@ -60,6 +60,7 @@ import threading
 
 import numpy as np
 
+from repro.backend import slack_for as _slack_for
 from repro.obs.metrics import registry as _metrics_registry
 
 #: Coefficients at or below this magnitude are treated as untouched by
@@ -125,7 +126,7 @@ def gen_sum(stack: np.ndarray) -> np.ndarray:
     ``R``, including the sequential transformer's ``R == 1``.
     """
     rows, k = stack.shape
-    buf = np.zeros((k, max(rows, 2)))
+    buf = np.zeros((k, max(rows, 2)), dtype=stack.dtype)
     buf[:, :rows] = stack.T
     return np.add.reduce(buf, axis=0)[:rows]
 
@@ -199,9 +200,10 @@ def fused_split_join(
     # Five (R, k, n) float buffers and three bool masks, reused across
     # rounds: sub(-> joined gens), both branch tensors, two abs/sign
     # scratch tensors.  No other (R, k, n) arrays are created.
-    sub, g_pos, g_neg, t1, t2 = arena.request(5, count, k, n)
+    dtype = gens.dtype
+    sub, g_pos, g_neg, t1, t2 = arena.request(5, count, k, n, dtype=dtype)
     m1, m2, m3 = arena.request(3, count, k, n, dtype=bool)
-    lo_sym, hi_sym, half = arena.request(3, count, 2, k, tag="sym")
+    lo_sym, hi_sym, half = arena.request(3, count, 2, k, dtype=dtype, tag="sym")
 
     # mode="clip" writes straight into sub; the default mode="raise"
     # bounce-buffers the gather through a fresh (R, k, n) temporary
@@ -367,7 +369,7 @@ def stacked_relu(
             continue
         t_rows = np.array([r for r, _ in todo])
         t_dims = np.array([d for _, d in todo])
-        rad = np.empty(len(todo))
+        rad = np.empty(len(todo), dtype=centers.dtype)
         cached = fresh[t_rows]
         if cached.any():
             rad[cached] = radius[t_rows[cached], t_dims[cached]]
@@ -399,8 +401,16 @@ def stacked_relu(
             # later rounds run at the shrunken k.
             if live is not None and work_gens.shape[1]:
                 work_gens, live = _compact(work_gens, live)
+    scale = _slack_for(centers.dtype, gens.shape[1] + 4)
+    if scale:
+        # Outward rounding (float32 path): cover the round loop's fused
+        # contraction round-off so the stacked result always contains the
+        # reference-precision one (validated by the containment fuzz).
+        errs = errs + scale * (
+            np.abs(centers) + np.abs(work_gens).sum(axis=1) + errs
+        )
     if live is not None and live.size < full_k:
-        out_gens = np.zeros((rows, full_k, centers.shape[1]))
+        out_gens = np.zeros((rows, full_k, centers.shape[1]), dtype=centers.dtype)
         out_gens[:, live, :] = work_gens
         return centers, out_gens, errs
     return centers, work_gens, errs

@@ -13,15 +13,34 @@ import numpy as np
 
 from repro.abstract.batched import BatchedElement
 from repro.abstract.element import AbstractElement
+from repro.backend import active as _active_backend
+from repro.backend import outward_cast as _outward_cast
+from repro.backend import slack_for as _slack_for
 from repro.utils.boxes import Box
+
+
+def _coerce_bound(a: np.ndarray) -> np.ndarray:
+    """Sanitize a bound array while *preserving* a float dtype.
+
+    Constructors are called both at the lift boundary (where the active
+    backend chose the dtype) and by every transformer (where the dtype
+    must ride along unchanged) — so non-float input is coerced to the
+    float64 reference, but float32/float64 arrays pass through as-is.
+    """
+    arr = np.asarray(a)
+    if arr.dtype.char not in "efd":
+        arr = arr.astype(np.float64)
+    return arr
 
 
 class IntervalElement(AbstractElement):
     """Component-wise bounds ``[low, high]``."""
 
     def __init__(self, low: np.ndarray, high: np.ndarray) -> None:
-        low = np.asarray(low, dtype=np.float64).reshape(-1)
-        high = np.asarray(high, dtype=np.float64).reshape(-1)
+        low = _coerce_bound(low).reshape(-1)
+        high = _coerce_bound(high).reshape(-1)
+        if high.dtype != low.dtype:
+            high = high.astype(low.dtype)
         if low.shape != high.shape:
             raise ValueError(f"shape mismatch: {low.shape} vs {high.shape}")
         if np.any(low > high + 1e-12):
@@ -31,7 +50,8 @@ class IntervalElement(AbstractElement):
 
     @staticmethod
     def from_box(box: Box) -> "IntervalElement":
-        return IntervalElement(box.low.copy(), box.high.copy())
+        low, high = _outward_cast(box.low, box.high, _active_backend().dtype)
+        return IntervalElement(low, high)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -56,6 +76,12 @@ class IntervalElement(AbstractElement):
         neg = np.minimum(weight, 0.0)
         low = pos @ self.low + neg @ self.high + bias
         high = pos @ self.high + neg @ self.low + bias
+        scale = _slack_for(low.dtype, weight.shape[1])
+        if scale:
+            mag = np.maximum(np.abs(self.low), np.abs(self.high))
+            slack = scale * (np.abs(weight) @ mag + np.abs(bias))
+            low = low - slack
+            high = high + slack
         return IntervalElement(low, high)
 
     def relu(self, skip_dims: frozenset[int] = frozenset()) -> "IntervalElement":
@@ -125,8 +151,10 @@ class IntervalBatch(BatchedElement):
     """
 
     def __init__(self, low: np.ndarray, high: np.ndarray) -> None:
-        low = np.asarray(low, dtype=np.float64)
-        high = np.asarray(high, dtype=np.float64)
+        low = _coerce_bound(low)
+        high = _coerce_bound(high)
+        if high.dtype != low.dtype:
+            high = high.astype(low.dtype)
         if low.ndim != 2 or low.shape != high.shape:
             raise ValueError(
                 f"batch bounds must be matching (B, n) arrays, got "
@@ -139,9 +167,12 @@ class IntervalBatch(BatchedElement):
     def from_boxes(boxes: list[Box]) -> "IntervalBatch":
         if not boxes:
             raise ValueError("need at least one box")
-        return IntervalBatch(
-            np.stack([b.low for b in boxes]), np.stack([b.high for b in boxes])
+        low, high = _outward_cast(
+            np.stack([b.low for b in boxes]),
+            np.stack([b.high for b in boxes]),
+            _active_backend().dtype,
         )
+        return IntervalBatch(low, high)
 
     @property
     def batch_size(self) -> int:
@@ -162,10 +193,17 @@ class IntervalBatch(BatchedElement):
         return IntervalBatch(self.low[indices], self.high[indices])
 
     def affine(self, weight: np.ndarray, bias: np.ndarray) -> "IntervalBatch":
+        mm = _active_backend().matmul
         pos = np.maximum(weight, 0.0)
         neg = np.minimum(weight, 0.0)
-        low = self.low @ pos.T + self.high @ neg.T + bias
-        high = self.high @ pos.T + self.low @ neg.T + bias
+        low = mm(self.low, pos.T) + mm(self.high, neg.T) + bias
+        high = mm(self.high, pos.T) + mm(self.low, neg.T) + bias
+        scale = _slack_for(low.dtype, weight.shape[1])
+        if scale:
+            mag = np.maximum(np.abs(self.low), np.abs(self.high))
+            slack = scale * (mm(mag, np.abs(weight).T) + np.abs(bias))
+            low = low - slack
+            high = high + slack
         return IntervalBatch(low, high)
 
     def relu(self) -> "IntervalBatch":

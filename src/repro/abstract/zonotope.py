@@ -28,7 +28,25 @@ import numpy as np
 
 from repro.abstract.element import AbstractElement
 from repro.abstract.fused import _COEF_TOL, gen_sum, stacked_relu
+from repro.backend import active as _active_backend
+from repro.backend import outward_center_radius as _outward_center_radius
+from repro.backend import slack_for as _slack_for
 from repro.utils.boxes import Box
+
+
+def _coerce_term(a: np.ndarray, dtype=None) -> np.ndarray:
+    """Sanitize an affine-form component, preserving float dtypes.
+
+    Non-float input coerces to the float64 reference; float32/float64
+    arrays pass through so transformer output keeps the dtype the lift
+    boundary chose (``dtype`` forces agreement across the three parts).
+    """
+    arr = np.asarray(a)
+    if dtype is not None:
+        return arr.astype(dtype, copy=False)
+    if arr.dtype.char not in "efd":
+        arr = arr.astype(np.float64)
+    return arr
 
 
 class Zonotope(AbstractElement):
@@ -41,9 +59,9 @@ class Zonotope(AbstractElement):
     """
 
     def __init__(self, center: np.ndarray, gens: np.ndarray, err: np.ndarray) -> None:
-        center = np.asarray(center, dtype=np.float64).reshape(-1)
-        gens = np.asarray(gens, dtype=np.float64)
-        err = np.asarray(err, dtype=np.float64).reshape(-1)
+        center = _coerce_term(center).reshape(-1)
+        gens = _coerce_term(gens, dtype=center.dtype)
+        err = _coerce_term(err, dtype=center.dtype).reshape(-1)
         if gens.ndim != 2 or gens.shape[1] != center.size:
             raise ValueError(
                 f"generator matrix shape {gens.shape} incompatible with "
@@ -82,7 +100,9 @@ class Zonotope(AbstractElement):
         # The box radii start as error terms; the first affine op materializes
         # them into proper generator rows (see :meth:`affine`).
         n = box.ndim
-        return Zonotope(box.center, np.zeros((0, n)), box.radius.copy())
+        dtype = _active_backend().dtype
+        center, radius = _outward_center_radius(box.center, box.radius, dtype)
+        return Zonotope(center, np.zeros((0, n), dtype=dtype), radius)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -144,10 +164,19 @@ class Zonotope(AbstractElement):
         :class:`~repro.abstract.zonotope_batch.ZonotopeBatch` rows bitwise
         equal to this sequential transformer.
         """
-        center = np.einsum("ij,j->i", weight, self.center) + bias
+        bk = _active_backend()
+        center = bk.einsum("ij,j->i", weight, self.center) + bias
         promoted = self.err[:, None] * weight.T  # row i = err_i * W[:, i]
-        gens = np.vstack([self.gens @ weight.T, promoted])
-        return Zonotope._make(center, gens, np.zeros(center.size))
+        gens = np.vstack([bk.matmul(self.gens, weight.T), promoted])
+        scale = _slack_for(center.dtype, weight.shape[1])
+        if not scale:
+            return Zonotope._make(center, gens, np.zeros(center.size, dtype=center.dtype))
+        # Outward rounding (float32 path): the GEMM/einsum round-off is
+        # bounded by the accumulated magnitude; absorb it into the error
+        # vector so the fast-path zonotope always contains the reference.
+        mag = np.abs(self.center) + self.radius()
+        err = scale * (np.abs(weight) @ mag + np.abs(bias))
+        return Zonotope._make(center, gens, err.astype(center.dtype, copy=False))
 
     def relu(self, skip_dims: frozenset[int] = frozenset()) -> "Zonotope":
         """Case-split ReLU via the fused contraction kernel.
@@ -210,6 +239,9 @@ class Zonotope(AbstractElement):
         )
         gens = np.where(dominant[None, :], self.gens[:, winner_src], 0.0)
         err = np.where(dominant, self.err[winner_src], (hull_hi - hull_lo) / 2.0)
+        scale = _slack_for(center.dtype, 8)
+        if scale:
+            err = err + scale * (np.abs(center) + err)
         return Zonotope._make(center, gens, err)
 
     # ------------------------------------------------------------------
@@ -229,16 +261,21 @@ class Zonotope(AbstractElement):
         upper_side: np.ndarray,
     ) -> "Zonotope":
         """Apply precomputed per-symbol range cuts (see :meth:`_contract`)."""
-        lo_sym = -np.ones(self.num_gens)
-        hi_sym = np.ones(self.num_gens)
+        dtype = self.gens.dtype
+        lo_sym = -np.ones(self.num_gens, dtype=dtype)
+        hi_sym = np.ones(self.num_gens, dtype=dtype)
         lo_sym = np.where(lower_side, np.maximum(lo_sym, bound), lo_sym)
         hi_sym = np.where(upper_side, np.minimum(hi_sym, bound), hi_sym)
         lo_sym = np.minimum(lo_sym, hi_sym)  # guard against numeric inversion
         mid = (lo_sym + hi_sym) / 2.0
         half = (hi_sym - lo_sym) / 2.0
         center = self.center + self.gens.T @ mid
+        err = self.err.copy()
+        scale = _slack_for(dtype, self.num_gens + 4)
+        if scale:
+            err += scale * (np.abs(center) + self.radius())
         gens = self.gens * half[:, None]
-        return Zonotope._make(center, gens, self.err.copy())
+        return Zonotope._make(center, gens, err)
 
     def _contract_cuts(
         self, dim: int, keep_nonneg: bool
@@ -293,8 +330,9 @@ class Zonotope(AbstractElement):
         # with the constraint orientation.  Sharing the center/generator
         # rescale (one GEMM for both centers) halves the dominant cost of
         # the powerset domains' case-split loop.
-        lo_sym = np.full((2, self.num_gens), -1.0)
-        hi_sym = np.ones((2, self.num_gens))
+        dtype = self.gens.dtype
+        lo_sym = np.full((2, self.num_gens), -1.0, dtype=dtype)
+        hi_sym = np.ones((2, self.num_gens), dtype=dtype)
         lo_sym[0] = np.where(pos_lower, np.maximum(lo_sym[0], pos_bound), lo_sym[0])
         hi_sym[0] = np.where(pos_upper, np.minimum(hi_sym[0], pos_bound), hi_sym[0])
         lo_sym[1] = np.where(pos_upper, np.maximum(lo_sym[1], neg_bound), lo_sym[1])
@@ -306,16 +344,22 @@ class Zonotope(AbstractElement):
         # not zero-row-invariant, while einsum's accumulation loop over k
         # is sequential (and identical at every stacked height).
         centers = self.center + np.einsum("jk,kn->jn", mid, self.gens)
+        err = self.err
+        scale = _slack_for(dtype, self.num_gens + 4)
+        if scale:
+            # Outward rounding (float32 path): cover the contraction's
+            # rescale/einsum round-off so both branches stay sound.
+            err = err + scale * (np.abs(self.center) + self.radius())
         # Positive branch: on {x_dim >= 0} the ReLU is the identity, and the
         # contracted zonotope over-approximates that meet, so it directly
         # over-approximates the branch image (any residual negative tail left
         # by the one-round contraction is imprecision, not unsoundness).
         pos = Zonotope._make(
-            centers[0], self.gens * half[0][:, None], self.err.copy()
+            centers[0], self.gens * half[0][:, None], err.copy()
         )
         # Negative branch: ReLU projects the dimension to exactly 0.
         neg = Zonotope._make(
-            centers[1], self.gens * half[1][:, None], self.err.copy()
+            centers[1], self.gens * half[1][:, None], err.copy()
         )._project_dim(dim)
         return pos, neg
 
@@ -355,7 +399,11 @@ class Zonotope(AbstractElement):
             + np.abs(other.gens - gens).sum(axis=0)
             + other.err
         )
-        return Zonotope._make(center, gens, np.maximum(pad1, pad2))
+        err = np.maximum(pad1, pad2)
+        scale = _slack_for(center.dtype, self.num_gens + 4)
+        if scale:
+            err += scale * (np.abs(center) + np.abs(gens).sum(axis=0) + err)
+        return Zonotope._make(center, gens, err)
 
     # ------------------------------------------------------------------
     # Margins

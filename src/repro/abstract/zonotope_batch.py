@@ -60,7 +60,10 @@ from repro.abstract.batched import BatchedElement
 from repro.abstract.fused import _COEF_TOL, gen_sum
 from repro.abstract.fused import stacked_relu as _fused_stacked_relu
 from repro.abstract.powerset import PowersetElement
-from repro.abstract.zonotope import Zonotope
+from repro.abstract.zonotope import Zonotope, _coerce_term
+from repro.backend import active as _active_backend
+from repro.backend import outward_center_radius as _outward_center_radius
+from repro.backend import slack_for as _slack_for
 from repro.utils.boxes import Box
 
 # ----------------------------------------------------------------------
@@ -83,7 +86,7 @@ def _stacked_margins(
     with the same pairwise order as the sequential 1-D sum.
     """
     out = centers.shape[1]
-    margins = np.full((centers.shape[0], out), np.inf)
+    margins = np.full((centers.shape[0], out), np.inf, dtype=centers.dtype)
     for j in range(out):
         if j == label:
             continue
@@ -105,15 +108,23 @@ def _stacked_affine(
     Centers go through ``einsum`` (height-stable, see module docstring);
     generator rows of all batched elements share one reshaped GEMM.
     """
+    bk = _active_backend()
     rows, num_gens, n = gens.shape
     out = weight.shape[0]
-    new_centers = np.einsum("ij,bj->bi", weight, centers) + bias
-    rotated = (gens.reshape(rows * num_gens, n) @ weight.T).reshape(
+    new_centers = bk.einsum("ij,bj->bi", weight, centers) + bias
+    rotated = bk.matmul(gens.reshape(rows * num_gens, n), weight.T).reshape(
         rows, num_gens, out
     )
     promoted = errs[:, :, None] * weight.T[None, :, :]
     new_gens = np.concatenate([rotated, promoted], axis=1)
-    return new_centers, new_gens, np.zeros((rows, out))
+    scale = _slack_for(new_centers.dtype, weight.shape[1])
+    if not scale:
+        return new_centers, new_gens, np.zeros((rows, out), dtype=new_centers.dtype)
+    # Outward rounding (float32 path): absorb the rotation/einsum
+    # round-off into the error radii, mirroring ``Zonotope.affine``.
+    mag = np.abs(centers) + _stacked_radius(gens, errs)
+    new_errs = scale * (bk.matmul(mag, np.abs(weight).T) + np.abs(bias))
+    return new_centers, new_gens, new_errs.astype(new_centers.dtype, copy=False)
 
 
 def _stacked_maxpool(
@@ -190,8 +201,8 @@ def _stacked_relu_split(
     pos_lower = touched & (coeffs > 0)
     pos_upper = touched & ~pos_lower
     num_gens = gens.shape[1]
-    lo_sym = np.full((count, 2, num_gens), -1.0)
-    hi_sym = np.ones((count, 2, num_gens))
+    lo_sym = np.full((count, 2, num_gens), -1.0, dtype=gens.dtype)
+    hi_sym = np.ones((count, 2, num_gens), dtype=gens.dtype)
     lo_sym[:, 0] = np.where(pos_lower, np.maximum(lo_sym[:, 0], pos_bound), lo_sym[:, 0])
     hi_sym[:, 0] = np.where(pos_upper, np.minimum(hi_sym[:, 0], pos_bound), hi_sym[:, 0])
     lo_sym[:, 1] = np.where(pos_upper, np.maximum(lo_sym[:, 1], neg_bound), lo_sym[:, 1])
@@ -209,8 +220,19 @@ def _stacked_relu_split(
     neg_c = branch_centers[:, 1].copy()
     pos_g = sub_gens * half[:, 0][:, :, None]
     neg_g = sub_gens * half[:, 1][:, :, None]
-    pos_e = errs[rows].copy()
-    neg_e = errs[rows].copy()
+    scale = _slack_for(gens.dtype, num_gens + 4)
+    if scale:
+        # Outward rounding (float32 path), mirroring ``Zonotope.relu_split``.
+        widen = scale * (
+            np.abs(centers[rows])
+            + np.abs(sub_gens).sum(axis=1)
+            + errs[rows]
+        )
+        pos_e = errs[rows] + widen
+        neg_e = pos_e.copy()
+    else:
+        pos_e = errs[rows].copy()
+        neg_e = errs[rows].copy()
     span = np.arange(count)
     neg_c[span, dims] = 0.0
     neg_g[span, :, dims] = 0.0
@@ -241,7 +263,12 @@ def _stacked_join(
     gens = np.where(same_sign, sign_g1 * np.minimum(abs_g1, abs_g2), 0.0)
     pad1 = np.abs(c1 - center) + np.abs(g1 - gens).sum(axis=1) + e1
     pad2 = np.abs(c2 - center) + np.abs(g2 - gens).sum(axis=1) + e2
-    return center, gens, np.maximum(pad1, pad2)
+    err = np.maximum(pad1, pad2)
+    scale = _slack_for(center.dtype, g1.shape[1] + 4)
+    if scale:
+        # Outward rounding (float32 path), mirroring ``Zonotope.join``.
+        err += scale * (np.abs(center) + np.abs(gens).sum(axis=1) + err)
+    return center, gens, err
 
 
 def _crossing_order(low: np.ndarray, high: np.ndarray) -> np.ndarray:
@@ -287,9 +314,9 @@ class ZonotopeBatch(BatchedElement):
     def __init__(
         self, centers: np.ndarray, gens: np.ndarray, errs: np.ndarray
     ) -> None:
-        centers = np.asarray(centers, dtype=np.float64)
-        gens = np.asarray(gens, dtype=np.float64)
-        errs = np.asarray(errs, dtype=np.float64)
+        centers = _coerce_term(centers)
+        gens = _coerce_term(gens, dtype=centers.dtype)
+        errs = _coerce_term(errs, dtype=centers.dtype)
         if centers.ndim != 2 or errs.shape != centers.shape:
             raise ValueError(
                 f"batch centers/errors must be matching (B, n) arrays, got "
@@ -311,11 +338,13 @@ class ZonotopeBatch(BatchedElement):
         if not boxes:
             raise ValueError("need at least one box")
         n = boxes[0].ndim
-        return ZonotopeBatch(
+        dtype = _active_backend().dtype
+        centers, radii = _outward_center_radius(
             np.stack([b.center for b in boxes]),
-            np.zeros((len(boxes), 0, n)),
             np.stack([b.radius for b in boxes]),
+            dtype,
         )
+        return ZonotopeBatch(centers, np.zeros((len(boxes), 0, n), dtype=dtype), radii)
 
     @property
     def batch_size(self) -> int:
@@ -414,9 +443,9 @@ class PowersetBatch(BatchedElement):
                 f"per-region disjunct counts {counts} violate the budget "
                 f"of {max_disjuncts}"
             )
-        self.centers = np.asarray(centers, dtype=np.float64)
-        self.gens = np.asarray(gens, dtype=np.float64)
-        self.errs = np.asarray(errs, dtype=np.float64)
+        self.centers = _coerce_term(centers)
+        self.gens = _coerce_term(gens, dtype=self.centers.dtype)
+        self.errs = _coerce_term(errs, dtype=self.centers.dtype)
         self.offsets = offsets
         self.max_disjuncts = max_disjuncts
 
@@ -425,10 +454,16 @@ class PowersetBatch(BatchedElement):
         if not boxes:
             raise ValueError("need at least one box")
         n = boxes[0].ndim
-        return PowersetBatch(
+        dtype = _active_backend().dtype
+        centers, radii = _outward_center_radius(
             np.stack([b.center for b in boxes]),
-            np.zeros((len(boxes), 0, n)),
             np.stack([b.radius for b in boxes]),
+            dtype,
+        )
+        return PowersetBatch(
+            centers,
+            np.zeros((len(boxes), 0, n), dtype=dtype),
+            radii,
             np.arange(len(boxes) + 1),
             max_disjuncts,
         )
@@ -564,7 +599,7 @@ class PowersetBatch(BatchedElement):
             p_rows = np.array([p[2] for p in pairs])
             p_dims = np.array([p[3] for p in pairs])
             p_fresh = np.array([p[4] for p in pairs])
-            rad = np.empty(len(pairs))
+            rad = np.empty(len(pairs), dtype=centers.dtype)
             if p_fresh.any():
                 rad[p_fresh] = radius[p_rows[p_fresh], p_dims[p_fresh]]
             stale = ~p_fresh
@@ -642,10 +677,11 @@ class PowersetBatch(BatchedElement):
             total = len(sources)
             n = centers.shape[1]
             k = gens.shape[1]
-            new_centers = np.empty((total, n))
-            new_gens = np.empty((total, k, n))
-            new_errs = np.empty((total, n))
-            new_radius = np.zeros((total, n))
+            dtype = centers.dtype
+            new_centers = np.empty((total, n), dtype=dtype)
+            new_gens = np.empty((total, k, n), dtype=dtype)
+            new_errs = np.empty((total, n), dtype=dtype)
+            new_radius = np.zeros((total, n), dtype=dtype)
             by_kind: dict[str, tuple[list[int], list[int]]] = {}
             for new_row, (kind, index) in enumerate(sources):
                 dst, src = by_kind.setdefault(kind, ([], []))
@@ -768,5 +804,6 @@ def zonotope_margins_call(
         element = ZonotopeBatch.from_boxes(list(regions))
     else:
         element = PowersetBatch.from_boxes(list(regions), disjuncts)
-    element = propagate(network.ops(), element, deadline)
+    ops = network.ops_for(_active_backend().dtype)
+    element = propagate(ops, element, deadline)
     return np.asarray(batch_margins(element, labels), dtype=np.float64)

@@ -1,0 +1,69 @@
+"""Optional torch array backend (CPU or GPU), numpy-in / numpy-out.
+
+Registered by ``repro.backend`` only when ``import torch`` succeeds, so
+the rest of the stack never takes a hard torch dependency.  The backend
+keeps the *array* representation numpy at float32 — only the hot
+``matmul``/``einsum`` sites round-trip through torch tensors, which is
+where the GEMM time lives (the surrounding elementwise traffic is
+negligible and staying numpy keeps every kernel's control flow
+unchanged).  On CUDA hosts the round-trip ships operands to the device;
+on CPU it rides torch's threaded GEMM.
+
+The float32 dtype means the ``numpy32`` outward-rounding slack applies
+verbatim (``slack_for`` is dtype-driven), so torch-backed bounds carry
+the same validated containment envelope.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend import ArrayBackend
+
+
+def make_torch_backend():
+    """Build the torch backend, or ``None`` when torch is unavailable."""
+    try:
+        import torch
+    except Exception:
+        return None
+    device = "cuda" if torch.cuda.is_available() else "cpu"
+    return TorchBackend(torch, device)
+
+
+class TorchBackend(ArrayBackend):
+    """float32 backend whose GEMM-shaped ops run as torch ops."""
+
+    def __init__(self, torch_module, device: str) -> None:
+        super().__init__("torch", np.float32)
+        self._torch = torch_module
+        self.device = device
+
+    def _to(self, a):
+        arr = np.ascontiguousarray(np.asarray(a, dtype=self.dtype))
+        return self._torch.from_numpy(arr).to(self.device)
+
+    def _from(self, t) -> np.ndarray:
+        return t.detach().cpu().numpy()
+
+    def matmul(self, a, b):
+        return self._from(self._torch.matmul(self._to(a), self._to(b)))
+
+    def einsum(self, spec, *operands, **kwargs):
+        if kwargs:
+            # torch.einsum has no out=/order= escape hatches; the in-place
+            # callers (fused arena kernels) stay on numpy by design.
+            return np.einsum(spec, *operands, **kwargs)
+        tensors = [self._to(op) for op in operands]
+        return self._from(self._torch.einsum(spec, *tensors))
+
+    def relu(self, x):
+        return self._from(self._torch.relu(self._to(x)))
+
+    def take(self, a, indices, axis=None, mode="raise"):
+        # torch.index_select has no clip mode; numpy handles both modes
+        # at identical semantics and this op is never GEMM-bound.
+        return np.take(a, indices, axis=axis, mode=mode)
+
+    def where(self, cond, a, b):
+        return np.where(cond, a, b)

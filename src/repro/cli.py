@@ -54,6 +54,8 @@ import numpy as np
 
 from repro.abstract.domains import BASE_DOMAINS, DomainSpec
 from repro.attack.pgd import PGDConfig
+from repro.backend import BACKEND_CHOICES, set_active as set_active_backend
+from repro.backend import use_backend
 from repro.attack.search import find_counterexample
 from repro.core.config import VerifierConfig
 from repro.core.parallel import ParallelVerifier
@@ -165,7 +167,15 @@ def _add_common(
     parser.add_argument("--seed", type=int, default=0, help="random seed")
 
 
+def _witness_holds_f64(network, prop, delta: float, x) -> bool:
+    """Concrete float64 validation of a float32 screen counterexample."""
+    logits = network.forward(np.asarray(x, dtype=np.float64))
+    margin = float(logits[prop.label] - np.delete(logits, prop.label).max())
+    return margin <= delta
+
+
 def cmd_verify(args: argparse.Namespace) -> int:
+    _apply_kernel_flags(args)
     network = load_network(args.network)
     center = _load_point(args.center, network.input_size)
     prop = linf_property(network, center, args.epsilon)
@@ -173,13 +183,32 @@ def cmd_verify(args: argparse.Namespace) -> int:
         timeout=args.timeout, delta=args.delta, batch_size=args.batch_size
     )
     policy = _resolve_policy(args.domain, args.disjuncts, args.policy_file)
-    if args.engine == "parallel":
-        verifier = ParallelVerifier(
-            network, policy, config, workers=args.workers, rng=args.seed
-        )
+
+    def build():
+        if args.engine == "parallel":
+            return ParallelVerifier(
+                network, policy, config, workers=args.workers, rng=args.seed
+            )
+        return ENGINES[args.engine](network, policy, config, rng=args.seed)
+
+    if args.precision_escalation:
+        # Two-phase mixed precision for a single property: screen on the
+        # float32 backend, keep a falsification once its witness
+        # reproduces under a concrete float64 forward pass, otherwise
+        # re-run on the float64 reference (a single job carries no
+        # margin comfort signal, so every non-falsified screen verdict
+        # escalates).
+        with use_backend("numpy32"):
+            outcome = build().verify(prop)
+        if not (
+            outcome.kind == "falsified"
+            and _witness_holds_f64(
+                network, prop, config.delta, outcome.counterexample
+            )
+        ):
+            outcome = build().verify(prop)
     else:
-        verifier = ENGINES[args.engine](network, policy, config, rng=args.seed)
-    outcome = verifier.verify(prop)
+        outcome = build().verify(prop)
     print(f"result: {outcome.kind}")
     print(f"label under test: {prop.label}")
     stats = outcome.stats
@@ -305,8 +334,11 @@ def cmd_schedule(args: argparse.Namespace) -> int:
             workers=args.workers,
             executor_kind=args.executor,
             shm_threshold=args.shm_threshold,
+            backend=args.backend,
+            precision_escalation=True if args.precision_escalation else None,
+            escalation_margin=args.escalation_margin,
         )
-    except ValueError as exc:
+    except (KeyError, ValueError) as exc:
         raise SystemExit(str(exc))
     report = scheduler.run()
     width = max(len(job.name) for job in jobs)
@@ -327,6 +359,13 @@ def cmd_schedule(args: argparse.Namespace) -> int:
         f"{report.sweeps} fused sweeps, {report.swept_items} work items, "
         f"{report.wall_clock:.2f}s wall clock"
     )
+    if report.escalation:
+        print(
+            f"backend: {report.backend} screen, {report.escalated} jobs "
+            "escalated to numpy64"
+        )
+    elif report.backend != "numpy64":
+        print(f"backend: {report.backend}")
     if cache is not None:
         print(f"cache: {report.cache_hits} hits")
     # Same convention as ``verify``: 0 only when everything is proven,
@@ -660,10 +699,37 @@ def _add_executor_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _apply_kernel_flags(args: argparse.Namespace) -> None:
-    """Export the fused-kernel knobs before any executor can spawn.
+def _add_backend_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_CHOICES,
+        default=None,
+        help="array backend for the hot kernels: numpy64 (float64, the "
+        "bitwise reference), numpy32 (float32 fast path; analyzer bounds "
+        "stay sound via outward rounding), torch (CPU/GPU, only when "
+        "torch is importable).  Default from REPRO_BACKEND or numpy64",
+    )
+    parser.add_argument(
+        "--precision-escalation",
+        action="store_true",
+        help="two-phase mixed precision: screen every job on the float32 "
+        "backend, accept falsifications after a concrete float64 witness "
+        "check, and re-run only near-margin or undecided jobs on the "
+        "float64 reference",
+    )
+    parser.add_argument(
+        "--escalation-margin",
+        type=float,
+        default=1e-2,
+        help="PGD-margin comfort threshold below which a screen-phase "
+        "certification escalates to float64 (scheduler batched engine)",
+    )
 
-    Both knobs must be in the environment before a process pool's first
+
+def _apply_kernel_flags(args: argparse.Namespace) -> None:
+    """Export the kernel knobs before any executor can spawn.
+
+    Every knob must be in the environment before a process pool's first
     worker spawns, so workers inherit the same settings and stay
     comparable with the parent.
     """
@@ -676,6 +742,15 @@ def _apply_kernel_flags(args: argparse.Namespace) -> None:
         set_compaction(False)
     if getattr(args, "shm_threshold", None) is not None:
         os.environ["REPRO_SHM_THRESHOLD"] = str(args.shm_threshold)
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        try:
+            set_active_backend(backend)
+        except KeyError as exc:
+            raise SystemExit(exc.args[0])
+        os.environ["REPRO_BACKEND"] = backend
+    if getattr(args, "precision_escalation", False):
+        os.environ["REPRO_PRECISION_ESCALATION"] = "1"
 
 
 def _add_domain_flags(parser: argparse.ArgumentParser) -> None:
@@ -734,6 +809,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker threads of the parallel engine (ignored by the others)",
     )
     _add_domain_flags(verify_parser)
+    _add_backend_flags(verify_parser)
     _add_trace_flag(verify_parser)
     verify_parser.set_defaults(func=cmd_verify)
 
@@ -802,6 +878,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_executor_flag(schedule_parser)
     _add_domain_flags(schedule_parser)
+    _add_backend_flags(schedule_parser)
     _add_trace_flag(schedule_parser)
     schedule_parser.set_defaults(func=cmd_schedule)
 
@@ -877,6 +954,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="where to write the θ artifact",
     )
     train_parser.add_argument("--seed", type=int, default=0, help="random seed")
+    _add_backend_flags(train_parser)
     _add_trace_flag(train_parser)
     train_parser.set_defaults(func=cmd_train)
 

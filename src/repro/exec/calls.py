@@ -45,12 +45,14 @@ import importlib
 import shutil
 import tempfile
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable
 
 import numpy as np
 
+from repro.backend import active as _active_backend
+from repro.backend import use_backend as _use_backend
 from repro.exec.shm import ShmHandle, resolve_payload
 from repro.nn.serialize import load_network, network_digest, save_network
 from repro.obs.metrics import registry
@@ -119,11 +121,17 @@ class KernelCall:
     ``submitted_unix`` is the parent's wall-clock submit time
     (``time.time()`` — comparable across processes on one host, unlike
     ``perf_counter``); the worker reports the call's queue wait from it.
+
+    ``backend`` is the array backend active when the call was
+    marshalled; :func:`run_kernel_call` re-enters it on the worker so a
+    call's precision crosses the process boundary with the call, not via
+    ambient worker state.
     """
 
     entry: str  # "module.path:function"
     payload: dict
     submitted_unix: float | None = None
+    backend: str = "numpy64"
 
 
 @dataclass(frozen=True)
@@ -171,7 +179,8 @@ def run_kernel_call(call: KernelCall) -> ObsEnvelope:
     payload = call.payload
     if any(isinstance(value, ShmHandle) for value in payload.values()):
         payload = resolve_payload(payload)
-    value = fn(payload)
+    with _use_backend(call.backend):
+        value = fn(payload)
     return ObsEnvelope(value, obs.counters_since(before), wait_s)
 
 
@@ -309,4 +318,10 @@ def marshal_call(
     marshaller = _MARSHALLERS.get(key)
     if marshaller is None:
         return None
-    return marshaller(args, kwargs, store)
+    call = marshaller(args, kwargs, store)
+    if call is None:
+        return None
+    # Stamp the marshalling thread's active backend so the worker runs
+    # the call at the precision the caller chose, not its own default.
+    name = _active_backend().name
+    return call if call.backend == name else replace(call, backend=name)

@@ -481,7 +481,12 @@ class ProcessExecutor(KernelExecutor):
             # perf_counter is not comparable across processes, but
             # time.time() is (same host), so the worker can report how
             # long the call waited before starting.
-            call = KernelCall(call.entry, payload, submitted_unix=time.time())
+            call = KernelCall(
+                call.entry,
+                payload,
+                submitted_unix=time.time(),
+                backend=call.backend,
+            )
             inner = pool.submit(run_kernel_call, call)
             if segments:
                 # Release the call's segments when its future completes —

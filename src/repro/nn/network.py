@@ -203,6 +203,7 @@ class Network:
             )
         self._shapes = shapes
         self._ops_cache: list | None = None
+        self._ops_cache_typed: dict[str, list] = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -362,6 +363,7 @@ class Network:
     def invalidate_ops(self) -> None:
         """Drop the cached analyzer lowering after parameter mutation."""
         self._ops_cache = None
+        self._ops_cache_typed.clear()
 
     # ------------------------------------------------------------------
     # Lowering for the analyzers
@@ -408,6 +410,30 @@ class Network:
                 )
         self._ops_cache = ops
         return ops
+
+    def ops_for(self, dtype) -> list:
+        """The op sequence with affine parameters in ``dtype``.
+
+        float64 returns :meth:`ops` unchanged (the bitwise reference
+        lowering); narrower dtypes get a converted copy cached per dtype
+        so the analyzers never pay the cast per propagation — and, just
+        as important, never mix float64 parameters into a float32
+        element (numpy would silently re-promote every product).  Both
+        caches drop together on :meth:`invalidate_ops`.
+        """
+        dt = np.dtype(dtype)
+        if dt == np.float64:
+            return self.ops()
+        cached = self._ops_cache_typed.get(dt.char)
+        if cached is None:
+            cached = [
+                AffineOp(op.weight.astype(dt), op.bias.astype(dt))
+                if isinstance(op, AffineOp)
+                else op
+                for op in self.ops()
+            ]
+            self._ops_cache_typed[dt.char] = cached
+        return cached
 
     def eval_ops(self, x: np.ndarray) -> np.ndarray:
         """Run the lowered op sequence on a flat vector (used by tests to

@@ -178,22 +178,32 @@ def job_key(
     config: VerifierConfig,
     policy: VerificationPolicy,
     seed: int,
+    backend: str = "numpy64",
 ) -> str:
     """The cache key of one verification job.
 
     The key identifies the *decision procedure instance* — network,
-    property, knobs, policy, seed.  It deliberately carries no engine
-    tag: every scheduler engine implements ``BatchedVerifier`` semantics
-    per job (the reproducibility contract), so their results are
-    interchangeable and may serve each other.
+    property, knobs, policy, seed, array backend.  It deliberately
+    carries no engine tag: every scheduler engine implements
+    ``BatchedVerifier`` semantics per job (the reproducibility
+    contract), so their results are interchangeable and may serve each
+    other.  The **backend** is keyed because it changes the decision
+    procedure itself — a float32 run takes different splits and may
+    decide differently than the float64 reference — so mixed-precision
+    runs can never poison (or be served) reference entries.  For
+    compatibility with every pre-backend cache, the ``numpy64``
+    reference omits the tag and keeps its historical keys.
     """
-    return _sha256(
+    parts = [
         net_digest.encode(),
         property_digest(prop).encode(),
         config_digest(config).encode(),
         policy_digest(policy).encode(),
         str(int(seed)).encode(),
-    )
+    ]
+    if backend != "numpy64":
+        parts.append(f"backend={backend}".encode())
+    return _sha256(*parts)
 
 
 @dataclass(frozen=True)

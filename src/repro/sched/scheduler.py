@@ -53,10 +53,16 @@ serves the recorded outcome without spawning any PGD or Analyze work.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.abstract.analyzer import analyze_batch_multi
+from repro.backend import active as _active_backend
+from repro.backend import get as _get_backend
+from repro.backend import use_default_backend as _use_default_backend
 from repro.attack.objective import MultiLabelMarginObjective
 from repro.attack.pgd import pgd_minimize_batch
 from repro.core.policy import default_policy
@@ -221,6 +227,9 @@ class ScheduleReport:
     executor: str = ""
     workers: int = 1
     final_batch_target: int = 0
+    backend: str = "numpy64"
+    escalation: bool = False
+    escalated: int = 0
     metrics: dict = field(default_factory=dict)
 
     def outcome_counts(self) -> dict[str, int]:
@@ -277,6 +286,20 @@ class Scheduler:
             negative disables the transport, ``None`` defers to
             ``REPRO_SHM_THRESHOLD``/default.  Only meaningful when this
             scheduler builds its own process executor.
+        backend: array backend for the run's kernels (``numpy64`` /
+            ``numpy32`` / ``torch``); ``None`` inherits the ambient
+            active backend (itself seeded from ``REPRO_BACKEND``).
+        precision_escalation: run the two-phase mixed-precision mode —
+            screen every job on the fast float32 backend, accept
+            falsifications immediately (witnesses re-validated by a
+            concrete float64 forward pass), accept comfortable
+            certifications, and re-run only the near-margin or
+            undecided jobs on the float64 reference backend.  ``None``
+            defers to ``REPRO_PRECISION_ESCALATION``.
+        escalation_margin: PGD-margin comfort threshold for accepting a
+            screen-phase certification without escalation; jobs whose
+            attack never got within this margin of the decision
+            boundary keep their float32 verdict.
     """
 
     def __init__(
@@ -290,6 +313,9 @@ class Scheduler:
         executor: KernelExecutor | None = None,
         executor_kind: str | None = None,
         shm_threshold: int | None = None,
+        backend: str | None = None,
+        precision_escalation: bool | None = None,
+        escalation_margin: float = 1e-2,
     ) -> None:
         if engine not in SCHED_ENGINES:
             raise ValueError(
@@ -309,6 +335,17 @@ class Scheduler:
         self.executor = executor
         self.executor_kind = executor_kind
         self.shm_threshold = shm_threshold
+        # Resolve (and validate) the backend eagerly so a bad name or a
+        # missing torch fails at construction, not mid-manifest.
+        self.backend = (
+            _active_backend().name if backend is None else _get_backend(backend).name
+        )
+        if precision_escalation is None:
+            precision_escalation = os.environ.get(
+                "REPRO_PRECISION_ESCALATION", ""
+            ).lower() not in ("", "0", "false")
+        self.precision_escalation = bool(precision_escalation)
+        self.escalation_margin = float(escalation_margin)
         # Fail on a bad (executor, workers, kind) combination here, not
         # mid-manifest.
         validate_executor_spec(executor, workers, kind=executor_kind)
@@ -328,17 +365,22 @@ class Scheduler:
             self._digests[key] = network_digest(network)
         return self._digests[key]
 
-    def _job_key(self, job: VerificationJob) -> str:
+    def _job_key(self, job: VerificationJob, backend: str | None = None) -> str:
         return job_key(
             self._net_digest(job.network),
             job.prop,
             job.config,
             job.policy or default_policy(),
             job.seed,
+            backend=self.backend if backend is None else backend,
         )
 
     def _record(
-        self, report: ScheduleReport, job: VerificationJob, outcome
+        self,
+        report: ScheduleReport,
+        job: VerificationJob,
+        outcome,
+        backend: str | None = None,
     ) -> None:
         if self.cache is None or not cacheable(outcome):
             return
@@ -350,7 +392,7 @@ class Scheduler:
         )
         put_started = time.perf_counter()
         try:
-            self.cache.put(self._job_key(job), record)
+            self.cache.put(self._job_key(job, backend), record)
         except OSError:
             # The cache is an optimization; a full disk must not turn a
             # decided job into a failure.
@@ -384,27 +426,17 @@ class Scheduler:
             engine=self.engine,
             executor=executor.name,
             workers=executor.workers,
+            backend=self.backend,
+            escalation=self.precision_escalation,
         )
 
-        pending: list[tuple[int, VerificationJob]] = []
-        probe_started = time.perf_counter()
-        for index, job in enumerate(jobs):
-            record = self.cache.get(self._job_key(job)) if self.cache else None
-            if record is not None:
-                report.cache_hits += 1
-                report.results[index] = JobResult(
-                    index, job, record.to_outcome(), cached=True, elapsed=0.0
-                )
-            else:
-                pending.append((index, job))
-        if self.cache is not None:
-            obs.add("phase.cache_s", time.perf_counter() - probe_started)
-
         try:
-            if self.engine == "sequential":
-                self._run_sequential(report, pending, executor)
+            if self.precision_escalation:
+                self._run_escalated(report, jobs, executor)
             else:
-                self._run_batched(report, pending, executor)
+                self._run_phase(
+                    report, list(enumerate(jobs)), executor, self.backend
+                )
         finally:
             if owned:
                 executor.shutdown(cancel_pending=True)
@@ -415,11 +447,105 @@ class Scheduler:
         report.metrics = obs.counters_since(counters_before)
         return report
 
+    def _run_phase(
+        self,
+        report: ScheduleReport,
+        indexed: list[tuple[int, VerificationJob]],
+        executor: KernelExecutor,
+        backend: str,
+    ) -> dict[int, float]:
+        """Probe the cache and drive ``indexed`` jobs on ``backend``.
+
+        One precision phase: the plain run is a single phase on
+        :attr:`backend`; escalation chains a float32 phase and a float64
+        phase.  Cache probes and records use the phase backend's keys,
+        so a mixed-precision phase can never serve (or poison) reference
+        entries.  Returns the batched engine's per-job final PGD margins
+        (empty for sequential) — the escalation driver's near-margin
+        signal.
+        """
+        obs = metrics_registry()
+        with _use_default_backend(backend):
+            pending: list[tuple[int, VerificationJob]] = []
+            probe_started = time.perf_counter()
+            for index, job in indexed:
+                record = (
+                    self.cache.get(self._job_key(job, backend))
+                    if self.cache
+                    else None
+                )
+                if record is not None:
+                    report.cache_hits += 1
+                    report.results[index] = JobResult(
+                        index, job, record.to_outcome(), cached=True, elapsed=0.0
+                    )
+                else:
+                    pending.append((index, job))
+            if self.cache is not None:
+                obs.add("phase.cache_s", time.perf_counter() - probe_started)
+            if self.engine == "sequential":
+                self._run_sequential(report, pending, executor, backend)
+                return {}
+            return self._run_batched(report, pending, executor, backend)
+
+    def _run_escalated(
+        self,
+        report: ScheduleReport,
+        jobs: list[VerificationJob],
+        executor: KernelExecutor,
+    ) -> None:
+        """Two-phase mixed precision: float32 screen, float64 decide.
+
+        Phase 1 runs every job on the fast screen backend.  Falsified
+        verdicts are accepted once their witness reproduces under a
+        concrete float64 forward pass (PGD witnesses are concrete
+        points, so validation is exact, not abstract).  Certified
+        verdicts are sound by the outward-rounding construction, but
+        near-margin ones are re-run so job-level outcomes match a pure
+        float64 run; the batched engine's final PGD margin is the
+        comfort signal (the sequential engine carries no margin, so it
+        escalates every non-falsified job).  Phase 2 re-runs the
+        escalated jobs on the float64 reference backend, overwriting
+        their screen results.
+        """
+        screen = "numpy32" if self.backend == "numpy64" else self.backend
+        margins = self._run_phase(
+            report, list(enumerate(jobs)), executor, screen
+        )
+        escalate: list[tuple[int, VerificationJob]] = []
+        for index, job in enumerate(jobs):
+            outcome = report.results[index].outcome
+            if outcome.kind == "falsified" and self._witness_holds(
+                job, outcome
+            ):
+                continue
+            if (
+                outcome.kind == "verified"
+                and margins.get(index, float("-inf")) > self.escalation_margin
+            ):
+                continue
+            escalate.append((index, job))
+        report.escalated = len(escalate)
+        metrics_registry().inc("sched.escalated", len(escalate))
+        if escalate:
+            self._run_phase(report, escalate, executor, "numpy64")
+
+    @staticmethod
+    def _witness_holds(job: VerificationJob, outcome) -> bool:
+        """Concrete float64 re-validation of a screen counterexample."""
+        logits = job.network.forward(
+            np.asarray(outcome.counterexample, dtype=np.float64)
+        )
+        label = job.prop.label
+        margin = float(logits[label] - np.delete(logits, label).max())
+        return margin <= job.config.delta
+
     def _run_sequential(
         self,
         report: ScheduleReport,
         pending: list[tuple[int, VerificationJob]],
         executor: KernelExecutor,
+        backend: str,
     ) -> None:
         # A solo BatchedVerifier run is entirely self-contained (path-keyed
         # randomness, private frontier, private stats), so whole jobs are
@@ -429,9 +555,9 @@ class Scheduler:
             for index, job in pending
         ]
         for index, job, future in futures:
-            with span("sched.job", cat="sched", index=index):
+            with span("sched.job", cat="sched", index=index, backend=backend):
                 outcome, elapsed = future.result()
-            self._record(report, job, outcome)
+            self._record(report, job, outcome, backend)
             report.results[index] = JobResult(
                 index, job, outcome, cached=False, elapsed=elapsed
             )
@@ -449,7 +575,8 @@ class Scheduler:
         report: ScheduleReport,
         pending: list[tuple[int, VerificationJob]],
         executor: KernelExecutor,
-    ) -> None:
+        backend: str,
+    ) -> dict[int, float]:
         states = [_JobState(index, job) for index, job in pending]
         controller = self.controller
         if controller is None and states:
@@ -489,6 +616,7 @@ class Scheduler:
             with span(
                 "sched.round", cat="sched",
                 round=round_no - 1, jobs=len(plan), items=total,
+                backend=backend, dtype=_active_backend().dtype.name,
             ):
                 self._fused_sweep(plan, executor)
             controller.record(total, time.perf_counter() - started)
@@ -501,7 +629,7 @@ class Scheduler:
 
         for state in states:
             outcome = state.outcome
-            self._record(report, state.job, outcome)
+            self._record(report, state.job, outcome, backend)
             report.results[state.index] = JobResult(
                 state.index,
                 state.job,
@@ -510,6 +638,7 @@ class Scheduler:
                 elapsed=outcome.stats.time_seconds,
             )
         report.final_batch_target = controller.target if controller else 0
+        return {state.index: state.last_margin for state in states}
 
     @staticmethod
     def _group_deadline(states: list[_JobState]) -> Deadline | None:

@@ -1,0 +1,92 @@
+"""Containment fuzz: float32 analyzer bounds always contain float64's.
+
+The numpy32 backend's soundness rests on outward rounding — every lift
+and every widening site pads by a directed-rounding slack — so for any
+network, region, and domain, the float32 margin lower bound must never
+exceed the float64 reference bound (a tighter float32 bound would mean
+the float32 abstraction failed to contain the float64 one).
+"""
+
+import numpy as np
+import pytest
+
+from repro.abstract.analyzer import analyze, analyze_batch_multi
+from repro.abstract.domains import DomainSpec
+from repro.backend import use_backend
+from repro.nn.builders import mlp
+from repro.utils.boxes import Box
+
+
+def random_mlp(seed, hidden=(10, 10)):
+    return mlp(4, list(hidden), 3, rng=seed)
+
+
+def random_box(seed, n=4, max_radius=0.8):
+    rng = np.random.default_rng(seed)
+    center = rng.uniform(-1.0, 1.0, size=n)
+    radius = rng.uniform(0.05, max_radius, size=n)
+    return Box(center - radius, center + radius)
+
+DOMAINS = (
+    DomainSpec("interval", 1),
+    DomainSpec("zonotope", 1),
+    DomainSpec("zonotope", 2),
+    DomainSpec("deeppoly", 1),
+)
+
+
+@pytest.mark.parametrize("domain", DOMAINS, ids=lambda d: d.short_name)
+@pytest.mark.parametrize("seed", range(12))
+def test_margin_bound_containment(domain, seed):
+    network = random_mlp(seed)
+    region = random_box(seed + 100)
+    label = seed % 3
+    reference = analyze(network, region, label, domain)
+    with use_backend("numpy32"):
+        screened = analyze(network, region, label, domain)
+    assert (
+        screened.margin_lower_bound <= reference.margin_lower_bound + 1e-12
+    ), (
+        f"float32 margin {screened.margin_lower_bound!r} beats the float64 "
+        f"reference {reference.margin_lower_bound!r} (unsound)"
+    )
+
+
+@pytest.mark.parametrize("domain", DOMAINS, ids=lambda d: d.short_name)
+def test_batched_margin_containment(domain):
+    network = random_mlp(7, hidden=(12, 12))
+    regions = [random_box(200 + i) for i in range(9)]
+    labels = [i % 3 for i in range(9)]
+    reference = analyze_batch_multi(network, regions, labels, domain)
+    with use_backend("numpy32"):
+        screened = analyze_batch_multi(network, regions, labels, domain)
+    for ref, scr in zip(reference, screened):
+        assert scr.margin_lower_bound <= ref.margin_lower_bound + 1e-12
+
+
+def test_interval_output_bounds_contain():
+    """Elementwise: the float32 output box contains the float64 box."""
+    domain = DomainSpec("interval", 1)
+    for seed in range(8):
+        network = random_mlp(seed, hidden=(8, 8))
+        region = random_box(300 + seed)
+        reference = analyze(network, region, 0, domain).output
+        with use_backend("numpy32"):
+            screened = analyze(network, region, 0, domain).output
+        assert np.all(
+            screened.low.astype(np.float64) <= reference.low + 1e-12
+        )
+        assert np.all(
+            screened.high.astype(np.float64) >= reference.high - 1e-12
+        )
+
+
+def test_float64_path_bitwise_through_backend_seam():
+    """Routing through the numpy64 backend changes nothing, bit for bit."""
+    domain = DomainSpec("zonotope", 2)
+    network = random_mlp(3)
+    region = random_box(42)
+    a = analyze(network, region, 1, domain)
+    with use_backend("numpy64"):
+        b = analyze(network, region, 1, domain)
+    assert a.margin_lower_bound == b.margin_lower_bound

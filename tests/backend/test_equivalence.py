@@ -1,0 +1,170 @@
+"""Backend equivalence matrix: job-level outcomes match across backends.
+
+The mixed-precision contract is *outcome* equality, not bitwise bound
+equality: a numpy32 (or torch) scheduler run over the xor and scaled
+fig06-style suites must decide every job the same way the numpy64
+reference does, falsified witnesses must survive concrete float64
+re-evaluation, and the two-phase escalation mode must reproduce the
+reference outcomes while keying its cache traffic per backend.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.suites import SuiteScale, build_network, build_problems
+from repro.core.config import VerifierConfig
+from repro.core.property import RobustnessProperty, linf_property
+from repro.exec.shm import ShmArena, resolve_payload
+from repro.nn.builders import mlp, xor_network
+from repro.sched import ResultCache, Scheduler, VerificationJob
+from repro.utils.boxes import Box
+
+TINY = SuiteScale(
+    width_factor=0.12, image_size=4, train_samples=500, train_epochs=8
+)
+
+BACKENDS = ("numpy64", "numpy32", "torch")
+
+
+def _torch_or_skip(name):
+    if name == "torch":
+        pytest.importorskip("torch")
+
+
+@pytest.fixture(scope="module")
+def suite():
+    """xor properties plus a scaled-down fig06 (mnist_3x100) slice."""
+    config = VerifierConfig(timeout=10.0, batch_size=8, max_depth=6)
+    jobs = [
+        VerificationJob(
+            xor_network(),
+            RobustnessProperty(
+                Box(np.array([0.3, 0.3]), np.array([0.7, 0.7])), 1
+            ),
+            config=config,
+            seed=0,
+            name="xor-verified",
+        ),
+        VerificationJob(
+            xor_network(),
+            RobustnessProperty(
+                Box(np.array([0.1, 0.1]), np.array([0.9, 0.9])), 1
+            ),
+            config=config,
+            seed=1,
+            name="xor-falsified",
+        ),
+    ]
+    net = mlp(4, [10, 10], 3, rng=5)
+    rng = np.random.default_rng(9)
+    for i in range(4):
+        center = rng.uniform(0.2, 0.8, 4)
+        prop = linf_property(net, center, 0.05 + 0.1 * i, name=f"mlp-{i}")
+        jobs.append(
+            VerificationJob(net, prop, config=config, seed=i, name=prop.name)
+        )
+    bench_net = build_network("mnist_3x100", TINY, seed=0)
+    fig06_config = VerifierConfig(timeout=5.0, batch_size=8, max_depth=5)
+    for problem in build_problems(bench_net, count=3, rng=13):
+        jobs.append(
+            VerificationJob(
+                bench_net.network,
+                problem.prop,
+                config=fig06_config,
+                seed=0,
+                name=problem.prop.name,
+            )
+        )
+    return jobs
+
+
+@pytest.fixture(scope="module")
+def reference(suite):
+    return Scheduler(suite, engine="batched").run()
+
+
+def _witness_margin_f64(job, outcome) -> float:
+    logits = job.network.forward(
+        np.asarray(outcome.counterexample, dtype=np.float64)
+    )
+    label = job.prop.label
+    return float(logits[label] - np.delete(logits, label).max())
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_outcome_matrix(suite, reference, backend_name):
+    _torch_or_skip(backend_name)
+    report = Scheduler(suite, engine="batched", backend=backend_name).run()
+    assert report.backend == backend_name
+    kinds = [r.outcome.kind for r in report.results]
+    assert kinds == [r.outcome.kind for r in reference.results]
+    for result in report.results:
+        if result.outcome.kind == "falsified":
+            assert (
+                _witness_margin_f64(result.job, result.outcome)
+                <= result.job.config.delta
+            )
+
+
+@pytest.mark.parametrize("engine", ("batched", "sequential"))
+def test_escalation_matches_reference(suite, reference, engine):
+    report = Scheduler(
+        suite, engine=engine, precision_escalation=True
+    ).run()
+    assert report.escalation
+    assert 0 <= report.escalated <= len(suite)
+    assert [r.outcome.kind for r in report.results] == [
+        r.outcome.kind for r in reference.results
+    ]
+    if engine == "sequential":
+        # No margin signal: every job the screen did not falsify (a
+        # subset of the reference falsifications, since accepted
+        # witnesses are float64-validated) must have escalated.
+        falsified = sum(
+            1 for r in reference.results if r.outcome.kind == "falsified"
+        )
+        assert report.escalated >= len(suite) - falsified
+
+
+def test_escalation_env_default(suite, monkeypatch):
+    monkeypatch.setenv("REPRO_PRECISION_ESCALATION", "1")
+    assert Scheduler(suite).precision_escalation
+    monkeypatch.setenv("REPRO_PRECISION_ESCALATION", "0")
+    assert not Scheduler(suite).precision_escalation
+
+
+def test_cache_isolation_between_backends(suite, tmp_path):
+    """A numpy32 run never serves (or poisons) numpy64 entries."""
+    cache = ResultCache(tmp_path / "cache")
+    first = Scheduler(suite, cache=cache).run()
+    assert first.cache_hits == 0
+    crossed = Scheduler(suite, cache=cache, backend="numpy32").run()
+    assert crossed.cache_hits == 0
+    again64 = Scheduler(suite, cache=cache).run()
+    assert again64.cache_hits == len(suite)
+    again32 = Scheduler(suite, cache=cache, backend="numpy32").run()
+    assert again32.cache_hits == len(suite)
+
+
+def test_per_backend_kernel_counters(suite):
+    report = Scheduler(suite, backend="numpy32").run()
+    by_backend = {
+        name: value
+        for name, value in report.metrics.items()
+        if name.startswith("kernel.by_backend.")
+    }
+    assert by_backend.get("kernel.by_backend.numpy32.analyze_batches", 0) > 0
+    assert not any("numpy64" in name for name in by_backend)
+
+
+def test_shm_roundtrip_preserves_float32():
+    arena = ShmArena(threshold=0)
+    try:
+        array = np.arange(12, dtype=np.float32).reshape(3, 4) / 7.0
+        payload, segments = arena.wrap_payload({"x": array})
+        assert segments
+        resolved = resolve_payload(payload)
+        assert resolved["x"].dtype == np.float32
+        assert np.array_equal(resolved["x"], array)
+    finally:
+        arena.close()

@@ -83,6 +83,21 @@ class TestDigests:
         b = job_key(net_digest, _prop(), config, policy, seed=1)
         assert a != b
 
+    def test_job_key_sensitive_to_backend(self):
+        net_digest = network_digest(xor_network())
+        config = VerifierConfig()
+        policy = BisectionPolicy()
+        ref = job_key(net_digest, _prop(), config, policy, seed=0)
+        f32 = job_key(
+            net_digest, _prop(), config, policy, seed=0, backend="numpy32"
+        )
+        assert ref != f32
+        # The reference backend keeps its historical (pre-backend) keys,
+        # so existing caches stay warm.
+        assert ref == job_key(
+            net_digest, _prop(), config, policy, seed=0, backend="numpy64"
+        )
+
 
 class TestRecordRoundtrip:
     def test_falsified_roundtrip(self, cache):
