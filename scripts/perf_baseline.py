@@ -335,6 +335,104 @@ def run_backend_bench(out_path: Path) -> int:
     return 0
 
 
+def run_netabs_bench(out_path: Path) -> int:
+    """The ``--netabs-bench`` fast mode -> one ``BENCH_netabs.json`` row.
+
+    Mirrors ``benchmarks/bench_netabs.py``: a fig09-scale redundant suite
+    (nine hidden layers of width 200 = 50 base x 4 near-duplicates)
+    through the scheduler with ``--abstraction off`` vs ``syntactic``,
+    at identical job outcomes.  The row records the abstraction level,
+    the merged-neuron ratio, the width-weighted kernel-row work saved,
+    and the end-to-end speedup, stamped with the active backend/dtype.
+    """
+    from repro.abstract.netabs import DEFAULT_LEVEL, abstraction_for
+    from repro.core.property import linf_property
+    from repro.nn.builders import redundant_mlp
+    from repro.obs.metrics import registry
+    from repro.sched import Scheduler, VerificationJob
+
+    net = redundant_mlp(64, [50] * 9, 10, dup=4, noise=1e-12, rng=3)
+    rng = np.random.default_rng(11)
+    centers = []
+    while len(centers) < 24:
+        x = rng.uniform(0.2, 0.8, size=64)
+        logits = net.forward(x)
+        if logits.max() - np.partition(logits, -2)[-2] > 0.15:
+            centers.append(x)
+    config = VerifierConfig(timeout=30.0)
+    jobs = [
+        VerificationJob(
+            net, linf_property(net, x, 0.0005), config=config, seed=i,
+            name=f"j{i}",
+        )
+        for i, x in enumerate(centers)
+    ]
+
+    def run(abstraction):
+        obs = registry()
+        before = obs.counters_snapshot()
+        start = time.perf_counter()
+        report = Scheduler(jobs, abstraction=abstraction).run()
+        wall = time.perf_counter() - start
+        return report, wall, obs.counters_since(before)
+
+    print("netabs fig09-scale suite ...", flush=True)
+    run("off")  # warm BLAS threads, digests, suite caches
+    run("syntactic")
+    off_report, t_off, off_delta = run("off")
+    abs_report, t_abs, abs_delta = run("syntactic")
+
+    abstraction = abstraction_for(net, "syntactic", DEFAULT_LEVEL)
+    rows_off = off_delta.get("kernel.analyze_rows", 0)
+    rows_abs = abs_delta.get("kernel.analyze_rows", 0)
+    work_off = rows_off * net.num_relu_units()
+    work_abs = rows_abs * abstraction.hidden_abstract
+    outcomes_equal = [r.outcome.kind for r in abs_report.results] == [
+        r.outcome.kind for r in off_report.results
+    ]
+    speedup = round(t_off / max(t_abs, 1e-9), 2)
+    report = {
+        "bench": "netabs_cegar",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "host": host_info(),
+        **backend_info(),
+        "suite": {
+            "network": "redundant 9x200 (50x4 per layer)",
+            "jobs": len(jobs),
+            "epsilon": 0.0005,
+            "timeout_s": 30.0,
+        },
+        "abstraction_level": DEFAULT_LEVEL,
+        "merged_ratio": round(abstraction.merged_ratio, 4),
+        "hidden_concrete": abstraction.hidden_concrete,
+        "hidden_abstract": abstraction.hidden_abstract,
+        "off_s": round(t_off, 3),
+        "syntactic_s": round(t_abs, 3),
+        "speedup": speedup,
+        "analyze_rows": {"off": rows_off, "syntactic": rows_abs},
+        "row_neuron_work": {"off": work_off, "syntactic": work_abs},
+        "kernel_rows_saved": round(1.0 - work_abs / max(work_off, 1), 4),
+        "netabs_accepted": abs_report.netabs_accepted,
+        "netabs_rounds": abs_report.netabs_rounds,
+        "outcomes_equal": outcomes_equal,
+        "headline": {"netabs_speedup": speedup},
+    }
+    print(
+        f"  off {t_off:.2f}s, syntactic {t_abs:.2f}s -> {speedup}x "
+        f"(merged ratio {report['merged_ratio']}, "
+        f"work saved {report['kernel_rows_saved']:.1%})",
+        flush=True,
+    )
+    assert outcomes_equal, "abstraction changed a job outcome"
+    assert abs_report.netabs_accepted == len(jobs), (
+        "not every job was accepted on the abstract network"
+    )
+    append_trajectory(out_path, "netabs_cegar", report)
+    print(f"wrote {out_path}")
+    return 0
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -353,10 +451,18 @@ def main(argv=None):
         help="fast mode: numpy32 vs numpy64 kernel ratios and an "
         "escalation smoke only (defaults --out to BENCH_backend.json)",
     )
+    parser.add_argument(
+        "--netabs-bench", action="store_true",
+        help="fast mode: scheduler with --abstraction syntactic vs off on "
+        "a fig09-scale redundant suite (defaults --out to "
+        "BENCH_netabs.json)",
+    )
     args = parser.parse_args(argv)
     apply_backend_flag(args)
     if args.backend_bench:
         return run_backend_bench(Path(args.out or "BENCH_backend.json"))
+    if args.netabs_bench:
+        return run_netabs_bench(Path(args.out or "BENCH_netabs.json"))
     args.out = args.out or "BENCH_batched.json"
 
     scale = SuiteScale()

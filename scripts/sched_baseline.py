@@ -293,6 +293,10 @@ def main(argv=None):
         "numpy": np.__version__,
         "host": host_info(),
         **backend_info(),
+        # Every scheduler row in this file runs the concrete networks;
+        # recorded so rows stay interpretable next to BENCH_netabs.json's
+        # abstraction trajectory.
+        "abstraction": "off",
         "suite": {
             "networks": list(names),
             "problems": len(problems),

@@ -24,7 +24,7 @@ import numpy as np
 from repro.abstract.domains import DomainSpec
 from repro.abstract.element import AbstractElement
 from repro.backend import active as _active_backend
-from repro.nn.network import AffineOp, MaxPoolOp, Network, ReluOp
+from repro.nn.network import AffineOp, MaxPoolOp, Network, PadOp, ReluOp
 from repro.obs.metrics import registry as _metrics_registry
 from repro.utils.boxes import Box
 from repro.utils.timing import Deadline
@@ -87,6 +87,8 @@ def propagate(
             element = element.relu()
         elif isinstance(op, MaxPoolOp):
             element = element.maxpool(op.windows)
+        elif isinstance(op, PadOp):
+            element = element.pad(op.radii)
         else:
             raise TypeError(f"unknown op type {type(op).__name__}")
     return element

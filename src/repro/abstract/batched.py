@@ -79,6 +79,14 @@ class BatchedElement(ABC):
     def maxpool(self, windows: np.ndarray) -> "BatchedElement":
         """Image of every row under per-window max."""
 
+    def pad(self, radii: np.ndarray) -> "BatchedElement":
+        """Image of every row under independent per-dimension error
+        ``y_j = x_j + e_j, |e_j| <= radii_j`` (see
+        :meth:`repro.abstract.element.AbstractElement.pad`)."""
+        raise TypeError(
+            f"{type(self).__name__} does not implement the pad transformer"
+        )
+
     # ------------------------------------------------------------------
     # Property checking
     # ------------------------------------------------------------------

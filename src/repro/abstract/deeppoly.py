@@ -41,7 +41,7 @@ from repro.abstract.batched import BatchedElement
 from repro.backend import active as _active_backend
 from repro.backend import outward_cast as _outward_cast
 from repro.backend import slack_for as _slack_for
-from repro.nn.network import AffineOp, MaxPoolOp, Network, ReluOp
+from repro.nn.network import AffineOp, MaxPoolOp, Network, PadOp, ReluOp
 from repro.utils.boxes import Box
 from repro.utils.timing import Deadline
 
@@ -93,14 +93,16 @@ class _DenseBounds(_LayerBounds):
 class _DiagBounds:
     """Diagonal (per-unit) bounds — the shape every ReLU relaxation has.
 
-    The lower relation is ``diag(dl)·v`` (its bias is identically zero in
-    DeepPoly's 0-or-identity lower bound); the upper relation is
+    The lower relation is ``diag(dl)·v + bl`` where ``bl`` is ``None``
+    (identically zero) for DeepPoly's 0-or-identity ReLU lower bound and
+    a negative radius vector for pad layers; the upper relation is
     ``diag(du)·v + bu``.  Coefficients may carry a leading batch axis.
     """
 
     dl: np.ndarray
     du: np.ndarray
     bu: np.ndarray
+    bl: np.ndarray | None = None
 
 
 def _split_signs(a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -184,9 +186,13 @@ class DeepPolyState:
                 pos, neg = _split_signs(a)
                 if lower:
                     b = b + neg @ layer.bu
+                    if layer.bl is not None:
+                        b = b + pos @ layer.bl
                     a = pos * layer.dl + neg * layer.du
                 else:
                     b = b + pos @ layer.bu
+                    if layer.bl is not None:
+                        b = b + neg @ layer.bl
                     a = pos * layer.du + neg * layer.dl
                 continue
             if layer.al is layer.au:
@@ -244,6 +250,18 @@ class DeepPolyState:
     def relu(self) -> "DeepPolyState":
         low, high = self.bounds()
         return self._extended(_DiagBounds(*_relu_relaxation(low, high)))
+
+    def pad(self, radii: np.ndarray) -> "DeepPolyState":
+        """Pad layer as a diagonal relation: ``v - r <= y <= v + r``.
+
+        Deliberately *not* encoded as an exact-affine :class:`_LayerBounds`
+        (whose ``al is au`` fast path carries a single bias): the lower and
+        upper biases differ, and the per-unit independence of the pad is
+        exactly what the diagonal rewrite preserves.
+        """
+        radii = np.asarray(radii)
+        ones = np.ones(radii.shape[-1], dtype=radii.dtype)
+        return self._extended(_DiagBounds(ones, ones, radii, bl=-radii))
 
     def maxpool(self, windows: np.ndarray) -> "DeepPolyState":
         low, high = self.bounds()
@@ -373,7 +391,12 @@ class DeepPolyBatch(BatchedElement):
         for layer in self.layers:
             if isinstance(layer, _DiagBounds):
                 layers.append(
-                    _DiagBounds(layer.dl[i], layer.du[i], layer.bu[i])
+                    _DiagBounds(
+                        layer.dl[i],
+                        layer.du[i],
+                        layer.bu[i],
+                        bl=None if layer.bl is None else layer.bl[i],
+                    )
                 )
             elif layer.al.ndim == 3:
                 layers.append(
@@ -399,7 +422,10 @@ class DeepPolyBatch(BatchedElement):
             if isinstance(layer, _DiagBounds):
                 layers.append(
                     _DiagBounds(
-                        layer.dl[indices], layer.du[indices], layer.bu[indices]
+                        layer.dl[indices],
+                        layer.du[indices],
+                        layer.bu[indices],
+                        bl=None if layer.bl is None else layer.bl[indices],
                     )
                 )
             elif layer.al.ndim == 3:
@@ -449,6 +475,8 @@ class DeepPolyBatch(BatchedElement):
                 a = _promote(a)
                 pos, neg = _split_signs(a)
                 b = b + _dot_rows(neg if lower else pos, layer.bu)
+                if layer.bl is not None:
+                    b = b + _dot_rows(pos if lower else neg, layer.bl)
                 if lower:
                     a = pos * layer.dl[:, None, :] + neg * layer.du[:, None, :]
                 else:
@@ -539,6 +567,17 @@ class DeepPolyBatch(BatchedElement):
         low, high = self.bounds()
         return self._extended(_DiagBounds(*_relu_relaxation(low, high)))
 
+    def pad(self, radii: np.ndarray) -> "DeepPolyBatch":
+        """Batched pad relation (see :meth:`DeepPolyState.pad`): the
+        shared radii broadcast to one per-region diagonal relation."""
+        radii = np.asarray(radii)
+        shape = (self.batch_size, radii.shape[-1])
+        ones = np.ones(shape, dtype=radii.dtype)
+        bu = np.broadcast_to(radii, shape)
+        return self._extended(
+            _DiagBounds(ones, ones, bu, bl=np.broadcast_to(-radii, shape))
+        )
+
     def maxpool(self, windows: np.ndarray) -> "DeepPolyBatch":
         low, high = self.bounds()
         out = windows.shape[0]
@@ -591,6 +630,8 @@ def deeppoly_analyze(
             state = state.relu()
         elif isinstance(op, MaxPoolOp):
             state = state.maxpool(op.windows)
+        elif isinstance(op, PadOp):
+            state = state.pad(op.radii)
         else:
             raise TypeError(f"unknown op type {type(op).__name__}")
     margin = state.min_margin(label)

@@ -75,6 +75,19 @@ class AbstractElement(ABC):
     def maxpool(self, windows: np.ndarray) -> "AbstractElement":
         """Image under per-window max (``windows``: ``(out, k)`` index sets)."""
 
+    def pad(self, radii: np.ndarray) -> "AbstractElement":
+        """Image under ``y_j = x_j + e_j`` with each ``e_j ∈ [-radii_j,
+        +radii_j]`` chosen *independently* per dimension.
+
+        This is the transformer of :class:`repro.nn.network.PadOp`, the op
+        the network-abstraction layer (:mod:`repro.abstract.netabs`) uses
+        to carry merged-neuron error.  Domains not reachable from a padded
+        network may keep the default.
+        """
+        raise TypeError(
+            f"{type(self).__name__} does not implement the pad transformer"
+        )
+
     # ------------------------------------------------------------------
     # Case-split hooks (powerset support)
     # ------------------------------------------------------------------

@@ -95,6 +95,17 @@ class IntervalElement(AbstractElement):
         high = self.high[windows].max(axis=1)
         return IntervalElement(low, high)
 
+    def pad(self, radii: np.ndarray) -> "IntervalElement":
+        low = self.low - radii
+        high = self.high + radii
+        scale = _slack_for(low.dtype, 2)
+        if scale:
+            # Outward rounding (float32 path): the subtraction/addition
+            # round-off is bounded by the result magnitude.
+            low = low - scale * np.abs(low)
+            high = high + scale * np.abs(high)
+        return IntervalElement(low, high)
+
     # ------------------------------------------------------------------
     # Case splits
     # ------------------------------------------------------------------
@@ -215,6 +226,15 @@ class IntervalBatch(BatchedElement):
         return IntervalBatch(
             self.low[:, windows].max(axis=2), self.high[:, windows].max(axis=2)
         )
+
+    def pad(self, radii: np.ndarray) -> "IntervalBatch":
+        low = self.low - radii
+        high = self.high + radii
+        scale = _slack_for(low.dtype, 2)
+        if scale:
+            low = low - scale * np.abs(low)
+            high = high + scale * np.abs(high)
+        return IntervalBatch(low, high)
 
     def min_margin(self, label: int) -> np.ndarray:
         """Per-region sound lower bound on ``min_{j≠K} (y_K - y_j)``."""

@@ -122,6 +122,11 @@ class PowersetElement(AbstractElement):
     def maxpool(self, windows: np.ndarray) -> "PowersetElement":
         return self._wrap([e.maxpool(windows) for e in self.elements])
 
+    def pad(self, radii: np.ndarray) -> "PowersetElement":
+        # Applies identically to every disjunct (generator shapes are
+        # untouched, so siblings stay joinable).
+        return self._wrap([e.pad(radii) for e in self.elements])
+
     def relu(self, skip_dims: frozenset[int] = frozenset()) -> "PowersetElement":
         # Each disjunct tracks the dims it was split on: a split branch
         # already over-approximates the ReLU image on that dim, so the final

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.nn.network import AffineOp, MaxPoolOp, Network, ReluOp
+from repro.nn.network import AffineOp, MaxPoolOp, Network, PadOp, ReluOp
 from repro.utils.boxes import Box
 from repro.utils.timing import Deadline
 
@@ -119,6 +119,13 @@ class SymbolicInterval:
             "(ReluVal excludes convolutional networks)"
         )
 
+    def pad(self, radii: np.ndarray) -> "SymbolicInterval":
+        """Shift the bound equations' constant terms outward: both bounds
+        stay affine in the input, so relational margins survive the pad."""
+        return SymbolicInterval(
+            self.al, self.bl - radii, self.au, self.bu + radii, self.box
+        )
+
     def bounds(self) -> tuple[np.ndarray, np.ndarray]:
         """Alias of :meth:`concrete_bounds` (analyzer-facing name)."""
         return self.concrete_bounds()
@@ -165,6 +172,8 @@ def symbolic_analyze(
                 "symbolic intervals do not support max pooling "
                 "(ReluVal excludes convolutional networks)"
             )
+        elif isinstance(op, PadOp):
+            element = element.pad(op.radii)
         else:
             raise TypeError(f"unknown op type {type(op).__name__}")
     margin = element.min_margin(label)

@@ -244,6 +244,18 @@ class Zonotope(AbstractElement):
             err = err + scale * (np.abs(center) + err)
         return Zonotope._make(center, gens, err)
 
+    def pad(self, radii: np.ndarray) -> "Zonotope":
+        """Exact pad transformer: the error vector *is* the zonotope's
+        independent-per-dimension noise slot, and :meth:`lower_margin`
+        counts ``e_label`` and ``e_other`` separately — matching the pad
+        op's independent-adversary semantics with no precision loss."""
+        err = self.err + radii
+        scale = _slack_for(err.dtype, 2)
+        if scale:
+            # Outward rounding (float32 path): cover the addition round-off.
+            err = err + scale * err
+        return Zonotope._make(self.center, self.gens, err)
+
     # ------------------------------------------------------------------
     # Case splits
     # ------------------------------------------------------------------

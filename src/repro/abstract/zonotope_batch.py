@@ -271,6 +271,16 @@ def _stacked_join(
     return center, gens, err
 
 
+def _stacked_pad_errs(errs: np.ndarray, radii: np.ndarray) -> np.ndarray:
+    """The batched ``Zonotope.pad`` error update: ``e + radii`` per row,
+    with the float32 path's outward widening of the addition round-off."""
+    out = errs + radii
+    scale = _slack_for(out.dtype, 2)
+    if scale:
+        out = out + scale * out
+    return out
+
+
 def _crossing_order(low: np.ndarray, high: np.ndarray) -> np.ndarray:
     """One row's crossing dims, widest first (``Zonotope.crossing_dims``)."""
     crossing = np.flatnonzero((low < 0.0) & (high > 0.0))
@@ -387,6 +397,11 @@ class ZonotopeBatch(BatchedElement):
     def maxpool(self, windows: np.ndarray) -> "ZonotopeBatch":
         return ZonotopeBatch(
             *_stacked_maxpool(self.centers, self.gens, self.errs, windows)
+        )
+
+    def pad(self, radii: np.ndarray) -> "ZonotopeBatch":
+        return ZonotopeBatch(
+            self.centers, self.gens, _stacked_pad_errs(self.errs, radii)
         )
 
     def min_margin(self, label: int) -> np.ndarray:
@@ -524,6 +539,15 @@ class PowersetBatch(BatchedElement):
     def maxpool(self, windows: np.ndarray) -> "PowersetBatch":
         return PowersetBatch(
             *_stacked_maxpool(self.centers, self.gens, self.errs, windows),
+            self.offsets,
+            self.max_disjuncts,
+        )
+
+    def pad(self, radii: np.ndarray) -> "PowersetBatch":
+        return PowersetBatch(
+            self.centers,
+            self.gens,
+            _stacked_pad_errs(self.errs, radii),
             self.offsets,
             self.max_disjuncts,
         )

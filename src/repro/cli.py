@@ -17,6 +17,14 @@ Commands:
 - ``info``     — print a saved network's architecture summary.
 - ``stats``    — summarize one ``--trace`` dump, or diff two.
 
+``verify`` and ``schedule`` accept ``--abstraction {off,syntactic,semantic}``
+(with ``--abstraction-level N``): a CEGAR pre-pass that merges similar
+neurons into a smaller strictly-over-approximating network, accepts
+abstract VERIFIED outcomes directly and FALSIFIED ones only after a
+concrete float64 witness check, and refines (or falls back to the
+concrete network) on spurious counterexamples — see
+:mod:`repro.abstract.netabs`.
+
 ``verify``, ``schedule``, and ``train`` accept ``--trace out.json``:
 the run's hierarchical spans (scheduler round → fused group → kernel
 call → cache probe) and final metric counters are written as a Chrome
@@ -53,6 +61,11 @@ import sys
 import numpy as np
 
 from repro.abstract.domains import BASE_DOMAINS, DomainSpec
+from repro.abstract.netabs import (
+    ABSTRACTION_MODES,
+    DEFAULT_LEVEL as NETABS_DEFAULT_LEVEL,
+    cegar_verify,
+)
 from repro.attack.pgd import PGDConfig
 from repro.backend import BACKEND_CHOICES, set_active as set_active_backend
 from repro.backend import use_backend
@@ -184,31 +197,55 @@ def cmd_verify(args: argparse.Namespace) -> int:
     )
     policy = _resolve_policy(args.domain, args.disjuncts, args.policy_file)
 
-    def build():
+    def build(net):
         if args.engine == "parallel":
             return ParallelVerifier(
-                network, policy, config, workers=args.workers, rng=args.seed
+                net, policy, config, workers=args.workers, rng=args.seed
             )
-        return ENGINES[args.engine](network, policy, config, rng=args.seed)
+        return ENGINES[args.engine](net, policy, config, rng=args.seed)
 
-    if args.precision_escalation:
-        # Two-phase mixed precision for a single property: screen on the
-        # float32 backend, keep a falsification once its witness
-        # reproduces under a concrete float64 forward pass, otherwise
-        # re-run on the float64 reference (a single job carries no
-        # margin comfort signal, so every non-falsified screen verdict
-        # escalates).
-        with use_backend("numpy32"):
-            outcome = build().verify(prop)
-        if not (
-            outcome.kind == "falsified"
-            and _witness_holds_f64(
-                network, prop, config.delta, outcome.counterexample
+    def run_once(net):
+        if args.precision_escalation:
+            # Two-phase mixed precision for a single property: screen on
+            # the float32 backend, keep a falsification once its witness
+            # reproduces under a concrete float64 forward pass, otherwise
+            # re-run on the float64 reference (a single job carries no
+            # margin comfort signal, so every non-falsified screen
+            # verdict escalates).
+            with use_backend("numpy32"):
+                outcome = build(net).verify(prop)
+            if not (
+                outcome.kind == "falsified"
+                and _witness_holds_f64(
+                    net, prop, config.delta, outcome.counterexample
+                )
+            ):
+                outcome = build(net).verify(prop)
+            return outcome
+        return build(net).verify(prop)
+
+    if args.abstraction != "off":
+        cegar = cegar_verify(
+            network,
+            prop,
+            run_once,
+            mode=args.abstraction,
+            level=args.abstraction_level,
+            delta=config.delta,
+            seed=args.seed,
+        )
+        outcome = cegar.outcome
+        if cegar.abstracted:
+            suffix = ", concrete fallback" if cegar.fallback else ""
+            print(
+                f"abstraction: {args.abstraction} level "
+                f"{args.abstraction_level}, {cegar.rounds} refinement "
+                f"rounds{suffix}"
             )
-        ):
-            outcome = build().verify(prop)
+        else:
+            print("abstraction: not applicable (ran concrete)")
     else:
-        outcome = build().verify(prop)
+        outcome = run_once(network)
     print(f"result: {outcome.kind}")
     print(f"label under test: {prop.label}")
     stats = outcome.stats
@@ -337,6 +374,8 @@ def cmd_schedule(args: argparse.Namespace) -> int:
             backend=args.backend,
             precision_escalation=True if args.precision_escalation else None,
             escalation_margin=args.escalation_margin,
+            abstraction=args.abstraction,
+            abstraction_level=args.abstraction_level,
         )
     except (KeyError, ValueError) as exc:
         raise SystemExit(str(exc))
@@ -359,6 +398,13 @@ def cmd_schedule(args: argparse.Namespace) -> int:
         f"{report.sweeps} fused sweeps, {report.swept_items} work items, "
         f"{report.wall_clock:.2f}s wall clock"
     )
+    if report.abstraction != "off":
+        print(
+            f"abstraction: {report.abstraction} level "
+            f"{report.abstraction_level}, {report.netabs_accepted}/"
+            f"{len(report.results)} jobs accepted abstract, "
+            f"{report.netabs_rounds} refinement rounds"
+        )
     if report.escalation:
         print(
             f"backend: {report.backend} screen, {report.escalated} jobs "
@@ -753,6 +799,28 @@ def _apply_kernel_flags(args: argparse.Namespace) -> None:
         os.environ["REPRO_PRECISION_ESCALATION"] = "1"
 
 
+def _add_abstraction_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--abstraction",
+        choices=ABSTRACTION_MODES,
+        default="off",
+        help="network-abstraction CEGAR pre-pass: merge similar neurons "
+        "into a smaller strictly-over-approximating network, verify that "
+        "first, and refine or fall back to the concrete network on "
+        "spurious counterexamples.  'syntactic' clusters by weight rows, "
+        "'semantic' by activation signatures over sampled inputs",
+    )
+    parser.add_argument(
+        "--abstraction-level",
+        type=int,
+        default=NETABS_DEFAULT_LEVEL,
+        metavar="N",
+        help="aggressiveness of the merge: each hidden layer keeps "
+        "~width/2^N neuron groups (higher = smaller abstract network, "
+        f"looser bounds; default {NETABS_DEFAULT_LEVEL})",
+    )
+
+
 def _add_domain_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--domain",
@@ -809,6 +877,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker threads of the parallel engine (ignored by the others)",
     )
     _add_domain_flags(verify_parser)
+    _add_abstraction_flags(verify_parser)
     _add_backend_flags(verify_parser)
     _add_trace_flag(verify_parser)
     verify_parser.set_defaults(func=cmd_verify)
@@ -878,6 +947,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_executor_flag(schedule_parser)
     _add_domain_flags(schedule_parser)
+    _add_abstraction_flags(schedule_parser)
     _add_backend_flags(schedule_parser)
     _add_trace_flag(schedule_parser)
     schedule_parser.set_defaults(func=cmd_schedule)

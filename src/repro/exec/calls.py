@@ -70,30 +70,30 @@ class NetworkStore:
     """Parent-side spill directory: each distinct network written once.
 
     Owned by the :class:`~repro.exec.executor.ProcessExecutor`; closed
-    (and its directory removed) on executor shutdown.  Entries keep a
-    strong reference to the network object so an ``id()`` is never
-    recycled onto a different network while the store lives.
+    (and its directory removed) on executor shutdown.  Keyed by content
+    digest — :func:`~repro.nn.serialize.network_digest` memoizes on the
+    Network instance itself, so repeat lookups cost a dict probe and
+    aliased copies of one network share a single spill file.
     """
 
     def __init__(self) -> None:
         self._dir = Path(tempfile.mkdtemp(prefix="repro-exec-nets-"))
-        self._handles: dict[int, tuple[object, NetworkHandle]] = {}
+        self._handles: dict[str, NetworkHandle] = {}
         # Backstop for parents that never shut their executor down: a
         # long-running training loop churning pools must not accumulate
         # one spill directory per pool on disk past process exit.
         atexit.register(self.close)
 
     def handle(self, network) -> NetworkHandle:
-        key = id(network)
-        entry = self._handles.get(key)
-        if entry is None:
-            digest = network_digest(network)
+        digest = network_digest(network)
+        handle = self._handles.get(digest)
+        if handle is None:
             path = self._dir / f"{digest}.npz"
             if not path.exists():
                 save_network(network, path)
-            entry = (network, NetworkHandle(digest, str(path)))
-            self._handles[key] = entry
-        return entry[1]
+            handle = NetworkHandle(digest, str(path))
+            self._handles[digest] = handle
+        return handle
 
     def close(self) -> None:
         self._handles.clear()

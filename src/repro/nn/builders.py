@@ -37,6 +37,50 @@ def mlp(
     return Network(layers, input_shape=(input_size,))
 
 
+def redundant_mlp(
+    input_size: int,
+    base_widths: list[int],
+    num_classes: int,
+    dup: int = 4,
+    noise: float = 1e-3,
+    rng: int | np.random.Generator | None = None,
+) -> Network:
+    """An MLP whose hidden layers carry ``dup``-fold near-duplicate neurons.
+
+    Each hidden neuron of a freshly initialized base network is replaced
+    by ``dup`` copies with ``noise``-scale weight perturbations, incoming
+    weights from duplicated units divided by ``dup`` so the function is
+    (up to the perturbations) the base network's.  Trained networks
+    exhibit exactly this kind of redundancy; this builder makes it
+    reproducible, which is what the :mod:`repro.abstract.netabs` tests
+    and benchmarks need — syntactic clustering at the matching level
+    recovers the duplicate groups with tiny error bounds.
+    """
+    if dup < 1:
+        raise ValueError(f"dup must be >= 1, got {dup}")
+    gen = as_generator(rng)
+    base = mlp(input_size, base_widths, num_classes, rng=gen)
+    weights = [
+        (layer.weight, layer.bias)
+        for layer in base.layers
+        if isinstance(layer, Dense)
+    ]
+    layers: list = []
+    last = len(weights) - 1
+    for i, (weight, bias) in enumerate(weights):
+        if i > 0:  # incoming columns from a duplicated layer
+            weight = np.repeat(weight / dup, dup, axis=1)
+        if i < last:  # duplicate this layer's rows
+            weight = np.repeat(weight, dup, axis=0)
+            bias = np.repeat(bias, dup)
+            weight = weight + noise * gen.standard_normal(weight.shape)
+            bias = bias + noise * gen.standard_normal(bias.shape)
+            layers += [Dense(weight, bias), ReLU()]
+        else:
+            layers.append(Dense(weight, bias))
+    return Network(layers, input_shape=(input_size,))
+
+
 def lenet_conv(
     input_shape: tuple[int, int, int] = (1, 8, 8),
     num_classes: int = 10,

@@ -150,6 +150,54 @@ class ReLU(Layer):
         return grad_out * cache, []
 
 
+class ErrorPad(Layer):
+    """Bounded per-unit error injection: ``y_j = x_j + e_j, |e_j| <= radii_j``
+    with every ``e_j`` chosen independently by an adversary.
+
+    The concrete forward pass picks ``e = 0`` (the identity), so sampled
+    points and witnesses are unaffected; the abstract transformers widen
+    dimension ``j`` outward by ``radii_j``.  :mod:`repro.abstract.netabs`
+    uses this to carry merged-neuron over-approximation error, which is
+    what makes the abstract network a strict over-approximation of the
+    concrete one.
+    """
+
+    def __init__(self, radii: np.ndarray) -> None:
+        radii = np.asarray(radii, dtype=np.float64).reshape(-1)
+        if radii.size == 0:
+            raise ValueError("ErrorPad needs at least one unit")
+        if not np.all(np.isfinite(radii)) or (radii < 0).any():
+            raise ValueError("ErrorPad radii must be finite and non-negative")
+        self.radii = radii
+
+    def params(self) -> list[np.ndarray]:
+        return [self.radii]
+
+    def set_params(self, params: list[np.ndarray]) -> None:
+        (radii,) = params
+        if radii.shape != self.radii.shape:
+            raise ValueError("parameter shape mismatch")
+        self.radii = np.asarray(radii, dtype=np.float64)
+
+    def out_shape(self, in_shape: tuple[int, ...]) -> tuple[int, ...]:
+        if in_shape != (self.radii.size,):
+            raise ValueError(
+                f"ErrorPad expects input shape ({self.radii.size},), got {in_shape}"
+            )
+        return in_shape
+
+    def forward_cached(self, x: np.ndarray) -> tuple[np.ndarray, Any]:
+        return x, None
+
+    def backward(
+        self, cache: Any, grad_out: np.ndarray
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        return grad_out, [np.zeros_like(self.radii)]
+
+    def backward_input(self, cache: Any, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out
+
+
 class Flatten(Layer):
     """Collapse a sample to a vector; the identity on already-flat input."""
 

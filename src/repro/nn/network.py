@@ -23,7 +23,16 @@ from weakref import WeakKeyDictionary
 
 import numpy as np
 
-from repro.nn.layers import Conv2d, Dense, Flatten, Layer, MaxPool2d, ReLU, _conv_out_hw
+from repro.nn.layers import (
+    Conv2d,
+    Dense,
+    ErrorPad,
+    Flatten,
+    Layer,
+    MaxPool2d,
+    ReLU,
+    _conv_out_hw,
+)
 
 
 @dataclass(frozen=True)
@@ -70,7 +79,29 @@ class MaxPoolOp:
         return x[self.windows].max(axis=1)
 
 
-Op = "AffineOp | ReluOp | MaxPoolOp"
+@dataclass(frozen=True)
+class PadOp:
+    """Independent per-dimension error: ``y_j = x_j + e_j, |e_j| <= radii[j]``.
+
+    Each ``e_j`` is adversarially chosen *independently* of the others —
+    abstract transformers must widen every dimension outward by its
+    radius without correlating the errors.  The concrete semantics pick
+    ``e = 0``, so :meth:`apply` is the identity: sampled points, PGD
+    witnesses, and forward checks all run through the underlying merged
+    weights unperturbed.
+    """
+
+    radii: np.ndarray  # (n,) non-negative per-dimension error bounds
+
+    @property
+    def size(self) -> int:
+        return self.radii.shape[0]
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+
+Op = "AffineOp | ReluOp | MaxPoolOp | PadOp"
 
 
 def _affine_of_linear_layer(
@@ -204,6 +235,10 @@ class Network:
         self._shapes = shapes
         self._ops_cache: list | None = None
         self._ops_cache_typed: dict[str, list] = {}
+        # Content digest memo (see repro.nn.serialize.network_digest).
+        # Networks are immutable once analyzed: the only mutation path is
+        # set_params(), which funnels through invalidate_ops() below.
+        self._digest: str | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -361,9 +396,15 @@ class Network:
         self.invalidate_ops()
 
     def invalidate_ops(self) -> None:
-        """Drop the cached analyzer lowering after parameter mutation."""
+        """Drop the cached analyzer lowering after parameter mutation.
+
+        Also drops the memoized content digest — the digest is a pure
+        function of (architecture, parameters), so it shares exactly the
+        invalidation points of the lowering cache.
+        """
         self._ops_cache = None
         self._ops_cache_typed.clear()
+        self._digest = None
 
     # ------------------------------------------------------------------
     # Lowering for the analyzers
@@ -391,6 +432,11 @@ class Network:
                 ops.append(AffineOp(weight.copy(), bias.copy()))
             elif isinstance(layer, ReLU):
                 ops.append(ReluOp(size=n_in))
+            elif isinstance(layer, ErrorPad):
+                # Must come before the is_linear fallback: the concrete
+                # forward is the identity, so basis probing would silently
+                # drop the error term and break over-approximation.
+                ops.append(PadOp(layer.radii.copy()))
             elif isinstance(layer, MaxPool2d):
                 if len(in_shape) != 3:
                     raise ValueError("MaxPool2d lowering requires (C,H,W) input")
@@ -426,12 +472,21 @@ class Network:
             return self.ops()
         cached = self._ops_cache_typed.get(dt.char)
         if cached is None:
-            cached = [
-                AffineOp(op.weight.astype(dt), op.bias.astype(dt))
-                if isinstance(op, AffineOp)
-                else op
-                for op in self.ops()
-            ]
+            cached = []
+            for op in self.ops():
+                if isinstance(op, AffineOp):
+                    op = AffineOp(op.weight.astype(dt), op.bias.astype(dt))
+                elif isinstance(op, PadOp):
+                    # Error radii must never shrink under a narrowing
+                    # cast — bump any rounded-down radius one ulp toward
+                    # +inf so the narrow lowering stays a sound
+                    # over-approximation of the float64 reference.
+                    radii = op.radii.astype(dt)
+                    low = radii.astype(np.float64) < op.radii
+                    if low.any():
+                        radii[low] = np.nextafter(radii[low], dt.type(np.inf))
+                    op = PadOp(radii)
+                cached.append(op)
             self._ops_cache_typed[dt.char] = cached
         return cached
 

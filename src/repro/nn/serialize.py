@@ -19,7 +19,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.nn.layers import Conv2d, Dense, Flatten, MaxPool2d, ReLU
+from repro.nn.layers import Conv2d, Dense, ErrorPad, Flatten, MaxPool2d, ReLU
 from repro.nn.network import Network
 
 
@@ -30,6 +30,8 @@ def _layer_spec(layer) -> dict:
         return {"kind": "conv2d", "stride": layer.stride, "padding": layer.padding}
     if isinstance(layer, ReLU):
         return {"kind": "relu"}
+    if isinstance(layer, ErrorPad):
+        return {"kind": "errorpad"}
     if isinstance(layer, Flatten):
         return {"kind": "flatten"}
     if isinstance(layer, MaxPool2d):
@@ -48,7 +50,16 @@ def network_digest(network: Network) -> str:
     attributes, exactly as serialized), and every parameter's float64 bit
     pattern.  Save/load round-trips preserve the digest; any weight or
     architecture change alters it.
+
+    The result is memoized on the :class:`Network` instance (networks are
+    immutable once analyzed — the only mutation path, ``set_params``,
+    drops the memo via ``invalidate_ops``), so repeated digest lookups in
+    the scheduler, the result cache, and the process-pool network store
+    hash each network exactly once.
     """
+    memo = getattr(network, "_digest", None)
+    if memo is not None:
+        return memo
     header = {
         "input_shape": list(network.input_shape),
         "layers": [_layer_spec(layer) for layer in network.layers],
@@ -57,7 +68,8 @@ def network_digest(network: Network) -> str:
     for layer in network.layers:
         for param in layer.params():
             digest.update(np.ascontiguousarray(param, dtype=np.float64).tobytes())
-    return digest.hexdigest()
+    network._digest = digest.hexdigest()
+    return network._digest
 
 
 def save_network(network: Network, path: str | Path) -> None:
@@ -95,6 +107,8 @@ def load_network(path: str | Path) -> Network:
                 )
             elif kind == "relu":
                 layers.append(ReLU())
+            elif kind == "errorpad":
+                layers.append(ErrorPad(archive[f"param_{i}_0"]))
             elif kind == "flatten":
                 layers.append(Flatten())
             elif kind == "maxpool2d":

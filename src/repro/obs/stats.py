@@ -8,8 +8,13 @@ This module reads those files back:
 - :func:`validate_trace` checks the schema (what the CI smoke gates on),
 - :func:`summarize_dump` renders counters, histograms, and per-span
   totals as text,
-- :func:`diff_dumps` compares two dumps counter by counter and span by
-  span — the "did this PR move the needle" view.
+- :func:`diff_dumps` compares two dumps counter by counter, span by
+  span, and histogram by histogram — the "did this PR move the needle"
+  view.
+
+The ``sched.netabs.*`` counter family (the abstraction pre-pass) gets a
+dedicated summary section, including the refinement-rounds-to-accept
+histogram.
 """
 
 from __future__ import annotations
@@ -118,6 +123,46 @@ def _fmt(value: float) -> str:
     return str(int(value))
 
 
+#: The abstraction pre-pass counter family, rendered as its own section
+#: (one line per outcome class reads far better than interleaving them
+#: with the kernel counters).
+_NETABS_PREFIX = "sched.netabs."
+
+
+def _netabs_section(
+    counters: dict[str, float], histograms: dict[str, dict]
+) -> list[str]:
+    """The ``sched.netabs.*`` family as a dedicated summary block."""
+    family = {
+        name[len(_NETABS_PREFIX):]: counters[name]
+        for name in counters
+        if name.startswith(_NETABS_PREFIX)
+    }
+    rounds = histograms.get(_NETABS_PREFIX + "rounds_to_accept")
+    if not family and not rounds:
+        return []
+    lines = ["netabs (abstraction pre-pass):"]
+    order = (
+        "jobs", "verified", "falsified", "spurious", "timeout",
+        "fallback", "unsupported", "refinements",
+    )
+    known = [name for name in order if name in family]
+    extra = sorted(set(family) - set(order))
+    if known or extra:
+        lines.append(
+            "  " + "  ".join(
+                f"{name} {_fmt(family[name])}" for name in known + extra
+            )
+        )
+    if rounds:
+        lines.append(
+            f"  rounds-to-accept: n={rounds.get('count', 0)} "
+            f"mean={float(rounds.get('mean', 0.0)):.2f} "
+            f"max={_fmt(float(rounds.get('max', 0.0)))}"
+        )
+    return lines
+
+
 def summarize_dump(payload: dict, top: int = 20) -> str:
     """A text summary of one dump: spans, counters, histograms."""
     lines: list[str] = []
@@ -134,10 +179,16 @@ def summarize_dump(payload: dict, top: int = 20) -> str:
                 f"max {entry['max_ms']:8.2f}ms"
             )
     counters = _counters(payload)
-    if counters:
+    lines.extend(_netabs_section(counters, _histograms(payload)))
+    generic = {
+        name: value
+        for name, value in counters.items()
+        if not name.startswith(_NETABS_PREFIX)
+    }
+    if generic:
         lines.append("counters:")
-        for name in sorted(counters):
-            lines.append(f"  {name:<36} {_fmt(counters[name])}")
+        for name in sorted(generic):
+            lines.append(f"  {name:<36} {_fmt(generic[name])}")
     histograms = _histograms(payload)
     if histograms:
         lines.append("histograms:")
@@ -188,4 +239,21 @@ def diff_dumps(baseline: dict, candidate: dict, top: int = 20) -> str:
                 f"  {name:<28} {before:9.2f} -> {after:9.2f} "
                 f"({after - before:+.2f})"
             )
+    base_hists = _histograms(baseline)
+    cand_hists = _histograms(candidate)
+    hist_lines = []
+    for name in sorted(set(base_hists) | set(cand_hists)):
+        before = base_hists.get(name) or {}
+        after = cand_hists.get(name) or {}
+        fields = []
+        for field, fmt in (("count", "g"), ("mean", ".4f"), ("max", "g")):
+            b = float(before.get(field, 0.0))
+            a = float(after.get(field, 0.0))
+            if b != a:
+                fields.append(f"{field} {b:{fmt}} -> {a:{fmt}}")
+        if fields:
+            hist_lines.append(f"  {name:<36} " + ", ".join(fields))
+    if hist_lines:
+        lines.append("histograms (baseline -> candidate):")
+        lines.extend(hist_lines)
     return "\n".join(lines)

@@ -60,6 +60,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.abstract.analyzer import analyze_batch_multi
+from repro.abstract.netabs import (
+    ABSTRACTION_MODES,
+    DEFAULT_LEVEL,
+    DEFAULT_MAX_ROUNDS,
+    abstraction_for,
+)
 from repro.backend import active as _active_backend
 from repro.backend import get as _get_backend
 from repro.backend import use_default_backend as _use_default_backend
@@ -230,6 +236,10 @@ class ScheduleReport:
     backend: str = "numpy64"
     escalation: bool = False
     escalated: int = 0
+    abstraction: str = "off"
+    abstraction_level: int = 0
+    netabs_accepted: int = 0
+    netabs_rounds: int = 0
     metrics: dict = field(default_factory=dict)
 
     def outcome_counts(self) -> dict[str, int]:
@@ -316,6 +326,9 @@ class Scheduler:
         backend: str | None = None,
         precision_escalation: bool | None = None,
         escalation_margin: float = 1e-2,
+        abstraction: str = "off",
+        abstraction_level: int = DEFAULT_LEVEL,
+        netabs_max_rounds: int = DEFAULT_MAX_ROUNDS,
     ) -> None:
         if engine not in SCHED_ENGINES:
             raise ValueError(
@@ -346,10 +359,17 @@ class Scheduler:
             ).lower() not in ("", "0", "false")
         self.precision_escalation = bool(precision_escalation)
         self.escalation_margin = float(escalation_margin)
+        if abstraction not in ABSTRACTION_MODES:
+            raise ValueError(
+                f"unknown abstraction mode {abstraction!r}; "
+                f"choose from {ABSTRACTION_MODES}"
+            )
+        self.abstraction = abstraction
+        self.abstraction_level = int(abstraction_level)
+        self.netabs_max_rounds = int(netabs_max_rounds)
         # Fail on a bad (executor, workers, kind) combination here, not
         # mid-manifest.
         validate_executor_spec(executor, workers, kind=executor_kind)
-        self._digests: dict[int, str] = {}
 
     def submit(self, job: VerificationJob) -> int:
         """Queue one more job; returns its index in the report."""
@@ -359,15 +379,12 @@ class Scheduler:
     # Cache plumbing
     # ------------------------------------------------------------------
 
-    def _net_digest(self, network) -> str:
-        key = id(network)
-        if key not in self._digests:
-            self._digests[key] = network_digest(network)
-        return self._digests[key]
-
     def _job_key(self, job: VerificationJob, backend: str | None = None) -> str:
+        # network_digest memoizes on the Network instance itself, so
+        # repeated keying of the same network (concrete or abstract) is a
+        # dict-free attribute read — no scheduler-side id() table needed.
         return job_key(
-            self._net_digest(job.network),
+            network_digest(job.network),
             job.prop,
             job.config,
             job.policy or default_policy(),
@@ -386,7 +403,7 @@ class Scheduler:
             return
         record = CacheRecord.from_outcome(
             outcome,
-            self._net_digest(job.network),
+            network_digest(job.network),
             job.prop.label,
             job.metadata,
         )
@@ -428,15 +445,17 @@ class Scheduler:
             workers=executor.workers,
             backend=self.backend,
             escalation=self.precision_escalation,
+            abstraction=self.abstraction,
+            abstraction_level=(
+                self.abstraction_level if self.abstraction != "off" else 0
+            ),
         )
 
         try:
-            if self.precision_escalation:
-                self._run_escalated(report, jobs, executor)
+            if self.abstraction != "off":
+                self._run_netabs(report, jobs, executor)
             else:
-                self._run_phase(
-                    report, list(enumerate(jobs)), executor, self.backend
-                )
+                self._dispatch(report, list(enumerate(jobs)), executor)
         finally:
             if owned:
                 executor.shutdown(cancel_pending=True)
@@ -488,10 +507,149 @@ class Scheduler:
                 return {}
             return self._run_batched(report, pending, executor, backend)
 
-    def _run_escalated(
+    def _dispatch(
+        self,
+        report: ScheduleReport,
+        indexed: list[tuple[int, VerificationJob]],
+        executor: KernelExecutor,
+    ) -> None:
+        """One precision pass over ``indexed`` — escalated or plain.
+
+        The netabs pre-pass reuses this for both the abstract rounds and
+        the concrete fallback, so abstraction composes with
+        mixed-precision escalation for free.
+        """
+        if self.precision_escalation:
+            self._run_escalated(report, indexed, executor)
+        else:
+            self._run_phase(report, indexed, executor, self.backend)
+
+    def _run_netabs(
         self,
         report: ScheduleReport,
         jobs: list[VerificationJob],
+        executor: KernelExecutor,
+    ) -> None:
+        """The network-abstraction pre-pass (CEGAR over the whole manifest).
+
+        Jobs are grouped by network; each group gets one
+        :class:`~repro.abstract.netabs.NetworkAbstraction` built over the
+        hull of the group's property regions, so a single abstract
+        network (one digest, one cache keyspace) serves every job and
+        every retry.  Per round, the surviving jobs run against the
+        current abstract network through the ordinary dispatch path:
+        VERIFIED outcomes are sound by construction and accepted
+        directly; FALSIFIED outcomes are accepted only when the witness
+        reproduces on the *concrete* float64 network; everything else is
+        spurious or undecided and triggers one refinement round (a
+        quarter of the merged groups split) before the retry.  Jobs
+        still undecided after
+        ``netabs_max_rounds`` (or once refinement bottoms out at
+        singletons) re-run on the concrete network, so job-level
+        outcomes always match an ``--abstraction off`` run.
+        """
+        obs = metrics_registry()
+        by_net: dict[int, list[tuple[int, VerificationJob]]] = {}
+        for index, job in enumerate(jobs):
+            by_net.setdefault(id(job.network), []).append((index, job))
+        concrete: list[tuple[int, VerificationJob]] = []
+        for pairs in by_net.values():
+            network = pairs[0][1].network
+            abstraction = abstraction_for(
+                network,
+                self.abstraction,
+                self.abstraction_level,
+                regions=[job.prop.region for _, job in pairs],
+            )
+            if abstraction is None:
+                # Unsupported architecture or nothing to merge: these
+                # jobs never pay an abstract round.
+                obs.inc("sched.netabs.unsupported", len(pairs))
+                concrete.extend(pairs)
+                continue
+            survivors = pairs
+            rounds = 0
+            while survivors:
+                abstract = abstraction.build()
+                if abstract is network:
+                    # Refined all the way down: the "abstract" network IS
+                    # the concrete one, so stop paying CEGAR bookkeeping.
+                    concrete.extend(survivors)
+                    survivors = []
+                    break
+                substitute = [
+                    (
+                        index,
+                        VerificationJob(
+                            abstract,
+                            job.prop,
+                            config=job.config,
+                            policy=job.policy,
+                            seed=job.seed,
+                            name=job.name,
+                            metadata=job.metadata,
+                        ),
+                    )
+                    for index, job in survivors
+                ]
+                obs.inc("sched.netabs.jobs", len(substitute))
+                self._dispatch(report, substitute, executor)
+                undecided: list[tuple[int, VerificationJob]] = []
+                for index, job in survivors:
+                    result = report.results[index]
+                    outcome = result.outcome
+                    accept = False
+                    if outcome.kind == "verified":
+                        obs.inc("sched.netabs.verified")
+                        accept = True
+                    elif outcome.kind == "falsified":
+                        if self._witness_holds(job, outcome):
+                            obs.inc("sched.netabs.falsified")
+                            accept = True
+                        else:
+                            obs.inc("sched.netabs.spurious")
+                    elif outcome.kind == "timeout":
+                        # The abstract network is the *cheap* one; a job
+                        # that timed out on it will not do better at a
+                        # finer (wider) level — send it straight to the
+                        # concrete run instead of burning more rounds.
+                        obs.inc("sched.netabs.timeout")
+                        concrete.append((index, job))
+                        obs.inc("sched.netabs.fallback")
+                        continue
+                    if accept:
+                        # Re-point the result at the original job: the
+                        # abstract network was an implementation detail.
+                        report.results[index] = JobResult(
+                            index, job, outcome, result.cached, result.elapsed
+                        )
+                        report.netabs_accepted += 1
+                        obs.observe("sched.netabs.rounds_to_accept", rounds)
+                    else:
+                        undecided.append((index, job))
+                if not undecided:
+                    survivors = []
+                    break
+                if (
+                    rounds >= self.netabs_max_rounds
+                    or not abstraction.refine_round()
+                ):
+                    concrete.extend(undecided)
+                    obs.inc("sched.netabs.fallback", len(undecided))
+                    survivors = []
+                    break
+                obs.inc("sched.netabs.refinements")
+                report.netabs_rounds += 1
+                rounds += 1
+                survivors = undecided
+        if concrete:
+            concrete.sort(key=lambda pair: pair[0])
+            self._dispatch(report, concrete, executor)
+
+    def _run_escalated(
+        self,
+        report: ScheduleReport,
+        indexed: list[tuple[int, VerificationJob]],
         executor: KernelExecutor,
     ) -> None:
         """Two-phase mixed precision: float32 screen, float64 decide.
@@ -509,11 +667,9 @@ class Scheduler:
         their screen results.
         """
         screen = "numpy32" if self.backend == "numpy64" else self.backend
-        margins = self._run_phase(
-            report, list(enumerate(jobs)), executor, screen
-        )
+        margins = self._run_phase(report, indexed, executor, screen)
         escalate: list[tuple[int, VerificationJob]] = []
-        for index, job in enumerate(jobs):
+        for index, job in indexed:
             outcome = report.results[index].outcome
             if outcome.kind == "falsified" and self._witness_holds(
                 job, outcome
@@ -525,7 +681,9 @@ class Scheduler:
             ):
                 continue
             escalate.append((index, job))
-        report.escalated = len(escalate)
+        # Accumulate: the netabs pre-pass dispatches several escalated
+        # passes per run (abstract rounds plus the concrete fallback).
+        report.escalated += len(escalate)
         metrics_registry().inc("sched.escalated", len(escalate))
         if escalate:
             self._run_phase(report, escalate, executor, "numpy64")

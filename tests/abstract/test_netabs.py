@@ -1,0 +1,284 @@
+"""Tests for the network-abstraction CEGAR layer (repro.abstract.netabs).
+
+The load-bearing property is *containment*: the abstract network's output
+abstraction must contain every concrete output over the region, at every
+refinement level, in every domain — that is what lets the scheduler
+accept abstract VERIFIED outcomes without re-running the concrete
+network.  The fuzz tests here check it against sampled concrete forward
+passes; the CEGAR tests check the refinement loop terminates and that
+spurious counterexamples are never accepted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.abstract.analyzer import analyze
+from repro.abstract.domains import BASE_DOMAINS, DomainSpec
+from repro.abstract.netabs import (
+    NetworkAbstraction,
+    abstraction_for,
+    cegar_verify,
+    witness_margin,
+)
+from repro.core.config import VerifierConfig
+from repro.core.property import linf_property
+from repro.core.results import Falsified, Verified, VerificationStats
+from repro.nn.builders import lenet_conv, mlp, redundant_mlp
+from repro.nn.serialize import network_digest
+from repro.sched import Scheduler, VerificationJob
+from repro.utils.boxes import Box
+
+#: Slack for comparing abstract bounds against concrete float64 forwards.
+_TOL = 1e-9
+
+
+def _concrete_margin(network, x, label):
+    logits = network.forward(np.asarray(x, dtype=np.float64))
+    return float(logits[label] - np.delete(logits, label).max())
+
+
+def _sample(region, count, seed):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(region.low, region.high, size=(count, region.ndim))
+
+
+# ----------------------------------------------------------------------
+# Containment fuzz
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("domain_name", BASE_DOMAINS)
+@pytest.mark.parametrize("mode", ["syntactic", "semantic"])
+def test_containment_every_level_every_domain(domain_name, mode):
+    """Abstract margin bounds stay below sampled concrete margins at
+    every refinement level, from the coarsest partition down to the
+    concrete network."""
+    domain = DomainSpec(domain_name)
+    for seed in (0, 1):
+        net = redundant_mlp(5, [6, 6], 3, dup=3, noise=2e-3, rng=seed)
+        rng = np.random.default_rng(seed + 10)
+        region = Box.from_center_radius(rng.uniform(0.3, 0.7, 5), 0.02)
+        label = net.classify((region.low + region.high) / 2.0)
+        points = _sample(region, 16, seed)
+        margins = [_concrete_margin(net, x, label) for x in points]
+        abstraction = NetworkAbstraction(
+            net, mode, level=2, regions=[region], seed=seed
+        )
+        for _ in range(200):
+            abstract = abstraction.build()
+            result = analyze(abstract, region, label, domain)
+            assert result.margin_lower_bound <= min(margins) + _TOL, (
+                f"{mode}/{domain_name} margin bound above a concrete "
+                f"sample after {abstraction.splits} splits"
+            )
+            if abstract is net or not abstraction.refine():
+                break
+        else:
+            pytest.fail("refinement did not terminate in 200 splits")
+
+
+def test_interval_output_box_contains_concrete_outputs():
+    """The interval output box of the abstract network contains every
+    sampled concrete logit vector, at every refinement level."""
+    net = redundant_mlp(4, [8, 8], 3, dup=2, noise=5e-3, rng=7)
+    region = Box.from_center_radius(np.full(4, 0.5), 0.03)
+    points = _sample(region, 32, 3)
+    logits = np.stack([net.forward(x) for x in points])
+    abstraction = NetworkAbstraction(
+        net, "syntactic", level=1, regions=[region]
+    )
+    interval = DomainSpec("interval")
+    while True:
+        abstract = abstraction.build()
+        output = analyze(abstract, region, 0, interval).output
+        low, high = output.bounds()
+        assert (logits >= low - _TOL).all() and (logits <= high + _TOL).all()
+        if abstract is net or not abstraction.refine():
+            break
+
+
+# ----------------------------------------------------------------------
+# Refinement / CEGAR termination
+# ----------------------------------------------------------------------
+
+
+def test_refinement_terminates_at_concrete_network():
+    """Splitting to singletons yields the original network by identity."""
+    net = redundant_mlp(4, [6, 6], 3, dup=3, noise=1e-4, rng=1)
+    abstraction = NetworkAbstraction(net, "syntactic", level=2)
+    splits = 0
+    while abstraction.refine():
+        splits += 1
+        assert splits <= net.num_relu_units()
+    assert abstraction.build() is net
+    assert abstraction.merged_ratio == 1.0
+
+
+def test_cegar_spurious_counterexample_refines_then_falls_back():
+    """A persistently spurious abstract witness must never be accepted:
+    the loop refines, then decides on the concrete network."""
+    net = redundant_mlp(4, [8, 8], 3, dup=4, noise=1e-6, rng=2)
+    center = np.full(4, 0.5)
+    prop = linf_property(net, center, 0.01)
+    # The center itself classifies as prop.label, so it is spurious as a
+    # counterexample by construction.
+    assert witness_margin(net, prop.label, center) > 0.0
+    calls = []
+
+    def verify_fn(candidate):
+        calls.append(candidate)
+        if candidate is net:
+            return Verified(VerificationStats())
+        return Falsified(center, -1.0, VerificationStats())
+
+    result = cegar_verify(
+        net, prop, verify_fn, mode="syntactic", level=2, max_rounds=3
+    )
+    assert result.outcome.kind == "verified"
+    assert result.abstracted and result.fallback
+    assert result.rounds >= 1  # at least one refinement round happened
+    assert calls[-1] is net  # decided on the concrete network
+    for candidate in calls[:-1]:
+        assert candidate is not net  # earlier attempts were abstract
+
+
+def test_cegar_accepts_sound_abstract_verdicts():
+    """Abstract VERIFIED and concretely-validated FALSIFIED are accepted
+    without touching the concrete network."""
+    net = redundant_mlp(4, [8, 8], 3, dup=4, noise=1e-9, rng=4)
+    center = np.full(4, 0.5)
+    prop = linf_property(net, center, 0.005)
+
+    def verify_ok(candidate):
+        assert candidate is not net
+        return Verified(VerificationStats())
+
+    result = cegar_verify(net, prop, verify_ok, mode="syntactic", level=2)
+    assert result.outcome.kind == "verified"
+    assert result.rounds == 0 and not result.fallback
+
+    # A genuine concrete misclassification as the abstract witness: the
+    # float64 check passes, so the falsification is accepted directly.
+    rng = np.random.default_rng(0)
+    witness = None
+    for _ in range(2000):
+        x = rng.uniform(0.0, 1.0, 4)
+        if net.classify(x) != prop.label:
+            witness = x
+            break
+    assert witness is not None, "workload never misclassifies"
+
+    def verify_bad(candidate):
+        return Falsified(witness, -1.0, VerificationStats())
+
+    result = cegar_verify(net, prop, verify_bad, mode="syntactic", level=2)
+    assert result.outcome.kind == "falsified"
+    assert result.rounds == 0 and not result.fallback
+
+
+def test_abstraction_for_gates():
+    """off / level 0 / non-MLP architectures opt out cleanly."""
+    net = mlp(4, [8], 3, rng=0)
+    assert abstraction_for(net, "off", 2) is None
+    assert abstraction_for(net, None, 2) is None
+    assert abstraction_for(net, "syntactic", 0) is None
+    conv = lenet_conv()
+    assert abstraction_for(conv, "syntactic", 2) is None
+
+
+# ----------------------------------------------------------------------
+# Determinism / builder
+# ----------------------------------------------------------------------
+
+
+def test_abstract_network_digest_deterministic():
+    """Same (network, mode, level, region) -> bitwise-identical abstract
+    network; refinement changes the digest (per-level cache keys)."""
+    net = redundant_mlp(5, [8, 8], 3, dup=2, noise=1e-3, rng=3)
+    region = Box.from_center_radius(np.full(5, 0.5), 0.02)
+    a = NetworkAbstraction(net, "syntactic", level=1, regions=[region])
+    b = NetworkAbstraction(net, "syntactic", level=1, regions=[region])
+    first = network_digest(a.build())
+    assert first == network_digest(b.build())
+    assert a.refine()
+    assert network_digest(a.build()) != first
+
+
+def test_redundant_mlp_recovers_duplicate_groups():
+    """At zero noise and the matching level, clustering recovers the
+    exact duplicate groups: the abstract network computes the same
+    function as the concrete one (up to the error pad, which is ~0)."""
+    net = redundant_mlp(6, [12, 12], 4, dup=4, noise=0.0, rng=5)
+    abstraction = NetworkAbstraction(net, "syntactic", level=2)
+    assert abstraction.hidden_concrete == 96  # (12 base x 4 dup) x 2
+    assert abstraction.hidden_abstract == 24  # 12 groups per layer
+    abstract = abstraction.build()
+    rng = np.random.default_rng(6)
+    for _ in range(8):
+        x = rng.uniform(0.0, 1.0, 6)
+        np.testing.assert_allclose(
+            abstract.forward(x), net.forward(x), atol=1e-9
+        )
+
+
+# ----------------------------------------------------------------------
+# Scheduler integration
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("mode", ["syntactic", "semantic"])
+def test_scheduler_outcomes_match_concrete(mode):
+    """The netabs pre-pass never changes a job outcome, and any accepted
+    falsification carries a concretely-valid witness."""
+    net = redundant_mlp(6, [12, 12], 4, dup=4, noise=1e-8, rng=8)
+    rng = np.random.default_rng(9)
+    config = VerifierConfig(timeout=10.0)
+    jobs = []
+    for i in range(5):
+        x = rng.uniform(0.2, 0.8, 6)
+        # Mix decidable-verified and decidable-falsified properties.
+        eps = 0.005 if i % 2 == 0 else 0.6
+        jobs.append(
+            VerificationJob(
+                net,
+                linf_property(net, x, eps),
+                config=config,
+                seed=i,
+                name=f"t{i}",
+            )
+        )
+    reference = Scheduler(jobs).run()
+    merged = Scheduler(jobs, abstraction=mode).run()
+    assert [r.outcome.kind for r in merged.results] == [
+        r.outcome.kind for r in reference.results
+    ]
+    for result in merged.results:
+        assert result.job is jobs[result.index]
+        if result.outcome.kind == "falsified":
+            margin = witness_margin(
+                net, result.job.prop.label, result.outcome.counterexample
+            )
+            assert margin <= result.job.config.delta
+
+
+def test_scheduler_netabs_report_fields():
+    net = redundant_mlp(4, [8, 8], 3, dup=4, noise=1e-9, rng=12)
+    rng = np.random.default_rng(13)
+    jobs = [
+        VerificationJob(
+            net,
+            linf_property(net, rng.uniform(0.3, 0.7, 4), 0.003),
+            config=VerifierConfig(timeout=10.0),
+            seed=i,
+            name=f"r{i}",
+        )
+        for i in range(3)
+    ]
+    report = Scheduler(jobs, abstraction="syntactic").run()
+    assert report.abstraction == "syntactic"
+    assert report.abstraction_level >= 1
+    assert 0 <= report.netabs_accepted <= len(jobs)
+    off = Scheduler(jobs).run()
+    assert off.abstraction == "off" and off.netabs_accepted == 0
