@@ -3,8 +3,14 @@
 Writes into the target directory:
 
 - ``net.npz``       — the XOR network (2 inputs, 2 classes).
+- ``tuned.npz``     — the same network with its **output layer**
+  fine-tuned by tiny noise: 2 of 3 layers share the digest chain with
+  ``net.npz``, so an incremental re-verification resumes past the one
+  checkpoint boundary (the ``diff-verify`` smoke gates on that).
 - ``manifest.json`` — four quickly-*verifiable* jobs (the ``schedule``
   smoke gates on exit code 0, which means "everything proven").
+- ``manifest_tuned.json`` — the same jobs against ``tuned.npz`` (the
+  cold side of the incremental outcome-equality check).
 - ``suite.json``    — two training problems for the ``train`` smoke.
 
 Usage::
@@ -18,8 +24,10 @@ import json
 import sys
 from pathlib import Path
 
+import numpy as np
+
 from repro.nn.builders import xor_network
-from repro.nn.serialize import save_network
+from repro.nn.serialize import common_prefix_layers, save_network
 
 
 def main(argv=None) -> int:
@@ -30,21 +38,43 @@ def main(argv=None) -> int:
     out = Path(argv[0])
     out.mkdir(parents=True, exist_ok=True)
 
+    net = xor_network()
     net_path = out / "net.npz"
-    save_network(xor_network(), net_path)
+    save_network(net, net_path)
+
+    # Fine-tuned copy: noise far below the jobs' decision margins on the
+    # output layer only, so outcomes stay identical while the Dense/ReLU
+    # prefix (layers 0-1) keeps its digests and the incremental smoke's
+    # one checkpoint boundary stays reusable.
+    tuned = xor_network()
+    tuned.thaw_params()
+    tuned.layers[-1].weight += np.random.default_rng(7).normal(
+        0.0, 1e-6, tuned.layers[-1].weight.shape
+    )
+    tuned.invalidate_ops()
+    assert common_prefix_layers(net, tuned) == 2
+    save_network(tuned, out / "tuned.npz")
 
     # Centers well inside the XOR decision regions: every job verifies
     # fast, so the schedule smoke's exit code 0 is a real assertion.
+    jobs = [
+        {"center": "0.5,0.88", "name": "hi-y"},
+        {"center": "0.88,0.5", "name": "hi-x"},
+        {"center": "0.12,0.5", "name": "lo-x"},
+        {"center": "0.5,0.12", "name": "lo-y"},
+    ]
     manifest = {
         "defaults": {"network": "net.npz", "epsilon": 0.04, "timeout": 30.0},
-        "jobs": [
-            {"center": "0.5,0.88", "name": "hi-y"},
-            {"center": "0.88,0.5", "name": "hi-x"},
-            {"center": "0.12,0.5", "name": "lo-x"},
-            {"center": "0.5,0.12", "name": "lo-y"},
-        ],
+        "jobs": jobs,
     }
     (out / "manifest.json").write_text(json.dumps(manifest, indent=2) + "\n")
+    manifest_tuned = {
+        "defaults": {"network": "tuned.npz", "epsilon": 0.04, "timeout": 30.0},
+        "jobs": jobs,
+    }
+    (out / "manifest_tuned.json").write_text(
+        json.dumps(manifest_tuned, indent=2) + "\n"
+    )
 
     suite = {
         "defaults": {"network": "net.npz", "epsilon": 0.08},

@@ -433,6 +433,118 @@ def run_netabs_bench(out_path: Path) -> int:
     return 0
 
 
+def run_incremental_bench(out_path: Path) -> int:
+    """The ``--incremental-bench`` fast mode -> one ``BENCH_incremental.json`` row.
+
+    Mirrors ``benchmarks/bench_incremental.py``: a fig09-scale DeepPoly
+    suite (nine hidden layers of width 200) verified cold and then
+    re-verified after a last-2-layers fine-tune with ``incremental=True``
+    resuming from the original run's prefix checkpoints, at identical
+    job outcomes.  The row records the common-prefix depth, prefix hits,
+    layers skipped, and the end-to-end speedup.
+    """
+    import tempfile
+
+    from repro.abstract.domains import DEEPPOLY as DEEPPOLY_DOMAIN
+    from repro.core.property import linf_property
+    from repro.nn.builders import mlp
+    from repro.nn.serialize import (
+        common_prefix_layers,
+        load_network,
+        save_network,
+    )
+    from repro.sched import Scheduler, VerificationJob
+    from repro.sched.cache import ResultCache
+
+    net = mlp(64, [200] * 9, 10, rng=3)
+    rng = np.random.default_rng(11)
+    centers = []
+    while len(centers) < 12:
+        x = rng.uniform(0.2, 0.8, size=64)
+        logits = net.forward(x)
+        if logits.max() - np.partition(logits, -2)[-2] > 0.15:
+            centers.append(x)
+
+    def jobs_for(network):
+        config = VerifierConfig(
+            timeout=60.0, pgd=PGDConfig(steps=8, restarts=1)
+        )
+        policy = BisectionPolicy(domain=DEEPPOLY_DOMAIN)
+        return [
+            VerificationJob(
+                network, linf_property(network, x, 0.0005), config=config,
+                policy=policy, seed=i, name=f"j{i}",
+            )
+            for i, x in enumerate(centers)
+        ]
+
+    print("incremental fig09-scale suite ...", flush=True)
+    with tempfile.TemporaryDirectory() as tmpdir:
+        path = f"{tmpdir}/net.npz"
+        save_network(net, path)
+        tuned = load_network(path)
+        tuned.thaw_params()
+        gen = np.random.default_rng(7)
+        for layer in (tuned.layers[-1], tuned.layers[-3]):
+            layer.weight += gen.normal(0.0, 1e-6, layer.weight.shape)
+        tuned.invalidate_ops()
+        common = common_prefix_layers(net, tuned)
+
+        cache = ResultCache(f"{tmpdir}/cache")
+        warm_report = Scheduler(
+            jobs_for(net), cache=cache, incremental=True
+        ).run()
+        Scheduler(jobs_for(tuned)).run()  # warm the tuned net's lowering
+        start = time.perf_counter()
+        cold_report = Scheduler(jobs_for(tuned)).run()
+        t_cold = time.perf_counter() - start
+        start = time.perf_counter()
+        inc_report = Scheduler(
+            jobs_for(tuned), cache=cache, incremental=True
+        ).run()
+        t_inc = time.perf_counter() - start
+
+    outcomes_equal = [r.outcome.kind for r in inc_report.results] == [
+        r.outcome.kind for r in cold_report.results
+    ]
+    speedup = round(t_cold / max(t_inc, 1e-9), 2)
+    report = {
+        "bench": "incremental_reverify",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "host": host_info(),
+        **backend_info(),
+        "suite": {
+            "network": "9x200 MLP, deeppoly",
+            "jobs": len(centers),
+            "epsilon": 0.0005,
+            "fine_tune": "last 2 layers, sigma 1e-6",
+        },
+        "common_prefix_layers": common,
+        "total_layers": len(net.layers),
+        "cold_s": round(t_cold, 3),
+        "incremental_s": round(t_inc, 3),
+        "speedup": speedup,
+        "prefix_hits": inc_report.prefix_hits,
+        "prefix_layers_skipped": inc_report.prefix_layers_skipped,
+        "warm_outcomes": warm_report.outcome_counts(),
+        "outcomes_equal": outcomes_equal,
+        "headline": {"incremental_speedup": speedup},
+    }
+    print(
+        f"  cold {t_cold:.2f}s, incremental {t_inc:.2f}s -> {speedup}x "
+        f"({inc_report.prefix_hits} hits, "
+        f"{inc_report.prefix_layers_skipped} layers skipped, "
+        f"common prefix {common}/{len(net.layers)})",
+        flush=True,
+    )
+    assert outcomes_equal, "incremental run changed a job outcome"
+    assert inc_report.prefix_hits > 0, "incremental run resumed nothing"
+    append_trajectory(out_path, "incremental_reverify", report)
+    print(f"wrote {out_path}")
+    return 0
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -457,12 +569,20 @@ def main(argv=None):
         "a fig09-scale redundant suite (defaults --out to "
         "BENCH_netabs.json)",
     )
+    parser.add_argument(
+        "--incremental-bench", action="store_true",
+        help="fast mode: cold vs checkpoint-resumed re-verification of a "
+        "last-2-layers fine-tune on a fig09-scale suite (defaults --out "
+        "to BENCH_incremental.json)",
+    )
     args = parser.parse_args(argv)
     apply_backend_flag(args)
     if args.backend_bench:
         return run_backend_bench(Path(args.out or "BENCH_backend.json"))
     if args.netabs_bench:
         return run_netabs_bench(Path(args.out or "BENCH_netabs.json"))
+    if args.incremental_bench:
+        return run_incremental_bench(Path(args.out or "BENCH_incremental.json"))
     args.out = args.out or "BENCH_batched.json"
 
     scale = SuiteScale()

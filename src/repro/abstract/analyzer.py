@@ -72,6 +72,19 @@ class AnalysisResult:
     output: AbstractElement | None
 
 
+def _apply_op(element: AbstractElement, op) -> AbstractElement:
+    """One op of :func:`propagate` (shared with the checkpointed walk)."""
+    if isinstance(op, AffineOp):
+        return element.affine(op.weight, op.bias)
+    if isinstance(op, ReluOp):
+        return element.relu()
+    if isinstance(op, MaxPoolOp):
+        return element.maxpool(op.windows)
+    if isinstance(op, PadOp):
+        return element.pad(op.radii)
+    raise TypeError(f"unknown op type {type(op).__name__}")
+
+
 def propagate(
     ops: list,
     element: AbstractElement,
@@ -81,16 +94,7 @@ def propagate(
     for op in ops:
         if deadline is not None:
             deadline.check()
-        if isinstance(op, AffineOp):
-            element = element.affine(op.weight, op.bias)
-        elif isinstance(op, ReluOp):
-            element = element.relu()
-        elif isinstance(op, MaxPoolOp):
-            element = element.maxpool(op.windows)
-        elif isinstance(op, PadOp):
-            element = element.pad(op.radii)
-        else:
-            raise TypeError(f"unknown op type {type(op).__name__}")
+        element = _apply_op(element, op)
     return element
 
 
@@ -267,3 +271,253 @@ def analyze_batch_multi(
         )
         for i in range(len(regions))
     ]
+
+
+# ----------------------------------------------------------------------
+# Prefix-checkpointed analysis (see repro.abstract.checkpoint)
+# ----------------------------------------------------------------------
+
+
+def _checkpointed_walk(
+    network: Network,
+    element,
+    regions_digest: str,
+    domain: DomainSpec,
+    deadline: Deadline | None,
+    resume,
+    capture_boundaries,
+):
+    """Propagate from ``resume`` (or cold) while capturing checkpoints.
+
+    Returns ``(output_element, captured)``.  Resuming restores the
+    boundary state bitwise, so the suffix ops see exactly the arrays a
+    cold run would have produced there — that, plus identical op
+    sequences past the boundary, is the whole bitwise-resume argument.
+    """
+    from repro.abstract.checkpoint import (
+        PrefixBounds,
+        capture_element,
+        ops_consumed,
+        restore_element,
+    )
+    from repro.nn.serialize import layer_digests
+
+    backend = _active_backend().name
+    ops = network.ops_for(_active_backend().dtype)
+    start = 0
+    if resume is not None:
+        if resume.backend != backend:
+            raise ValueError(
+                f"checkpoint backend {resume.backend!r} does not match "
+                f"active backend {backend!r}"
+            )
+        if tuple(resume.domain) != (domain.base, domain.disjuncts):
+            raise ValueError(
+                f"checkpoint domain {resume.domain} does not match "
+                f"({domain.base}, {domain.disjuncts})"
+            )
+        if resume.regions_digest != regions_digest:
+            raise ValueError("checkpoint was captured for a different batch")
+        element = restore_element(resume, ops)
+        start = resume.op_count
+    chain: list[str] | None = None
+    targets: dict[int, int] = {}
+    for boundary in sorted(set(capture_boundaries)):
+        op_count = ops_consumed(network, boundary)
+        if start < op_count <= len(ops):
+            targets[op_count] = boundary
+    if targets:
+        chain = layer_digests(network)
+    captured: list = []
+    for idx in range(start, len(ops)):
+        if deadline is not None:
+            deadline.check()
+        element = _apply_op(element, ops[idx])
+        boundary = targets.get(idx + 1)
+        if boundary is not None:
+            kind, meta, arrays = capture_element(element, ops)
+            captured.append(
+                PrefixBounds(
+                    boundary=boundary,
+                    op_count=idx + 1,
+                    prefix_digest=chain[boundary - 1],
+                    regions_digest=regions_digest,
+                    domain=(domain.base, domain.disjuncts),
+                    backend=backend,
+                    kind=kind,
+                    meta=meta,
+                    arrays=arrays,
+                )
+            )
+    return element, captured
+
+
+def analyze_batch_checkpointed(
+    network: Network,
+    regions: Sequence[Box],
+    labels: Sequence[int],
+    domain: DomainSpec,
+    deadline: Deadline | None = None,
+    resume=None,
+    capture_boundaries: Sequence[int] = (),
+):
+    """:func:`analyze_batch_multi` with prefix-checkpoint emit/resume.
+
+    Returns ``(results, captured)``: the per-row results (identical to
+    the plain batched analyzer — a cold call with no capture boundaries
+    runs the exact same float sequence) plus any
+    :class:`~repro.abstract.checkpoint.PrefixBounds` captured at the
+    requested layer boundaries.  ``resume`` must have been captured for
+    this exact ordered region batch, domain, and backend; the suffix run
+    is then bitwise-identical to the cold run from the boundary on.
+    """
+    from repro.abstract.checkpoint import (
+        region_batch_digest,
+        supports_checkpoint,
+    )
+
+    if len(labels) != len(regions):
+        raise ValueError(
+            f"got {len(labels)} labels for {len(regions)} regions"
+        )
+    if not regions:
+        raise ValueError("analyze_batch needs at least one region")
+    if not supports_checkpoint(domain):
+        raise ValueError(
+            f"domain {domain} does not support prefix checkpoints"
+        )
+    for region in regions:
+        if region.ndim != network.input_size:
+            raise ValueError(
+                f"region has {region.ndim} dims, network expects "
+                f"{network.input_size}"
+            )
+    for lab in labels:
+        if not 0 <= lab < network.output_size:
+            raise ValueError(
+                f"label {lab} out of range for {network.output_size} outputs"
+            )
+    _KERNEL_COUNTERS["analyze_batches"] += 1
+    _KERNEL_COUNTERS["analyze_rows"] += len(regions)
+    _count_backend_work(1, len(regions))
+    regions_digest = (
+        resume.regions_digest
+        if resume is not None
+        else region_batch_digest(regions)
+    )
+    element = None
+    if resume is None:
+        element = domain.lift_batch(list(regions))
+        if element is None:  # pragma: no cover - all supported bases batch
+            raise ValueError(f"domain {domain} has no batched kernel")
+    element, captured = _checkpointed_walk(
+        network, element, regions_digest, domain, deadline, resume,
+        capture_boundaries,
+    )
+    margins = batch_margins(element, labels)
+    results = [
+        AnalysisResult(
+            verified=bool(margins[i] > 0.0),
+            margin_lower_bound=float(margins[i]),
+            output=element.row(i),
+        )
+        for i in range(len(regions))
+    ]
+    return results, captured
+
+
+def analyze_checkpointed(
+    network: Network,
+    region: Box,
+    label: int,
+    domain: DomainSpec,
+    deadline: Deadline | None = None,
+    resume=None,
+    capture_boundaries: Sequence[int] = (),
+):
+    """:func:`analyze` with prefix-checkpoint emit/resume.
+
+    Sequential elements are *not* interchangeable with height-1 batches
+    (GEMV vs GEMM round-off), so sequential checkpoints live under a
+    ``seq-``-prefixed region digest — the two families can never collide
+    in the cache.
+    """
+    from repro.abstract.checkpoint import (
+        region_batch_digest,
+        supports_checkpoint,
+    )
+
+    if region.ndim != network.input_size:
+        raise ValueError(
+            f"region has {region.ndim} dims, network expects "
+            f"{network.input_size}"
+        )
+    if not 0 <= label < network.output_size:
+        raise ValueError(
+            f"label {label} out of range for {network.output_size} outputs"
+        )
+    if not supports_checkpoint(domain):
+        raise ValueError(
+            f"domain {domain} does not support prefix checkpoints"
+        )
+    regions_digest = (
+        resume.regions_digest
+        if resume is not None
+        else "seq-" + region_batch_digest([region])
+    )
+    element = domain.lift(region) if resume is None else None
+    element, captured = _checkpointed_walk(
+        network, element, regions_digest, domain, deadline, resume,
+        capture_boundaries,
+    )
+    margin = float(np.asarray(element.min_margin(label)).reshape(-1)[0])
+    result = AnalysisResult(
+        verified=margin > 0.0, margin_lower_bound=margin, output=element
+    )
+    return result, captured
+
+
+def analyze_checkpointed_entry(payload: dict):
+    """Process-worker entry point for a marshalled checkpointed call.
+
+    The resume record crosses the process boundary flattened: its arrays
+    ride as top-level ``prefix_state_<name>`` payload values (which is
+    what lets them use the executor's shared-memory transport — handles
+    are only resolved at top level) and the small descriptor fields as
+    ``resume_meta``.  Results return with ``output=None`` exactly like
+    :func:`analyze_multi_entry`; captured checkpoints return whole.
+    """
+    from repro.abstract.checkpoint import PrefixBounds
+    from repro.exec.calls import resolve_network
+
+    network = resolve_network(payload["network"])
+    base, disjuncts = payload["domain"]
+    domain = DomainSpec(base, disjuncts)
+    regions = [
+        Box(low, high) for low, high in zip(payload["lows"], payload["highs"])
+    ]
+    labels = [int(lab) for lab in payload["labels"]]
+    resume = None
+    meta = payload.get("resume_meta")
+    if meta is not None:
+        prefix = "prefix_state_"
+        arrays = {
+            key[len(prefix):]: value
+            for key, value in payload.items()
+            if key.startswith(prefix)
+        }
+        resume = PrefixBounds(arrays=arrays, **meta)
+    results, captured = analyze_batch_checkpointed(
+        network,
+        regions,
+        labels,
+        domain,
+        payload["deadline"],
+        resume,
+        tuple(payload["capture_boundaries"]),
+    )
+    results = [
+        AnalysisResult(result.verified, result.margin_lower_bound, None)
+        for result in results
+    ]
+    return results, captured

@@ -5,7 +5,12 @@ Commands:
 - ``verify``   — decide one robustness property of a saved network.
 - ``schedule`` — run a manifest of many (network, property) jobs through
   the multi-property scheduler (shared frontier, optional result cache,
-  ``--workers`` cores for independent fused kernel groups).
+  ``--workers`` cores for independent fused kernel groups,
+  ``--incremental`` prefix-checkpoint reuse).
+- ``diff-verify`` — re-verify a manifest after a network change (e.g. a
+  fine-tune), resuming fused Analyze work from the per-layer prefix
+  checkpoints a previous ``--incremental`` run recorded; bitwise the
+  same outcomes as a cold run.
 - ``train``    — learn a verification policy θ on a suite manifest
   (scheduled candidate evaluation, batched BO suggestions); writes a θ
   artifact that ``--policy-file`` deploys anywhere a policy is accepted.
@@ -84,7 +89,7 @@ from repro.learn import (
     load_policy,
     pretrained_policy,
 )
-from repro.nn.serialize import load_network
+from repro.nn.serialize import common_prefix_layers, load_network
 from repro.obs.metrics import registry as metrics_registry
 from repro.obs.stats import (
     diff_dumps,
@@ -261,9 +266,16 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0 if outcome.kind == "verified" else 2
 
 
-def _load_manifest(path: str) -> tuple[list[dict], dict[str, object]]:
+def _load_manifest(
+    path: str, load_networks: bool = True
+) -> tuple[list[dict], dict[str, object]]:
     """Parse a JSON manifest into merged per-job specs plus the network
-    pool (each referenced archive loaded exactly once)."""
+    pool (each referenced archive loaded exactly once).
+
+    ``load_networks=False`` skips the archive loads — for callers that
+    re-point every job at their own network (``diff-verify``), where the
+    manifest's ``network`` paths may describe a superseded file.
+    """
     try:
         with open(path) as handle:
             manifest = json.load(handle)
@@ -281,20 +293,29 @@ def _load_manifest(path: str) -> tuple[list[dict], dict[str, object]]:
             if required not in merged:
                 raise SystemExit(f"job {i} is missing {required!r}")
         net_path = merged["network"]
-        if net_path not in networks:
+        if load_networks and net_path not in networks:
             networks[net_path] = load_network(net_path)
         merged.setdefault("name", f"job-{i}")
         merged_specs.append(merged)
     return merged_specs, networks
 
 
-def _manifest_jobs(args: argparse.Namespace) -> list[VerificationJob]:
-    """Build :class:`VerificationJob`s from a JSON manifest file."""
-    specs, networks = _load_manifest(args.manifest)
+def _manifest_jobs(
+    args: argparse.Namespace, override_network=None
+) -> list[VerificationJob]:
+    """Build :class:`VerificationJob`s from a JSON manifest file.
+
+    ``override_network`` re-points every job at one network regardless of
+    the manifest's ``network`` entries (the ``diff-verify`` verb: same
+    properties, fine-tuned network).
+    """
+    specs, networks = _load_manifest(
+        args.manifest, load_networks=override_network is None
+    )
     jobs = []
     for spec in specs:
         merged = spec
-        network = networks[merged["network"]]
+        network = override_network or networks[merged["network"]]
         center = _load_point(str(merged["center"]), network.input_size)
         epsilon = float(merged.get("epsilon", 0.05))
         name = str(merged["name"])
@@ -351,6 +372,11 @@ def _manifest_jobs(args: argparse.Namespace) -> list[VerificationJob]:
 
 def cmd_schedule(args: argparse.Namespace) -> int:
     _apply_kernel_flags(args)
+    if args.incremental and not args.cache:
+        raise SystemExit(
+            "--incremental requires --cache (prefix checkpoints live in "
+            "the result cache)"
+        )
     jobs = _manifest_jobs(args)
     cache = None
     if args.cache:
@@ -376,10 +402,16 @@ def cmd_schedule(args: argparse.Namespace) -> int:
             escalation_margin=args.escalation_margin,
             abstraction=args.abstraction,
             abstraction_level=args.abstraction_level,
+            incremental=args.incremental,
         )
     except (KeyError, ValueError) as exc:
         raise SystemExit(str(exc))
     report = scheduler.run()
+    return _print_schedule_report(report, jobs, cache)
+
+
+def _print_schedule_report(report, jobs, cache) -> int:
+    """Shared ``schedule``/``diff-verify`` report printer + exit code."""
     width = max(len(job.name) for job in jobs)
     for result in report.results:
         suffix = "  [cached]" if result.cached else ""
@@ -414,12 +446,58 @@ def cmd_schedule(args: argparse.Namespace) -> int:
         print(f"backend: {report.backend}")
     if cache is not None:
         print(f"cache: {report.cache_hits} hits")
+    if report.incremental:
+        print(
+            f"prefix: {report.prefix_hits} hits, "
+            f"{report.prefix_layers_skipped} layers skipped"
+        )
     # Same convention as ``verify``: 0 only when everything is proven,
     # 1 when any property is falsified, 2 when budgets ran out — so a CI
     # gate never mistakes an all-timeout run for success.
     if counts["falsified"]:
         return 1
     return 2 if counts["timeout"] else 0
+
+
+def cmd_diff_verify(args: argparse.Namespace) -> int:
+    """Incremental re-verification of a manifest after a network change.
+
+    Loads the superseded network only to report how deep the digest
+    chains still agree; the run itself needs nothing from it — prefix
+    checkpoints recorded under the old network are addressed by chain
+    links the new network still shares.
+    """
+    _apply_kernel_flags(args)
+    old_network = load_network(args.old_network)
+    new_network = load_network(args.new_network)
+    common = common_prefix_layers(old_network, new_network)
+    total = len(new_network.layers)
+    print(f"common prefix: {common}/{total} layers unchanged")
+    jobs = _manifest_jobs(args, override_network=new_network)
+    try:
+        cache = ResultCache(
+            args.cache,
+            max_entries=args.cache_max_entries,
+            max_bytes=args.cache_max_bytes,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    try:
+        scheduler = Scheduler(
+            jobs,
+            frontier=args.frontier,
+            cache=cache,
+            engine="batched",
+            workers=args.workers,
+            executor_kind=args.executor,
+            shm_threshold=args.shm_threshold,
+            backend=args.backend,
+            incremental=True,
+        )
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    report = scheduler.run()
+    return _print_schedule_report(report, jobs, cache)
 
 
 def _suite_problems(path: str) -> list[TrainingProblem]:
@@ -646,6 +724,8 @@ def cmd_cache_prune(args: argparse.Namespace) -> int:
         f"pruned {result.removed} records ({result.freed_bytes} bytes); "
         f"{result.remaining} records ({result.remaining_bytes} bytes) remain"
     )
+    results, prefixes = cache.family_counts()
+    print(f"families: {results} result records, {prefixes} prefix records")
     return 0
 
 
@@ -921,6 +1001,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="total-size budget for the cache directory, same LRU pruning",
     )
     schedule_parser.add_argument(
+        "--incremental",
+        action="store_true",
+        help="prefix-checkpoint reuse (requires --cache): fused Analyze "
+        "groups resume from the deepest cached per-layer checkpoint whose "
+        "digest-chain link the network still shares — bitwise-identical "
+        "to a cold run — and record checkpoints for future runs",
+    )
+    schedule_parser.add_argument(
         "--timeout",
         type=float,
         default=10.0,
@@ -951,6 +1039,66 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_flags(schedule_parser)
     _add_trace_flag(schedule_parser)
     schedule_parser.set_defaults(func=cmd_schedule)
+
+    diff_parser = sub.add_parser(
+        "diff-verify",
+        help="re-verify a manifest after a network change, resuming fused "
+        "Analyze work from the prefix checkpoints a previous --incremental "
+        "run recorded",
+    )
+    diff_parser.add_argument(
+        "old_network", help="the superseded .npz network archive"
+    )
+    diff_parser.add_argument(
+        "new_network", help="the changed .npz network archive to verify"
+    )
+    diff_parser.add_argument(
+        "manifest", help="path to a JSON job manifest (see module docstring)"
+    )
+    diff_parser.add_argument(
+        "--cache",
+        required=True,
+        help="persistent cache directory holding the previous run's "
+        "prefix checkpoints (created on demand)",
+    )
+    diff_parser.add_argument(
+        "--cache-max-entries", type=int, default=None,
+        help="record-count budget (LRU, both record families)",
+    )
+    diff_parser.add_argument(
+        "--cache-max-bytes", type=int, default=None,
+        help="total-size budget for the cache directory",
+    )
+    diff_parser.add_argument(
+        "--frontier",
+        choices=sorted(FRONTIER_POLICIES),
+        default="dfs",
+        help="which jobs' chunks fill each fused sweep",
+    )
+    diff_parser.add_argument(
+        "--timeout", type=float, default=10.0, help="per-job budget in seconds"
+    )
+    diff_parser.add_argument(
+        "--delta", type=float, default=1e-6, help="δ-completeness slack"
+    )
+    diff_parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=16,
+        help="per-job frontier chunk width inside fused sweeps",
+    )
+    diff_parser.add_argument("--seed", type=int, default=0, help="random seed")
+    diff_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="cores for independent fused kernel groups; 1 = serial",
+    )
+    _add_executor_flag(diff_parser)
+    _add_domain_flags(diff_parser)
+    _add_backend_flags(diff_parser)
+    _add_trace_flag(diff_parser)
+    diff_parser.set_defaults(func=cmd_diff_verify)
 
     train_parser = sub.add_parser(
         "train",

@@ -254,6 +254,51 @@ def _marshal_analyze_multi(args, kwargs, store: NetworkStore) -> KernelCall | No
     )
 
 
+def _marshal_analyze_checkpointed(
+    args, kwargs, store: NetworkStore
+) -> KernelCall | None:
+    """``analyze_batch_checkpointed(network, regions, labels, domain,
+    deadline, resume, capture_boundaries)``.
+
+    The resume record's arrays are flattened into top-level
+    ``prefix_state_<name>`` payload values so the executor's
+    shared-memory arena can swap them for handles (handles are resolved
+    only at payload top level); the small descriptor fields travel as a
+    ``resume_meta`` dict.  :func:`analyze_checkpointed_entry` reassembles
+    the :class:`~repro.abstract.checkpoint.PrefixBounds` worker-side.
+    """
+    if kwargs or len(args) != 7:
+        return None
+    network, regions, labels, domain, deadline, resume, boundaries = args
+    lows, highs = _stack_boxes(regions)
+    payload = {
+        "network": store.handle(network),
+        "lows": lows,
+        "highs": highs,
+        "labels": np.asarray(labels, dtype=np.int64),
+        "domain": (domain.base, domain.disjuncts),
+        "deadline": deadline,
+        "capture_boundaries": list(boundaries),
+        "resume_meta": None,
+    }
+    if resume is not None:
+        payload["resume_meta"] = {
+            "boundary": resume.boundary,
+            "op_count": resume.op_count,
+            "prefix_digest": resume.prefix_digest,
+            "regions_digest": resume.regions_digest,
+            "domain": tuple(resume.domain),
+            "backend": resume.backend,
+            "kind": resume.kind,
+            "meta": resume.meta,
+        }
+        for name, array in resume.arrays.items():
+            payload[f"prefix_state_{name}"] = array
+    return KernelCall(
+        "repro.abstract.analyzer:analyze_checkpointed_entry", payload
+    )
+
+
 def _marshal_sweep_chunk(args, kwargs, store: NetworkStore) -> KernelCall | None:
     """``sweep_chunk(network, policy, config, prop, chunk, deadline[, stop])``.
 
@@ -300,6 +345,10 @@ def _marshal_solo_verify(args, kwargs, store: NetworkStore) -> KernelCall | None
 _MARSHALLERS: dict[tuple[str, str], Callable] = {
     ("repro.attack.pgd", "pgd_minimize_batch"): _marshal_pgd,
     ("repro.abstract.analyzer", "analyze_batch_multi"): _marshal_analyze_multi,
+    (
+        "repro.abstract.analyzer",
+        "analyze_batch_checkpointed",
+    ): _marshal_analyze_checkpointed,
     ("repro.core.parallel", "sweep_chunk"): _marshal_sweep_chunk,
     ("repro.sched.scheduler", "solo_verify"): _marshal_solo_verify,
 }

@@ -235,10 +235,13 @@ class Network:
         self._shapes = shapes
         self._ops_cache: list | None = None
         self._ops_cache_typed: dict[str, list] = {}
-        # Content digest memo (see repro.nn.serialize.network_digest).
-        # Networks are immutable once analyzed: the only mutation path is
-        # set_params(), which funnels through invalidate_ops() below.
+        # Content digest memos (see repro.nn.serialize.network_digest /
+        # layer_digests).  Networks are immutable once analyzed: the only
+        # mutation path is set_params(), which funnels through
+        # invalidate_ops() below, and digesting freezes the parameter
+        # arrays so in-place mutation cannot silently outlive the memo.
         self._digest: str | None = None
+        self._layer_digests: tuple[str, ...] | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -395,16 +398,52 @@ class Network:
             raise ValueError(f"expected {offset} parameter arrays, got {len(params)}")
         self.invalidate_ops()
 
+    def freeze_params(self) -> None:
+        """Make every parameter array read-only (``writeable=False``).
+
+        Called on first digest: the content digest is memoized, so an
+        in-place parameter write afterward would silently poison every
+        content-addressed cache keyed on it.  Frozen arrays make that
+        write raise instead.  Intentional updates replace the arrays —
+        :meth:`set_params` or :meth:`thaw_params` — and drop the memo.
+        """
+        for layer in self.layers:
+            for param in layer.params():
+                param.flags.writeable = False
+
+    def thaw_params(self) -> None:
+        """Replace frozen parameter arrays with writable copies.
+
+        The in-place training path (:mod:`repro.nn.training`) mutates the
+        arrays returned by :meth:`params` directly; after a digest has
+        frozen them, it must thaw first.  Replacing (rather than
+        re-flagging) the arrays means any outstanding digest memo or
+        spill file keyed on the old bytes stays valid for the old arrays;
+        the memos themselves are dropped via :meth:`invalidate_ops`.
+        """
+        thawed = False
+        for layer in self.layers:
+            params = layer.params()
+            if params and not all(p.flags.writeable for p in params):
+                layer.set_params(
+                    [np.array(p, dtype=np.float64) for p in params]
+                )
+                thawed = True
+        if thawed:
+            self.invalidate_ops()
+
     def invalidate_ops(self) -> None:
         """Drop the cached analyzer lowering after parameter mutation.
 
-        Also drops the memoized content digest — the digest is a pure
-        function of (architecture, parameters), so it shares exactly the
-        invalidation points of the lowering cache.
+        Also drops the memoized content digests (whole-network and
+        per-layer chain) — both are pure functions of (architecture,
+        parameters), so they share exactly the invalidation points of the
+        lowering cache.
         """
         self._ops_cache = None
         self._ops_cache_typed.clear()
         self._digest = None
+        self._layer_digests = None
 
     # ------------------------------------------------------------------
     # Lowering for the analyzers

@@ -9,6 +9,21 @@ giving every network a stable content address: two networks digest equally
 iff they have identical architectures and bit-identical parameters,
 regardless of where (or whether) they live on disk.  The scheduler's result
 cache (:mod:`repro.sched.cache`) keys on this digest.
+
+:func:`layer_digests` refines the single address into a rolling per-layer
+chain: entry ``i`` is the whole-network digest scheme applied to the prefix
+``layers[:i+1]``, so the chain's last link *is* ``network_digest`` bit for
+bit (every existing whole-network cache key stays warm) and two networks
+that agree on their first ``k`` layers share the first ``k`` links.  The
+prefix-checkpoint cache (:mod:`repro.sched.cache` ``PrefixRecord``) keys
+on these links, which is what makes re-verification after a fine-tune a
+suffix run instead of a cold one.
+
+Digesting **freezes** the network's parameter arrays
+(``writeable=False``): the digest is memoized on the instance, so a later
+in-place mutation would silently poison every content-addressed cache.
+Mutation after digesting now raises; intentional updates go through
+``set_params`` / ``Network.thaw_params`` (which drop the memo).
 """
 
 from __future__ import annotations
@@ -43,6 +58,24 @@ def _layer_spec(layer) -> dict:
     raise TypeError(f"cannot serialize layer type {type(layer).__name__}")
 
 
+def _prefix_digest(network: Network, end: int) -> str:
+    """The whole-network digest scheme applied to ``layers[:end]``.
+
+    ``end == len(layers)`` reproduces the historical ``network_digest``
+    exactly (same header JSON, same parameter byte stream), which is the
+    chain-compatibility invariant :func:`layer_digests` relies on.
+    """
+    header = {
+        "input_shape": list(network.input_shape),
+        "layers": [_layer_spec(layer) for layer in network.layers[:end]],
+    }
+    digest = hashlib.sha256(json.dumps(header, sort_keys=True).encode())
+    for layer in network.layers[:end]:
+        for param in layer.params():
+            digest.update(np.ascontiguousarray(param, dtype=np.float64).tobytes())
+    return digest.hexdigest()
+
+
 def network_digest(network: Network) -> str:
     """A stable sha256 content address for a network.
 
@@ -51,25 +84,60 @@ def network_digest(network: Network) -> str:
     pattern.  Save/load round-trips preserve the digest; any weight or
     architecture change alters it.
 
-    The result is memoized on the :class:`Network` instance (networks are
-    immutable once analyzed — the only mutation path, ``set_params``,
-    drops the memo via ``invalidate_ops``), so repeated digest lookups in
-    the scheduler, the result cache, and the process-pool network store
-    hash each network exactly once.
+    The result is the last link of the per-layer digest chain (see
+    :func:`layer_digests`) and is memoized on the :class:`Network`
+    instance, so repeated digest lookups in the scheduler, the result
+    cache, and the process-pool network store hash each network exactly
+    once.  First digest freezes the parameter arrays — intentional
+    mutation goes through ``set_params``/``thaw_params``, which drop the
+    memo via ``invalidate_ops``.
     """
     memo = getattr(network, "_digest", None)
     if memo is not None:
         return memo
-    header = {
-        "input_shape": list(network.input_shape),
-        "layers": [_layer_spec(layer) for layer in network.layers],
-    }
-    digest = hashlib.sha256(json.dumps(header, sort_keys=True).encode())
-    for layer in network.layers:
-        for param in layer.params():
-            digest.update(np.ascontiguousarray(param, dtype=np.float64).tobytes())
-    network._digest = digest.hexdigest()
+    network.freeze_params()
+    network._digest = _prefix_digest(network, len(network.layers))
     return network._digest
+
+
+def layer_digests(network: Network) -> list[str]:
+    """The rolling per-layer digest chain: one link per layer prefix.
+
+    Entry ``i`` addresses the sub-network ``layers[:i+1]`` (with the full
+    network's input shape); the last entry equals
+    :func:`network_digest` bit for bit.  Memoized on the instance next to
+    the whole-network memo and invalidated at the same points, so the
+    O(L²) hashing cost is paid once per network, not once per lookup.
+    """
+    memo = getattr(network, "_layer_digests", None)
+    if memo is not None:
+        return list(memo)
+    network.freeze_params()
+    chain = [
+        _prefix_digest(network, end)
+        for end in range(1, len(network.layers) + 1)
+    ]
+    network._layer_digests = tuple(chain)
+    network._digest = chain[-1]
+    return chain
+
+
+def common_prefix_layers(old: Network, new: Network) -> int:
+    """How many leading layers ``old`` and ``new`` share, by digest chain.
+
+    The count is in *layers* (digest-chain links), not analyzer ops; a
+    whole-network match returns ``len(new.layers)``.  Zero means the
+    chains diverge at the first layer (or the input shapes differ) and no
+    prefix state is reusable.
+    """
+    chain_old = layer_digests(old)
+    chain_new = layer_digests(new)
+    common = 0
+    for link_old, link_new in zip(chain_old, chain_new):
+        if link_old != link_new:
+            break
+        common += 1
+    return common
 
 
 def save_network(network: Network, path: str | Path) -> None:

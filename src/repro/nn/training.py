@@ -107,6 +107,9 @@ def train_classifier(
     if labels.size and (labels.min() < 0 or labels.max() >= network.num_classes):
         raise ValueError("labels out of range for the network's classes")
 
+    # Digesting freezes parameter arrays; the optimizer below mutates the
+    # exact arrays params() returns, so replace any frozen ones first.
+    network.thaw_params()
     state = _OptimizerState(network.params(), config)
     losses: list[float] = []
     n = inputs.shape[0]

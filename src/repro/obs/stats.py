@@ -14,7 +14,8 @@ This module reads those files back:
 
 The ``sched.netabs.*`` counter family (the abstraction pre-pass) gets a
 dedicated summary section, including the refinement-rounds-to-accept
-histogram.
+histogram, and so does the ``sched.prefix.*`` family (incremental
+re-verification: checkpoint hits, layers skipped vs suffix layers run).
 """
 
 from __future__ import annotations
@@ -163,6 +164,34 @@ def _netabs_section(
     return lines
 
 
+#: The incremental re-verification counter family (prefix checkpoints).
+_PREFIX_PREFIX = "sched.prefix."
+
+
+def _prefix_section(counters: dict[str, float]) -> list[str]:
+    """The ``sched.prefix.*`` family as a dedicated summary block."""
+    family = {
+        name[len(_PREFIX_PREFIX):]: counters[name]
+        for name in counters
+        if name.startswith(_PREFIX_PREFIX)
+    }
+    if not family:
+        return []
+    lines = ["prefix (incremental re-verification):"]
+    order = (
+        "hits", "misses", "puts", "put_errors",
+        "layers_skipped", "suffix_layers_run",
+    )
+    known = [name for name in order if name in family]
+    extra = sorted(set(family) - set(order))
+    lines.append(
+        "  " + "  ".join(
+            f"{name} {_fmt(family[name])}" for name in known + extra
+        )
+    )
+    return lines
+
+
 def summarize_dump(payload: dict, top: int = 20) -> str:
     """A text summary of one dump: spans, counters, histograms."""
     lines: list[str] = []
@@ -180,10 +209,11 @@ def summarize_dump(payload: dict, top: int = 20) -> str:
             )
     counters = _counters(payload)
     lines.extend(_netabs_section(counters, _histograms(payload)))
+    lines.extend(_prefix_section(counters))
     generic = {
         name: value
         for name, value in counters.items()
-        if not name.startswith(_NETABS_PREFIX)
+        if not name.startswith((_NETABS_PREFIX, _PREFIX_PREFIX))
     }
     if generic:
         lines.append("counters:")

@@ -25,6 +25,20 @@ Records live one-per-file under a two-level fan-out directory (like git's
 object store), written atomically (temp file + rename) so concurrent
 scheduler runs can share a cache directory.
 
+**Prefix records.**  Next to the result records lives a second family:
+``<key>.px.npz`` files holding
+:class:`~repro.abstract.checkpoint.PrefixBounds` checkpoints — abstract
+states at layer boundaries, keyed by (prefix digest, region-batch digest,
+domain, backend) via :func:`prefix_key`.  Because prefix digests are
+links of the per-layer chain (:func:`repro.nn.serialize.layer_digests`),
+checkpoints written while verifying one network are found verbatim when a
+fine-tuned successor probes with its own chain —
+:meth:`ResultCache.longest_reusable_prefix` is that probe.  Both families
+share the LRU budget accounting: :meth:`ResultCache.prune` sees ``.json``
+and ``.px.npz`` entries through one mtime-ordered scan, so a burst of
+prefix captures ages out stale result records and vice versa, and the
+byte budget means what it says for the whole directory.
+
 **Eviction.**  A cache may carry size budgets (``max_entries`` /
 ``max_bytes``); :meth:`ResultCache.prune` removes records
 least-recently-used first until both budgets hold.  Recency is file
@@ -204,6 +218,32 @@ def job_key(
     if backend != "numpy64":
         parts.append(f"backend={backend}".encode())
     return _sha256(*parts)
+
+
+def prefix_key(
+    prefix_digest: str,
+    regions_digest: str,
+    base: str,
+    disjuncts: int,
+    backend: str,
+) -> str:
+    """The cache key of one prefix checkpoint.
+
+    Keys the *abstract state*, which is a pure function of (prefix ops,
+    ordered region batch, domain, backend/dtype).  The leading ``prefix``
+    part keeps the family disjoint from :func:`job_key` addresses even
+    though both share the fan-out directory.  The backend is always
+    keyed (no numpy64 legacy omission — there are no pre-existing prefix
+    keys to stay warm for), because a float32 checkpoint's bit patterns
+    can never seed a float64 resume.
+    """
+    return _sha256(
+        b"prefix",
+        prefix_digest.encode(),
+        regions_digest.encode(),
+        f"{base}:{int(disjuncts)}".encode(),
+        backend.encode(),
+    )
 
 
 @dataclass(frozen=True)
@@ -402,11 +442,163 @@ class ResultCache:
                 self._note_put(len(payload))
 
     # ------------------------------------------------------------------
+    # Prefix records (see repro.abstract.checkpoint.PrefixBounds)
+    # ------------------------------------------------------------------
+
+    def _prefix_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.px.npz"
+
+    def put_prefix(self, record) -> None:
+        """Persist a :class:`~repro.abstract.checkpoint.PrefixBounds`.
+
+        The record's descriptor fields become a JSON ``__meta__`` entry
+        and its arrays ride as named ``.npz`` members (float bit patterns
+        preserved exactly — the bitwise-resume contract depends on it).
+        Atomic temp-file + rename, same as result records, and the same
+        budget accounting: a prefix put can trigger mixed-family LRU
+        eviction.
+        """
+        key = prefix_key(
+            record.prefix_digest,
+            record.regions_digest,
+            record.domain[0],
+            record.domain[1],
+            record.backend,
+        )
+        path = self._prefix_path(key)
+        with _span("cache.put_prefix", cat="cache"):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            meta = json.dumps(
+                {
+                    "boundary": record.boundary,
+                    "op_count": record.op_count,
+                    "prefix_digest": record.prefix_digest,
+                    "regions_digest": record.regions_digest,
+                    "domain": list(record.domain),
+                    "backend": record.backend,
+                    "kind": record.kind,
+                    "meta": record.meta,
+                },
+                sort_keys=True,
+            )
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp.npz")
+            os.close(fd)
+            try:
+                np.savez(tmp, __meta__=np.array(meta), **record.arrays)
+                size = os.path.getsize(tmp)
+                os.replace(tmp, path)
+            except OSError:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            _CACHE_COUNTERS["puts"] += 1
+            _CACHE_COUNTERS["write_bytes"] += size
+            if self.max_entries is not None or self.max_bytes is not None:
+                self._note_put(size)
+
+    def get_prefix(
+        self,
+        prefix_digest: str,
+        regions_digest: str,
+        domain,
+        backend: str,
+    ):
+        """The stored checkpoint for this exact (prefix, batch, domain,
+        backend), or ``None``.  Unreadable files are misses; hits refresh
+        the file's mtime like result-record hits."""
+        from repro.abstract.checkpoint import PrefixBounds
+
+        key = prefix_key(
+            prefix_digest, regions_digest, domain[0], domain[1], backend
+        )
+        path = self._prefix_path(key)
+        with _span("cache.probe_prefix", cat="cache"):
+            try:
+                size = path.stat().st_size
+                with np.load(path, allow_pickle=False) as archive:
+                    meta = json.loads(str(archive["__meta__"]))
+                    arrays = {
+                        name: archive[name]
+                        for name in archive.files
+                        if name != "__meta__"
+                    }
+            except (OSError, ValueError, TypeError, KeyError):
+                _CACHE_COUNTERS["misses"] += 1
+                return None
+            try:
+                os.utime(path)
+            except OSError:
+                pass  # recency refresh is best-effort
+            _CACHE_COUNTERS["hits"] += 1
+            _CACHE_COUNTERS["read_bytes"] += size
+        return PrefixBounds(
+            boundary=int(meta["boundary"]),
+            op_count=int(meta["op_count"]),
+            prefix_digest=meta["prefix_digest"],
+            regions_digest=meta["regions_digest"],
+            domain=tuple(meta["domain"]),
+            backend=meta["backend"],
+            kind=meta["kind"],
+            meta=meta["meta"],
+            arrays=arrays,
+        )
+
+    def longest_reusable_prefix(
+        self,
+        old_net: Network,
+        new_net: Network,
+        regions,
+        domain,
+        backend: str = "numpy64",
+    ):
+        """The deepest stored checkpoint reusable for ``new_net``.
+
+        Probes the checkpoint boundaries of ``new_net`` that fall inside
+        its digest-chain overlap with ``old_net``, deepest first, for
+        this exact ordered region batch.  Returns ``(common_layers,
+        record)`` where ``record`` is ``None`` when nothing resumable is
+        stored (including when the chains diverge at layer one).  Note
+        the probe keys on *new_net's own chain* — shared prefix layers
+        share digest links, so ``old_net`` only bounds the search depth.
+        """
+        from repro.abstract.checkpoint import (
+            checkpoint_boundaries,
+            region_batch_digest,
+        )
+        from repro.nn.serialize import common_prefix_layers, layer_digests
+
+        common = common_prefix_layers(old_net, new_net)
+        if common == 0:
+            return 0, None
+        chain = layer_digests(new_net)
+        regions_digest = region_batch_digest(regions)
+        for boundary in reversed(checkpoint_boundaries(new_net)):
+            if boundary > common:
+                continue
+            record = self.get_prefix(
+                chain[boundary - 1],
+                regions_digest,
+                (domain.base, domain.disjuncts),
+                backend,
+            )
+            if record is not None:
+                return common, record
+        return common, None
+
+    # ------------------------------------------------------------------
     # Eviction
     # ------------------------------------------------------------------
 
+    #: Both record families, one glob per family (result records first
+    #: purely for readability — eviction order is mtime, not family).
+    _FAMILY_GLOBS = ("*/*.json", "*/*.px.npz")
+
     def _entries(self) -> list[tuple[Path, int, int]]:
-        """``(path, mtime_ns, size)`` for every record file still on disk.
+        """``(path, mtime_ns, size)`` for every record file still on disk,
+        across **both** families (result ``.json`` and prefix
+        ``.px.npz``) — the budgets govern the whole directory.
 
         Nanosecond mtimes keep LRU recency honest on filesystems whose
         ``st_mtime`` floats truncate to whole seconds; sorting callers
@@ -414,12 +606,13 @@ class ResultCache:
         deterministically.
         """
         entries = []
-        for path in self.root.glob("*/*.json"):
-            try:
-                stat = path.stat()
-            except OSError:
-                continue  # concurrently evicted by another run
-            entries.append((path, stat.st_mtime_ns, stat.st_size))
+        for pattern in self._FAMILY_GLOBS:
+            for path in self.root.glob(pattern):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue  # concurrently evicted by another run
+                entries.append((path, stat.st_mtime_ns, stat.st_size))
         return entries
 
     def _scan_estimate(self) -> None:
@@ -516,7 +709,19 @@ class ResultCache:
         )
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        """Record files across both families (what ``max_entries`` caps)."""
+        return sum(
+            1
+            for pattern in self._FAMILY_GLOBS
+            for _ in self.root.glob(pattern)
+        )
+
+    def family_counts(self) -> tuple[int, int]:
+        """``(result_records, prefix_records)`` currently on disk."""
+        return (
+            sum(1 for _ in self.root.glob("*/*.json")),
+            sum(1 for _ in self.root.glob("*/*.px.npz")),
+        )
 
     def records(self):
         """Iterate over every readable record in the cache."""

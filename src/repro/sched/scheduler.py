@@ -59,7 +59,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.abstract.analyzer import analyze_batch_multi
+from repro.abstract.analyzer import (
+    analyze_batch_checkpointed,
+    analyze_batch_multi,
+)
+from repro.abstract.checkpoint import (
+    checkpoint_boundaries,
+    region_batch_digest,
+    supports_checkpoint,
+)
 from repro.abstract.netabs import (
     ABSTRACTION_MODES,
     DEFAULT_LEVEL,
@@ -88,7 +96,7 @@ from repro.core.verifier import (
     root_item,
 )
 from repro.exec import KernelExecutor, make_executor, validate_executor_spec
-from repro.nn.serialize import network_digest
+from repro.nn.serialize import layer_digests, network_digest
 from repro.obs.metrics import registry as metrics_registry
 from repro.obs.trace import span
 from repro.sched.cache import CacheRecord, ResultCache, cacheable, job_key
@@ -240,6 +248,9 @@ class ScheduleReport:
     abstraction_level: int = 0
     netabs_accepted: int = 0
     netabs_rounds: int = 0
+    incremental: bool = False
+    prefix_hits: int = 0
+    prefix_layers_skipped: int = 0
     metrics: dict = field(default_factory=dict)
 
     def outcome_counts(self) -> dict[str, int]:
@@ -310,6 +321,18 @@ class Scheduler:
             screen-phase certification without escalation; jobs whose
             attack never got within this margin of the decision
             boundary keep their float32 verdict.
+        incremental: enable prefix-checkpoint reuse for the batched
+            engine's fused Analyze groups.  Each group probes ``cache``
+            for the deepest :class:`~repro.abstract.checkpoint.PrefixBounds`
+            captured under the network's own digest chain (a fine-tuned
+            network shares chain links with its ancestor for every
+            unchanged prefix layer, so no "old network" is ever named),
+            resumes the analyzer from it — bitwise-identical to a cold
+            run — and emits checkpoints at the deeper boundaries for
+            future runs.  Requires ``cache``; silently inert for the
+            ``sequential`` engine and for domains without checkpoint
+            support (powerset, symbolic), which degrade to exactly the
+            cold call.
     """
 
     def __init__(
@@ -329,6 +352,7 @@ class Scheduler:
         abstraction: str = "off",
         abstraction_level: int = DEFAULT_LEVEL,
         netabs_max_rounds: int = DEFAULT_MAX_ROUNDS,
+        incremental: bool = False,
     ) -> None:
         if engine not in SCHED_ENGINES:
             raise ValueError(
@@ -367,6 +391,7 @@ class Scheduler:
         self.abstraction = abstraction
         self.abstraction_level = int(abstraction_level)
         self.netabs_max_rounds = int(netabs_max_rounds)
+        self.incremental = bool(incremental)
         # Fail on a bad (executor, workers, kind) combination here, not
         # mid-manifest.
         validate_executor_spec(executor, workers, kind=executor_kind)
@@ -420,6 +445,79 @@ class Scheduler:
             )
 
     # ------------------------------------------------------------------
+    # Incremental re-verification (prefix checkpoints)
+    # ------------------------------------------------------------------
+
+    def _submit_checkpointed(
+        self,
+        executor: KernelExecutor,
+        network,
+        regions: list,
+        labels: list[int],
+        domain,
+        deadline: Deadline | None,
+    ):
+        """Probe the prefix cache and submit one checkpointed group.
+
+        The probe walks the group's checkpoint boundaries deepest-first
+        under the *current* network's own digest chain: a checkpoint
+        captured on the pre-fine-tune network shares the chain link of
+        every unchanged prefix layer, so the old network never needs to
+        be named.  A miss degrades to the exact cold call; either way
+        the suffix run emits checkpoints at the boundaries deeper than
+        the resume point for future runs.
+        """
+        obs = metrics_registry()
+        boundaries = checkpoint_boundaries(network)
+        resume = None
+        with span(
+            "prefix.resume", cat="sched",
+            rows=len(regions), domain=domain.base,
+        ):
+            digest = region_batch_digest(regions)
+            chain = layer_digests(network)
+            backend = _active_backend().name
+            for boundary in reversed(boundaries):
+                resume = self.cache.get_prefix(
+                    chain[boundary - 1], digest,
+                    (domain.base, domain.disjuncts), backend,
+                )
+                if resume is not None:
+                    break
+        depth = len(network.layers)
+        if resume is not None:
+            obs.inc("sched.prefix.hits")
+            obs.inc("sched.prefix.layers_skipped", resume.boundary)
+            obs.inc("sched.prefix.suffix_layers_run", depth - resume.boundary)
+        else:
+            obs.inc("sched.prefix.misses")
+            obs.inc("sched.prefix.suffix_layers_run", depth)
+        capture = tuple(
+            b for b in boundaries if resume is None or b > resume.boundary
+        )
+        return executor.submit(
+            analyze_batch_checkpointed, network, regions, labels, domain,
+            deadline, resume, capture,
+        )
+
+    def _store_prefixes(self, captured: list) -> None:
+        """Persist a checkpointed group's captured prefixes (best effort)."""
+        if not captured:
+            return
+        obs = metrics_registry()
+        put_started = time.perf_counter()
+        try:
+            for record in captured:
+                self.cache.put_prefix(record)
+                obs.inc("sched.prefix.puts")
+        except OSError:
+            # Same policy as result records: the cache is an
+            # optimization, a full disk must not fail the run.
+            obs.inc("sched.prefix.put_errors")
+        finally:
+            obs.add("phase.cache_s", time.perf_counter() - put_started)
+
+    # ------------------------------------------------------------------
     # Run
     # ------------------------------------------------------------------
 
@@ -449,6 +547,7 @@ class Scheduler:
             abstraction_level=(
                 self.abstraction_level if self.abstraction != "off" else 0
             ),
+            incremental=self.incremental,
         )
 
         try:
@@ -464,6 +563,10 @@ class Scheduler:
         # Everything the run accumulated — worker deltas included, since
         # the executor merges them before result consumption.
         report.metrics = obs.counters_since(counters_before)
+        report.prefix_hits = int(report.metrics.get("sched.prefix.hits", 0))
+        report.prefix_layers_skipped = int(
+            report.metrics.get("sched.prefix.layers_skipped", 0)
+        )
         return report
 
     def _run_phase(
@@ -901,17 +1004,31 @@ class Scheduler:
             group_states = list(
                 {id(state): state for state, _, _ in entries}.values()
             )
-            future = executor.submit(
-                analyze_batch_multi,
-                network,
-                [item.region for _, _, item in entries],
-                [state.job.prop.label for state, _, _ in entries],
-                domain,
-                self._group_deadline(group_states),
+            regions = [item.region for _, _, item in entries]
+            labels = [state.job.prop.label for state, _, _ in entries]
+            deadline = self._group_deadline(group_states)
+            # Incremental mode swaps the fused Analyze kernel for its
+            # checkpoint-aware twin (cold behaviour bitwise-identical);
+            # unsupported domains keep the plain call.
+            checkpointed = (
+                self.incremental
+                and self.cache is not None
+                and supports_checkpoint(domain)
             )
-            analyze_submissions.append((entries, group_states, future))
+            if checkpointed:
+                future = self._submit_checkpointed(
+                    executor, network, regions, labels, domain, deadline
+                )
+            else:
+                future = executor.submit(
+                    analyze_batch_multi, network, regions, labels, domain,
+                    deadline,
+                )
+            analyze_submissions.append(
+                (entries, group_states, future, checkpointed)
+            )
 
-        for entries, group_states, future in analyze_submissions:
+        for entries, group_states, future, checkpointed in analyze_submissions:
             with span(
                 "sched.analyze_group", cat="sched",
                 jobs=len(group_states), rows=len(entries),
@@ -928,6 +1045,9 @@ class Scheduler:
                         if state.outcome is None:
                             state.finish(Timeout("wall clock", state.stats))
                     continue
+                if checkpointed:
+                    analyses, captured = analyses
+                    self._store_prefixes(captured)
                 for (state, pos, _), analysis in zip(entries, analyses):
                     results_by_state[state.index][pos] = analysis
         obs.add("phase.analyze_s", time.perf_counter() - stage_started)

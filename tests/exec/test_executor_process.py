@@ -227,6 +227,52 @@ class TestKernelDescriptors:
             # The process boundary deliberately strips output elements.
             assert got.output is None
 
+    @pytest.mark.parametrize(
+        "domain",
+        [
+            DomainSpec("interval", 1),
+            DomainSpec("deeppoly", 1),
+            DomainSpec("zonotope", 1),
+        ],
+        ids=str,
+    )
+    def test_checkpointed_call_resumes_bitwise_across_the_boundary(
+        self, executor, kernel_case, domain
+    ):
+        from repro.abstract.analyzer import analyze_batch_checkpointed
+        from repro.abstract.checkpoint import checkpoint_boundaries
+
+        network, regions, labels = kernel_case
+        boundaries = checkpoint_boundaries(network)
+        reference, captured = analyze_batch_checkpointed(
+            network, regions, labels, domain, None,
+            capture_boundaries=boundaries,
+        )
+        # Cold capture through the pool: results match inline (outputs
+        # stripped), checkpoints come back whole.
+        results, shipped = executor.submit(
+            analyze_batch_checkpointed, network, regions, labels, domain,
+            None, None, tuple(boundaries),
+        ).result()
+        assert [r.margin_lower_bound for r in results] == [
+            r.margin_lower_bound for r in reference
+        ]
+        assert all(r.output is None for r in results)
+        assert [c.boundary for c in shipped] == boundaries
+        for got, ref in zip(shipped, captured):
+            assert got.prefix_digest == ref.prefix_digest
+            for name, arr in ref.arrays.items():
+                np.testing.assert_array_equal(got.arrays[name], arr)
+        # Resume operand crosses the boundary too (flattened into
+        # prefix_state_* payload keys) and reproduces the cold margins.
+        resumed, _ = executor.submit(
+            analyze_batch_checkpointed, network, regions, labels, domain,
+            None, captured[-1], (),
+        ).result()
+        assert [r.margin_lower_bound for r in resumed] == [
+            r.margin_lower_bound for r in reference
+        ]
+
     def test_network_ships_once_per_worker(self, kernel_case):
         network, regions, labels = kernel_case
         domain = DomainSpec("interval", 1)

@@ -122,3 +122,24 @@ def test_load_dump_round_trip(tmp_path):
     path = tmp_path / "dump.json"
     path.write_text(json.dumps(dump))
     assert load_dump(str(path)) == dump
+
+
+class TestPrefixSection:
+    def test_prefix_counters_get_their_own_block(self):
+        dump = make_dump(counters={
+            "sched.prefix.hits": 3,
+            "sched.prefix.misses": 1,
+            "sched.prefix.layers_skipped": 48,
+            "sched.prefix.suffix_layers_run": 9,
+            "cache.hits": 2,
+        })
+        text = summarize_dump(dump)
+        assert "prefix (incremental re-verification):" in text
+        assert "hits 3" in text and "layers_skipped 48" in text
+        # Family members stay out of the generic counter list.
+        generic = text.split("counters:")[1]
+        assert "sched.prefix." not in generic
+
+    def test_no_prefix_counters_no_section(self):
+        dump = make_dump(counters={"cache.hits": 2})
+        assert "prefix (incremental" not in summarize_dump(dump)

@@ -441,3 +441,161 @@ class TestRadiusTable:
         assert cache.radius_bounds(net, np.array([0.5, 0.5])) == (
             0.0, float("inf")
         )
+
+
+class TestPrefixFamily:
+    """PrefixRecord files: family counts, shared budgets, LRU mixing."""
+
+    def _prefix_record(self, i, height=2):
+        from repro.abstract.checkpoint import PrefixBounds
+
+        return PrefixBounds(
+            boundary=2,
+            op_count=2,
+            prefix_digest=f"prefix-{i}",
+            regions_digest=f"regions-{i}",
+            domain=("interval", 1),
+            backend="numpy64",
+            kind="interval_batch",
+            meta=None,
+            arrays={
+                "low": np.zeros((height, 3)),
+                "high": np.ones((height, 3)),
+            },
+        )
+
+    def _prefix_path(self, cache, record):
+        from repro.sched.cache import prefix_key
+
+        return cache._prefix_path(
+            prefix_key(
+                record.prefix_digest,
+                record.regions_digest,
+                record.domain[0],
+                record.domain[1],
+                record.backend,
+            )
+        )
+
+    def test_family_counts_and_len_cover_both(self, cache):
+        record = CacheRecord(kind="verified", stats={})
+        cache.put("aa" + "0" * 62, record)
+        cache.put("bb" + "0" * 62, record)
+        cache.put_prefix(self._prefix_record(0))
+        assert cache.family_counts() == (2, 1)
+        assert len(cache) == 3
+
+    def test_mixed_family_eviction_is_deterministic(self, tmp_path):
+        import os
+
+        def build(root):
+            cache = ResultCache(root)
+            result = CacheRecord(kind="verified", stats={})
+            aged = []
+            for i in range(3):
+                key = f"{i:02x}" + "0" * 62
+                cache.put(key, result)
+                aged.append(cache._path(key))
+            for i in range(3):
+                record = self._prefix_record(i)
+                cache.put_prefix(record)
+                aged.append(self._prefix_path(cache, record))
+            # Interleave the families in age: result, prefix, result, ...
+            order = [aged[0], aged[3], aged[1], aged[4], aged[2], aged[5]]
+            for age, path in enumerate(order):
+                os.utime(path, (1000.0 + age, 1000.0 + age))
+            return cache, order
+
+        cache_a, order_a = build(tmp_path / "a")
+        cache_b, order_b = build(tmp_path / "b")
+        for cache, order in ((cache_a, order_a), (cache_b, order_b)):
+            result = cache.prune(max_entries=3)
+            assert result.removed == 3
+            # Oldest three go, regardless of family: one result record
+            # and one prefix record each survive alongside the newest.
+            assert [p.exists() for p in order] == [
+                False, False, False, True, True, True
+            ]
+        assert cache_a.family_counts() == cache_b.family_counts() == (1, 2)
+
+    def test_prefix_put_respects_entry_budget(self, tmp_path):
+        cache = ResultCache(tmp_path / "c", max_entries=4)
+        for i in range(10):
+            cache.put_prefix(self._prefix_record(i))
+        assert len(cache) <= 4
+
+    def test_prefix_hit_refreshes_recency(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path / "c")
+        records = [self._prefix_record(i) for i in range(3)]
+        for record in records:
+            cache.put_prefix(record)
+        for i, record in enumerate(records):
+            os.utime(self._prefix_path(cache, record), (1000.0 + i, 1000.0 + i))
+        # Serving the oldest must rescue it from the next prune.
+        assert cache.get_prefix(
+            records[0].prefix_digest,
+            records[0].regions_digest,
+            records[0].domain,
+            records[0].backend,
+        ) is not None
+        cache.prune(max_entries=1)
+        assert self._prefix_path(cache, records[0]).exists()
+        assert not self._prefix_path(cache, records[1]).exists()
+
+    def test_corrupt_prefix_file_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        record = self._prefix_record(0)
+        cache.put_prefix(record)
+        self._prefix_path(cache, record).write_bytes(b"not an npz")
+        assert cache.get_prefix(
+            record.prefix_digest,
+            record.regions_digest,
+            record.domain,
+            record.backend,
+        ) is None
+
+
+class TestLongestReusablePrefix:
+    def test_fine_tune_finds_deepest_boundary(self, tmp_path):
+        from repro.abstract.analyzer import analyze_batch_checkpointed
+        from repro.abstract.checkpoint import checkpoint_boundaries
+        from repro.abstract.domains import DEEPPOLY
+        from repro.utils.boxes import Box
+
+        net = mlp(4, [8, 6, 5], 3, rng=0)  # boundaries [2, 4, 6]
+        regions = [
+            Box.from_center_radius(np.full(4, 0.3), 0.05),
+            Box.from_center_radius(np.full(4, -0.2), 0.05),
+        ]
+        cache = ResultCache(tmp_path / "c")
+        _, captured = analyze_batch_checkpointed(
+            net, regions, [0, 1], DEEPPOLY,
+            capture_boundaries=checkpoint_boundaries(net),
+        )
+        for record in captured:
+            cache.put_prefix(record)
+
+        tuned = mlp(4, [8, 6, 5], 3, rng=0)
+        tuned.layers[-1].weight += 1e-6  # only the output layer moved
+        common, record = cache.longest_reusable_prefix(
+            net, tuned, regions, DEEPPOLY
+        )
+        assert common == len(net.layers) - 1
+        assert record is not None
+        assert record.boundary == 6  # the deepest stored boundary
+
+    def test_divergent_networks_reuse_nothing(self, tmp_path):
+        from repro.abstract.domains import DEEPPOLY
+        from repro.utils.boxes import Box
+
+        cache = ResultCache(tmp_path / "c")
+        net = mlp(4, [8], 3, rng=0)
+        other = mlp(4, [8], 3, rng=5)
+        regions = [Box.from_center_radius(np.full(4, 0.3), 0.05)]
+        common, record = cache.longest_reusable_prefix(
+            net, other, regions, DEEPPOLY
+        )
+        assert common == 0
+        assert record is None

@@ -620,3 +620,100 @@ class TestScheduleWorkers:
                 "schedule", str(manifest), "--executor", "serial",
                 "--workers", "4",
             ])
+
+
+class TestIncrementalCommands:
+    """``schedule --incremental``, ``diff-verify``, and prune families."""
+
+    @pytest.fixture()
+    def nets(self, tmp_path):
+        net = xor_network()
+        old_path = tmp_path / "net.npz"
+        save_network(net, old_path)
+        tuned = xor_network()
+        tuned.layers[-1].weight += np.random.default_rng(7).normal(
+            0.0, 1e-6, tuned.layers[-1].weight.shape
+        )
+        tuned_path = tmp_path / "tuned.npz"
+        save_network(tuned, tuned_path)
+        return str(old_path), str(tuned_path)
+
+    @pytest.fixture()
+    def verifiable_manifest(self, nets, tmp_path):
+        old_path, _ = nets
+        path = tmp_path / "inc_manifest.json"
+        path.write_text(json.dumps({
+            "defaults": {
+                "network": old_path, "epsilon": 0.04, "timeout": 30.0,
+            },
+            "jobs": [
+                {"center": "0.5,0.88", "name": "hi-y"},
+                {"center": "0.88,0.5", "name": "hi-x"},
+            ],
+        }))
+        return str(path)
+
+    def test_incremental_requires_cache(self, verifiable_manifest):
+        with pytest.raises(SystemExit, match="requires --cache"):
+            main(["schedule", verifiable_manifest, "--incremental"])
+
+    def test_incremental_schedule_prints_prefix_line(
+        self, verifiable_manifest, capsys, tmp_path
+    ):
+        code = main([
+            "schedule", verifiable_manifest,
+            "--cache", str(tmp_path / "cache"),
+            "--incremental", "--domain", "deeppoly",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "prefix: 0 hits, 0 layers skipped" in out
+
+    def test_plain_schedule_has_no_prefix_line(
+        self, verifiable_manifest, capsys
+    ):
+        main(["schedule", verifiable_manifest, "--domain", "deeppoly"])
+        assert "prefix:" not in capsys.readouterr().out
+
+    def test_diff_verify_resumes_from_recorded_checkpoints(
+        self, nets, verifiable_manifest, capsys, tmp_path
+    ):
+        old_path, tuned_path = nets
+        cache_dir = str(tmp_path / "cache")
+        main([
+            "schedule", verifiable_manifest, "--cache", cache_dir,
+            "--incremental", "--domain", "deeppoly",
+        ])
+        capsys.readouterr()
+        code = main([
+            "diff-verify", old_path, tuned_path, verifiable_manifest,
+            "--cache", cache_dir, "--domain", "deeppoly",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "common prefix: 2/3 layers unchanged" in out
+        assert "prefix: 1 hits, 2 layers skipped" in out
+        # Every job still verifies on the fine-tuned network.
+        assert out.count("verified") >= 2
+
+    def test_diff_verify_requires_cache_flag(
+        self, nets, verifiable_manifest
+    ):
+        old_path, tuned_path = nets
+        with pytest.raises(SystemExit):
+            main(["diff-verify", old_path, tuned_path, verifiable_manifest])
+
+    def test_cache_prune_reports_family_counts(
+        self, nets, verifiable_manifest, capsys, tmp_path
+    ):
+        cache_dir = str(tmp_path / "cache")
+        main([
+            "schedule", verifiable_manifest, "--cache", cache_dir,
+            "--incremental", "--domain", "deeppoly",
+        ])
+        capsys.readouterr()
+        code = main(["cache", "prune", cache_dir, "--max-entries", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "families:" in out
+        assert "prefix records" in out
